@@ -1,0 +1,72 @@
+//! Microbenchmarks of IR parsing and SMT encoding (§3): the fixed
+//! per-function costs of every validation.
+
+use alive2_ir::parser::{parse_function, parse_module};
+use alive2_sema::config::EncodeConfig;
+use alive2_sema::encode::{encode_function, Env};
+use alive2_sema::unroll::unroll_loops;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const FIG1: &str = r#"define i32 @fn(i32 %a, i32 %b) {
+entry:
+  %t = add i32 %a, %a
+  %c = icmp eq i32 %t, 0
+  br i1 %c, label %then, label %else
+then:
+  %q = shl i32 %a, 2
+  ret i32 %q
+else:
+  %r = and i32 %b, 1
+  ret i32 %r
+}"#;
+
+const LOOPY: &str = r#"define i32 @sum(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc1, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %acc1 = add i32 %acc, %i
+  %i1 = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %acc
+}"#;
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("ir/parse-fig1", |b| {
+        b.iter(|| parse_function(FIG1).unwrap())
+    });
+}
+
+fn bench_unroll(c: &mut Criterion) {
+    let f = parse_function(LOOPY).unwrap();
+    c.bench_function("sema/unroll-x8", |b| {
+        b.iter(|| unroll_loops(&f, 8).unwrap())
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let m = parse_module(FIG1).unwrap();
+    c.bench_function("sema/encode-fig1", |b| {
+        b.iter(|| {
+            let f = &m.functions[0];
+            let env = Env::new(EncodeConfig::default(), &m, f).unwrap();
+            encode_function(&env, f).unwrap()
+        })
+    });
+    let lm = parse_module(LOOPY).unwrap();
+    c.bench_function("sema/encode-loop-x4", |b| {
+        b.iter(|| {
+            let f = &lm.functions[0];
+            let env = Env::new(EncodeConfig::with_unroll(4), &lm, f).unwrap();
+            encode_function(&env, f).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_unroll, bench_encode);
+criterion_main!(benches);

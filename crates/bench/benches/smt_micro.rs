@@ -1,0 +1,82 @@
+//! Microbenchmarks of the SMT substrate: SAT solving, bit-blasting, and
+//! validity checks — the per-query costs behind every figure.
+
+use alive2_smt::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_sat_pigeonhole(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole-6-5", |b| {
+        b.iter(|| {
+            use alive2_smt::sat::{Budget, Lit, SatOutcome, SatSolver};
+            let mut s = SatSolver::new();
+            let (n, h) = (6, 5);
+            let mut p = vec![];
+            for _ in 0..n * h {
+                p.push(s.new_var());
+            }
+            let idx = |i: usize, j: usize| p[i * h + j];
+            for i in 0..n {
+                let cl: Vec<Lit> = (0..h).map(|j| Lit::new(idx(i, j), true)).collect();
+                s.add_clause(&cl);
+            }
+            for j in 0..h {
+                for i1 in 0..n {
+                    for i2 in (i1 + 1)..n {
+                        s.add_clause(&[
+                            Lit::new(idx(i1, j), false),
+                            Lit::new(idx(i2, j), false),
+                        ]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(Budget::unlimited()), SatOutcome::Unsat);
+        })
+    });
+}
+
+fn bench_bv_validity(c: &mut Criterion) {
+    c.bench_function("smt/mul-shl-equiv-16bit", |b| {
+        b.iter(|| {
+            let ctx = Ctx::new();
+            let x = ctx.var("x", Sort::BitVec(16));
+            let two = ctx.bv_lit_u64(16, 2);
+            let one = ctx.bv_lit_u64(16, 1);
+            let t = ctx.eq(ctx.bv_mul(x, two), ctx.bv_shl(x, one));
+            assert_eq!(is_valid(&ctx, t, Budget::unlimited()), Some(true));
+        })
+    });
+    c.bench_function("smt/udiv-roundtrip-8bit", |b| {
+        b.iter(|| {
+            let ctx = Ctx::new();
+            let x = ctx.var("x", Sort::BitVec(8));
+            let y = ctx.var("y", Sort::BitVec(8));
+            // (x / y) * y + (x % y) == x  whenever y != 0
+            let q = ctx.bv_udiv(x, y);
+            let r = ctx.bv_urem(x, y);
+            let lhs = ctx.bv_add(ctx.bv_mul(q, y), r);
+            let nz = ctx.ne(y, ctx.bv_lit_u64(8, 0));
+            let t = ctx.implies(nz, ctx.eq(lhs, x));
+            assert_eq!(is_valid(&ctx, t, Budget::unlimited()), Some(true));
+        })
+    });
+}
+
+fn bench_exists_forall(c: &mut Criterion) {
+    c.bench_function("smt/cegqi-masking", |b| {
+        b.iter(|| {
+            let ctx = Ctx::new();
+            let x = ctx.var("x", Sort::BitVec(8));
+            let y = ctx.var("y", Sort::BitVec(8));
+            let phi = ctx.eq(ctx.bv_and(x, y), y);
+            assert!(solve_exists_forall(&ctx, &[y], phi, EfConfig::default()).is_sat());
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sat_pigeonhole,
+    bench_bv_validity,
+    bench_exists_forall
+);
+criterion_main!(benches);

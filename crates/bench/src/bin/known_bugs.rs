@@ -1,0 +1,40 @@
+//! The §8.5 experiment: run the validator on 36 known miscompilations and
+//! report which are detected and which are (soundly) missed, with reasons.
+//!
+//! Run with `cargo run --release -p alive2-bench --bin known_bugs`.
+
+use alive2_core::validator::validate_modules;
+use alive2_ir::parser::parse_module;
+use alive2_sema::config::EncodeConfig;
+use alive2_testgen::known_bugs::{known_bugs, Expectation};
+
+fn main() {
+    let cfg = EncodeConfig::default();
+    let (mut detected, mut missed) = (0u32, 0u32);
+    println!("§8.5: reproducing known LLVM bugs\n");
+    for bug in known_bugs() {
+        let src = parse_module(bug.src).unwrap();
+        let tgt = parse_module(bug.tgt).unwrap();
+        let verdict = &validate_modules(&src, &tgt, &cfg)[0].1;
+        let got_detection = verdict.is_incorrect();
+        let (status, note) = match (got_detection, bug.expect) {
+            (true, Expectation::Detected) => {
+                detected += 1;
+                ("DETECTED", String::new())
+            }
+            (false, Expectation::Missed(reason)) => {
+                missed += 1;
+                ("missed  ", format!("({reason})"))
+            }
+            (got, expect) => (
+                "UNEXPECTED",
+                format!("got detection={got}, expected {expect:?}"),
+            ),
+        };
+        println!("  {:10} {:32} {}", status, bug.name, note);
+    }
+    println!("\n{detected} detected / {missed} missed (paper: 29 / 7)");
+    if detected != 29 || missed != 7 {
+        std::process::exit(1);
+    }
+}

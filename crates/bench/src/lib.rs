@@ -1,0 +1,148 @@
+//! Shared driver code for the Alive2-rs evaluation harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (§8); this library holds the common
+//! pipeline-and-validate loop and the outcome accounting.
+
+use alive2_core::validator::{validate_pair_with_stats, Verdict};
+use alive2_ir::module::Module;
+use alive2_opt::bugs::BugSet;
+use alive2_opt::pass::PassManager;
+use alive2_sema::config::EncodeConfig;
+use std::time::Instant;
+
+/// Outcome counts in the shape of the paper's Fig. 7 columns.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counts {
+    /// Total (function, pass) pairs considered.
+    pub pairs: u32,
+    /// Pairs where the pass changed the function.
+    pub diff: u32,
+    /// Successfully validated.
+    pub correct: u32,
+    /// Refinement violations.
+    pub incorrect: u32,
+    /// Solver timeouts.
+    pub timeout: u32,
+    /// Solver memory exhaustion.
+    pub oom: u32,
+    /// Skipped: unsupported features or inconclusive over-approximations.
+    pub unsupported: u32,
+    /// Total wall-clock milliseconds spent validating.
+    pub millis: u64,
+}
+
+impl Counts {
+    /// Accumulates another `Counts`.
+    pub fn add(&mut self, other: Counts) {
+        self.pairs += other.pairs;
+        self.diff += other.diff;
+        self.correct += other.correct;
+        self.incorrect += other.incorrect;
+        self.timeout += other.timeout;
+        self.oom += other.oom;
+        self.unsupported += other.unsupported;
+        self.millis += other.millis;
+    }
+
+    /// Records one verdict.
+    pub fn record(&mut self, v: &Verdict) {
+        match v {
+            Verdict::Correct => self.correct += 1,
+            Verdict::Incorrect(_) => self.incorrect += 1,
+            Verdict::Timeout => self.timeout += 1,
+            Verdict::OutOfMemory => self.oom += 1,
+            Verdict::Unsupported(_)
+            | Verdict::Inconclusive(_)
+            | Verdict::PreconditionFalse => self.unsupported += 1,
+        }
+    }
+}
+
+/// Runs the default pipeline (with `bugs` seeded) over every function of a
+/// module, validating each changed pass — the `opt -tv` workflow (§8.1).
+pub fn validate_module_pipeline(
+    module: &Module,
+    bugs: BugSet,
+    cfg: &EncodeConfig,
+) -> Counts {
+    let pm = PassManager::default_pipeline(bugs);
+    let mut counts = Counts::default();
+    let start = Instant::now();
+    for func in &module.functions {
+        let mut f = func.clone();
+        let snaps = pm.run_with_snapshots(&mut f);
+        counts.pairs += pm.pass_names().len() as u32;
+        for (_pass, before, after) in snaps {
+            counts.diff += 1;
+            let (v, _stats) = validate_pair_with_stats(module, &before, &after, cfg);
+            counts.record(&v);
+        }
+    }
+    counts.millis = start.elapsed().as_millis() as u64;
+    counts
+}
+
+/// Validates a list of explicit source/target module pairs.
+pub fn validate_pairs(
+    pairs: &[(Module, Module)],
+    cfg: &EncodeConfig,
+) -> (Counts, Vec<Verdict>) {
+    let mut counts = Counts::default();
+    let mut verdicts = Vec::new();
+    let start = Instant::now();
+    for (src, tgt) in pairs {
+        for s in &src.functions {
+            let Some(t) = tgt.function(&s.name) else { continue };
+            counts.pairs += 1;
+            counts.diff += 1;
+            let (v, _stats) = validate_pair_with_stats(src, s, t, cfg);
+            counts.record(&v);
+            verdicts.push(v);
+        }
+    }
+    counts.millis = start.elapsed().as_millis() as u64;
+    (counts, verdicts)
+}
+
+/// Prints a Fig. 7-style header.
+pub fn print_fig7_header() {
+    println!(
+        "{:8} {:>6} {:>6} {:>9} {:>6} {:>6} {:>5} {:>5} {:>7}",
+        "Prog.", "Pairs", "Diff", "Time(s)", "OK", "Fail", "TO", "OOM", "Unsup."
+    );
+}
+
+/// Prints a Fig. 7-style row.
+pub fn print_fig7_row(name: &str, c: &Counts) {
+    println!(
+        "{:8} {:>6} {:>6} {:>9.1} {:>6} {:>6} {:>5} {:>5} {:>7}",
+        name,
+        c.pairs,
+        c.diff,
+        c.millis as f64 / 1000.0,
+        c.correct,
+        c.incorrect,
+        c.timeout,
+        c.oom,
+        c.unsupported
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_module;
+
+    #[test]
+    fn pipeline_driver_counts() {
+        let m = parse_module(
+            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 0\n  ret i32 %a\n}",
+        )
+        .unwrap();
+        let c = validate_module_pipeline(&m, BugSet::none(), &EncodeConfig::default());
+        assert!(c.diff >= 1);
+        assert_eq!(c.incorrect, 0);
+        assert!(c.correct >= 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Bounded translation validation for LLVM-style IR — the primary
+//! contribution of "Alive2: Bounded Translation Validation for LLVM"
+//! (PLDI 2021), reimplemented in Rust.
+//!
+//! The crate checks *refinement* between pairs of IR functions: for every
+//! input, the optimized (target) function may only exhibit a subset of the
+//! original (source) function\'s behaviors, with full support for LLVM\'s
+//! undefined behavior — immediate UB, `undef`, `poison`, and `freeze`.
+//!
+//! # Examples
+//!
+//! ```
+//! use alive2_core::validator::{validate_modules, Verdict};
+//! use alive2_ir::parser::parse_module;
+//! use alive2_sema::config::EncodeConfig;
+//!
+//! let src = parse_module("define i8 @f(i8 %x) {\nentry:\n  %r = mul i8 %x, 2\n  ret i8 %r\n}")?;
+//! let tgt = parse_module("define i8 @f(i8 %x) {\nentry:\n  %r = shl i8 %x, 1\n  ret i8 %r\n}")?;
+//! let results = validate_modules(&src, &tgt, &EncodeConfig::default());
+//! assert!(matches!(results[0].1, Verdict::Correct));
+//! # Ok::<(), alive2_ir::parser::ParseError>(())
+//! ```
+
+pub mod refine;
+pub mod report;
+pub mod validator;
+
+pub use report::{CounterExample, QueryKind};
+pub use validator::{validate_modules, validate_pair, Verdict};

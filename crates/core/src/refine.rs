@@ -1,0 +1,262 @@
+//! Refinement relations between symbolic values and memory bytes
+//! (paper Fig. 4).
+
+use alive2_sema::config::EncodeConfig;
+use alive2_sema::memory::{ByteCodec, SymMemory};
+use alive2_sema::value::SymValue;
+use alive2_smt::term::{Ctx, TermId};
+use alive2_ir::types::Type;
+
+/// Bool: target scalar `t` refines source scalar `s` for a value of type
+/// `ty` (element rules of Fig. 4).
+///
+/// - source poison is refined by anything (`value-poison`);
+/// - numbers must be equal (`element-nonptr`);
+/// - pointers compare with local-block leniency (`element-ptr`): shared
+///   blocks must match exactly, while pointers into function-local blocks
+///   (bid at or above the shared range) refine each other when their
+///   offsets agree — local bids are private to each side.
+pub fn scalar_refined(
+    ctx: &Ctx,
+    cfg: &EncodeConfig,
+    shared_blocks: usize,
+    ty: &Type,
+    s_value: TermId,
+    s_poison: TermId,
+    t_value: TermId,
+    t_poison: TermId,
+) -> TermId {
+    let equal_ok = match ty {
+        Type::Float(k) => {
+            // Float values compare at FPA level: NaN payloads are not
+            // observable through a float-typed value (the §3.5 semantics —
+            // any observation of the payload goes through bitcast/store,
+            // where the encoder already injects a non-deterministic
+            // pattern). Any NaN refines any NaN.
+            let both_nan = ctx.and(
+                alive2_sema::float::is_nan(ctx, s_value, *k),
+                alive2_sema::float::is_nan(ctx, t_value, *k),
+            );
+            ctx.or(ctx.eq(s_value, t_value), both_nan)
+        }
+        Type::Ptr => {
+            let w = cfg.ptr_bits();
+            let s_bid = ctx.extract(s_value, w - 1, cfg.off_bits);
+            let t_bid = ctx.extract(t_value, w - 1, cfg.off_bits);
+            let s_off = ctx.extract(s_value, cfg.off_bits - 1, 0);
+            let t_off = ctx.extract(t_value, cfg.off_bits - 1, 0);
+            let shared = ctx.bv_lit_u64(cfg.bid_bits, shared_blocks as u64);
+            let both_local = ctx.and(ctx.bv_uge(s_bid, shared), ctx.bv_uge(t_bid, shared));
+            let local_ok = ctx.and(both_local, ctx.eq(s_off, t_off));
+            ctx.or(ctx.eq(s_value, t_value), local_ok)
+        }
+        _ => ctx.eq(s_value, t_value),
+    };
+    let not_poison_both = ctx.and(ctx.not(t_poison), equal_ok);
+    ctx.or(s_poison, not_poison_both)
+}
+
+/// Bool: the target value refines the source value, element-wise over
+/// aggregates (`value-aggregate`).
+pub fn value_refined(
+    ctx: &Ctx,
+    cfg: &EncodeConfig,
+    shared_blocks: usize,
+    ty: &Type,
+    s: &SymValue,
+    t: &SymValue,
+) -> TermId {
+    match (s, t) {
+        (SymValue::Scalar(a), SymValue::Scalar(b)) => scalar_refined(
+            ctx,
+            cfg,
+            shared_blocks,
+            ty,
+            a.value,
+            a.poison,
+            b.value,
+            b.poison,
+        ),
+        (SymValue::Aggregate(xs), SymValue::Aggregate(ys)) => {
+            assert_eq!(xs.len(), ys.len(), "aggregate arity mismatch");
+            let parts: Vec<TermId> = xs
+                .iter()
+                .zip(ys)
+                .enumerate()
+                .map(|(i, (x, y))| {
+                    let et = alive2_sema::value::elem_type(ty, i);
+                    value_refined(ctx, cfg, shared_blocks, et, x, y)
+                })
+                .collect();
+            ctx.and_many(&parts)
+        }
+        _ => panic!("mismatched symbolic shapes in refinement"),
+    }
+}
+
+/// Bool: target memory byte `t` refines source byte `s` (§4, §5.1's ⊒m at
+/// byte granularity).
+///
+/// Bitwise: the target may only be poisoned where the source is
+/// (`t_mask ⊆ s_mask`), values must agree on source-defined bits, and
+/// pointer-byte structure must match unless the whole source byte is
+/// poison.
+pub fn byte_refined(ctx: &Ctx, codec: ByteCodec, s: TermId, t: TermId) -> TermId {
+    let s_mask = codec.poison_mask(ctx, s);
+    let t_mask = codec.poison_mask(ctx, t);
+    let s_val = codec.value(ctx, s);
+    let t_val = codec.value(ctx, t);
+    let zero8 = ctx.bv_lit_u64(8, 0);
+    let all_poison = ctx.eq(s_mask, ctx.bv_lit_u64(8, 0xff));
+    let not_s = ctx.bv_not(s_mask);
+    let mask_ok = ctx.eq(ctx.bv_and(t_mask, not_s), zero8);
+    let val_ok = ctx.eq(ctx.bv_and(ctx.bv_xor(s_val, t_val), not_s), zero8);
+    let ptr_eq = {
+        let sp = codec.is_ptr(ctx, s);
+        let tp = codec.is_ptr(ctx, t);
+        let same_kind = ctx.eq(sp, tp);
+        let frag_eq = ctx.eq(codec.frag(ctx, s), codec.frag(ctx, t));
+        let pay_eq = ctx.eq(codec.payload(ctx, s), codec.payload(ctx, t));
+        let ptr_fields = ctx.implies(sp, ctx.and(frag_eq, pay_eq));
+        ctx.and(same_kind, ptr_fields)
+    };
+    let structural = ctx.and_many(&[mask_ok, val_ok, ptr_eq]);
+    ctx.or(all_poison, structural)
+}
+
+/// Bool: the final memories agree (refine) at symbolic address `addr`,
+/// restricted to shared (caller-visible) blocks. `addr` is typically a
+/// fresh existential variable in the negated query (find *an* address that
+/// violates refinement).
+pub fn memory_refined_at(
+    ctx: &Ctx,
+    src_mem: &mut SymMemory,
+    tgt_mem: &mut SymMemory,
+    addr: TermId,
+    src_fresh: &mut Vec<TermId>,
+    tgt_fresh: &mut Vec<TermId>,
+) -> TermId {
+    let codec = src_mem.codec();
+    let in_shared = src_mem.is_shared_addr(ctx, addr);
+    // Only in-bounds shared bytes are observable.
+    let bid = src_mem.bid_of(ctx, addr);
+    let off = src_mem.off_of(ctx, addr);
+    let mut in_bounds = Vec::new();
+    for (k, b) in src_mem
+        .blocks
+        .iter()
+        .take(src_mem.shared_blocks)
+        .enumerate()
+    {
+        let is_k = ctx.eq(bid, ctx.bv_lit_u64(src_mem.cfg.bid_bits, k as u64));
+        in_bounds.push(ctx.and(is_k, ctx.bv_ult(off, b.size)));
+    }
+    let observable = ctx.and(in_shared, ctx.or_many(&in_bounds));
+    let s = src_mem.final_byte(ctx, addr, src_fresh);
+    let t = tgt_mem.final_byte(ctx, addr, tgt_fresh);
+    let refined = byte_refined(ctx, codec, s, t);
+    ctx.implies(observable, refined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_sema::value::ScalarVal;
+    use alive2_smt::model::Model;
+
+    #[test]
+    fn poison_source_is_refined_by_anything() {
+        let ctx = Ctx::new();
+        let cfg = EncodeConfig::default();
+        let s = SymValue::Scalar(ScalarVal::poison(&ctx, 8));
+        let t = SymValue::Scalar(ScalarVal::defined(ctx.bv_lit_u64(8, 5), &ctx));
+        let r = value_refined(&ctx, &cfg, 1, &Type::i8(), &s, &t);
+        assert_eq!(r, ctx.tru());
+    }
+
+    #[test]
+    fn equal_values_refine_but_poison_target_does_not() {
+        let ctx = Ctx::new();
+        let cfg = EncodeConfig::default();
+        let five = SymValue::Scalar(ScalarVal::defined(ctx.bv_lit_u64(8, 5), &ctx));
+        let six = SymValue::Scalar(ScalarVal::defined(ctx.bv_lit_u64(8, 6), &ctx));
+        let bad = SymValue::Scalar(ScalarVal::poison(&ctx, 8));
+        assert_eq!(
+            value_refined(&ctx, &cfg, 1, &Type::i8(), &five, &five),
+            ctx.tru()
+        );
+        assert_eq!(
+            value_refined(&ctx, &cfg, 1, &Type::i8(), &five, &six),
+            ctx.fals()
+        );
+        assert_eq!(
+            value_refined(&ctx, &cfg, 1, &Type::i8(), &five, &bad),
+            ctx.fals()
+        );
+    }
+
+    #[test]
+    fn aggregates_refine_element_wise() {
+        let ctx = Ctx::new();
+        let cfg = EncodeConfig::default();
+        let ty = Type::vec(2, Type::i8());
+        let mk = |a: u64, b: Option<u64>| {
+            SymValue::Aggregate(vec![
+                SymValue::Scalar(ScalarVal::defined(ctx.bv_lit_u64(8, a), &ctx)),
+                match b {
+                    Some(v) => SymValue::Scalar(ScalarVal::defined(ctx.bv_lit_u64(8, v), &ctx)),
+                    None => SymValue::Scalar(ScalarVal::poison(&ctx, 8)),
+                },
+            ])
+        };
+        let s = mk(1, None); // (1, poison)
+        let t = mk(1, Some(9)); // (1, 9)
+        assert_eq!(value_refined(&ctx, &cfg, 1, &ty, &s, &t), ctx.tru());
+        let t_bad = mk(2, Some(9));
+        assert_eq!(value_refined(&ctx, &cfg, 1, &ty, &s, &t_bad), ctx.fals());
+    }
+
+    #[test]
+    fn byte_refinement_rules() {
+        let ctx = Ctx::new();
+        let codec = ByteCodec { ptr_bits: 18 };
+        let m = Model::new();
+        let num = |v: u64, mask: u64| codec.pack_num(&ctx, ctx.bv_lit_u64(8, v), ctx.bv_lit_u64(8, mask));
+        // Identical bytes refine.
+        assert!(m.eval_bool(&ctx, byte_refined(&ctx, codec, num(5, 0), num(5, 0))));
+        // Fully-poison source refines to anything.
+        assert!(m.eval_bool(&ctx, byte_refined(&ctx, codec, num(0, 0xff), num(123, 0))));
+        // Target may not add poison.
+        assert!(!m.eval_bool(&ctx, byte_refined(&ctx, codec, num(5, 0), num(5, 0x01))));
+        // Partially-poison source: target may define those bits freely.
+        assert!(m.eval_bool(&ctx, byte_refined(&ctx, codec, num(0b100, 0b011), num(0b110, 0))));
+        // …but must preserve the defined ones.
+        assert!(!m.eval_bool(&ctx, byte_refined(&ctx, codec, num(0b100, 0b011), num(0b010, 0))));
+    }
+
+    #[test]
+    fn local_pointers_refine_by_offset() {
+        let ctx = Ctx::new();
+        let cfg = EncodeConfig::default();
+        let shared = 3usize;
+        let mk_ptr = |bid: u64, off: u64| {
+            let b = ctx.bv_lit_u64(cfg.bid_bits, bid);
+            let o = ctx.bv_lit_u64(cfg.off_bits, off);
+            SymValue::Scalar(ScalarVal::defined(ctx.concat(b, o), &ctx))
+        };
+        // Different local bids, same offset: refined.
+        let s = mk_ptr(5, 4);
+        let t = mk_ptr(7, 4);
+        assert_eq!(
+            value_refined(&ctx, &cfg, shared, &Type::Ptr, &s, &t),
+            ctx.tru()
+        );
+        // Shared bids must match exactly.
+        let s2 = mk_ptr(1, 0);
+        let t2 = mk_ptr(2, 0);
+        assert_eq!(
+            value_refined(&ctx, &cfg, shared, &Type::Ptr, &s2, &t2),
+            ctx.fals()
+        );
+    }
+}

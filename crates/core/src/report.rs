@@ -1,0 +1,86 @@
+//! Counterexample reports for refinement violations.
+
+use crate::validator::model_args;
+use alive2_sema::encode::Env;
+use alive2_smt::model::Model;
+use std::fmt;
+
+/// Which of the §5.3 queries produced the counterexample.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryKind {
+    /// Target triggers UB on an input where the source does not.
+    TargetMoreUb,
+    /// Target executes a call the source never makes.
+    CallIntroduced,
+    /// The return domains differ.
+    ReturnDomain,
+    /// Target returns poison where the source does not.
+    RetPoison,
+    /// Target returns undef where the source value is fully defined.
+    RetUndef,
+    /// The returned values differ.
+    RetValue,
+    /// The final memories differ.
+    Memory,
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QueryKind::TargetMoreUb => "target is more undefined than source",
+            QueryKind::CallIntroduced => "target introduces a function call",
+            QueryKind::ReturnDomain => "return domains differ",
+            QueryKind::RetPoison => "target returns poison where source does not",
+            QueryKind::RetUndef => "target returns undef where source is defined",
+            QueryKind::RetValue => "return values differ",
+            QueryKind::Memory => "final memory states differ",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete input demonstrating a refinement violation.
+#[derive(Clone, Debug)]
+pub struct CounterExample {
+    /// The violated property.
+    pub query: QueryKind,
+    /// Concrete argument values (name, rendered value).
+    pub args: Vec<(String, String)>,
+}
+
+impl CounterExample {
+    pub(crate) fn build(env: &Env, model: &Model, query: QueryKind) -> CounterExample {
+        CounterExample {
+            query,
+            args: model_args(env, model),
+        }
+    }
+}
+
+impl fmt::Display for CounterExample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ERROR: {}", self.query)?;
+        writeln!(f, "Example:")?;
+        for (name, val) in &self.args {
+            writeln!(f, "  {name} = {val}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_like_alive2() {
+        let cex = CounterExample {
+            query: QueryKind::RetValue,
+            args: vec![("%x".into(), "0".into()), ("%y".into(), "undef".into())],
+        };
+        let s = cex.to_string();
+        assert!(s.contains("ERROR: return values differ"));
+        assert!(s.contains("%x = 0"));
+        assert!(s.contains("%y = undef"));
+    }
+}

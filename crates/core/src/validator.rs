@@ -1,0 +1,984 @@
+//! The bounded translation validator: checks that a target function
+//! refines a source function (paper §5, §6).
+//!
+//! Refinement is discharged as a sequence of smaller queries (§5.3) — this
+//! both yields precise error messages and keeps each SMT problem small.
+//! Every query is the *negation* of a refinement condition, solved as
+//! `∃ inputs, N_tgt. ∀ N_src. violation`, so a `Sat` answer is a
+//! counterexample and `Unsat` means that part of refinement holds.
+
+use crate::refine::{memory_refined_at, value_refined};
+use crate::report::{CounterExample, QueryKind};
+use alive2_ir::function::Function;
+use alive2_ir::module::Module;
+use alive2_sema::config::EncodeConfig;
+use alive2_sema::encode::{encode_function, CallSite, EncodedFn, Env};
+use alive2_smt::exists_forall::{solve_exists_forall_with_seeds, EfConfig, EfResult};
+use std::collections::HashMap;
+use alive2_smt::model::Model;
+use alive2_smt::sat::Budget;
+use alive2_smt::solver::{SmtResult, Solver};
+use alive2_smt::term::{Ctx, Sort, TermId};
+use std::time::Instant;
+
+/// The outcome of validating one function pair.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// The target refines the source within the bound.
+    Correct,
+    /// Refinement is violated; the report describes the counterexample.
+    Incorrect(CounterExample),
+    /// A counterexample exists but depends on an over-approximated feature
+    /// (§3.8): nothing can be concluded. The strings name the features.
+    Inconclusive(Vec<String>),
+    /// The combined precondition is unsatisfiable (encoding bug or
+    /// vacuous pair) — reported rather than silently passing (§5.3 step 1).
+    PreconditionFalse,
+    /// Resource budget exhausted.
+    Timeout,
+    /// Memory budget exhausted.
+    OutOfMemory,
+    /// The pair uses unsupported features and was skipped (§3.8).
+    Unsupported(String),
+}
+
+impl Verdict {
+    /// True for `Correct`.
+    pub fn is_correct(&self) -> bool {
+        matches!(self, Verdict::Correct)
+    }
+
+    /// True for `Incorrect`.
+    pub fn is_incorrect(&self) -> bool {
+        matches!(self, Verdict::Incorrect(_))
+    }
+}
+
+/// Statistics for one validation run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ValidateStats {
+    /// Number of SMT queries dispatched.
+    pub queries: u32,
+    /// Wall-clock milliseconds spent.
+    pub millis: u64,
+}
+
+/// Validates that `tgt` refines `src` under the given module and
+/// configuration.
+pub fn validate_pair(
+    module: &Module,
+    src: &Function,
+    tgt: &Function,
+    cfg: &EncodeConfig,
+) -> Verdict {
+    validate_pair_with_stats(module, src, tgt, cfg).0
+}
+
+/// Like [`validate_pair`], also returning statistics.
+pub fn validate_pair_with_stats(
+    module: &Module,
+    src: &Function,
+    tgt: &Function,
+    cfg: &EncodeConfig,
+) -> (Verdict, ValidateStats) {
+    let start = Instant::now();
+    let mut stats = ValidateStats::default();
+    let env = match Env::new(*cfg, module, src) {
+        Ok(e) => e,
+        Err(u) => return (Verdict::Unsupported(u.reason), stats),
+    };
+    let mut src_enc = match encode_function(&env, src) {
+        Ok(e) => e,
+        Err(u) => return (Verdict::Unsupported(u.reason), stats),
+    };
+    let mut tgt_enc = match encode_function(&env, tgt) {
+        Ok(e) => e,
+        Err(u) => return (Verdict::Unsupported(u.reason), stats),
+    };
+    let v = check_refinement(&env, &mut src_enc, &mut tgt_enc, cfg, &mut stats);
+    stats.millis = start.elapsed().as_millis() as u64;
+    (v, stats)
+}
+
+/// Builds the §6 call-relation constraints.
+fn call_constraints(ctx: &Ctx, src_calls: &[CallSite], tgt_calls: &[CallSite]) -> TermId {
+    let mut parts: Vec<TermId> = Vec::new();
+
+    // Case 1: two calls in the source with equal inputs produce equal
+    // outputs (the strengthened, equality-based condition the paper uses).
+    for i in 0..src_calls.len() {
+        for j in (i + 1)..src_calls.len() {
+            let (a, b) = (&src_calls[i], &src_calls[j]);
+            if a.match_class != b.match_class || a.arg_values.len() != b.arg_values.len() {
+                continue;
+            }
+            // §6 optimization: only relate calls whose preceding-call
+            // ranges overlap; our single-path `seq` is exactly that rank,
+            // and differing ranks mean another call (which may have changed
+            // memory) sits between them.
+            if a.seq.abs_diff(b.seq) > 1 {
+                continue;
+            }
+            let mut eq_in = vec![ctx.and(a.guard, b.guard)];
+            for (x, y) in a.arg_values.iter().zip(&b.arg_values) {
+                eq_in.push(ctx.eq(*x, *y));
+            }
+            for (x, y) in a.arg_poisons.iter().zip(&b.arg_poisons) {
+                eq_in.push(ctx.eq(*x, *y));
+            }
+            let same = ctx.and_many(&eq_in);
+            let mut eq_out = vec![ctx.eq(a.ub_var, b.ub_var)];
+            if let (Some(va), Some(vb)) = (a.ret_value, b.ret_value) {
+                eq_out.push(ctx.eq(va, vb));
+            }
+            if let (Some(pa), Some(pb)) = (a.ret_poison, b.ret_poison) {
+                eq_out.push(ctx.eq(pa, pb));
+            }
+            parts.push(ctx.implies(same, ctx.and_many(&eq_out)));
+        }
+    }
+
+    // Case 3: each target call must correspond to some source call with
+    // equal inputs; its outputs then refine that call's outputs. A call
+    // with no correspondent is treated as target UB (§6).
+    for t in tgt_calls {
+        let candidates: Vec<&CallSite> = src_calls
+            .iter()
+            .filter(|s| {
+                s.match_class == t.match_class && s.arg_values.len() == t.arg_values.len()
+            })
+            .collect();
+        let mut matches: Vec<TermId> = Vec::new();
+        for s in &candidates {
+            let mut eq_in = vec![s.guard];
+            for (x, y) in s.arg_values.iter().zip(&t.arg_values) {
+                eq_in.push(ctx.eq(*x, *y));
+            }
+            for (x, y) in s.arg_poisons.iter().zip(&t.arg_poisons) {
+                eq_in.push(ctx.eq(*x, *y));
+            }
+            matches.push(ctx.and_many(&eq_in));
+        }
+        // Output binding: the first matching source call wins.
+        let mut no_earlier = ctx.tru();
+        let mut bound = Vec::new();
+        for (k, s) in candidates.iter().enumerate() {
+            let selected = ctx.and(matches[k], no_earlier);
+            let mut out = vec![ctx.implies(t.ub_var, s.ub_var)];
+            if let (Some(vs), Some(vt)) = (s.ret_value, t.ret_value) {
+                let ps = s.ret_poison.expect("poison flag accompanies value");
+                let pt = t.ret_poison.expect("poison flag accompanies value");
+                // Source poison is refined by anything; otherwise outputs
+                // are equal and not poison.
+                let exact = ctx.and(ctx.eq(vs, vt), ctx.not(pt));
+                out.push(ctx.or(ps, exact));
+            }
+            bound.push(ctx.implies(
+                ctx.and(t.guard, selected),
+                ctx.and_many(&out),
+            ));
+            no_earlier = ctx.and(no_earlier, ctx.not(matches[k]));
+        }
+        // No match at all: the call is new in the target — UB.
+        bound.push(ctx.implies(ctx.and(t.guard, no_earlier), t.ub_var));
+        parts.extend(bound);
+    }
+    ctx.and_many(&parts)
+}
+
+/// Builds a symbolic seed instantiation for CEGQI: source non-determinism
+/// variables are matched, in creation order per sort, with entries from a
+/// pool of target-side terms. Source and target encode similar code, so
+/// "the source's k-th undef choice equals the target's k-th" is usually
+/// exactly the witness that lets the source reproduce the target's
+/// behavior, collapsing the CEGQI loop to one iteration. When `cyclic`,
+/// the pool wraps around so several source variables can share one target
+/// term (e.g. `x+x` vs `2*x`). Purely heuristic: soundness and
+/// completeness do not depend on seed quality.
+/// How [`build_seed`] assigns pool entries to universals.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SeedMode {
+    /// k-th universal of a group gets the k-th pool entry; extras unmapped.
+    InOrder,
+    /// Like `InOrder` but wrapping around the pool (round-robin).
+    RoundRobin,
+    /// Every universal of a group maps to the group's *last* pool entry —
+    /// the "all observations equal the target's final choice" witness.
+    AllToLast,
+}
+
+fn build_seed(
+    ctx: &Ctx,
+    universals: &[TermId],
+    pool: &[TermId],
+    mode: SeedMode,
+) -> HashMap<TermId, TermId> {
+    // Group pool terms by (name, sort) for variables — encoders name their
+    // non-determinism by provenance ("undef", "uninit", "freeze",
+    // "nan_pattern", …), so like matches like — and by sort alone for
+    // non-variable pool terms (e.g. the target's return-value expression).
+    let group_of = |t: TermId| -> (String, Sort) {
+        match ctx.as_var(t) {
+            Some(v) => (ctx.var_name(v), ctx.sort(t)),
+            None => (String::new(), ctx.sort(t)),
+        }
+    };
+    let mut by_group: HashMap<(String, Sort), Vec<TermId>> = HashMap::new();
+    for &t in pool {
+        by_group.entry(group_of(t)).or_default().push(t);
+    }
+    let mut by_sort: HashMap<Sort, Vec<TermId>> = HashMap::new();
+    for &t in pool {
+        by_sort.entry(ctx.sort(t)).or_default().push(t);
+    }
+    let mut gcursor: HashMap<(String, Sort), usize> = HashMap::new();
+    let mut scursor: HashMap<Sort, usize> = HashMap::new();
+    let mut seed = HashMap::new();
+    let mut ordered = universals.to_vec();
+    ordered.sort();
+    for u in ordered {
+        let g = group_of(u);
+        let pick = |p: &Vec<TermId>, c: &mut usize| -> Option<TermId> {
+            if p.is_empty() {
+                return None;
+            }
+            match mode {
+                SeedMode::AllToLast => Some(*p.last().unwrap()),
+                SeedMode::InOrder => {
+                    if *c < p.len() {
+                        let t = p[*c];
+                        *c += 1;
+                        Some(t)
+                    } else {
+                        None
+                    }
+                }
+                SeedMode::RoundRobin => {
+                    let t = p[*c % p.len()];
+                    *c += 1;
+                    Some(t)
+                }
+            }
+        };
+        if let Some(p) = by_group.get(&g) {
+            let c = gcursor.entry(g).or_insert(0);
+            if let Some(t) = pick(p, c) {
+                seed.insert(u, t);
+                continue;
+            }
+        }
+        let sort = ctx.sort(u);
+        if let Some(p) = by_sort.get(&sort) {
+            let c = scursor.entry(sort).or_insert(0);
+            if let Some(t) = pick(p, c) {
+                seed.insert(u, t);
+            }
+        }
+    }
+    seed
+}
+
+/// Shared state for dispatching the §5.3 queries.
+struct QueryEngine<'a> {
+    ctx: &'a Ctx,
+    /// Existential-side precondition: argument attributes, the target's
+    /// own precondition, and the §6 call relation (definitional for every
+    /// choice of source non-determinism, hence a plain conjunct).
+    pre_exist: TermId,
+    /// The source function's precondition (sink unreachability §7,
+    /// NaN-pattern constraints §3.5): a *hypothesis* over the universals.
+    pre_src: TermId,
+    universals: Vec<TermId>,
+    pool: Vec<TermId>,
+    overapprox_vars: Vec<TermId>,
+    ef: EfConfig,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Runs one negated-refinement query. `extra_universals` join the ∀
+    /// side (per-query source refreshes); `extra_pool` extends the seed
+    /// pool (per-query target refreshes and output terms). Returns `None`
+    /// when the property holds.
+    fn run(
+        &self,
+        env: &Env,
+        kind: QueryKind,
+        violation: TermId,
+        extra_universals: &[TermId],
+        extra_pool: &[TermId],
+        stats: &mut ValidateStats,
+    ) -> Option<Verdict> {
+        stats.queries += 1;
+        let ctx = self.ctx;
+        // The source precondition is a hypothesis on the ∀ side (§5.2:
+        // `pre_src(I, N_src) ⇒ …` inside the ∀, plus an `∃N_src. pre_src`
+        // non-vacuity conjunct realized with fresh existential copies).
+        let mut univ0: Vec<TermId> = self
+            .universals
+            .iter()
+            .chain(extra_universals)
+            .copied()
+            .collect();
+        let pre_vars = ctx.free_vars(self.pre_src);
+        let pre_mentions_universals = univ0.iter().any(|u| pre_vars.contains(u));
+        let src_part = if pre_mentions_universals {
+            let mut rename = HashMap::new();
+            for &u in &univ0 {
+                if pre_vars.contains(&u) {
+                    let fresh = ctx.var("nonvac", ctx.sort(u));
+                    rename.insert(u, fresh);
+                }
+            }
+            let pre_copy = ctx.substitute(self.pre_src, &rename);
+            let hyp = ctx.implies(self.pre_src, violation);
+            ctx.and(pre_copy, hyp)
+        } else {
+            ctx.and(self.pre_src, violation)
+        };
+        let phi0 = ctx.and(self.pre_exist, src_part);
+
+        // Uninterpreted functions must be handled before the ∃∀ split. An
+        // application whose arguments mention universal variables denotes a
+        // value that varies with the ∀ side; we soundly over-approximate it
+        // as a fresh universal (dropping its functional-consistency links),
+        // which can only hide counterexamples — never invent them. All
+        // such operators are §3.8 over-approximations anyway, so hidden
+        // counterexamples would have been reported as inconclusive.
+        let ack = alive2_smt::ackermann::ackermannize(ctx, &[phi0]);
+        let mut phi = ack.assertions[0];
+        let mut universals: Vec<TermId> = std::mem::take(&mut univ0);
+        let uni_set: std::collections::HashSet<TermId> = universals.iter().copied().collect();
+        let mut forall_apps: std::collections::HashSet<TermId> = Default::default();
+        let mut exists_apps: Vec<TermId> = Vec::new();
+        for (app, var) in &ack.app_vars {
+            let deps = ctx.free_vars(*app);
+            if deps.iter().any(|d| uni_set.contains(d)) {
+                universals.push(*var);
+                forall_apps.insert(*var);
+            } else {
+                exists_apps.push(*var);
+            }
+        }
+        let mut kept = Vec::new();
+        for &c in &ack.constraints {
+            let deps = ctx.free_vars(c);
+            if deps.iter().all(|d| !forall_apps.contains(d)) {
+                kept.push(c);
+            }
+        }
+        phi = ctx.and(phi, ctx.and_many(&kept));
+
+        let mut pool: Vec<TermId> = self.pool.clone();
+        pool.extend(exists_apps);
+        pool.extend(extra_pool);
+        let seeds = [
+            build_seed(ctx, &universals, &pool, SeedMode::InOrder),
+            build_seed(ctx, &universals, &pool, SeedMode::RoundRobin),
+            build_seed(ctx, &universals, &pool, SeedMode::AllToLast),
+        ];
+        match solve_exists_forall_with_seeds(ctx, &universals, phi, self.ef, &seeds) {
+            EfResult::Unsat => None,
+            EfResult::Timeout => Some(Verdict::Timeout),
+            EfResult::OutOfMemory => Some(Verdict::OutOfMemory),
+            EfResult::Sat(model) => {
+                // §3.8: if the model constrains any over-approximated
+                // feature, the counterexample is inconclusive.
+                let tainted: Vec<String> = self
+                    .overapprox_vars
+                    .iter()
+                    .filter(|v| {
+                        ctx.as_var(**v)
+                            .map(|id| model.contains(id))
+                            .unwrap_or(false)
+                    })
+                    .map(|v| ctx.var_name(ctx.as_var(*v).unwrap()))
+                    .collect();
+                if !tainted.is_empty() {
+                    return Some(Verdict::Inconclusive(tainted));
+                }
+                Some(Verdict::Incorrect(CounterExample::build(env, &model, kind)))
+            }
+        }
+    }
+}
+
+fn check_refinement(
+    env: &Env,
+    src: &mut EncodedFn,
+    tgt: &mut EncodedFn,
+    cfg: &EncodeConfig,
+    stats: &mut ValidateStats,
+) -> Verdict {
+    let ctx = &env.ctx;
+    let calls = call_constraints(ctx, &src.calls, &tgt.calls);
+    let pre_exist = ctx.and_many(&[env.pre, tgt.pre, calls]);
+    let pre_src = src.pre;
+    let pre = ctx.and(pre_exist, pre_src);
+    // Source non-determinism (undef instantiations, freeze picks,
+    // uninitialized memory) is universally quantified in the negated
+    // refinement. Call outputs are *not*: an unknown callee is a fixed (if
+    // unknown) function, so its outputs quantify with the inputs — the
+    // violation may pick any callee behavior consistent with the §6 call
+    // relation, and refinement must survive all of them.
+    let universals: Vec<TermId> = src.nondet.clone();
+    let tgt_pool: Vec<TermId> = tgt.nondet.clone();
+    let ef = EfConfig {
+        budget: Budget {
+            max_millis: cfg.solver_timeout_ms,
+            max_learned_lits: cfg.solver_memory,
+            ..Budget::unlimited()
+        },
+        max_iterations: cfg.max_ef_iterations,
+        max_millis: cfg.solver_timeout_ms.saturating_mul(4),
+    };
+
+    // Query 1 (§5.3): is the precondition satisfiable at all?
+    stats.queries += 1;
+    {
+        let mut s = Solver::new(ctx);
+        s.assert(pre);
+        match s.check(ef.budget) {
+            SmtResult::Unsat => return Verdict::PreconditionFalse,
+            SmtResult::Timeout => return Verdict::Timeout,
+            SmtResult::OutOfMemory => return Verdict::OutOfMemory,
+            SmtResult::Sat(_) => {}
+        }
+    }
+
+    let overapprox_vars: Vec<TermId> = {
+        let roots: Vec<TermId> = src
+            .overapprox
+            .iter()
+            .chain(&tgt.overapprox)
+            .copied()
+            .collect();
+        ctx.free_vars_many(&roots).into_iter().collect()
+    };
+
+    let engine = QueryEngine {
+        ctx,
+        pre_exist,
+        pre_src,
+        universals,
+        pool: tgt_pool,
+        overapprox_vars,
+        ef,
+    };
+
+    let not_src_ub = ctx.not(src.ub);
+
+    // Query 2: target is UB only when the source is.
+    if let Some(v) = engine.run(
+        env,
+        QueryKind::TargetMoreUb,
+        ctx.and(tgt.ub, not_src_ub),
+        &[],
+        &[],
+        stats,
+    ) {
+        return v;
+    }
+
+    // Query 2b: no new observable calls. Introducing a call the source
+    // never made violates refinement (§6); we compare per-class executed
+    // call counts.
+    {
+        let mut classes: Vec<&str> = tgt.calls.iter().map(|c| c.match_class.as_str()).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        let mut viols = Vec::new();
+        for class in classes {
+            let count = |calls: &[alive2_sema::encode::CallSite]| -> TermId {
+                let mut acc = ctx.bv_lit_u64(8, 0);
+                for c in calls.iter().filter(|c| c.match_class == class) {
+                    let one = ctx.ite(c.guard, ctx.bv_lit_u64(8, 1), ctx.bv_lit_u64(8, 0));
+                    acc = ctx.bv_add(acc, one);
+                }
+                acc
+            };
+            let s_count = count(&src.calls);
+            let t_count = count(&tgt.calls);
+            viols.push(ctx.bv_ugt(t_count, s_count));
+        }
+        let any = ctx.or_many(&viols);
+        if let Some(v) = engine.run(
+            env,
+            QueryKind::CallIntroduced,
+            ctx.and(any, not_src_ub),
+            &[],
+            &[],
+            stats,
+        ) {
+            return v;
+        }
+    }
+
+    // Query 3: equal return domains (modulo source UB).
+    let dom_diff = ctx.bxor(src.returns, tgt.returns);
+    if let Some(v) = engine.run(
+        env,
+        QueryKind::ReturnDomain,
+        ctx.and(dom_diff, not_src_ub),
+        &[],
+        &[],
+        stats,
+    ) {
+        return v;
+    }
+    let noret_diff = ctx.bxor(src.noreturn, tgt.noreturn);
+    if let Some(v) = engine.run(
+        env,
+        QueryKind::ReturnDomain,
+        ctx.and(noret_diff, not_src_ub),
+        &[],
+        &[],
+        stats,
+    ) {
+        return v;
+    }
+
+    // Queries 4–6 concern the return value.
+    if let (Some(s_ret), Some(t_ret)) = (&src.ret, &tgt.ret) {
+        let both = ctx.and(src.returns, tgt.returns);
+        let live = ctx.and(both, not_src_ub);
+        let t_flat = t_ret.flatten(ctx);
+
+        // Query 4: target poison only where source poison.
+        let sp = s_ret.any_poison(ctx);
+        let tp = t_ret.any_poison(ctx);
+        let viol4 = ctx.and_many(&[live, tp, ctx.not(sp)]);
+        if let Some(v) = engine.run(env, QueryKind::RetPoison, viol4, &[], &[t_flat.value], stats)
+        {
+            return v;
+        }
+
+        // Query 5: target undef only where source undef (or poison).
+        // Undef-ness is "two fresh instantiations can differ" (§3.3); the
+        // target's instantiations are existential, the source's universal.
+        let mut tgt_fresh = Vec::new();
+        let t_a = t_ret.refresh_undef(ctx, &mut tgt_fresh).flatten(ctx);
+        let t_b = t_ret.refresh_undef(ctx, &mut tgt_fresh).flatten(ctx);
+        let tgt_undef = ctx.ne(t_a.value, t_b.value);
+        let mut src_univ = Vec::new();
+        let s_a = s_ret.refresh_undef(ctx, &mut src_univ).flatten(ctx);
+        let s_b = s_ret.refresh_undef(ctx, &mut src_univ).flatten(ctx);
+        let src_undef = ctx.ne(s_a.value, s_b.value);
+        let viol5 = ctx.and_many(&[
+            live,
+            tgt_undef,
+            ctx.not(src_undef),
+            ctx.not(sp),
+            ctx.not(tp),
+        ]);
+        let mut pool5 = tgt_fresh.clone();
+        pool5.push(t_flat.value);
+        if let Some(v) = engine.run(env, QueryKind::RetUndef, viol5, &src_univ, &pool5, stats) {
+            return v;
+        }
+
+        // Query 6: values refine (equal up to the Fig. 4 rules) when the
+        // source is well-defined.
+        let refined = value_refined(ctx, cfg, env.shared_blocks, &src.ret_ty, s_ret, t_ret);
+        let viol6 = ctx.and(live, ctx.not(refined));
+        if let Some(v) = engine.run(env, QueryKind::RetValue, viol6, &[], &[t_flat.value], stats)
+        {
+            return v;
+        }
+    }
+
+    // Query 7: memory refinement at a symbolic address.
+    {
+        let addr = ctx.var("cex_addr", Sort::BitVec(cfg.ptr_bits()));
+        let mut src_fresh = Vec::new();
+        let mut tgt_fresh = Vec::new();
+        let refined = memory_refined_at(
+            ctx,
+            &mut src.mem,
+            &mut tgt.mem,
+            addr,
+            &mut src_fresh,
+            &mut tgt_fresh,
+        );
+        let both_done = ctx.or(src.returns, src.noreturn);
+        let viol7 = ctx.and_many(&[both_done, not_src_ub, ctx.not(refined)]);
+        if let Some(v) = engine.run(
+            env,
+            QueryKind::Memory,
+            viol7,
+            &src_fresh,
+            &tgt_fresh,
+            stats,
+        ) {
+            return v;
+        }
+    }
+
+    Verdict::Correct
+}
+
+/// Validates every same-named function pair in two modules — the
+/// `alive-tv` tool (§8.1).
+pub fn validate_modules(
+    src_mod: &Module,
+    tgt_mod: &Module,
+    cfg: &EncodeConfig,
+) -> Vec<(String, Verdict)> {
+    let mut out = Vec::new();
+    for src in &src_mod.functions {
+        let Some(tgt) = tgt_mod.function(&src.name) else {
+            continue;
+        };
+        if src_mod.globals != tgt_mod.globals {
+            out.push((
+                src.name.clone(),
+                Verdict::Unsupported("source/target globals differ".into()),
+            ));
+            continue;
+        }
+        // Skip byte-identical pairs — the optimization the paper's plugins
+        // apply when a pass makes no changes (§8.1).
+        if src == tgt {
+            out.push((src.name.clone(), Verdict::Correct));
+            continue;
+        }
+        out.push((src.name.clone(), validate_pair(src_mod, src, tgt, cfg)));
+    }
+    out
+}
+
+/// Extracts the concrete argument assignment from a counterexample model.
+pub(crate) fn model_args(env: &Env, model: &Model) -> Vec<(String, String)> {
+    let ctx = &env.ctx;
+    let mut out = Vec::new();
+    for a in &env.args {
+        for (i, v) in a.vars.iter().enumerate() {
+            let name = if a.vars.len() == 1 {
+                format!("%{}", a.name)
+            } else {
+                format!("%{}.{i}", a.name)
+            };
+            let isundef = model.eval_bool(ctx, v.isundef);
+            let ispoison = model.eval_bool(ctx, v.ispoison);
+            let desc = if ispoison {
+                "poison".to_string()
+            } else if isundef {
+                "undef".to_string()
+            } else {
+                format!("{}", model.eval_bv(ctx, v.base))
+            };
+            out.push((name, desc));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_module;
+
+    fn check(src: &str, tgt: &str) -> Verdict {
+        check_cfg(src, tgt, &EncodeConfig::default())
+    }
+
+    fn check_cfg(src: &str, tgt: &str, cfg: &EncodeConfig) -> Verdict {
+        let sm = parse_module(src).unwrap();
+        let tm = parse_module(tgt).unwrap();
+        let results = validate_modules(&sm, &tm, cfg);
+        assert_eq!(results.len(), 1, "expected one matched pair");
+        results.into_iter().next().unwrap().1
+    }
+
+    #[test]
+    fn identical_functions_refine() {
+        let f = "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n  ret i32 %r\n}";
+        assert!(check(f, f).is_correct());
+    }
+
+    #[test]
+    fn equivalent_arithmetic_refines() {
+        // x * 2 -> x << 1: a classic instcombine rewrite.
+        let src = "define i8 @f(i8 %x) {\nentry:\n  %r = mul i8 %x, 2\n  ret i8 %r\n}";
+        let tgt = "define i8 @f(i8 %x) {\nentry:\n  %r = shl i8 %x, 1\n  ret i8 %r\n}";
+        let v = check(src, tgt);
+        assert!(v.is_correct(), "{v:?}");
+    }
+
+    #[test]
+    fn wrong_constant_is_incorrect() {
+        let src = "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 1\n  ret i8 %r\n}";
+        let tgt = "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 2\n  ret i8 %r\n}";
+        let v = check(src, tgt);
+        assert!(v.is_incorrect(), "{v:?}");
+    }
+
+    #[test]
+    fn removing_poison_possibility_is_allowed() {
+        // Source may be poison (nsw overflow); target never is: refinement
+        // holds (target is more defined).
+        let src = "define i8 @f(i8 %x) {\nentry:\n  %r = add nsw i8 %x, 1\n  ret i8 %r\n}";
+        let tgt = "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 1\n  ret i8 %r\n}";
+        let v = check(src, tgt);
+        assert!(v.is_correct(), "{v:?}");
+    }
+
+    #[test]
+    fn adding_poison_possibility_is_incorrect() {
+        // The reverse direction must fail (query 4).
+        let src = "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, 1\n  ret i8 %r\n}";
+        let tgt = "define i8 @f(i8 %x) {\nentry:\n  %r = add nsw i8 %x, 1\n  ret i8 %r\n}";
+        let v = check(src, tgt);
+        assert!(v.is_incorrect(), "{v:?}");
+        if let Verdict::Incorrect(cex) = &v {
+            assert_eq!(cex.query, QueryKind::RetPoison);
+        }
+    }
+
+    #[test]
+    fn introducing_ub_is_incorrect() {
+        // Source returns normally; target divides by a possibly-zero value.
+        let src = "define i8 @f(i8 %x) {\nentry:\n  ret i8 0\n}";
+        let tgt =
+            "define i8 @f(i8 %x) {\nentry:\n  %d = udiv i8 1, %x\n  %r = sub i8 %d, %d\n  ret i8 %r\n}";
+        let v = check(src, tgt);
+        assert!(v.is_incorrect(), "{v:?}");
+        if let Verdict::Incorrect(cex) = &v {
+            assert_eq!(cex.query, QueryKind::TargetMoreUb);
+            // The counterexample sets %x to 0 or poison (a poison divisor
+            // is UB too, Fig. 3's udiv-ub rule).
+            let x = cex.args.iter().find(|(n, _)| n == "%x").unwrap();
+            assert!(x.1 == "0" || x.1 == "poison", "x = {}", x.1);
+        }
+    }
+
+    #[test]
+    fn select_to_arithmetic_is_correct() {
+        // select c, x, y with constant folding: select i1 true.
+        let src = "define i32 @f(i32 %x, i32 %y) {\nentry:\n  %r = select i1 true, i32 %x, i32 %y\n  ret i32 %r\n}";
+        let tgt = "define i32 @f(i32 %x, i32 %y) {\nentry:\n  ret i32 %x\n}";
+        assert!(check(src, tgt).is_correct());
+    }
+
+    #[test]
+    fn paper_max_example_folds_to_false() {
+        // §8.2's unit-test example: (max(x, y) < x) == false.
+        let src = r#"define i1 @max1(i32 %x, i32 %y) {
+entry:
+  %c = icmp sgt i32 %x, %y
+  %m = select i1 %c, i32 %x, i32 %y
+  %r = icmp slt i32 %m, %x
+  ret i1 %r
+}"#;
+        let tgt = "define i1 @max1(i32 %x, i32 %y) {\nentry:\n  ret i1 false\n}";
+        let v = check(src, tgt);
+        assert!(v.is_correct(), "{v:?}");
+    }
+
+    #[test]
+    fn add_self_is_not_mul_by_two_under_undef_double_check() {
+        // §2: %a + %a cannot be replaced by freeze-free duplication of an
+        // undef-observing expression… the classical true direction:
+        // x+x -> 2*x IS correct (both observations of %a are the same
+        // register lookup? No: the two uses of %a in one instruction
+        // refresh independently, so x+x may be odd when x is undef, while
+        // 2*x is always even… but refinement allows the target to be MORE
+        // defined, and 2*x's behaviors ⊆ x+x's behaviors. So correct.)
+        let src = "define i8 @f(i8 %x) {\nentry:\n  %r = add i8 %x, %x\n  ret i8 %r\n}";
+        let tgt = "define i8 @f(i8 %x) {\nentry:\n  %r = mul i8 %x, 2\n  ret i8 %r\n}";
+        assert!(check(src, tgt).is_correct());
+        // The reverse introduces behaviors (odd results under undef) —
+        // refinement must fail on the undef/value queries.
+        let v = check(tgt, src);
+        assert!(v.is_incorrect(), "{v:?}");
+    }
+
+    #[test]
+    fn freeze_duplication_is_incorrect() {
+        // freeze(x) used twice yields the same value; replacing the second
+        // use with a second freeze of x is not a refinement when x is undef.
+        let src = r#"define i8 @f(i8 %x) {
+entry:
+  %f = freeze i8 %x
+  %r = sub i8 %f, %f
+  ret i8 %r
+}"#;
+        let tgt = r#"define i8 @f(i8 %x) {
+entry:
+  %f1 = freeze i8 %x
+  %f2 = freeze i8 %x
+  %r = sub i8 %f1, %f2
+  ret i8 %r
+}"#;
+        let v = check(src, tgt);
+        assert!(v.is_incorrect(), "{v:?}");
+    }
+
+    #[test]
+    fn branch_on_undef_introduction_is_caught() {
+        // Introducing a conditional branch on a possibly-undef value adds
+        // UB (§8.3 "Branches and UB").
+        let src = "define i8 @f(i8 %x) {\nentry:\n  ret i8 0\n}";
+        let tgt = r#"define i8 @f(i8 %x) {
+entry:
+  %c = icmp eq i8 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  ret i8 0
+b:
+  ret i8 0
+}"#;
+        // %x is an input that may be undef -> branching on it is UB that
+        // the source does not have.
+        let v = check(src, tgt);
+        assert!(v.is_incorrect(), "{v:?}");
+    }
+
+    #[test]
+    fn memory_store_refines() {
+        let src = r#"@g = global i32 0
+define void @f(i32 %x) {
+entry:
+  store i32 %x, ptr @g
+  ret void
+}"#;
+        assert!(check(src, src).is_correct());
+        let tgt_bad = r#"@g = global i32 0
+define void @f(i32 %x) {
+entry:
+  %y = add i32 %x, 1
+  store i32 %y, ptr @g
+  ret void
+}"#;
+        let v = check(src, tgt_bad);
+        assert!(v.is_incorrect(), "{v:?}");
+        if let Verdict::Incorrect(cex) = &v {
+            assert_eq!(cex.query, QueryKind::Memory);
+        }
+    }
+
+    #[test]
+    fn store_forwarding_is_correct() {
+        let src = r#"define i32 @f(i32 %x) {
+entry:
+  %p = alloca i32
+  store i32 %x, ptr %p
+  %v = load i32, ptr %p
+  ret i32 %v
+}"#;
+        let tgt = "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}";
+        let v = check(src, tgt);
+        assert!(v.is_correct(), "{v:?}");
+    }
+
+    #[test]
+    fn call_dedup_is_correct_and_result_change_is_not() {
+        let src = r#"declare i32 @g(i32)
+define i32 @f(i32 %x) {
+entry:
+  %a = call i32 @g(i32 %x)
+  %b = call i32 @g(i32 %x)
+  %r = add i32 %a, %b
+  ret i32 %r
+}"#;
+        let tgt = r#"declare i32 @g(i32)
+define i32 @f(i32 %x) {
+entry:
+  %a = call i32 @g(i32 %x)
+  %r = add i32 %a, %a
+  ret i32 %r
+}"#;
+        let v = check(src, tgt);
+        assert!(v.is_correct(), "{v:?}");
+        // Introducing a *new* call is illegal.
+        let v2 = check(tgt, src);
+        assert!(!v2.is_correct(), "{v2:?}");
+    }
+
+    #[test]
+    fn loop_constant_trip_count_folds() {
+        // for (i = 0; i < 2; i++) acc += 3  ==> 6, within unroll factor 4.
+        let src = r#"define i32 @f() {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc1, %body ]
+  %c = icmp ult i32 %i, 2
+  br i1 %c, label %body, label %exit
+body:
+  %acc1 = add i32 %acc, 3
+  %i1 = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %acc
+}"#;
+        let tgt = "define i32 @f() {\nentry:\n  ret i32 6\n}";
+        let cfg = EncodeConfig::with_unroll(4);
+        let v = check_cfg(src, tgt, &cfg);
+        assert!(v.is_correct(), "{v:?}");
+        let tgt_bad = "define i32 @f() {\nentry:\n  ret i32 7\n}";
+        assert!(check_cfg(src, tgt_bad, &cfg).is_incorrect());
+    }
+
+    #[test]
+    fn insufficient_unroll_misses_the_bug_beyond_bound() {
+        // The functions differ only at the 6th iteration; with factor 2 the
+        // validator must (soundly) miss it and report correct — this is
+        // *bounded* translation validation (§7, §8.5).
+        let src = r#"define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %i1 = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %i
+}"#;
+        let tgt = r#"define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %i1 = add i32 %i, 1
+  br label %head
+exit:
+  %big = icmp ugt i32 %i, 5
+  %r = select i1 %big, i32 999, i32 %i
+  ret i32 %r
+}"#;
+        let shallow = check_cfg(src, tgt, &EncodeConfig::with_unroll(2));
+        assert!(shallow.is_correct(), "{shallow:?}");
+        let deep = check_cfg(src, tgt, &EncodeConfig::with_unroll(9));
+        assert!(deep.is_incorrect(), "{deep:?}");
+    }
+
+    #[test]
+    fn unsupported_features_are_reported() {
+        let src = "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}";
+        let tgt_bad_sig = "define i32 @f(i64 %x) {\nentry:\n  ret i32 0\n}";
+        let sm = parse_module(src).unwrap();
+        let tm = parse_module(tgt_bad_sig).unwrap();
+        let results = validate_modules(&sm, &tm, &EncodeConfig::default());
+        assert!(matches!(results[0].1, Verdict::Unsupported(_)));
+    }
+
+    #[test]
+    fn overapproximated_fdiv_is_inconclusive_not_wrong() {
+        // fdiv is over-approximated (§3.8); a would-be counterexample that
+        // depends on it must be reported as inconclusive, never as a bug.
+        let src = "define float @f(float %x) {\nentry:\n  %r = fdiv float %x, 2.0\n  ret float %r\n}";
+        let tgt = "define float @f(float %x) {\nentry:\n  %r = fmul float %x, 0.5\n  ret float %r\n}";
+        let v = check(src, tgt);
+        match v {
+            Verdict::Inconclusive(_) | Verdict::Correct => {}
+            other => panic!("must not claim a definite bug: {other:?}"),
+        }
+    }
+}

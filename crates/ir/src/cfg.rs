@@ -1,0 +1,207 @@
+//! Control-flow graph over a function's basic blocks.
+
+use crate::function::Function;
+
+/// Successor/predecessor structure with traversal orders.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Successor block indices per block.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor block indices per block.
+    pub preds: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a function. Unknown branch targets are ignored
+    /// (the verifier reports them).
+    pub fn new(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bi, b) in f.blocks.iter().enumerate() {
+            if let Some(term) = b.insts.last() {
+                for label in term.op.successor_labels() {
+                    if let Some(ti) = f.block_index(label) {
+                        if !succs[bi].contains(&ti) {
+                            succs[bi].push(ti);
+                        }
+                        if !preds[ti].contains(&bi) {
+                            preds[ti].push(bi);
+                        }
+                    }
+                }
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True if the CFG has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Blocks reachable from the entry (block 0).
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        if self.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &self.succs[b] {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Depth-first preorder from the entry (reachable blocks only).
+    pub fn dfs_preorder(&self) -> Vec<usize> {
+        let mut order = Vec::new();
+        let mut seen = vec![false; self.len()];
+        if self.is_empty() {
+            return order;
+        }
+        // Iterative DFS preserving child order.
+        let mut stack = vec![(0usize, 0usize)];
+        seen[0] = true;
+        order.push(0);
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < self.succs[b].len() {
+                let s = self.succs[b][*i];
+                *i += 1;
+                if !seen[s] {
+                    seen[s] = true;
+                    order.push(s);
+                    stack.push((s, 0));
+                }
+            } else {
+                stack.pop();
+            }
+        }
+        order
+    }
+
+    /// Postorder from the entry (reachable blocks only).
+    pub fn postorder(&self) -> Vec<usize> {
+        let mut order = Vec::new();
+        let mut seen = vec![false; self.len()];
+        if self.is_empty() {
+            return order;
+        }
+        let mut stack = vec![(0usize, 0usize)];
+        seen[0] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < self.succs[b].len() {
+                let s = self.succs[b][*i];
+                *i += 1;
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                order.push(b);
+                stack.pop();
+            }
+        }
+        order
+    }
+
+    /// Reverse postorder from the entry.
+    pub fn reverse_postorder(&self) -> Vec<usize> {
+        let mut po = self.postorder();
+        po.reverse();
+        po
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function;
+
+    fn diamond() -> Function {
+        parse_function(
+            r#"define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %exit
+b:
+  br label %exit
+exit:
+  %r = phi i32 [ 1, %a ], [ 2, %b ]
+  ret i32 %r
+}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs[0], vec![1, 2]);
+        assert_eq!(cfg.preds[3], vec![1, 2]);
+        assert_eq!(cfg.succs[3], Vec::<usize>::new());
+    }
+
+    #[test]
+    fn orders() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], 0);
+        assert_eq!(*rpo.last().unwrap(), 3);
+        let pre = cfg.dfs_preorder();
+        assert_eq!(pre[0], 0);
+        assert_eq!(pre.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_blocks() {
+        let f = parse_function(
+            r#"define void @f() {
+entry:
+  ret void
+dead:
+  br label %dead
+}"#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let r = cfg.reachable();
+        assert!(r[0]);
+        assert!(!r[1]);
+    }
+
+    #[test]
+    fn loop_edges() {
+        let f = parse_function(
+            r#"define void @f(i1 %c) {
+entry:
+  br label %head
+head:
+  br i1 %c, label %body, label %exit
+body:
+  br label %head
+exit:
+  ret void
+}"#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let head = 1;
+        assert!(cfg.preds[head].contains(&0));
+        assert!(cfg.preds[head].contains(&2));
+    }
+}

@@ -1,0 +1,237 @@
+//! IR constants, including `undef` and `poison` (deferred UB, paper §2).
+
+use crate::types::{FloatKind, Type};
+use alive2_smt::bv::BitVec;
+use std::fmt;
+
+/// A compile-time constant value.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Constant {
+    /// An integer constant, width given by the bit-vector.
+    Int(BitVec),
+    /// A floating-point constant stored as its bit pattern.
+    Float(FloatKind, BitVec),
+    /// The null pointer.
+    Null,
+    /// `undef` of the given type: any value, may differ per observation.
+    Undef(Type),
+    /// `poison` of the given type: deferred UB, taints dependent values.
+    Poison(Type),
+    /// A reference to a global variable's address.
+    Global(String),
+    /// An aggregate (vector / array / struct) of constants.
+    Aggregate(Type, Vec<Constant>),
+    /// The all-zero value of an aggregate or scalar (`zeroinitializer`).
+    ZeroInit(Type),
+}
+
+impl Constant {
+    /// An `iN` constant from a `u64`.
+    pub fn int(width: u32, value: u64) -> Constant {
+        Constant::Int(BitVec::from_u64(width, value))
+    }
+
+    /// An `iN` constant from an `i64`.
+    pub fn int_signed(width: u32, value: i64) -> Constant {
+        Constant::Int(BitVec::from_i64(width, value))
+    }
+
+    /// The `i1 true` constant.
+    pub fn bool(value: bool) -> Constant {
+        Constant::int(1, value as u64)
+    }
+
+    /// A float constant from an `f64` value, rounded to the target kind.
+    pub fn float(kind: FloatKind, value: f64) -> Constant {
+        let bits = match kind {
+            FloatKind::Double => BitVec::from_u64(64, value.to_bits()),
+            FloatKind::Single => BitVec::from_u64(32, (value as f32).to_bits() as u64),
+            FloatKind::Half => BitVec::from_u64(16, f64_to_f16_bits(value) as u64),
+        };
+        Constant::Float(kind, bits)
+    }
+
+    /// The type of the constant, when self-describing. Plain `Int`/`Float`
+    /// know their width; `Null` is `ptr`.
+    pub fn ty(&self) -> Type {
+        match self {
+            Constant::Int(v) => Type::Int(v.width()),
+            Constant::Float(k, _) => Type::Float(*k),
+            Constant::Null | Constant::Global(_) => Type::Ptr,
+            Constant::Undef(t) | Constant::Poison(t) | Constant::ZeroInit(t) => t.clone(),
+            Constant::Aggregate(t, _) => t.clone(),
+        }
+    }
+
+    /// True if this constant is (or contains) `undef`.
+    pub fn contains_undef(&self) -> bool {
+        match self {
+            Constant::Undef(_) => true,
+            Constant::Aggregate(_, elems) => elems.iter().any(Constant::contains_undef),
+            _ => false,
+        }
+    }
+
+    /// True if this constant is (or contains) `poison`.
+    pub fn contains_poison(&self) -> bool {
+        match self {
+            Constant::Poison(_) => true,
+            Constant::Aggregate(_, elems) => elems.iter().any(Constant::contains_poison),
+            _ => false,
+        }
+    }
+
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constant is not `Int`.
+    pub fn as_int(&self) -> &BitVec {
+        match self {
+            Constant::Int(v) => v,
+            other => panic!("expected integer constant, found {other}"),
+        }
+    }
+}
+
+/// Converts an `f64` to IEEE-754 binary16 bits with round-to-nearest-even.
+pub fn f64_to_f16_bits(value: f64) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 63) as u16) << 15;
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & 0xf_ffff_ffff_ffff;
+    if exp == 0x7ff {
+        // Inf / NaN
+        let mantissa = if frac != 0 { 0x200 } else { 0 };
+        return sign | 0x7c00 | mantissa;
+    }
+    let unbiased = exp - 1023;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // Normal range; keep 10 fraction bits with RNE.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let shift = 42;
+        let kept = (frac >> shift) as u16;
+        let rest = frac & ((1u64 << shift) - 1);
+        let halfway = 1u64 << (shift - 1);
+        let mut out = sign | half_exp | kept;
+        if rest > halfway || (rest == halfway && kept & 1 == 1) {
+            out = out.wrapping_add(1); // may carry into exponent: correct RNE
+        }
+        out
+    } else if unbiased >= -24 {
+        // Subnormal half.
+        let full = frac | (1u64 << 52);
+        let shift = 42 + (-14 - unbiased) as u32;
+        let kept = (full >> shift) as u16;
+        let rest = full & ((1u64 << shift) - 1);
+        let halfway = 1u64 << (shift - 1);
+        let mut out = sign | kept;
+        if rest > halfway || (rest == halfway && kept & 1 == 1) {
+            out = out.wrapping_add(1);
+        }
+        out
+    } else {
+        sign // underflow to zero
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(v) => {
+                if v.width() == 1 {
+                    write!(f, "{}", if v.is_one() { "true" } else { "false" })
+                } else if v.sign_bit() && v.width() <= 64 {
+                    write!(f, "{}", v.to_i64())
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Constant::Float(_, bits) => write!(f, "0xH{:x}", bits),
+            Constant::Null => write!(f, "null"),
+            Constant::Undef(_) => write!(f, "undef"),
+            Constant::Poison(_) => write!(f, "poison"),
+            Constant::Global(name) => write!(f, "@{name}"),
+            Constant::ZeroInit(_) => write!(f, "zeroinitializer"),
+            Constant::Aggregate(ty, elems) => {
+                let (open, close) = match ty {
+                    Type::Vector(..) => ("<", ">"),
+                    Type::Array(..) => ("[", "]"),
+                    _ => ("{ ", " }"),
+                };
+                write!(f, "{open}")?;
+                for (i, e) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    let ety = match ty {
+                        Type::Vector(_, t) | Type::Array(_, t) => (**t).clone(),
+                        Type::Struct(ts) => ts[i].clone(),
+                        _ => e.ty(),
+                    };
+                    write!(f, "{ety} {e}")?;
+                }
+                write!(f, "{close}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_display() {
+        assert_eq!(Constant::int(32, 42).to_string(), "42");
+        assert_eq!(Constant::int_signed(32, -1).to_string(), "-1");
+        assert_eq!(Constant::bool(true).to_string(), "true");
+        assert_eq!(Constant::bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn typed_constants() {
+        assert_eq!(Constant::int(8, 0).ty(), Type::Int(8));
+        assert_eq!(Constant::Null.ty(), Type::Ptr);
+        assert_eq!(Constant::Undef(Type::i32()).ty(), Type::i32());
+        let agg = Constant::Aggregate(
+            Type::vec(2, Type::i32()),
+            vec![Constant::int(32, 1), Constant::Poison(Type::i32())],
+        );
+        assert!(agg.contains_poison());
+        assert!(!agg.contains_undef());
+    }
+
+    #[test]
+    fn float_bits() {
+        let one = Constant::float(FloatKind::Single, 1.0);
+        match one {
+            Constant::Float(_, bits) => assert_eq!(bits.to_u64(), 0x3f80_0000),
+            _ => unreachable!(),
+        }
+        let neg = Constant::float(FloatKind::Double, -2.5);
+        match neg {
+            Constant::Float(_, bits) => assert_eq!(bits.to_u64(), (-2.5f64).to_bits()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn half_conversion_basics() {
+        assert_eq!(f64_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f64_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f64_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f64_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f64_to_f16_bits(65504.0), 0x7bff); // f16 max
+        assert_eq!(f64_to_f16_bits(1e10), 0x7c00); // overflow -> inf
+        assert_eq!(f64_to_f16_bits(f64::NAN) & 0x7c00, 0x7c00);
+        assert_ne!(f64_to_f16_bits(f64::NAN) & 0x3ff, 0);
+        assert_eq!(f64_to_f16_bits(f64::INFINITY), 0x7c00);
+        // subnormal: smallest positive half is 2^-24
+        assert_eq!(f64_to_f16_bits(2f64.powi(-24)), 0x0001);
+        assert_eq!(f64_to_f16_bits(2f64.powi(-26)), 0x0000);
+    }
+}

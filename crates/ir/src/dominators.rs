@@ -1,0 +1,188 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+//!
+//! The paper notes (§8.1) that Alive2 computes dominators itself rather
+//! than trusting LLVM's analyses — we do the same relative to our IR.
+
+use crate::cfg::Cfg;
+
+/// Immediate-dominator table for a CFG.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of `b`; entry's idom is itself.
+    /// Unreachable blocks have `usize::MAX`.
+    idom: Vec<usize>,
+    /// Reverse-postorder position per block (used for intersection).
+    rpo_index: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators for a CFG (entry = block 0).
+    pub fn new(cfg: &Cfg) -> Dominators {
+        let n = cfg.len();
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+        let mut idom = vec![usize::MAX; n];
+        if n == 0 {
+            return Dominators { idom, rpo_index };
+        }
+        idom[0] = 0;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom = usize::MAX;
+                for &p in &cfg.preds[b] {
+                    if idom[p] == usize::MAX {
+                        continue;
+                    }
+                    new_idom = if new_idom == usize::MAX {
+                        p
+                    } else {
+                        Self::intersect(&idom, &rpo_index, p, new_idom)
+                    };
+                }
+                if new_idom != usize::MAX && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom, rpo_index }
+    }
+
+    fn intersect(idom: &[usize], rpo_index: &[usize], mut a: usize, mut b: usize) -> usize {
+        while a != b {
+            while rpo_index[a] > rpo_index[b] {
+                a = idom[a];
+            }
+            while rpo_index[b] > rpo_index[a] {
+                b = idom[b];
+            }
+        }
+        a
+    }
+
+    /// The immediate dominator of `b` (entry maps to itself), or `None`
+    /// for unreachable blocks.
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        match self.idom.get(b) {
+            Some(&i) if i != usize::MAX => Some(i),
+            _ => None,
+        }
+    }
+
+    /// True if `a` dominates `b` (reflexive). Unreachable blocks dominate
+    /// nothing and are dominated by nothing.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if self.idom.get(a).copied().unwrap_or(usize::MAX) == usize::MAX
+            || self.idom.get(b).copied().unwrap_or(usize::MAX) == usize::MAX
+        {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = self.idom[cur];
+            if next == cur {
+                return false; // reached entry
+            }
+            cur = next;
+        }
+    }
+
+    /// True if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: usize, b: usize) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: usize) -> bool {
+        self.idom.get(b).copied().unwrap_or(usize::MAX) != usize::MAX
+    }
+
+    /// The RPO index of a block (for deterministic orderings).
+    pub fn rpo_index(&self, b: usize) -> usize {
+        self.rpo_index[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function;
+
+    #[test]
+    fn diamond_dominance() {
+        let f = parse_function(
+            r#"define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %exit
+b:
+  br label %exit
+exit:
+  ret i32 0
+}"#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        // entry dominates all
+        for b in 0..4 {
+            assert!(dom.dominates(0, b));
+        }
+        // a and b do not dominate exit
+        assert!(!dom.dominates(1, 3));
+        assert!(!dom.dominates(2, 3));
+        assert_eq!(dom.idom(3), Some(0));
+        assert!(dom.strictly_dominates(0, 3));
+        assert!(!dom.strictly_dominates(3, 3));
+    }
+
+    #[test]
+    fn loop_dominance() {
+        let f = parse_function(
+            r#"define void @f(i1 %c) {
+entry:
+  br label %head
+head:
+  br i1 %c, label %body, label %exit
+body:
+  br label %head
+exit:
+  ret void
+}"#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert!(dom.dominates(1, 2)); // head dominates body
+        assert!(dom.dominates(1, 3)); // head dominates exit
+        assert!(!dom.dominates(2, 3));
+        assert_eq!(dom.idom(2), Some(1));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_isolated() {
+        let f = parse_function(
+            r#"define void @f() {
+entry:
+  ret void
+dead:
+  ret void
+}"#,
+        )
+        .unwrap();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert!(!dom.is_reachable(1));
+        assert!(!dom.dominates(0, 1));
+        assert!(!dom.dominates(1, 0));
+    }
+}

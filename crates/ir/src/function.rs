@@ -1,0 +1,315 @@
+//! Functions, basic blocks, and function-level attributes.
+
+use crate::instruction::{InstOp, Instruction, Operand, ParamAttrs};
+use crate::types::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A formal parameter.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Param {
+    /// Parameter name (without `%`).
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+    /// Refinement-relevant attributes.
+    pub attrs: ParamAttrs,
+}
+
+/// Function-level attributes relevant to validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FnAttrs {
+    /// All loops must make progress; paired with bounded unrolling (§5).
+    pub mustprogress: bool,
+    /// The function never reads or writes memory.
+    pub readnone: bool,
+    /// The function only reads memory.
+    pub readonly: bool,
+    /// The function never returns.
+    pub noreturn: bool,
+    /// The function always returns (terminates).
+    pub willreturn: bool,
+}
+
+/// A basic block: a label and a non-empty instruction list ending in a
+/// terminator (enforced by [`crate::verify`]).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Block {
+    /// Label (without the trailing `:`).
+    pub name: String,
+    /// Instructions, terminator last.
+    pub insts: Vec<Instruction>,
+}
+
+impl Block {
+    /// Creates an empty block with a name.
+    pub fn new(name: impl Into<String>) -> Block {
+        Block {
+            name: name.into(),
+            insts: Vec::new(),
+        }
+    }
+
+    /// The terminator instruction, if the block is well-formed.
+    pub fn terminator(&self) -> Option<&Instruction> {
+        self.insts.last().filter(|i| i.op.is_terminator())
+    }
+
+    /// The φ nodes at the head of the block.
+    pub fn phis(&self) -> impl Iterator<Item = &Instruction> {
+        self.insts
+            .iter()
+            .take_while(|i| matches!(i.op, InstOp::Phi { .. }))
+    }
+}
+
+/// A function definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    /// Symbol name (without `@`).
+    pub name: String,
+    /// Return type.
+    pub ret_ty: Type,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Basic blocks; the first is the entry block.
+    pub blocks: Vec<Block>,
+    /// Function attributes.
+    pub attrs: FnAttrs,
+}
+
+impl Function {
+    /// Creates an empty function.
+    pub fn new(name: impl Into<String>, ret_ty: Type) -> Function {
+        Function {
+            name: name.into(),
+            ret_ty,
+            params: Vec::new(),
+            blocks: Vec::new(),
+            attrs: FnAttrs::default(),
+        }
+    }
+
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks.
+    pub fn entry(&self) -> &Block {
+        &self.blocks[0]
+    }
+
+    /// Finds a block index by label.
+    pub fn block_index(&self, label: &str) -> Option<usize> {
+        self.blocks.iter().position(|b| b.name == label)
+    }
+
+    /// Finds a block by label.
+    pub fn block(&self, label: &str) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.name == label)
+    }
+
+    /// Finds a block mutably by label.
+    pub fn block_mut(&mut self, label: &str) -> Option<&mut Block> {
+        self.blocks.iter_mut().find(|b| b.name == label)
+    }
+
+    /// Iterates over every instruction, with its block index.
+    pub fn insts(&self) -> impl Iterator<Item = (usize, &Instruction)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, b)| b.insts.iter().map(move |i| (bi, i)))
+    }
+
+    /// Map from defined register name to its type (params + instruction
+    /// results).
+    pub fn def_types(&self) -> HashMap<String, Type> {
+        let mut map = HashMap::new();
+        for p in &self.params {
+            map.insert(p.name.clone(), p.ty.clone());
+        }
+        for (_, inst) in self.insts() {
+            if let (Some(r), Some(t)) = (&inst.result, inst.op.result_type()) {
+                map.insert(r.clone(), t);
+            }
+        }
+        map
+    }
+
+    /// Replaces every use of register `from` with operand `to`
+    /// (replace-all-uses-with).
+    pub fn replace_uses(&mut self, from: &str, to: &Operand) {
+        for b in &mut self.blocks {
+            for inst in &mut b.insts {
+                inst.op.map_operands(|op| {
+                    if op.as_reg() == Some(from) {
+                        *op = to.clone();
+                    }
+                });
+            }
+        }
+    }
+
+    /// Counts uses of a register.
+    pub fn count_uses(&self, reg: &str) -> usize {
+        self.insts()
+            .map(|(_, i)| {
+                i.op.operands()
+                    .iter()
+                    .filter(|o| o.as_reg() == Some(reg))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// A fresh register name not yet used by any definition, based on a
+    /// prefix.
+    pub fn fresh_reg(&self, prefix: &str) -> String {
+        let defs = self.def_types();
+        if !defs.contains_key(prefix) {
+            return prefix.to_string();
+        }
+        for i in 0.. {
+            let cand = format!("{prefix}.{i}");
+            if !defs.contains_key(&cand) {
+                return cand;
+            }
+        }
+        unreachable!()
+    }
+
+    /// A fresh block label not yet in use, based on a prefix.
+    pub fn fresh_label(&self, prefix: &str) -> String {
+        if self.block_index(prefix).is_none() {
+            return prefix.to_string();
+        }
+        for i in 0.. {
+            let cand = format!("{prefix}.{i}");
+            if self.block_index(&cand).is_none() {
+                return cand;
+            }
+        }
+        unreachable!()
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "define {} @{}(", self.ret_ty, self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", p.ty)?;
+            if p.attrs.nonnull {
+                write!(f, " nonnull")?;
+            }
+            if p.attrs.noundef {
+                write!(f, " noundef")?;
+            }
+            write!(f, " %{}", p.name)?;
+        }
+        write!(f, ")")?;
+        if self.attrs.mustprogress {
+            write!(f, " mustprogress")?;
+        }
+        if self.attrs.noreturn {
+            write!(f, " noreturn")?;
+        }
+        if self.attrs.willreturn {
+            write!(f, " willreturn")?;
+        }
+        if self.attrs.readnone {
+            write!(f, " memory(none)")?;
+        } else if self.attrs.readonly {
+            write!(f, " memory(read)")?;
+        }
+        writeln!(f, " {{")?;
+        for (bi, b) in self.blocks.iter().enumerate() {
+            if bi > 0 {
+                writeln!(f)?;
+            }
+            writeln!(f, "{}:", b.name)?;
+            for inst in &b.insts {
+                writeln!(f, "  {inst}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::{BinOpKind, WrapFlags};
+
+    fn sample() -> Function {
+        let mut f = Function::new("fn", Type::i32());
+        f.params.push(Param {
+            name: "a".into(),
+            ty: Type::i32(),
+            attrs: ParamAttrs::default(),
+        });
+        let mut entry = Block::new("entry");
+        entry.insts.push(Instruction::with_result(
+            "t",
+            InstOp::Bin {
+                op: BinOpKind::Add,
+                flags: WrapFlags::none(),
+                ty: Type::i32(),
+                lhs: Operand::reg("a"),
+                rhs: Operand::reg("a"),
+            },
+        ));
+        entry.insts.push(Instruction::stmt(InstOp::Ret {
+            val: Some((Type::i32(), Operand::reg("t"))),
+        }));
+        f.blocks.push(entry);
+        f
+    }
+
+    #[test]
+    fn def_types_and_uses() {
+        let f = sample();
+        let defs = f.def_types();
+        assert_eq!(defs["a"], Type::i32());
+        assert_eq!(defs["t"], Type::i32());
+        assert_eq!(f.count_uses("a"), 2);
+        assert_eq!(f.count_uses("t"), 1);
+    }
+
+    #[test]
+    fn replace_uses_rewrites_operands() {
+        let mut f = sample();
+        f.replace_uses("a", &Operand::int(32, 5));
+        assert_eq!(f.count_uses("a"), 0);
+        let printed = f.to_string();
+        assert!(printed.contains("add i32 5, 5"), "{printed}");
+    }
+
+    #[test]
+    fn fresh_names_avoid_collisions() {
+        let f = sample();
+        assert_eq!(f.fresh_reg("q"), "q");
+        assert_eq!(f.fresh_reg("t"), "t.0");
+        assert_eq!(f.fresh_label("entry"), "entry.0");
+    }
+
+    #[test]
+    fn display_shape() {
+        let s = sample().to_string();
+        assert!(s.starts_with("define i32 @fn(i32 %a) {"));
+        assert!(s.contains("entry:"));
+        assert!(s.contains("  %t = add i32 %a, %a"));
+        assert!(s.ends_with("}"));
+    }
+
+    #[test]
+    fn terminator_and_phis() {
+        let f = sample();
+        let b = f.entry();
+        assert!(b.terminator().is_some());
+        assert_eq!(b.phis().count(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Recognized LLVM intrinsics.
+//!
+//! The paper reports Alive2 supporting 54 of 258 platform-independent
+//! intrinsics (§3.8); the rest are over-approximated as unknown calls. We
+//! mirror the structure: intrinsics listed here get precise semantics in
+//! `alive2-sema`; any other `llvm.*` callee takes the over-approximation
+//! path.
+
+/// Semantics tag for a supported intrinsic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IntrinsicKind {
+    /// `llvm.sadd.with.overflow.*` → `{iN, i1}`.
+    SAddWithOverflow,
+    /// `llvm.uadd.with.overflow.*`.
+    UAddWithOverflow,
+    /// `llvm.ssub.with.overflow.*`.
+    SSubWithOverflow,
+    /// `llvm.usub.with.overflow.*`.
+    USubWithOverflow,
+    /// `llvm.smul.with.overflow.*`.
+    SMulWithOverflow,
+    /// `llvm.umul.with.overflow.*`.
+    UMulWithOverflow,
+    /// `llvm.sadd.sat.*` — saturating signed add.
+    SAddSat,
+    /// `llvm.uadd.sat.*`.
+    UAddSat,
+    /// `llvm.ssub.sat.*`.
+    SSubSat,
+    /// `llvm.usub.sat.*`.
+    USubSat,
+    /// `llvm.smax.*`.
+    SMax,
+    /// `llvm.smin.*`.
+    SMin,
+    /// `llvm.umax.*`.
+    UMax,
+    /// `llvm.umin.*`.
+    UMin,
+    /// `llvm.abs.*` (second arg: poison on INT_MIN).
+    Abs,
+    /// `llvm.ctpop.*` — population count.
+    Ctpop,
+    /// `llvm.ctlz.*` (second arg: poison on zero input).
+    Ctlz,
+    /// `llvm.cttz.*` (second arg: poison on zero input).
+    Cttz,
+    /// `llvm.bswap.*`.
+    Bswap,
+    /// `llvm.bitreverse.*`.
+    Bitreverse,
+    /// `llvm.fshl.*` — funnel shift left.
+    Fshl,
+    /// `llvm.fshr.*` — funnel shift right.
+    Fshr,
+    /// `llvm.assume(i1)` — UB if the operand is false/poison.
+    Assume,
+    /// `llvm.expect.*` — identity on the first operand.
+    Expect,
+    /// `llvm.fabs.*`.
+    Fabs,
+    /// `llvm.trap` — immediate UB (program aborts).
+    Trap,
+    /// `llvm.lifetime.start/end` — no-op in our memory model.
+    Lifetime,
+}
+
+/// Looks up the semantics tag for an intrinsic callee name (without `@`).
+/// Returns `None` for unknown/unsupported intrinsics, which callers must
+/// over-approximate per §3.8.
+pub fn intrinsic_kind(name: &str) -> Option<IntrinsicKind> {
+    if !name.starts_with("llvm.") {
+        return None;
+    }
+    let stem = &name[5..];
+    let base: String = {
+        // strip the trailing type suffixes: llvm.smax.i32 -> smax
+        let parts: Vec<&str> = stem.split('.').collect();
+        let keep = parts
+            .iter()
+            .take_while(|p| {
+                !(p.starts_with('i') && p[1..].chars().all(|c| c.is_ascii_digit())
+                    || **p == "f32"
+                    || **p == "f64"
+                    || **p == "f16"
+                    || p.starts_with('v') && p[1..].contains('i'))
+            })
+            .cloned()
+            .collect::<Vec<_>>();
+        keep.join(".")
+    };
+    use IntrinsicKind::*;
+    Some(match base.as_str() {
+        "sadd.with.overflow" => SAddWithOverflow,
+        "uadd.with.overflow" => UAddWithOverflow,
+        "ssub.with.overflow" => SSubWithOverflow,
+        "usub.with.overflow" => USubWithOverflow,
+        "smul.with.overflow" => SMulWithOverflow,
+        "umul.with.overflow" => UMulWithOverflow,
+        "sadd.sat" => SAddSat,
+        "uadd.sat" => UAddSat,
+        "ssub.sat" => SSubSat,
+        "usub.sat" => USubSat,
+        "smax" => SMax,
+        "smin" => SMin,
+        "umax" => UMax,
+        "umin" => UMin,
+        "abs" => Abs,
+        "ctpop" => Ctpop,
+        "ctlz" => Ctlz,
+        "cttz" => Cttz,
+        "bswap" => Bswap,
+        "bitreverse" => Bitreverse,
+        "fshl" => Fshl,
+        "fshr" => Fshr,
+        "assume" => Assume,
+        "expect" => Expect,
+        "fabs" => Fabs,
+        "trap" => Trap,
+        "lifetime.start" | "lifetime.end" => Lifetime,
+        _ => return None,
+    })
+}
+
+/// True if the callee name denotes any intrinsic (supported or not).
+pub fn is_intrinsic(name: &str) -> bool {
+    name.starts_with("llvm.")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognizes_typed_suffixes() {
+        assert_eq!(
+            intrinsic_kind("llvm.sadd.with.overflow.i32"),
+            Some(IntrinsicKind::SAddWithOverflow)
+        );
+        assert_eq!(intrinsic_kind("llvm.smax.i8"), Some(IntrinsicKind::SMax));
+        assert_eq!(intrinsic_kind("llvm.ctpop.i64"), Some(IntrinsicKind::Ctpop));
+        assert_eq!(
+            intrinsic_kind("llvm.fabs.f32"),
+            Some(IntrinsicKind::Fabs)
+        );
+        assert_eq!(
+            intrinsic_kind("llvm.umax.v4i32"),
+            Some(IntrinsicKind::UMax)
+        );
+    }
+
+    #[test]
+    fn unknown_intrinsics_are_none() {
+        assert_eq!(intrinsic_kind("llvm.memcpy.p0.p0.i64"), None);
+        assert_eq!(intrinsic_kind("llvm.coro.begin"), None);
+        assert!(is_intrinsic("llvm.memcpy.p0.p0.i64"));
+        assert!(!is_intrinsic("printf"));
+    }
+
+    #[test]
+    fn non_intrinsic_names_are_none() {
+        assert_eq!(intrinsic_kind("printf"), None);
+        assert_eq!(intrinsic_kind("malloc"), None);
+    }
+}

@@ -1,0 +1,54 @@
+//! An LLVM-style typed SSA intermediate representation.
+//!
+//! This crate is the IR substrate of Alive2-rs: the data structures, parser,
+//! printer, and analyses that the paper's system obtains from LLVM itself
+//! (minus the analyses Alive2 deliberately re-implements, §8.1 — dominators
+//! and loop nesting, which live here too and are used instead of trusting
+//! the optimizer's own).
+//!
+//! - [`types`] / [`constant`] / [`instruction`] / [`function`] / [`module`]:
+//!   the IR proper, including `undef`, `poison`, and `freeze` (paper §2);
+//! - [`parser`] / printing via `Display`: LLVM assembly syntax (opaque
+//!   pointers);
+//! - [`cfg`](mod@cfg) / [`dominators`] / [`loops`]: control-flow analyses, with
+//!   Tarjan–Havlak loop forests (§7);
+//! - [`verify`]: SSA well-formedness checking;
+//! - [`builder`]: programmatic construction;
+//! - [`intrinsics`] / [`libfuncs`]: the §3.8 knowledge base of recognized
+//!   intrinsics and library functions.
+//!
+//! # Examples
+//!
+//! ```
+//! use alive2_ir::parser::parse_function;
+//! use alive2_ir::verify::verify_function;
+//!
+//! let f = parse_function(r#"
+//! define i32 @fn(i32 %a) {
+//! entry:
+//!   %t = add i32 %a, %a
+//!   ret i32 %t
+//! }
+//! "#).unwrap();
+//! assert!(verify_function(&f).is_empty());
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod constant;
+pub mod dominators;
+pub mod function;
+pub mod instruction;
+pub mod intrinsics;
+pub mod libfuncs;
+pub mod loops;
+pub mod module;
+pub mod parser;
+pub mod types;
+pub mod verify;
+
+pub use constant::Constant;
+pub use function::{Block, Function, Param};
+pub use instruction::{InstOp, Instruction, Operand};
+pub use module::Module;
+pub use types::Type;

@@ -1,0 +1,167 @@
+//! Coarse-grained semantics for recognized library functions (paper §3.8).
+//!
+//! LLVM equips optimization passes with predicates about well-known library
+//! functions — "always returns non-null", "never returns", "only reads its
+//! arguments" — and transforms calls between them (e.g. `printf("s\n")` →
+//! `puts("s")`). The validator must mirror this knowledge or such rewrites
+//! look like refinement failures. Each entry here captures the predicates
+//! the refinement check consumes.
+
+/// Memory behavior of a library call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemEffect {
+    /// Reads and writes arbitrary memory.
+    ReadWrite,
+    /// Only reads memory.
+    ReadOnly,
+    /// Touches no memory at all.
+    None,
+    /// Only accesses memory through its pointer arguments.
+    ArgMemOnly,
+}
+
+/// The knowledge record for one library function.
+#[derive(Clone, Copy, Debug)]
+pub struct LibFunc {
+    /// Symbol name.
+    pub name: &'static str,
+    /// The function never returns (e.g. `exit`).
+    pub noreturn: bool,
+    /// The function always terminates.
+    pub willreturn: bool,
+    /// Memory behavior.
+    pub mem: MemEffect,
+    /// The return value is never null.
+    pub returns_nonnull: bool,
+    /// The call allocates and returns a fresh memory block (or null).
+    pub allocator: bool,
+    /// The call frees its pointer argument.
+    pub deallocator: bool,
+    /// `printf`-to-`puts`-style equivalence class: calls in the same class
+    /// with compatible arguments may be interchanged by the compiler.
+    pub io_class: Option<&'static str>,
+}
+
+const fn lf(name: &'static str) -> LibFunc {
+    LibFunc {
+        name,
+        noreturn: false,
+        willreturn: false,
+        mem: MemEffect::ReadWrite,
+        returns_nonnull: false,
+        allocator: false,
+        deallocator: false,
+        io_class: None,
+    }
+}
+
+/// The knowledge base. The real Alive2 special-cases 117 functions; we
+/// cover the classes its evaluation exercises (stdio, allocation, string,
+/// math, process control).
+pub static LIBFUNCS: &[LibFunc] = &[
+    // -- process control ---------------------------------------------------
+    LibFunc { noreturn: true, ..lf("exit") },
+    LibFunc { noreturn: true, ..lf("_exit") },
+    LibFunc { noreturn: true, ..lf("abort") },
+    LibFunc { noreturn: true, ..lf("longjmp") },
+    LibFunc { noreturn: true, ..lf("__assert_fail") },
+    // -- allocation ---------------------------------------------------------
+    LibFunc { allocator: true, willreturn: true, ..lf("malloc") },
+    LibFunc { allocator: true, willreturn: true, ..lf("calloc") },
+    LibFunc { allocator: true, willreturn: true, ..lf("aligned_alloc") },
+    LibFunc { allocator: true, willreturn: true, ..lf("_Znwm") },  // operator new
+    LibFunc { allocator: true, willreturn: true, ..lf("_Znam") },  // operator new[]
+    LibFunc { deallocator: true, willreturn: true, ..lf("free") },
+    LibFunc { deallocator: true, willreturn: true, ..lf("_ZdlPv") }, // operator delete
+    LibFunc { allocator: true, deallocator: true, ..lf("realloc") },
+    // -- stdio ---------------------------------------------------------------
+    LibFunc { io_class: Some("stdout"), willreturn: true, ..lf("printf") },
+    LibFunc { io_class: Some("stdout"), willreturn: true, ..lf("puts") },
+    LibFunc { io_class: Some("stdout"), willreturn: true, ..lf("putchar") },
+    LibFunc { io_class: Some("stream"), willreturn: true, ..lf("fprintf") },
+    LibFunc { io_class: Some("stream"), willreturn: true, ..lf("fputs") },
+    LibFunc { io_class: Some("stream"), willreturn: true, ..lf("fputc") },
+    LibFunc { io_class: Some("stream"), willreturn: true, ..lf("fwrite") },
+    LibFunc { io_class: Some("stream"), willreturn: true, ..lf("fread") },
+    LibFunc { willreturn: true, ..lf("fopen") },
+    LibFunc { willreturn: true, ..lf("fclose") },
+    LibFunc { willreturn: true, ..lf("fflush") },
+    LibFunc { io_class: Some("sprintf"), willreturn: true, mem: MemEffect::ArgMemOnly, ..lf("sprintf") },
+    LibFunc { io_class: Some("sprintf"), willreturn: true, mem: MemEffect::ArgMemOnly, ..lf("snprintf") },
+    // -- string/memory ------------------------------------------------------
+    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("strlen") },
+    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("strcmp") },
+    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("strncmp") },
+    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("memcmp") },
+    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("strchr") },
+    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("strrchr") },
+    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("strstr") },
+    LibFunc { mem: MemEffect::ArgMemOnly, willreturn: true, returns_nonnull: true, ..lf("memcpy") },
+    LibFunc { mem: MemEffect::ArgMemOnly, willreturn: true, returns_nonnull: true, ..lf("memmove") },
+    LibFunc { mem: MemEffect::ArgMemOnly, willreturn: true, returns_nonnull: true, ..lf("memset") },
+    LibFunc { mem: MemEffect::ArgMemOnly, willreturn: true, ..lf("strcpy") },
+    LibFunc { mem: MemEffect::ArgMemOnly, willreturn: true, ..lf("strncpy") },
+    LibFunc { mem: MemEffect::ArgMemOnly, willreturn: true, ..lf("strcat") },
+    // -- math ----------------------------------------------------------------
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("sqrt") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("sqrtf") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("sin") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("cos") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("exp") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("log") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("pow") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("fabs") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("floor") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("ceil") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("round") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("trunc") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("fmod") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("ldexp") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("abs") },
+    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("labs") },
+    // -- misc ----------------------------------------------------------------
+    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("getenv") },
+    LibFunc { willreturn: true, ..lf("rand") },
+    LibFunc { willreturn: true, ..lf("clock") },
+    LibFunc { willreturn: true, ..lf("time") },
+];
+
+/// Looks up the knowledge record for a library function.
+pub fn libfunc(name: &str) -> Option<&'static LibFunc> {
+    LIBFUNCS.iter().find(|f| f.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups() {
+        assert!(libfunc("exit").unwrap().noreturn);
+        assert!(libfunc("malloc").unwrap().allocator);
+        assert!(libfunc("free").unwrap().deallocator);
+        assert_eq!(libfunc("strlen").unwrap().mem, MemEffect::ReadOnly);
+        assert!(libfunc("unknown_fn").is_none());
+    }
+
+    #[test]
+    fn printf_puts_share_a_class() {
+        assert_eq!(
+            libfunc("printf").unwrap().io_class,
+            libfunc("puts").unwrap().io_class
+        );
+        assert_ne!(
+            libfunc("printf").unwrap().io_class,
+            libfunc("fprintf").unwrap().io_class
+        );
+    }
+
+    #[test]
+    fn table_has_no_duplicates() {
+        let mut names: Vec<&str> = LIBFUNCS.iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

@@ -1,0 +1,1697 @@
+//! Parser for the textual LLVM IR subset supported by Alive2-rs.
+//!
+//! The grammar follows LLVM's assembly syntax with opaque pointers (`ptr`).
+//! Unsupported top-level entities (`target …`, `source_filename`, metadata)
+//! are skipped; unsupported instructions produce an error naming the
+//! offending construct so the validator can report the function as
+//! *unsupported* rather than wrong (paper §3.8).
+
+use crate::constant::{f64_to_f16_bits, Constant};
+use crate::function::{Block, FnAttrs, Function, Param};
+use crate::instruction::{
+    BinOpKind, CastKind, FBinOpKind, FCmpPred, FastMathFlags, ICmpPred, InstOp, Instruction,
+    Operand, ParamAttrs, WrapFlags,
+};
+use crate::module::{FuncDecl, GlobalVar, Module};
+use crate::types::{FloatKind, Type};
+use alive2_smt::bv::BitVec;
+use std::fmt;
+
+/// A parse error with 1-based line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Local(String),
+    Global(String),
+    Int(i128),
+    Float(f64),
+    HexBits(u64),
+    HexHalf(u16),
+    LParen,
+    RParen,
+    Lt,
+    Gt,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Eq,
+    Colon,
+    Star,
+    Eof,
+}
+
+struct Lexer {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-' || c == '$'
+}
+
+fn lex(src: &str) -> Result<Lexer> {
+    let mut toks = Vec::new();
+    let mut line = 1u32;
+    let mut it = src.chars().peekable();
+    while let Some(&c) = it.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                it.next();
+            }
+            ' ' | '\t' | '\r' => {
+                it.next();
+            }
+            ';' => {
+                while let Some(&c) = it.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    it.next();
+                }
+            }
+            '(' => {
+                it.next();
+                toks.push((Tok::LParen, line));
+            }
+            ')' => {
+                it.next();
+                toks.push((Tok::RParen, line));
+            }
+            '<' => {
+                it.next();
+                toks.push((Tok::Lt, line));
+            }
+            '>' => {
+                it.next();
+                toks.push((Tok::Gt, line));
+            }
+            '[' => {
+                it.next();
+                toks.push((Tok::LBracket, line));
+            }
+            ']' => {
+                it.next();
+                toks.push((Tok::RBracket, line));
+            }
+            '{' => {
+                it.next();
+                toks.push((Tok::LBrace, line));
+            }
+            '}' => {
+                it.next();
+                toks.push((Tok::RBrace, line));
+            }
+            ',' => {
+                it.next();
+                toks.push((Tok::Comma, line));
+            }
+            '=' => {
+                it.next();
+                toks.push((Tok::Eq, line));
+            }
+            ':' => {
+                it.next();
+                toks.push((Tok::Colon, line));
+            }
+            '*' => {
+                it.next();
+                toks.push((Tok::Star, line));
+            }
+            '%' | '@' => {
+                let sigil = c;
+                it.next();
+                let mut name = String::new();
+                if it.peek() == Some(&'"') {
+                    it.next();
+                    while let Some(&c) = it.peek() {
+                        if c == '"' {
+                            it.next();
+                            break;
+                        }
+                        name.push(c);
+                        it.next();
+                    }
+                } else {
+                    while let Some(&c) = it.peek() {
+                        if is_ident_char(c) {
+                            name.push(c);
+                            it.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                if name.is_empty() {
+                    return Err(ParseError {
+                        message: format!("empty name after `{sigil}`"),
+                        line,
+                    });
+                }
+                toks.push((
+                    if sigil == '%' {
+                        Tok::Local(name)
+                    } else {
+                        Tok::Global(name)
+                    },
+                    line,
+                ));
+            }
+            '"' => {
+                // string constants (e.g. in globals) — consume and ignore
+                it.next();
+                while let Some(&c) = it.peek() {
+                    it.next();
+                    if c == '"' {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident("\"str\"".into()), line));
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let mut s = String::new();
+                s.push(c);
+                it.next();
+                // hex literal?
+                if c == '0' && it.peek() == Some(&'x') {
+                    it.next();
+                    let mut kind = ' ';
+                    if let Some(&k) = it.peek() {
+                        if k == 'H' || k == 'K' || k == 'L' || k == 'M' {
+                            kind = k;
+                            it.next();
+                        }
+                    }
+                    let mut hex = String::new();
+                    while let Some(&h) = it.peek() {
+                        if h.is_ascii_hexdigit() {
+                            hex.push(h);
+                            it.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let v = u64::from_str_radix(&hex, 16).map_err(|e| ParseError {
+                        message: format!("bad hex literal: {e}"),
+                        line,
+                    })?;
+                    if kind == 'H' {
+                        toks.push((Tok::HexHalf(v as u16), line));
+                    } else {
+                        toks.push((Tok::HexBits(v), line));
+                    }
+                    continue;
+                }
+                let mut is_float = false;
+                while let Some(&d) = it.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        it.next();
+                    } else if d == '.' || d == 'e' || d == 'E' {
+                        is_float = true;
+                        s.push(d);
+                        it.next();
+                        if (d == 'e' || d == 'E') && matches!(it.peek(), Some('+') | Some('-')) {
+                            s.push(*it.peek().unwrap());
+                            it.next();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    let v: f64 = s.parse().map_err(|e| ParseError {
+                        message: format!("bad float literal `{s}`: {e}"),
+                        line,
+                    })?;
+                    toks.push((Tok::Float(v), line));
+                } else {
+                    let v: i128 = s.parse().map_err(|e| ParseError {
+                        message: format!("bad integer literal `{s}`: {e}"),
+                        line,
+                    })?;
+                    toks.push((Tok::Int(v), line));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = it.peek() {
+                    if is_ident_char(d) {
+                        s.push(d);
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident(s), line));
+            }
+            '#' | '!' => {
+                // attribute group / metadata reference: skip token
+                it.next();
+                while let Some(&d) = it.peek() {
+                    if is_ident_char(d) {
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident("!md".into()), line));
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{other}`"),
+                    line,
+                })
+            }
+        }
+    }
+    toks.push((Tok::Eof, line));
+    Ok(Lexer { toks, pos: 0 })
+}
+
+impl Lexer {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].0
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].1
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<()> {
+        if *self.peek() == t {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn accept(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn accept_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, kw: &str) -> Result<()> {
+        if self.accept_ident(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn local(&mut self) -> Result<String> {
+        match self.next() {
+            Tok::Local(s) => Ok(s),
+            other => self.err(format!("expected %name, found {other:?}")),
+        }
+    }
+
+    fn global(&mut self) -> Result<String> {
+        match self.next() {
+            Tok::Global(s) => Ok(s),
+            other => self.err(format!("expected @name, found {other:?}")),
+        }
+    }
+
+    fn int(&mut self) -> Result<i128> {
+        match self.next() {
+            Tok::Int(v) => Ok(v),
+            other => self.err(format!("expected integer, found {other:?}")),
+        }
+    }
+}
+
+/// Parses a module from LLVM-style textual IR.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line information on malformed or
+/// unsupported input.
+///
+/// # Examples
+///
+/// ```
+/// let m = alive2_ir::parser::parse_module(r#"
+/// define i32 @id(i32 %x) {
+/// entry:
+///   ret i32 %x
+/// }
+/// "#).unwrap();
+/// assert_eq!(m.functions.len(), 1);
+/// ```
+pub fn parse_module(src: &str) -> Result<Module> {
+    let mut lx = lex(src)?;
+    let mut module = Module::new();
+    loop {
+        match lx.peek().clone() {
+            Tok::Eof => break,
+            Tok::Ident(kw) if kw == "define" => {
+                module.functions.push(parse_define(&mut lx)?);
+            }
+            Tok::Ident(kw) if kw == "declare" => {
+                module.declares.push(parse_declare(&mut lx)?);
+            }
+            Tok::Ident(kw) if kw == "target" || kw == "source_filename" => {
+                // skip to end of logical line: consume tokens on same line
+                let line = lx.line();
+                while lx.line() == line && *lx.peek() != Tok::Eof {
+                    lx.next();
+                }
+            }
+            Tok::Global(_) => {
+                module.globals.push(parse_global(&mut lx)?);
+            }
+            other => return lx.err(format!("unexpected top-level token {other:?}")),
+        }
+    }
+    Ok(module)
+}
+
+/// Parses a single function from source containing exactly one `define`.
+pub fn parse_function(src: &str) -> Result<Function> {
+    let m = parse_module(src)?;
+    m.functions.into_iter().next().ok_or(ParseError {
+        message: "no function definition found".into(),
+        line: 1,
+    })
+}
+
+fn parse_global(lx: &mut Lexer) -> Result<GlobalVar> {
+    let name = lx.global()?;
+    lx.expect(Tok::Eq)?;
+    // skip linkage/visibility words
+    let mut is_const = false;
+    loop {
+        match lx.peek() {
+            Tok::Ident(s) if s == "constant" => {
+                is_const = true;
+                lx.next();
+                break;
+            }
+            Tok::Ident(s) if s == "global" => {
+                lx.next();
+                break;
+            }
+            Tok::Ident(s)
+                if [
+                    "private",
+                    "internal",
+                    "external",
+                    "linkonce",
+                    "weak",
+                    "common",
+                    "appending",
+                    "dso_local",
+                    "local_unnamed_addr",
+                    "unnamed_addr",
+                    "hidden",
+                    "protected",
+                ]
+                .contains(&s.as_str()) =>
+            {
+                lx.next();
+            }
+            _ => return lx.err("expected `global` or `constant`"),
+        }
+    }
+    let ty = parse_type(lx)?;
+    let init = if matches!(
+        lx.peek(),
+        Tok::Int(_)
+            | Tok::Float(_)
+            | Tok::HexBits(_)
+            | Tok::HexHalf(_)
+            | Tok::Lt
+            | Tok::LBracket
+            | Tok::LBrace
+    ) || matches!(lx.peek(), Tok::Ident(s) if ["zeroinitializer", "undef", "poison", "null", "true", "false", "\"str\""].contains(&s.as_str()))
+    {
+        Some(parse_constant(lx, &ty)?)
+    } else {
+        None
+    };
+    let mut align = 0;
+    while lx.accept(&Tok::Comma) {
+        if lx.accept_ident("align") {
+            align = lx.int()? as u64;
+        } else {
+            // skip unknown trailing attribute
+            lx.next();
+        }
+    }
+    Ok(GlobalVar {
+        name,
+        ty,
+        init,
+        is_const,
+        align,
+    })
+}
+
+fn parse_declare(lx: &mut Lexer) -> Result<FuncDecl> {
+    lx.expect_ident("declare")?;
+    let mut attrs = FnAttrs::default();
+    skip_fn_prefix_attrs(lx, &mut attrs);
+    let ret_ty = parse_type(lx)?;
+    let name = lx.global()?;
+    lx.expect(Tok::LParen)?;
+    let mut params = Vec::new();
+    if !lx.accept(&Tok::RParen) {
+        loop {
+            if lx.accept_ident("...") {
+                // varargs: ignore
+            } else {
+                let t = parse_type(lx)?;
+                skip_param_attrs(lx);
+                // optional name
+                if matches!(lx.peek(), Tok::Local(_)) {
+                    lx.next();
+                }
+                params.push(t);
+            }
+            if lx.accept(&Tok::RParen) {
+                break;
+            }
+            lx.expect(Tok::Comma)?;
+        }
+    }
+    parse_fn_suffix_attrs(lx, &mut attrs);
+    Ok(FuncDecl {
+        name,
+        ret_ty,
+        params,
+        attrs,
+    })
+}
+
+fn skip_fn_prefix_attrs(lx: &mut Lexer, _attrs: &mut FnAttrs) {
+    loop {
+        match lx.peek() {
+            Tok::Ident(s)
+                if [
+                    "dso_local",
+                    "internal",
+                    "private",
+                    "external",
+                    "hidden",
+                    "protected",
+                    "fastcc",
+                    "ccc",
+                    "noundef",
+                    "local_unnamed_addr",
+                ]
+                .contains(&s.as_str()) =>
+            {
+                lx.next();
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_fn_suffix_attrs(lx: &mut Lexer, attrs: &mut FnAttrs) {
+    loop {
+        match lx.peek().clone() {
+            Tok::Ident(s) => match s.as_str() {
+                "mustprogress" => {
+                    attrs.mustprogress = true;
+                    lx.next();
+                }
+                "noreturn" => {
+                    attrs.noreturn = true;
+                    lx.next();
+                }
+                "willreturn" => {
+                    attrs.willreturn = true;
+                    lx.next();
+                }
+                "readnone" => {
+                    attrs.readnone = true;
+                    lx.next();
+                }
+                "readonly" => {
+                    attrs.readonly = true;
+                    lx.next();
+                }
+                "memory" => {
+                    lx.next();
+                    if lx.accept(&Tok::LParen) {
+                        let mut spec = String::new();
+                        while !lx.accept(&Tok::RParen) {
+                            if let Tok::Ident(w) = lx.peek() {
+                                spec.push_str(w);
+                            }
+                            lx.next();
+                        }
+                        if spec == "none" {
+                            attrs.readnone = true;
+                        } else if spec == "read" {
+                            attrs.readonly = true;
+                        }
+                    }
+                }
+                "nounwind" | "norecurse" | "nosync" | "nofree" | "speculatable" | "alwaysinline"
+                | "inlinehint" | "noinline" | "optnone" | "!md" => {
+                    lx.next();
+                }
+                _ => break,
+            },
+            _ => break,
+        }
+    }
+}
+
+fn skip_param_attrs(lx: &mut Lexer) -> ParamAttrs {
+    let mut attrs = ParamAttrs::default();
+    loop {
+        match lx.peek().clone() {
+            Tok::Ident(s) => match s.as_str() {
+                "nonnull" => {
+                    attrs.nonnull = true;
+                    lx.next();
+                }
+                "noundef" => {
+                    attrs.noundef = true;
+                    lx.next();
+                }
+                "align" | "dereferenceable" => {
+                    lx.next();
+                    // argument: integer or (N)
+                    if lx.accept(&Tok::LParen) {
+                        let _ = lx.int();
+                        let _ = lx.expect(Tok::RParen);
+                    } else {
+                        let _ = lx.int();
+                    }
+                }
+                "nocapture" | "readonly" | "writeonly" | "byval" | "sret" | "zeroext"
+                | "signext" | "returned" | "noalias" => {
+                    lx.next();
+                }
+                _ => break,
+            },
+            _ => break,
+        }
+    }
+    attrs
+}
+
+fn parse_define(lx: &mut Lexer) -> Result<Function> {
+    lx.expect_ident("define")?;
+    let mut attrs = FnAttrs::default();
+    skip_fn_prefix_attrs(lx, &mut attrs);
+    let ret_ty = parse_type(lx)?;
+    let name = lx.global()?;
+    lx.expect(Tok::LParen)?;
+    let mut params = Vec::new();
+    if !lx.accept(&Tok::RParen) {
+        loop {
+            let ty = parse_type(lx)?;
+            let pattrs = skip_param_attrs(lx);
+            let pname = match lx.peek() {
+                Tok::Local(_) => lx.local()?,
+                _ => format!("{}", params.len()),
+            };
+            params.push(Param {
+                name: pname,
+                ty,
+                attrs: pattrs,
+            });
+            if lx.accept(&Tok::RParen) {
+                break;
+            }
+            lx.expect(Tok::Comma)?;
+        }
+    }
+    parse_fn_suffix_attrs(lx, &mut attrs);
+    lx.expect(Tok::LBrace)?;
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut counter = params.len(); // for anonymous %N naming compat
+    loop {
+        if lx.accept(&Tok::RBrace) {
+            break;
+        }
+        // A label? `name:`
+        let is_label =
+            matches!(lx.peek(), Tok::Ident(_) | Tok::Int(_)) && *lx.peek2() == Tok::Colon;
+        if is_label {
+            let label = match lx.next() {
+                Tok::Ident(s) => s,
+                Tok::Int(v) => v.to_string(),
+                _ => unreachable!(),
+            };
+            lx.expect(Tok::Colon)?;
+            blocks.push(Block::new(label));
+            continue;
+        }
+        if blocks.is_empty() {
+            blocks.push(Block::new("entry"));
+        }
+        let inst = parse_instruction(lx, &mut counter)?;
+        blocks.last_mut().unwrap().insts.push(inst);
+    }
+    Ok(Function {
+        name,
+        ret_ty,
+        params,
+        blocks,
+        attrs,
+    })
+}
+
+fn parse_type(lx: &mut Lexer) -> Result<Type> {
+    let t = match lx.peek().clone() {
+        Tok::Ident(s) => {
+            match s.as_str() {
+                "void" => {
+                    lx.next();
+                    Type::Void
+                }
+                "ptr" => {
+                    lx.next();
+                    Type::Ptr
+                }
+                "half" => {
+                    lx.next();
+                    Type::Float(FloatKind::Half)
+                }
+                "float" => {
+                    lx.next();
+                    Type::Float(FloatKind::Single)
+                }
+                "double" => {
+                    lx.next();
+                    Type::Float(FloatKind::Double)
+                }
+                _ if s.starts_with('i') && s[1..].chars().all(|c| c.is_ascii_digit()) => {
+                    lx.next();
+                    let w: u32 = s[1..].parse().map_err(|_| ParseError {
+                        message: format!("bad integer type `{s}`"),
+                        line: lx.line(),
+                    })?;
+                    if w == 0 {
+                        return lx.err("integer width must be positive");
+                    }
+                    Type::Int(w)
+                }
+                _ => return lx.err(format!("unknown type `{s}`")),
+            }
+        }
+        Tok::Lt => {
+            lx.next();
+            let n = lx.int()? as u32;
+            lx.expect_ident("x")?;
+            let elem = parse_type(lx)?;
+            lx.expect(Tok::Gt)?;
+            Type::vec(n, elem)
+        }
+        Tok::LBracket => {
+            lx.next();
+            let n = lx.int()? as u32;
+            lx.expect_ident("x")?;
+            let elem = parse_type(lx)?;
+            lx.expect(Tok::RBracket)?;
+            Type::array(n, elem)
+        }
+        Tok::LBrace => {
+            lx.next();
+            let mut fields = Vec::new();
+            if !lx.accept(&Tok::RBrace) {
+                loop {
+                    fields.push(parse_type(lx)?);
+                    if lx.accept(&Tok::RBrace) {
+                        break;
+                    }
+                    lx.expect(Tok::Comma)?;
+                }
+            }
+            Type::Struct(fields)
+        }
+        other => return lx.err(format!("expected type, found {other:?}")),
+    };
+    // legacy typed pointers `i32*`
+    let mut t = t;
+    while lx.accept(&Tok::Star) {
+        t = Type::Ptr;
+    }
+    Ok(t)
+}
+
+fn float_const(ty: &Type, value: f64, lx: &Lexer) -> Result<Constant> {
+    match ty {
+        Type::Float(k) => Ok(Constant::float(*k, value)),
+        other => Err(ParseError {
+            message: format!("float literal for non-float type {other}"),
+            line: lx.line(),
+        }),
+    }
+}
+
+fn parse_constant(lx: &mut Lexer, ty: &Type) -> Result<Constant> {
+    match lx.peek().clone() {
+        Tok::Int(v) => {
+            lx.next();
+            match ty {
+                Type::Int(w) => Ok(Constant::Int(BitVec::from_i128(*w, v))),
+                Type::Float(_) => float_const(ty, v as f64, lx),
+                other => lx.err(format!("integer literal for type {other}")),
+            }
+        }
+        Tok::Float(v) => {
+            lx.next();
+            float_const(ty, v, lx)
+        }
+        Tok::HexBits(bits) => {
+            lx.next();
+            match ty {
+                Type::Float(FloatKind::Double) => Ok(Constant::Float(
+                    FloatKind::Double,
+                    BitVec::from_u64(64, bits),
+                )),
+                Type::Float(FloatKind::Single) => {
+                    // LLVM writes float literals as double bits.
+                    let f = f64::from_bits(bits) as f32;
+                    Ok(Constant::Float(
+                        FloatKind::Single,
+                        BitVec::from_u64(32, f.to_bits() as u64),
+                    ))
+                }
+                Type::Float(FloatKind::Half) => {
+                    let h = f64_to_f16_bits(f64::from_bits(bits));
+                    Ok(Constant::Float(FloatKind::Half, BitVec::from_u64(16, h as u64)))
+                }
+                Type::Int(w) => Ok(Constant::Int(BitVec::from_u64(*w, bits))),
+                other => lx.err(format!("hex literal for type {other}")),
+            }
+        }
+        Tok::HexHalf(bits) => {
+            lx.next();
+            Ok(Constant::Float(
+                FloatKind::Half,
+                BitVec::from_u64(16, bits as u64),
+            ))
+        }
+        Tok::Ident(s) => match s.as_str() {
+            "true" => {
+                lx.next();
+                Ok(Constant::bool(true))
+            }
+            "false" => {
+                lx.next();
+                Ok(Constant::bool(false))
+            }
+            "null" => {
+                lx.next();
+                Ok(Constant::Null)
+            }
+            "undef" => {
+                lx.next();
+                Ok(Constant::Undef(ty.clone()))
+            }
+            "poison" => {
+                lx.next();
+                Ok(Constant::Poison(ty.clone()))
+            }
+            "zeroinitializer" => {
+                lx.next();
+                Ok(Constant::ZeroInit(ty.clone()))
+            }
+            "\"str\"" => {
+                lx.next();
+                Ok(Constant::ZeroInit(ty.clone()))
+            }
+            other => lx.err(format!("unknown constant `{other}`")),
+        },
+        Tok::Global(_) => Ok(Constant::Global(lx.global()?)),
+        Tok::Lt | Tok::LBracket | Tok::LBrace => {
+            let (open, close) = match lx.next() {
+                Tok::Lt => (Tok::Lt, Tok::Gt),
+                Tok::LBracket => (Tok::LBracket, Tok::RBracket),
+                _ => (Tok::LBrace, Tok::RBrace),
+            };
+            let _ = open;
+            let mut elems = Vec::new();
+            if !lx.accept(&close) {
+                loop {
+                    let ety = parse_type(lx)?;
+                    let c = parse_constant(lx, &ety)?;
+                    elems.push(c);
+                    if lx.accept(&close) {
+                        break;
+                    }
+                    lx.expect(Tok::Comma)?;
+                }
+            }
+            Ok(Constant::Aggregate(ty.clone(), elems))
+        }
+        other => lx.err(format!("expected constant, found {other:?}")),
+    }
+}
+
+fn parse_operand(lx: &mut Lexer, ty: &Type) -> Result<Operand> {
+    match lx.peek() {
+        Tok::Local(_) => Ok(Operand::Reg(lx.local()?)),
+        _ => Ok(Operand::Const(parse_constant(lx, ty)?)),
+    }
+}
+
+fn parse_wrap_flags(lx: &mut Lexer) -> WrapFlags {
+    let mut flags = WrapFlags::none();
+    loop {
+        if lx.accept_ident("nuw") {
+            flags.nuw = true;
+        } else if lx.accept_ident("nsw") {
+            flags.nsw = true;
+        } else if lx.accept_ident("exact") {
+            flags.exact = true;
+        } else {
+            break;
+        }
+    }
+    flags
+}
+
+fn parse_fmf(lx: &mut Lexer) -> FastMathFlags {
+    let mut fmf = FastMathFlags::none();
+    loop {
+        if lx.accept_ident("nnan") {
+            fmf.nnan = true;
+        } else if lx.accept_ident("ninf") {
+            fmf.ninf = true;
+        } else if lx.accept_ident("nsz") {
+            fmf.nsz = true;
+        } else if lx.accept_ident("fast") {
+            fmf.nnan = true;
+            fmf.ninf = true;
+            fmf.nsz = true;
+        } else if lx.accept_ident("arcp") || lx.accept_ident("contract") || lx.accept_ident("afn")
+            || lx.accept_ident("reassoc")
+        {
+            // accepted but not modeled
+        } else {
+            break;
+        }
+    }
+    fmf
+}
+
+fn icmp_pred(s: &str) -> Option<ICmpPred> {
+    Some(match s {
+        "eq" => ICmpPred::Eq,
+        "ne" => ICmpPred::Ne,
+        "ugt" => ICmpPred::Ugt,
+        "uge" => ICmpPred::Uge,
+        "ult" => ICmpPred::Ult,
+        "ule" => ICmpPred::Ule,
+        "sgt" => ICmpPred::Sgt,
+        "sge" => ICmpPred::Sge,
+        "slt" => ICmpPred::Slt,
+        "sle" => ICmpPred::Sle,
+        _ => return None,
+    })
+}
+
+fn fcmp_pred(s: &str) -> Option<FCmpPred> {
+    Some(match s {
+        "false" => FCmpPred::False,
+        "oeq" => FCmpPred::Oeq,
+        "ogt" => FCmpPred::Ogt,
+        "oge" => FCmpPred::Oge,
+        "olt" => FCmpPred::Olt,
+        "ole" => FCmpPred::Ole,
+        "one" => FCmpPred::One,
+        "ord" => FCmpPred::Ord,
+        "ueq" => FCmpPred::Ueq,
+        "ugt" => FCmpPred::Ugt,
+        "uge" => FCmpPred::Uge,
+        "ult" => FCmpPred::Ult,
+        "ule" => FCmpPred::Ule,
+        "une" => FCmpPred::Une,
+        "uno" => FCmpPred::Uno,
+        "true" => FCmpPred::True,
+        _ => return None,
+    })
+}
+
+fn bin_kind(s: &str) -> Option<BinOpKind> {
+    Some(match s {
+        "add" => BinOpKind::Add,
+        "sub" => BinOpKind::Sub,
+        "mul" => BinOpKind::Mul,
+        "udiv" => BinOpKind::UDiv,
+        "sdiv" => BinOpKind::SDiv,
+        "urem" => BinOpKind::URem,
+        "srem" => BinOpKind::SRem,
+        "shl" => BinOpKind::Shl,
+        "lshr" => BinOpKind::LShr,
+        "ashr" => BinOpKind::AShr,
+        "and" => BinOpKind::And,
+        "or" => BinOpKind::Or,
+        "xor" => BinOpKind::Xor,
+        _ => return None,
+    })
+}
+
+fn fbin_kind(s: &str) -> Option<FBinOpKind> {
+    Some(match s {
+        "fadd" => FBinOpKind::FAdd,
+        "fsub" => FBinOpKind::FSub,
+        "fmul" => FBinOpKind::FMul,
+        "fdiv" => FBinOpKind::FDiv,
+        "frem" => FBinOpKind::FRem,
+        _ => return None,
+    })
+}
+
+fn cast_kind(s: &str) -> Option<CastKind> {
+    Some(match s {
+        "trunc" => CastKind::Trunc,
+        "zext" => CastKind::ZExt,
+        "sext" => CastKind::SExt,
+        "bitcast" => CastKind::BitCast,
+        "fptrunc" => CastKind::FPTrunc,
+        "fpext" => CastKind::FPExt,
+        "fptoui" => CastKind::FPToUI,
+        "fptosi" => CastKind::FPToSI,
+        "uitofp" => CastKind::UIToFP,
+        "sitofp" => CastKind::SIToFP,
+        _ => return None,
+    })
+}
+
+fn parse_align_suffix(lx: &mut Lexer) -> Result<u64> {
+    let mut align = 0;
+    while lx.accept(&Tok::Comma) {
+        if lx.accept_ident("align") {
+            align = lx.int()? as u64;
+        } else if matches!(lx.peek(), Tok::Ident(s) if s == "!md") {
+            lx.next();
+        } else {
+            return Err(ParseError {
+                message: format!("unexpected token after instruction: {:?}", lx.peek()),
+                line: lx.line(),
+            });
+        }
+    }
+    Ok(align)
+}
+
+fn parse_instruction(lx: &mut Lexer, counter: &mut usize) -> Result<Instruction> {
+    // Optional `%r =`
+    let result = if matches!(lx.peek(), Tok::Local(_)) && *lx.peek2() == Tok::Eq {
+        let name = lx.local()?;
+        lx.expect(Tok::Eq)?;
+        Some(name)
+    } else {
+        None
+    };
+    let _ = counter;
+    let mnemonic = match lx.peek().clone() {
+        Tok::Ident(s) => s,
+        other => return lx.err(format!("expected instruction, found {other:?}")),
+    };
+    let op = parse_inst_op(lx, &mnemonic)?;
+    // A value-producing op without an explicit result gets a synthesized
+    // register only if it actually produces a value we must name.
+    let result = match (&result, op.result_type()) {
+        (Some(r), _) => Some(r.clone()),
+        (None, Some(_)) => None, // unnamed result: value is dead
+        (None, None) => None,
+    };
+    Ok(Instruction { result, op })
+}
+
+fn parse_inst_op(lx: &mut Lexer, mnemonic: &str) -> Result<InstOp> {
+    if let Some(kind) = bin_kind(mnemonic) {
+        lx.next();
+        let flags = parse_wrap_flags(lx);
+        let ty = parse_type(lx)?;
+        let lhs = parse_operand(lx, &ty)?;
+        lx.expect(Tok::Comma)?;
+        let rhs = parse_operand(lx, &ty)?;
+        return Ok(InstOp::Bin {
+            op: kind,
+            flags,
+            ty,
+            lhs,
+            rhs,
+        });
+    }
+    if let Some(kind) = fbin_kind(mnemonic) {
+        lx.next();
+        let fmf = parse_fmf(lx);
+        let ty = parse_type(lx)?;
+        let lhs = parse_operand(lx, &ty)?;
+        lx.expect(Tok::Comma)?;
+        let rhs = parse_operand(lx, &ty)?;
+        return Ok(InstOp::FBin {
+            op: kind,
+            fmf,
+            ty,
+            lhs,
+            rhs,
+        });
+    }
+    if let Some(kind) = cast_kind(mnemonic) {
+        lx.next();
+        let from_ty = parse_type(lx)?;
+        let val = parse_operand(lx, &from_ty)?;
+        lx.expect_ident("to")?;
+        let to_ty = parse_type(lx)?;
+        return Ok(InstOp::Cast {
+            kind,
+            from_ty,
+            val,
+            to_ty,
+        });
+    }
+    match mnemonic {
+        "fneg" => {
+            lx.next();
+            let fmf = parse_fmf(lx);
+            let ty = parse_type(lx)?;
+            let val = parse_operand(lx, &ty)?;
+            Ok(InstOp::FNeg { fmf, ty, val })
+        }
+        "icmp" => {
+            lx.next();
+            let p = lx.ident()?;
+            let pred = icmp_pred(&p)
+                .ok_or_else(|| ParseError {
+                    message: format!("unknown icmp predicate `{p}`"),
+                    line: lx.line(),
+                })?;
+            let ty = parse_type(lx)?;
+            let lhs = parse_operand(lx, &ty)?;
+            lx.expect(Tok::Comma)?;
+            let rhs = parse_operand(lx, &ty)?;
+            Ok(InstOp::ICmp { pred, ty, lhs, rhs })
+        }
+        "fcmp" => {
+            lx.next();
+            let _fmf = parse_fmf(lx);
+            let p = lx.ident()?;
+            let pred = fcmp_pred(&p)
+                .ok_or_else(|| ParseError {
+                    message: format!("unknown fcmp predicate `{p}`"),
+                    line: lx.line(),
+                })?;
+            let ty = parse_type(lx)?;
+            let lhs = parse_operand(lx, &ty)?;
+            lx.expect(Tok::Comma)?;
+            let rhs = parse_operand(lx, &ty)?;
+            Ok(InstOp::FCmp { pred, ty, lhs, rhs })
+        }
+        "select" => {
+            lx.next();
+            let cond_ty = parse_type(lx)?; // i1 (vector conds unsupported)
+            if cond_ty != Type::i1() {
+                return lx.err("only scalar i1 select conditions are supported");
+            }
+            let cond = parse_operand(lx, &cond_ty)?;
+            lx.expect(Tok::Comma)?;
+            let ty = parse_type(lx)?;
+            let tval = parse_operand(lx, &ty)?;
+            lx.expect(Tok::Comma)?;
+            let ty2 = parse_type(lx)?;
+            if ty2 != ty {
+                return lx.err("select arm types differ");
+            }
+            let fval = parse_operand(lx, &ty)?;
+            Ok(InstOp::Select {
+                cond,
+                ty,
+                tval,
+                fval,
+            })
+        }
+        "freeze" => {
+            lx.next();
+            let ty = parse_type(lx)?;
+            let val = parse_operand(lx, &ty)?;
+            Ok(InstOp::Freeze { ty, val })
+        }
+        "phi" => {
+            lx.next();
+            let ty = parse_type(lx)?;
+            let mut incoming = Vec::new();
+            loop {
+                lx.expect(Tok::LBracket)?;
+                let v = parse_operand(lx, &ty)?;
+                lx.expect(Tok::Comma)?;
+                let b = lx.local()?;
+                lx.expect(Tok::RBracket)?;
+                incoming.push((v, b));
+                if !lx.accept(&Tok::Comma) {
+                    break;
+                }
+            }
+            Ok(InstOp::Phi { ty, incoming })
+        }
+        "call" | "tail" | "musttail" | "notail" => {
+            if mnemonic != "call" {
+                lx.next(); // tail marker
+                lx.expect_ident("call")?;
+            } else {
+                lx.next();
+            }
+            let _fmf = parse_fmf(lx);
+            let ty = parse_type(lx)?;
+            let callee = lx.global()?;
+            lx.expect(Tok::LParen)?;
+            let mut args = Vec::new();
+            if !lx.accept(&Tok::RParen) {
+                loop {
+                    let t = parse_type(lx)?;
+                    let attrs = skip_param_attrs(lx);
+                    let v = parse_operand(lx, &t)?;
+                    args.push((t, v, attrs));
+                    if lx.accept(&Tok::RParen) {
+                        break;
+                    }
+                    lx.expect(Tok::Comma)?;
+                }
+            }
+            let mut dummy = FnAttrs::default();
+            parse_fn_suffix_attrs(lx, &mut dummy);
+            Ok(InstOp::Call { ty, callee, args })
+        }
+        "alloca" => {
+            lx.next();
+            let elem_ty = parse_type(lx)?;
+            let mut count = Operand::int(64, 1);
+            let mut align = 0;
+            while lx.accept(&Tok::Comma) {
+                if lx.accept_ident("align") {
+                    align = lx.int()? as u64;
+                } else {
+                    let cty = parse_type(lx)?;
+                    count = parse_operand(lx, &cty)?;
+                }
+            }
+            Ok(InstOp::Alloca {
+                elem_ty,
+                count,
+                align,
+            })
+        }
+        "load" => {
+            lx.next();
+            if lx.accept_ident("volatile") {
+                return lx.err("volatile accesses are unsupported");
+            }
+            if lx.accept_ident("atomic") {
+                return lx.err("atomic accesses are unsupported");
+            }
+            let ty = parse_type(lx)?;
+            lx.expect(Tok::Comma)?;
+            let pty = parse_type(lx)?;
+            if pty != Type::Ptr {
+                return lx.err("load pointer operand must have type ptr");
+            }
+            let ptr = parse_operand(lx, &Type::Ptr)?;
+            let align = parse_align_suffix(lx)?;
+            Ok(InstOp::Load { ty, ptr, align })
+        }
+        "store" => {
+            lx.next();
+            if lx.accept_ident("volatile") {
+                return lx.err("volatile accesses are unsupported");
+            }
+            if lx.accept_ident("atomic") {
+                return lx.err("atomic accesses are unsupported");
+            }
+            let ty = parse_type(lx)?;
+            let val = parse_operand(lx, &ty)?;
+            lx.expect(Tok::Comma)?;
+            let pty = parse_type(lx)?;
+            if pty != Type::Ptr {
+                return lx.err("store pointer operand must have type ptr");
+            }
+            let ptr = parse_operand(lx, &Type::Ptr)?;
+            let align = parse_align_suffix(lx)?;
+            Ok(InstOp::Store {
+                ty,
+                val,
+                ptr,
+                align,
+            })
+        }
+        "getelementptr" => {
+            lx.next();
+            let inbounds = lx.accept_ident("inbounds");
+            let _ = lx.accept_ident("nuw");
+            let _ = lx.accept_ident("nusw");
+            let elem_ty = parse_type(lx)?;
+            lx.expect(Tok::Comma)?;
+            let pty = parse_type(lx)?;
+            if pty != Type::Ptr {
+                return lx.err("gep base must have type ptr");
+            }
+            let ptr = parse_operand(lx, &Type::Ptr)?;
+            let mut indices = Vec::new();
+            while lx.accept(&Tok::Comma) {
+                let ity = parse_type(lx)?;
+                let iv = parse_operand(lx, &ity)?;
+                indices.push((ity, iv));
+            }
+            Ok(InstOp::Gep {
+                inbounds,
+                elem_ty,
+                ptr,
+                indices,
+            })
+        }
+        "extractelement" => {
+            lx.next();
+            let vec_ty = parse_type(lx)?;
+            let vec = parse_operand(lx, &vec_ty)?;
+            lx.expect(Tok::Comma)?;
+            let ity = parse_type(lx)?;
+            let idx = parse_operand(lx, &ity)?;
+            Ok(InstOp::ExtractElement { vec_ty, vec, idx })
+        }
+        "insertelement" => {
+            lx.next();
+            let vec_ty = parse_type(lx)?;
+            let vec = parse_operand(lx, &vec_ty)?;
+            lx.expect(Tok::Comma)?;
+            let ety = parse_type(lx)?;
+            let elem = parse_operand(lx, &ety)?;
+            lx.expect(Tok::Comma)?;
+            let ity = parse_type(lx)?;
+            let idx = parse_operand(lx, &ity)?;
+            Ok(InstOp::InsertElement {
+                vec_ty,
+                vec,
+                elem,
+                idx,
+            })
+        }
+        "shufflevector" => {
+            lx.next();
+            let vec_ty = parse_type(lx)?;
+            let v1 = parse_operand(lx, &vec_ty)?;
+            lx.expect(Tok::Comma)?;
+            let vec_ty2 = parse_type(lx)?;
+            if vec_ty2 != vec_ty {
+                return lx.err("shufflevector input types differ");
+            }
+            let v2 = parse_operand(lx, &vec_ty)?;
+            lx.expect(Tok::Comma)?;
+            let mask_ty = parse_type(lx)?;
+            let mask_const = parse_constant(lx, &mask_ty)?;
+            let mut mask = Vec::new();
+            match &mask_const {
+                Constant::Aggregate(_, elems) => {
+                    for e in elems {
+                        match e {
+                            Constant::Int(v) => mask.push(Some(v.to_u64() as u32)),
+                            Constant::Undef(_) | Constant::Poison(_) => mask.push(None),
+                            other => {
+                                return lx.err(format!("bad shuffle mask element {other}"))
+                            }
+                        }
+                    }
+                }
+                Constant::ZeroInit(t) => {
+                    for _ in 0..t.elem_count() {
+                        mask.push(Some(0));
+                    }
+                }
+                other => return lx.err(format!("bad shuffle mask {other}")),
+            }
+            Ok(InstOp::ShuffleVector {
+                vec_ty,
+                v1,
+                v2,
+                mask,
+            })
+        }
+        "extractvalue" => {
+            lx.next();
+            let agg_ty = parse_type(lx)?;
+            let agg = parse_operand(lx, &agg_ty)?;
+            let mut indices = Vec::new();
+            while lx.accept(&Tok::Comma) {
+                indices.push(lx.int()? as u32);
+            }
+            Ok(InstOp::ExtractValue {
+                agg_ty,
+                agg,
+                indices,
+            })
+        }
+        "insertvalue" => {
+            lx.next();
+            let agg_ty = parse_type(lx)?;
+            let agg = parse_operand(lx, &agg_ty)?;
+            lx.expect(Tok::Comma)?;
+            let elem_ty = parse_type(lx)?;
+            let elem = parse_operand(lx, &elem_ty)?;
+            let mut indices = Vec::new();
+            while lx.accept(&Tok::Comma) {
+                indices.push(lx.int()? as u32);
+            }
+            Ok(InstOp::InsertValue {
+                agg_ty,
+                agg,
+                elem_ty,
+                elem,
+                indices,
+            })
+        }
+        "ret" => {
+            lx.next();
+            let ty = parse_type(lx)?;
+            if ty == Type::Void {
+                Ok(InstOp::Ret { val: None })
+            } else {
+                let v = parse_operand(lx, &ty)?;
+                Ok(InstOp::Ret { val: Some((ty, v)) })
+            }
+        }
+        "br" => {
+            lx.next();
+            if lx.accept_ident("label") {
+                let dest = lx.local()?;
+                return Ok(InstOp::Br { dest });
+            }
+            let cty = parse_type(lx)?;
+            if cty != Type::i1() {
+                return lx.err("conditional branch condition must be i1");
+            }
+            let cond = parse_operand(lx, &cty)?;
+            lx.expect(Tok::Comma)?;
+            lx.expect_ident("label")?;
+            let then_dest = lx.local()?;
+            lx.expect(Tok::Comma)?;
+            lx.expect_ident("label")?;
+            let else_dest = lx.local()?;
+            Ok(InstOp::CondBr {
+                cond,
+                then_dest,
+                else_dest,
+            })
+        }
+        "switch" => {
+            lx.next();
+            let ty = parse_type(lx)?;
+            let val = parse_operand(lx, &ty)?;
+            lx.expect(Tok::Comma)?;
+            lx.expect_ident("label")?;
+            let default = lx.local()?;
+            lx.expect(Tok::LBracket)?;
+            let mut cases = Vec::new();
+            while !lx.accept(&Tok::RBracket) {
+                let cty = parse_type(lx)?;
+                let c = match parse_constant(lx, &cty)? {
+                    Constant::Int(v) => v,
+                    other => return lx.err(format!("switch case must be integer, got {other}")),
+                };
+                lx.expect(Tok::Comma)?;
+                lx.expect_ident("label")?;
+                let l = lx.local()?;
+                cases.push((c, l));
+            }
+            Ok(InstOp::Switch {
+                ty,
+                val,
+                default,
+                cases,
+            })
+        }
+        "unreachable" => {
+            lx.next();
+            Ok(InstOp::Unreachable)
+        }
+        other => lx.err(format!("unsupported instruction `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_figure_1() {
+        let src = r#"
+define i32 @fn(i32 %a, i32 %b) {
+entry:
+  %t = add i32 %a, %a
+  %c = icmp eq i32 %t, 0
+  br i1 %c, label %then, label %else
+
+then:
+  %q = shl i32 %a, 2
+  ret i32 %q
+
+else:
+  %r = and i32 %b, 1
+  ret i32 %r
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = &m.functions[0];
+        assert_eq!(f.name, "fn");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.blocks[0].name, "entry");
+        assert_eq!(f.blocks[1].name, "then");
+        assert!(matches!(
+            f.blocks[0].insts[2].op,
+            InstOp::CondBr { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_flags_and_constants() {
+        let f = parse_function(
+            "define i8 @f(i8 %x) {\n  %a = add nsw nuw i8 %x, -1\n  %b = udiv exact i8 %a, 2\n  ret i8 %b\n}",
+        )
+        .unwrap();
+        match &f.blocks[0].insts[0].op {
+            InstOp::Bin { flags, rhs, .. } => {
+                assert!(flags.nsw && flags.nuw);
+                assert_eq!(rhs.as_const().unwrap().as_int().to_i64(), -1);
+            }
+            _ => panic!(),
+        }
+        match &f.blocks[0].insts[1].op {
+            InstOp::Bin { flags, .. } => assert!(flags.exact),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_memory_ops() {
+        let f = parse_function(
+            r#"define i32 @f(ptr %p, i64 %i) {
+  %q = getelementptr inbounds i32, ptr %p, i64 %i
+  %v = load i32, ptr %q, align 4
+  store i32 %v, ptr %p, align 4
+  %s = alloca i32, align 4
+  ret i32 %v
+}"#,
+        )
+        .unwrap();
+        assert!(matches!(f.blocks[0].insts[0].op, InstOp::Gep { inbounds: true, .. }));
+        assert!(matches!(f.blocks[0].insts[1].op, InstOp::Load { align: 4, .. }));
+        assert!(matches!(f.blocks[0].insts[2].op, InstOp::Store { .. }));
+        assert!(matches!(f.blocks[0].insts[3].op, InstOp::Alloca { .. }));
+    }
+
+    #[test]
+    fn parses_vectors_and_shuffle() {
+        let f = parse_function(
+            r#"define <4 x i8> @f(<4 x i8> %v, <4 x i8> %w) {
+  %s = shufflevector <4 x i8> %v, <4 x i8> %w, <4 x i32> <i32 3, i32 2, i32 undef, i32 2>
+  %e = extractelement <4 x i8> %s, i64 0
+  %i = insertelement <4 x i8> %s, i8 %e, i64 1
+  ret <4 x i8> %i
+}"#,
+        )
+        .unwrap();
+        match &f.blocks[0].insts[0].op {
+            InstOp::ShuffleVector { mask, .. } => {
+                assert_eq!(mask, &vec![Some(3), Some(2), None, Some(2)]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_phi_switch_select_freeze() {
+        let f = parse_function(
+            r#"define i32 @f(i32 %x) {
+entry:
+  switch i32 %x, label %d [ i32 1, label %a i32 2, label %b ]
+a:
+  br label %d
+b:
+  br label %d
+d:
+  %p = phi i32 [ 0, %entry ], [ 1, %a ], [ 2, %b ]
+  %c = icmp eq i32 %p, 1
+  %s = select i1 %c, i32 %p, i32 %x
+  %fr = freeze i32 %s
+  ret i32 %fr
+}"#,
+        )
+        .unwrap();
+        assert_eq!(f.blocks.len(), 4);
+        match &f.blocks[3].insts[0].op {
+            InstOp::Phi { incoming, .. } => assert_eq!(incoming.len(), 3),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_undef_poison_and_calls() {
+        let m = parse_module(
+            r#"declare i32 @g(i32) willreturn
+define i32 @f() mustprogress {
+  %x = call i32 @g(i32 undef)
+  %y = add i32 %x, poison
+  ret i32 %y
+}"#,
+        )
+        .unwrap();
+        assert_eq!(m.declares.len(), 1);
+        assert!(m.declares[0].attrs.willreturn);
+        assert!(m.functions[0].attrs.mustprogress);
+        match &m.functions[0].blocks[0].insts[1].op {
+            InstOp::Bin { rhs, .. } => {
+                assert!(rhs.as_const().unwrap().contains_poison());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_globals() {
+        let m = parse_module("@g = global i32 42, align 4\n@c = constant [2 x i8] zeroinitializer\n")
+            .unwrap();
+        assert_eq!(m.globals.len(), 2);
+        assert!(m.globals[1].is_const);
+        assert_eq!(m.globals[0].align, 4);
+    }
+
+    #[test]
+    fn parses_float_literals() {
+        let f = parse_function(
+            "define float @f(float %x) {\n  %a = fadd nsz float %x, 1.5\n  %b = fmul float %a, 0x3FF0000000000000\n  ret float %b\n}",
+        )
+        .unwrap();
+        match &f.blocks[0].insts[0].op {
+            InstOp::FBin { fmf, rhs, .. } => {
+                assert!(fmf.nsz);
+                match rhs.as_const().unwrap() {
+                    Constant::Float(_, bits) => {
+                        assert_eq!(bits.to_u64(), (1.5f32).to_bits() as u64)
+                    }
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_module("define i32 @f() {\n  %x = bogus i32 1\n  ret i32 %x\n}")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn unsupported_volatile_is_an_error() {
+        let err = parse_module(
+            "define i32 @f(ptr %p) {\n  %x = load volatile i32, ptr %p\n  ret i32 %x\n}",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("volatile"));
+    }
+
+    #[test]
+    fn round_trip_print_parse() {
+        let src = r#"define i32 @fn(i32 %a, i32 %b) {
+entry:
+  %t = add nsw i32 %a, %b
+  %c = icmp slt i32 %t, 10
+  br i1 %c, label %then, label %else
+
+then:
+  ret i32 %t
+
+else:
+  %u = mul i32 %t, 3
+  ret i32 %u
+}"#;
+        let f1 = parse_function(src).unwrap();
+        let printed = f1.to_string();
+        let f2 = parse_function(&printed).unwrap();
+        assert_eq!(f1, f2, "print→parse must be stable:\n{printed}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Re-creations of the miscompilation bugs the paper found (§8.2, §8.4).
+//!
+//! Each [`BugId`] switches one deliberately incorrect rewrite into the
+//! optimizer. The taxonomy mirrors the paper's classification of the 121
+//! refinement violations found in LLVM's unit tests; the benchmark harness
+//! (`table_bugs`) regenerates the category table by enabling each bug and
+//! counting what the validator reports.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// The §8.2 violation categories.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BugCategory {
+    /// Optimizations incorrect when undef is an input or constant (43).
+    UndefInput,
+    /// Introducing a branch on undef/poison, which is UB (18).
+    BranchOnUndef,
+    /// Mishandled vector operations (9).
+    Vector,
+    /// UB-related select miscompilations (5).
+    Select,
+    /// Incorrect arithmetic (4).
+    Arithmetic,
+    /// Loop optimizations mishandling memory accesses (4).
+    LoopMemory,
+    /// Incorrect handling of fast-math flags (3).
+    FastMath,
+    /// Ambiguous int↔float bitcast semantics (3).
+    Bitcast,
+    /// Other memory-related miscompilations (17).
+    Memory,
+}
+
+impl BugCategory {
+    /// The number of violations the paper attributes to this category.
+    pub fn paper_count(self) -> u32 {
+        match self {
+            BugCategory::UndefInput => 43,
+            BugCategory::BranchOnUndef => 18,
+            BugCategory::Vector => 9,
+            BugCategory::Select => 5,
+            BugCategory::Arithmetic => 4,
+            BugCategory::LoopMemory => 4,
+            BugCategory::FastMath => 3,
+            BugCategory::Bitcast => 3,
+            BugCategory::Memory => 17,
+        }
+    }
+
+    /// All categories, in the paper's order.
+    pub fn all() -> [BugCategory; 9] {
+        [
+            BugCategory::UndefInput,
+            BugCategory::BranchOnUndef,
+            BugCategory::Vector,
+            BugCategory::Select,
+            BugCategory::Arithmetic,
+            BugCategory::LoopMemory,
+            BugCategory::FastMath,
+            BugCategory::Bitcast,
+            BugCategory::Memory,
+        ]
+    }
+}
+
+impl fmt::Display for BugCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BugCategory::UndefInput => "incorrect when undef is an input",
+            BugCategory::BranchOnUndef => "introduces a branch on undef/poison",
+            BugCategory::Vector => "mishandled vector operations",
+            BugCategory::Select => "UB-related select miscompilation",
+            BugCategory::Arithmetic => "incorrect arithmetic",
+            BugCategory::LoopMemory => "loop optimization mishandling memory",
+            BugCategory::FastMath => "incorrect fast-math flag handling",
+            BugCategory::Bitcast => "ambiguous int/float bitcast semantics",
+            BugCategory::Memory => "memory-related miscompilation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One seedable bug.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BugId {
+    /// InstCombine rewrites `mul %x, 2` into `add %x, %x`, which *adds*
+    /// behaviors when `%x` is undef (the two uses may observe different
+    /// values). Category: [`BugCategory::UndefInput`].
+    MulToAddSelf,
+    /// SimplifyCFG turns `select` into a conditional branch, introducing
+    /// UB when the condition is undef/poison (§8.3 "Branches and UB").
+    SelectToBranch,
+    /// InstCombine rewrites `select %c, %y, false` into `and %c, %y` —
+    /// losing select's short-circuiting of poison (§8.4's bulk finding).
+    SelectToLogic,
+    /// InstCombine folds `udiv (shl %x, 1), 2` to `%x` without requiring
+    /// the shift to be lossless. Category: [`BugCategory::Arithmetic`].
+    ShlDivFold,
+    /// LICM hoists a load out of a conditionally-executed loop body,
+    /// introducing UB on the zero-iteration path.
+    LicmHoistLoad,
+    /// InstCombine folds `fadd %x, +0.0` to `%x`, wrong for `%x == -0.0`
+    /// (the paper's selected bug #2 family).
+    FAddZero,
+    /// Dead-store elimination treats a *narrower* later store as fully
+    /// clobbering an earlier wider one.
+    DseWrongSize,
+    /// The SLP-style vectorizer keeps `nsw` when reassociating adds into
+    /// vector lanes (the paper's selected bug #1).
+    VectorizeKeepNsw,
+    /// Folding a shufflevector's undef mask lane to poison (the pre-fix
+    /// semantics the paper corrected, §8.3 "Vectors and UB").
+    ShuffleUndefMaskToPoison,
+    /// Rematerializing (duplicating) a float→int bitcast, illegal under
+    /// the non-deterministic-NaN semantics (§3.5).
+    RematBitcast,
+}
+
+impl BugId {
+    /// The paper category this bug belongs to.
+    pub fn category(self) -> BugCategory {
+        match self {
+            BugId::MulToAddSelf => BugCategory::UndefInput,
+            BugId::SelectToBranch => BugCategory::BranchOnUndef,
+            BugId::SelectToLogic => BugCategory::Select,
+            BugId::ShlDivFold => BugCategory::Arithmetic,
+            BugId::LicmHoistLoad => BugCategory::LoopMemory,
+            BugId::FAddZero => BugCategory::FastMath,
+            BugId::DseWrongSize => BugCategory::Memory,
+            BugId::VectorizeKeepNsw => BugCategory::Vector,
+            BugId::ShuffleUndefMaskToPoison => BugCategory::Vector,
+            BugId::RematBitcast => BugCategory::Bitcast,
+        }
+    }
+
+    /// Every seedable bug.
+    pub fn all() -> [BugId; 10] {
+        [
+            BugId::MulToAddSelf,
+            BugId::SelectToBranch,
+            BugId::SelectToLogic,
+            BugId::ShlDivFold,
+            BugId::LicmHoistLoad,
+            BugId::FAddZero,
+            BugId::DseWrongSize,
+            BugId::VectorizeKeepNsw,
+            BugId::ShuffleUndefMaskToPoison,
+            BugId::RematBitcast,
+        ]
+    }
+}
+
+/// The set of bugs enabled for a pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct BugSet {
+    enabled: HashSet<BugId>,
+}
+
+impl BugSet {
+    /// No bugs: the correct optimizer.
+    pub fn none() -> BugSet {
+        BugSet::default()
+    }
+
+    /// Every seedable bug enabled.
+    pub fn all() -> BugSet {
+        BugSet {
+            enabled: BugId::all().into_iter().collect(),
+        }
+    }
+
+    /// A set with exactly one bug.
+    pub fn only(bug: BugId) -> BugSet {
+        let mut s = BugSet::none();
+        s.enable(bug);
+        s
+    }
+
+    /// Enables a bug.
+    pub fn enable(&mut self, bug: BugId) -> &mut Self {
+        self.enabled.insert(bug);
+        self
+    }
+
+    /// True if the bug is enabled.
+    pub fn has(&self, bug: BugId) -> bool {
+        self.enabled.contains(&bug)
+    }
+
+    /// Number of enabled bugs.
+    pub fn len(&self) -> usize {
+        self.enabled.len()
+    }
+
+    /// True if no bug is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.enabled.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_counts_match_the_paper() {
+        let total: u32 = BugCategory::all().iter().map(|c| c.paper_count()).sum();
+        // 43+18+9+5+4+4+3+3+17 = 106 violations attributed to compiler
+        // bugs (the remaining 15 of 121 were Alive2's own, §8.2).
+        assert_eq!(total, 106);
+    }
+
+    #[test]
+    fn every_category_has_a_seeded_bug() {
+        let covered: HashSet<BugCategory> =
+            BugId::all().iter().map(|b| b.category()).collect();
+        for c in BugCategory::all() {
+            assert!(covered.contains(&c), "category {c} lacks a seeded bug");
+        }
+    }
+
+    #[test]
+    fn bugset_operations() {
+        let mut s = BugSet::none();
+        assert!(s.is_empty());
+        s.enable(BugId::FAddZero);
+        assert!(s.has(BugId::FAddZero));
+        assert!(!s.has(BugId::MulToAddSelf));
+        assert_eq!(s.len(), 1);
+        assert_eq!(BugSet::all().len(), BugId::all().len());
+        assert!(BugSet::only(BugId::ShlDivFold).has(BugId::ShlDivFold));
+    }
+}

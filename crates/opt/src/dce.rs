@@ -1,0 +1,151 @@
+//! Dead code elimination: removes side-effect-free instructions whose
+//! results are unused, plus CFG-unreachable blocks.
+
+use crate::bugs::BugSet;
+use crate::pass::Pass;
+use alive2_ir::cfg::Cfg;
+use alive2_ir::function::Function;
+use alive2_ir::instruction::InstOp;
+
+/// The DCE pass.
+#[derive(Debug, Default)]
+pub struct Dce;
+
+/// True if deleting an unused instance of this op is always sound.
+fn is_pure(op: &InstOp) -> bool {
+    matches!(
+        op,
+        InstOp::Bin { .. }
+            | InstOp::FBin { .. }
+            | InstOp::FNeg { .. }
+            | InstOp::ICmp { .. }
+            | InstOp::FCmp { .. }
+            | InstOp::Select { .. }
+            | InstOp::Freeze { .. }
+            | InstOp::Cast { .. }
+            | InstOp::Phi { .. }
+            | InstOp::Gep { .. }
+            | InstOp::ExtractElement { .. }
+            | InstOp::InsertElement { .. }
+            | InstOp::ShuffleVector { .. }
+            | InstOp::ExtractValue { .. }
+            | InstOp::InsertValue { .. }
+            | InstOp::Alloca { .. }
+    )
+    // Note: `Bin` covers division, which may be UB — but removing an
+    // *unused* division only removes behaviors, which refinement allows.
+}
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, f: &mut Function, _bugs: &BugSet) -> bool {
+        let mut changed = false;
+        // Remove unreachable blocks first (and their φ entries elsewhere).
+        let cfg = Cfg::new(f);
+        let reach = cfg.reachable();
+        if reach.iter().any(|r| !r) {
+            let dead: Vec<String> = f
+                .blocks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !reach[*i])
+                .map(|(_, b)| b.name.clone())
+                .collect();
+            f.blocks.retain(|b| !dead.contains(&b.name));
+            for b in &mut f.blocks {
+                for inst in &mut b.insts {
+                    if let InstOp::Phi { incoming, .. } = &mut inst.op {
+                        incoming.retain(|(_, l)| !dead.contains(l));
+                    }
+                }
+            }
+            changed = true;
+        }
+        // Iteratively drop dead pure defs.
+        loop {
+            let mut dead_reg: Option<String> = None;
+            'scan: for b in &f.blocks {
+                for inst in &b.insts {
+                    if let Some(r) = &inst.result {
+                        if is_pure(&inst.op) && f.count_uses(r) == 0 {
+                            dead_reg = Some(r.clone());
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            match dead_reg {
+                Some(r) => {
+                    for b in &mut f.blocks {
+                        b.insts.retain(|i| i.result.as_deref() != Some(r.as_str()));
+                    }
+                    changed = true;
+                }
+                None => break,
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_function;
+    use alive2_ir::verify::verify_function;
+
+    #[test]
+    fn removes_dead_chains() {
+        let mut f = parse_function(
+            r#"define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %b = mul i32 %a, 3
+  %c = xor i32 %b, 7
+  ret i32 %x
+}"#,
+        )
+        .unwrap();
+        assert!(Dce.run(&mut f, &BugSet::none()));
+        assert_eq!(f.blocks[0].insts.len(), 1);
+        assert!(verify_function(&f).is_empty());
+    }
+
+    #[test]
+    fn keeps_stores_and_calls() {
+        let mut f = parse_function(
+            r#"declare i32 @g()
+define void @f(ptr %p) {
+entry:
+  store i32 1, ptr %p
+  %x = call i32 @g()
+  ret void
+}"#,
+        )
+        .unwrap();
+        Dce.run(&mut f, &BugSet::none());
+        let s = f.to_string();
+        assert!(s.contains("store"));
+        assert!(s.contains("call"));
+    }
+
+    #[test]
+    fn removes_unreachable_blocks() {
+        let mut f = parse_function(
+            r#"define i32 @f() {
+entry:
+  ret i32 0
+dead:
+  %x = add i32 1, 2
+  ret i32 %x
+}"#,
+        )
+        .unwrap();
+        assert!(Dce.run(&mut f, &BugSet::none()));
+        assert_eq!(f.blocks.len(), 1);
+        assert!(verify_function(&f).is_empty());
+    }
+}

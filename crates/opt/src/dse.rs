@@ -1,0 +1,129 @@
+//! Dead-store elimination, with the seedable clobber-size bug
+//! ([`BugId::DseWrongSize`]): treating a *narrower* later store as fully
+//! clobbering an earlier wider one silently drops visible bytes — one of
+//! the paper's memory-related miscompilation family.
+
+use crate::bugs::{BugId, BugSet};
+use crate::pass::Pass;
+use alive2_ir::function::Function;
+use alive2_ir::instruction::InstOp;
+
+/// The DSE pass.
+#[derive(Debug, Default)]
+pub struct Dse;
+
+impl Pass for Dse {
+    fn name(&self) -> &'static str {
+        "dse"
+    }
+
+    fn run(&self, f: &mut Function, bugs: &BugSet) -> bool {
+        let buggy = bugs.has(BugId::DseWrongSize);
+        let mut changed = false;
+        for b in &mut f.blocks {
+            let mut dead: Vec<usize> = Vec::new();
+            for i in 0..b.insts.len() {
+                let InstOp::Store { ty, ptr, .. } = &b.insts[i].op else {
+                    continue;
+                };
+                let size = ty.byte_size();
+                // Scan forward for a clobbering store to the same pointer
+                // with no intervening read/call.
+                for j in (i + 1)..b.insts.len() {
+                    match &b.insts[j].op {
+                        InstOp::Store {
+                            ty: ty2, ptr: ptr2, ..
+                        } if ptr2 == ptr => {
+                            let covers = ty2.byte_size() >= size;
+                            if covers || buggy {
+                                dead.push(i);
+                            }
+                            break;
+                        }
+                        InstOp::Load { .. } | InstOp::Call { .. } | InstOp::Store { .. } => {
+                            break; // may observe the stored bytes
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !dead.is_empty() {
+                changed = true;
+                for (off, i) in dead.into_iter().enumerate() {
+                    b.insts.remove(i - off);
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_function;
+    use alive2_ir::verify::verify_function;
+
+    #[test]
+    fn removes_fully_clobbered_store() {
+        let mut f = parse_function(
+            r#"define void @f(ptr %p) {
+entry:
+  store i32 1, ptr %p
+  store i32 2, ptr %p
+  ret void
+}"#,
+        )
+        .unwrap();
+        assert!(Dse.run(&mut f, &BugSet::none()));
+        assert!(verify_function(&f).is_empty());
+        assert_eq!(
+            f.blocks[0]
+                .insts
+                .iter()
+                .filter(|i| matches!(i.op, InstOp::Store { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn keeps_partially_clobbered_store() {
+        let mut f = parse_function(
+            r#"define void @f(ptr %p) {
+entry:
+  store i32 1, ptr %p
+  store i8 2, ptr %p
+  ret void
+}"#,
+        )
+        .unwrap();
+        assert!(!Dse.run(&mut f, &BugSet::none()));
+        // The buggy variant removes it anyway.
+        let mut f2 = parse_function(
+            r#"define void @f(ptr %p) {
+entry:
+  store i32 1, ptr %p
+  store i8 2, ptr %p
+  ret void
+}"#,
+        )
+        .unwrap();
+        assert!(Dse.run(&mut f2, &BugSet::only(BugId::DseWrongSize)));
+    }
+
+    #[test]
+    fn intervening_load_blocks_elimination() {
+        let mut f = parse_function(
+            r#"define i32 @f(ptr %p) {
+entry:
+  store i32 1, ptr %p
+  %v = load i32, ptr %p
+  store i32 2, ptr %p
+  ret i32 %v
+}"#,
+        )
+        .unwrap();
+        assert!(!Dse.run(&mut f, &BugSet::none()));
+    }
+}

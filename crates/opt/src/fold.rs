@@ -1,0 +1,146 @@
+//! Constant folding shared by the optimizer passes.
+
+use alive2_ir::constant::Constant;
+use alive2_ir::instruction::{BinOpKind, ICmpPred, WrapFlags};
+use alive2_smt::bv::BitVec;
+
+/// Folds an integer binary operation on constants. Returns `None` when the
+/// result cannot be represented as a constant the optimizer may use (e.g.
+/// division by zero — immediate UB must not be folded away).
+pub fn fold_bin(
+    op: BinOpKind,
+    flags: WrapFlags,
+    a: &BitVec,
+    b: &BitVec,
+) -> Option<Constant> {
+    let w = a.width();
+    let poison = || Some(Constant::Poison(alive2_ir::types::Type::Int(w)));
+    match op {
+        BinOpKind::Add => {
+            if flags.nsw && a.sadd_overflows(b) || flags.nuw && a.uadd_overflows(b) {
+                return poison();
+            }
+            Some(Constant::Int(a.add(b)))
+        }
+        BinOpKind::Sub => {
+            if flags.nsw && a.ssub_overflows(b) || flags.nuw && a.usub_overflows(b) {
+                return poison();
+            }
+            Some(Constant::Int(a.sub(b)))
+        }
+        BinOpKind::Mul => {
+            if flags.nsw && a.smul_overflows(b) || flags.nuw && a.umul_overflows(b) {
+                return poison();
+            }
+            Some(Constant::Int(a.mul(b)))
+        }
+        BinOpKind::UDiv => {
+            if b.is_zero() {
+                return None; // immediate UB: leave in place
+            }
+            if flags.exact && !a.urem(b).is_zero() {
+                return poison();
+            }
+            Some(Constant::Int(a.udiv(b)))
+        }
+        BinOpKind::SDiv => {
+            if b.is_zero() || (*a == BitVec::min_signed(w) && b.is_all_ones()) {
+                return None;
+            }
+            if flags.exact && !a.srem(b).is_zero() {
+                return poison();
+            }
+            Some(Constant::Int(a.sdiv(b)))
+        }
+        BinOpKind::URem => {
+            if b.is_zero() {
+                return None;
+            }
+            Some(Constant::Int(a.urem(b)))
+        }
+        BinOpKind::SRem => {
+            if b.is_zero() || (*a == BitVec::min_signed(w) && b.is_all_ones()) {
+                return None;
+            }
+            Some(Constant::Int(a.srem(b)))
+        }
+        BinOpKind::Shl => {
+            if b.to_u64() >= w as u64 {
+                return poison();
+            }
+            Some(Constant::Int(a.shl(b)))
+        }
+        BinOpKind::LShr => {
+            if b.to_u64() >= w as u64 {
+                return poison();
+            }
+            if flags.exact && !a.shl(b).lshr(b).is_zero() && a.lshr(b).shl(b) != *a {
+                return poison();
+            }
+            Some(Constant::Int(a.lshr(b)))
+        }
+        BinOpKind::AShr => {
+            if b.to_u64() >= w as u64 {
+                return poison();
+            }
+            Some(Constant::Int(a.ashr(b)))
+        }
+        BinOpKind::And => Some(Constant::Int(a.and(b))),
+        BinOpKind::Or => Some(Constant::Int(a.or(b))),
+        BinOpKind::Xor => Some(Constant::Int(a.xor(b))),
+    }
+}
+
+/// Folds an integer comparison on constants.
+pub fn fold_icmp(pred: ICmpPred, a: &BitVec, b: &BitVec) -> Constant {
+    Constant::bool(pred.eval(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_arithmetic() {
+        let a = BitVec::from_u64(8, 200);
+        let b = BitVec::from_u64(8, 100);
+        assert_eq!(
+            fold_bin(BinOpKind::Add, WrapFlags::none(), &a, &b).unwrap(),
+            Constant::int(8, 44)
+        );
+        // nuw overflow folds to poison.
+        assert!(matches!(
+            fold_bin(BinOpKind::Add, WrapFlags::nuw(), &a, &b).unwrap(),
+            Constant::Poison(_)
+        ));
+    }
+
+    #[test]
+    fn does_not_fold_immediate_ub() {
+        let a = BitVec::from_u64(8, 1);
+        let z = BitVec::zero(8);
+        assert!(fold_bin(BinOpKind::UDiv, WrapFlags::none(), &a, &z).is_none());
+        assert!(fold_bin(BinOpKind::SRem, WrapFlags::none(), &a, &z).is_none());
+        let m = BitVec::min_signed(8);
+        let n1 = BitVec::all_ones(8);
+        assert!(fold_bin(BinOpKind::SDiv, WrapFlags::none(), &m, &n1).is_none());
+    }
+
+    #[test]
+    fn shift_amount_of_width_is_poison() {
+        let a = BitVec::from_u64(8, 1);
+        let big = BitVec::from_u64(8, 8);
+        assert!(matches!(
+            fold_bin(BinOpKind::Shl, WrapFlags::none(), &a, &big).unwrap(),
+            Constant::Poison(_)
+        ));
+    }
+
+    #[test]
+    fn folds_icmp() {
+        let a = BitVec::from_i64(8, -1);
+        let b = BitVec::from_u64(8, 1);
+        assert_eq!(fold_icmp(ICmpPred::Slt, &a, &b), Constant::bool(true));
+        assert_eq!(fold_icmp(ICmpPred::Ult, &a, &b), Constant::bool(false));
+    }
+}

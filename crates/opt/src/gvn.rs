@@ -1,0 +1,168 @@
+//! Global value numbering: replaces computations that repeat an earlier,
+//! dominating computation. Also deduplicates calls to `readnone` functions
+//! with identical arguments — the optimization §6's call relation exists
+//! to justify.
+
+use crate::bugs::BugSet;
+use crate::pass::Pass;
+use alive2_ir::cfg::Cfg;
+use alive2_ir::dominators::Dominators;
+use alive2_ir::function::Function;
+use alive2_ir::instruction::{InstOp, Operand};
+use std::collections::HashMap;
+
+/// The GVN pass.
+#[derive(Debug, Default)]
+pub struct Gvn;
+
+/// A hashable key for value-numberable operations. `None` means the
+/// instruction must not be numbered (memory, control, freeze — every
+/// freeze is a distinct non-deterministic choice).
+fn key(f: &Function, op: &InstOp) -> Option<String> {
+    let numberable = matches!(
+        op,
+        InstOp::Bin { .. }
+            | InstOp::ICmp { .. }
+            | InstOp::FCmp { .. }
+            | InstOp::FBin { .. }
+            | InstOp::FNeg { .. }
+            | InstOp::Select { .. }
+            | InstOp::Cast { .. }
+            | InstOp::Gep { .. }
+            | InstOp::ExtractElement { .. }
+            | InstOp::ExtractValue { .. }
+    );
+    if !numberable {
+        // Calls to recognized readnone+willreturn library functions are
+        // numberable too (§6's call dedup justification).
+        if let InstOp::Call { callee, .. } = op {
+            let known = alive2_ir::libfuncs::libfunc(callee)
+                .map(|l| l.mem == alive2_ir::libfuncs::MemEffect::None && l.willreturn)
+                .unwrap_or(false);
+            if !known {
+                return None;
+            }
+        } else {
+            return None;
+        }
+    }
+    let _ = f;
+    // The Debug form of the op includes operator, flags, types and
+    // operands — exactly the numbering key.
+    Some(format!("{op:?}"))
+}
+
+impl Pass for Gvn {
+    fn name(&self) -> &'static str {
+        "gvn"
+    }
+
+    fn run(&self, f: &mut Function, _bugs: &BugSet) -> bool {
+        let cfg = Cfg::new(f);
+        let dom = Dominators::new(&cfg);
+        let rpo = cfg.reverse_postorder();
+        // key -> (defining reg, defining block)
+        let mut table: HashMap<String, (String, usize)> = HashMap::new();
+        let mut replaces: Vec<(String, String)> = Vec::new();
+        for &bi in &rpo {
+            // In-block position matters only within the same block, where
+            // earlier entries are always safe to reuse.
+            for inst in &f.blocks[bi].insts {
+                let Some(r) = &inst.result else { continue };
+                let Some(k) = key(f, &inst.op) else { continue };
+                match table.get(&k) {
+                    Some((prev, pb)) if *pb == bi || dom.strictly_dominates(*pb, bi) => {
+                        replaces.push((r.clone(), prev.clone()));
+                    }
+                    _ => {
+                        table.insert(k, (r.clone(), bi));
+                    }
+                }
+            }
+        }
+        let changed = !replaces.is_empty();
+        for (dead, keep) in replaces {
+            f.replace_uses(&dead, &Operand::Reg(keep));
+            for b in &mut f.blocks {
+                b.insts
+                    .retain(|i| i.result.as_deref() != Some(dead.as_str()));
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_function;
+    use alive2_ir::verify::verify_function;
+
+    #[test]
+    fn dedups_repeated_arithmetic() {
+        let mut f = parse_function(
+            r#"define i32 @f(i32 %x, i32 %y) {
+entry:
+  %a = add i32 %x, %y
+  %b = add i32 %x, %y
+  %r = mul i32 %a, %b
+  ret i32 %r
+}"#,
+        )
+        .unwrap();
+        assert!(Gvn.run(&mut f, &BugSet::none()));
+        assert!(f.to_string().contains("mul i32 %a, %a"), "{f}");
+        assert!(verify_function(&f).is_empty());
+    }
+
+    #[test]
+    fn respects_dominance() {
+        let mut f = parse_function(
+            r#"define i32 @f(i32 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %p = add i32 %x, 1
+  ret i32 %p
+b:
+  %q = add i32 %x, 1
+  ret i32 %q
+}"#,
+        )
+        .unwrap();
+        // Neither block dominates the other: no change allowed.
+        assert!(!Gvn.run(&mut f, &BugSet::none()));
+    }
+
+    #[test]
+    fn does_not_number_freeze() {
+        let mut f = parse_function(
+            r#"define i8 @f(i8 %x) {
+entry:
+  %a = freeze i8 %x
+  %b = freeze i8 %x
+  %r = sub i8 %a, %b
+  ret i8 %r
+}"#,
+        )
+        .unwrap();
+        assert!(!Gvn.run(&mut f, &BugSet::none()));
+    }
+
+    #[test]
+    fn dedups_readnone_library_calls() {
+        let mut f = parse_function(
+            r#"declare double @sqrt(double)
+define double @f(double %x) {
+entry:
+  %a = call double @sqrt(double %x)
+  %b = call double @sqrt(double %x)
+  %r = fadd double %a, %b
+  ret double %r
+}"#,
+        )
+        .unwrap();
+        assert!(Gvn.run(&mut f, &BugSet::none()));
+        assert!(f.to_string().contains("fadd double %a, %a"), "{f}");
+    }
+}

@@ -1,0 +1,384 @@
+//! InstCombine: peepholes that may create new instructions, with the
+//! seedable historic bugs of §8.2/§8.4.
+
+use crate::bugs::{BugId, BugSet};
+use crate::pass::Pass;
+use alive2_ir::constant::Constant;
+use alive2_ir::function::Function;
+use alive2_ir::instruction::{
+    BinOpKind, FBinOpKind, ICmpPred, InstOp, Operand, WrapFlags,
+};
+use alive2_ir::types::{FloatKind, Type};
+use alive2_smt::bv::BitVec;
+
+/// The combiner.
+#[derive(Debug, Default)]
+pub struct InstCombine;
+
+fn as_int(op: &Operand) -> Option<&BitVec> {
+    match op.as_const()? {
+        Constant::Int(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn float_is_pos_zero(op: &Operand, k: FloatKind) -> bool {
+    match op.as_const() {
+        Some(Constant::Float(fk, bits)) => *fk == k && bits.is_zero(),
+        _ => false,
+    }
+}
+
+fn float_is_neg_zero(op: &Operand, k: FloatKind) -> bool {
+    match op.as_const() {
+        Some(Constant::Float(fk, bits)) => {
+            *fk == k && bits.count_ones() == 1 && bits.sign_bit()
+        }
+        _ => false,
+    }
+}
+
+/// Result of trying to combine one instruction.
+enum Combined {
+    /// Nothing to do.
+    No,
+    /// The operation was rewritten in place.
+    InPlace,
+    /// The instruction should be deleted and its uses replaced.
+    ReplaceWith(Operand),
+}
+
+/// Rewrites one instruction in place; returns what happened.
+fn combine(inst_op: &mut InstOp, bugs: &BugSet) -> Combined {
+    match inst_op {
+        InstOp::Bin {
+            op: BinOpKind::Mul,
+            flags,
+            ty,
+            lhs,
+            rhs,
+        } if !ty.is_vector() => {
+            let Some(c) = as_int(rhs) else { return Combined::No };
+            if bugs.has(BugId::MulToAddSelf) && c.to_u64() == 2 {
+                // BUG: x*2 -> x+x adds behaviors when x is undef (the two
+                // uses may observe different values).
+                let x = lhs.clone();
+                *inst_op = InstOp::Bin {
+                    op: BinOpKind::Add,
+                    flags: WrapFlags::none(),
+                    ty: ty.clone(),
+                    lhs: x.clone(),
+                    rhs: x,
+                };
+                return Combined::InPlace;
+            }
+            if c.is_power_of_two() && !c.is_one() {
+                // mul x, 2^k -> shl x, k (flags dropped: always sound).
+                let k = c.trailing_zeros();
+                let w = ty.int_width();
+                *inst_op = InstOp::Bin {
+                    op: BinOpKind::Shl,
+                    flags: WrapFlags::none(),
+                    ty: ty.clone(),
+                    lhs: lhs.clone(),
+                    rhs: Operand::int(w, k as u64),
+                };
+                return Combined::InPlace;
+            }
+            let _ = flags;
+            Combined::No
+        }
+        InstOp::Select {
+            cond,
+            ty,
+            tval,
+            fval,
+        } if *ty == Type::i1() && bugs.has(BugId::SelectToLogic) => {
+            // BUG (§8.4): select %c, %y, false -> and %c, %y loses the
+            // short-circuiting of poison in %y when %c is false.
+            if fval.as_const() == Some(&Constant::bool(false)) {
+                *inst_op = InstOp::Bin {
+                    op: BinOpKind::And,
+                    flags: WrapFlags::none(),
+                    ty: Type::i1(),
+                    lhs: cond.clone(),
+                    rhs: tval.clone(),
+                };
+                return Combined::InPlace;
+            }
+            if tval.as_const() == Some(&Constant::bool(true)) {
+                *inst_op = InstOp::Bin {
+                    op: BinOpKind::Or,
+                    flags: WrapFlags::none(),
+                    ty: Type::i1(),
+                    lhs: cond.clone(),
+                    rhs: fval.clone(),
+                };
+                return Combined::InPlace;
+            }
+            Combined::No
+        }
+        InstOp::ICmp {
+            pred: pred @ ICmpPred::Ult,
+            ty,
+            lhs,
+            rhs,
+        } if !ty.is_vector() => {
+            // icmp ult x, 1 -> icmp eq x, 0
+            if as_int(rhs).map_or(false, |v| v.is_one()) {
+                let w = ty.int_width();
+                *pred = ICmpPred::Eq;
+                *rhs = Operand::int(w, 0);
+                let _ = lhs;
+                return Combined::InPlace;
+            }
+            Combined::No
+        }
+        InstOp::FBin {
+            op: FBinOpKind::FAdd,
+            ty,
+            lhs,
+            rhs,
+            ..
+        } => {
+            let Type::Float(k) = ty.scalar_type() else {
+                return Combined::No;
+            };
+            if float_is_neg_zero(rhs, *k) {
+                // fadd x, -0.0 -> x is correct for all x.
+                return Combined::ReplaceWith(lhs.clone());
+            }
+            if bugs.has(BugId::FAddZero) && float_is_pos_zero(rhs, *k) {
+                // BUG: fadd x, +0.0 -> x is wrong for x = -0.0 (the sum is
+                // +0.0). This is the paper's selected bug #2 family.
+                return Combined::ReplaceWith(lhs.clone());
+            }
+            Combined::No
+        }
+        _ => Combined::No,
+    }
+}
+
+/// `udiv (shl x, 1), 2 -> x` needs two-instruction matching.
+fn combine_div_of_shl(f: &mut Function, bugs: &BugSet) -> bool {
+    if !bugs.has(BugId::ShlDivFold) {
+        return false;
+    }
+    let mut edit: Option<(String, Operand)> = None;
+    'scan: for b in &f.blocks {
+        for inst in &b.insts {
+            if let InstOp::Bin {
+                op: BinOpKind::UDiv,
+                ty,
+                lhs,
+                rhs,
+                ..
+            } = &inst.op
+            {
+                if ty.is_vector() || as_int(rhs).map_or(true, |v| v.to_u64() != 2) {
+                    continue;
+                }
+                let Some(shl_reg) = lhs.as_reg() else { continue };
+                // find the defining shl x, 1
+                for b2 in &f.blocks {
+                    for inst2 in &b2.insts {
+                        if inst2.result.as_deref() == Some(shl_reg) {
+                            if let InstOp::Bin {
+                                op: BinOpKind::Shl,
+                                lhs: x,
+                                rhs: amt,
+                                ..
+                            } = &inst2.op
+                            {
+                                if as_int(amt).map_or(false, |v| v.is_one()) {
+                                    // BUG: requires the shift to be lossless
+                                    // (nuw); folding unconditionally is
+                                    // wrong when x's top bit is set.
+                                    edit = Some((
+                                        inst.result.clone().unwrap(),
+                                        x.clone(),
+                                    ));
+                                    break 'scan;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some((reg, new)) = edit {
+        f.replace_uses(&reg, &new);
+        for b in &mut f.blocks {
+            b.insts.retain(|i| i.result.as_deref() != Some(reg.as_str()));
+        }
+        true
+    } else {
+        false
+    }
+}
+
+/// Buggy rematerialization of float→int bitcasts (§3.5's NaN
+/// non-determinism makes duplication illegal).
+fn remat_bitcast(f: &mut Function, bugs: &BugSet) -> bool {
+    if !bugs.has(BugId::RematBitcast) {
+        return false;
+    }
+    // Find a float→int bitcast whose result is used at least twice; clone
+    // the cast and point one use at the clone.
+    let mut plan: Option<(usize, usize, String)> = None;
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            if let (Some(r), InstOp::Cast { kind, from_ty, .. }) = (&inst.result, &inst.op) {
+                if *kind == alive2_ir::instruction::CastKind::BitCast
+                    && from_ty.is_float()
+                    && f.count_uses(r) >= 2
+                {
+                    plan = Some((bi, ii, r.clone()));
+                }
+            }
+        }
+    }
+    let Some((bi, ii, reg)) = plan else {
+        return false;
+    };
+    let clone_reg = f.fresh_reg(&format!("{reg}.remat"));
+    let mut clone = f.blocks[bi].insts[ii].clone();
+    clone.result = Some(clone_reg.clone());
+    // Replace the *last* use in the same block with the clone.
+    let mut done = false;
+    let insts = &mut f.blocks[bi].insts;
+    for k in (ii + 1..insts.len()).rev() {
+        if done {
+            break;
+        }
+        insts[k].op.map_operands(|op| {
+            if !done && op.as_reg() == Some(reg.as_str()) {
+                *op = Operand::Reg(clone_reg.clone());
+                done = true;
+            }
+        });
+        if done {
+            insts.insert(k, clone.clone());
+        }
+    }
+    done
+}
+
+impl Pass for InstCombine {
+    fn name(&self) -> &'static str {
+        "instcombine"
+    }
+
+    fn run(&self, f: &mut Function, bugs: &BugSet) -> bool {
+        let mut changed = false;
+        let mut replacements: Vec<(String, Operand)> = Vec::new();
+        for b in &mut f.blocks {
+            for inst in &mut b.insts {
+                match combine(&mut inst.op, bugs) {
+                    Combined::No => {}
+                    Combined::InPlace => changed = true,
+                    Combined::ReplaceWith(op) => {
+                        if let Some(r) = &inst.result {
+                            replacements.push((r.clone(), op));
+                        }
+                    }
+                }
+            }
+        }
+        for (reg, new) in replacements {
+            f.replace_uses(&reg, &new);
+            for b in &mut f.blocks {
+                b.insts.retain(|i| i.result.as_deref() != Some(reg.as_str()));
+            }
+            changed = true;
+        }
+        changed |= combine_div_of_shl(f, bugs);
+        changed |= remat_bitcast(f, bugs);
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_function;
+    use alive2_ir::verify::verify_function;
+
+    fn run(src: &str, bugs: &BugSet) -> Function {
+        let mut f = parse_function(src).unwrap();
+        InstCombine.run(&mut f, bugs);
+        assert!(verify_function(&f).is_empty(), "{f}");
+        f
+    }
+
+    #[test]
+    fn mul_by_power_of_two_becomes_shift() {
+        let f = run(
+            "define i32 @f(i32 %x) {\nentry:\n  %r = mul i32 %x, 8\n  ret i32 %r\n}",
+            &BugSet::none(),
+        );
+        assert!(f.to_string().contains("shl i32 %x, 3"), "{f}");
+    }
+
+    #[test]
+    fn buggy_mul_to_add_self() {
+        let f = run(
+            "define i32 @f(i32 %x) {\nentry:\n  %r = mul i32 %x, 2\n  ret i32 %r\n}",
+            &BugSet::only(BugId::MulToAddSelf),
+        );
+        assert!(f.to_string().contains("add i32 %x, %x"), "{f}");
+    }
+
+    #[test]
+    fn buggy_select_to_logic() {
+        let f = run(
+            "define i1 @f(i1 %c, i1 %y) {\nentry:\n  %r = select i1 %c, i1 %y, i1 false\n  ret i1 %r\n}",
+            &BugSet::only(BugId::SelectToLogic),
+        );
+        assert!(f.to_string().contains("and i1 %c, %y"), "{f}");
+        // Without the bug the select stays.
+        let f2 = run(
+            "define i1 @f(i1 %c, i1 %y) {\nentry:\n  %r = select i1 %c, i1 %y, i1 false\n  ret i1 %r\n}",
+            &BugSet::none(),
+        );
+        assert!(f2.to_string().contains("select"), "{f2}");
+    }
+
+    #[test]
+    fn buggy_shl_div_fold() {
+        let f = run(
+            r#"define i8 @f(i8 %x) {
+entry:
+  %s = shl i8 %x, 1
+  %r = udiv i8 %s, 2
+  ret i8 %r
+}"#,
+            &BugSet::only(BugId::ShlDivFold),
+        );
+        assert!(f.to_string().contains("ret i8 %x"), "{f}");
+    }
+
+    #[test]
+    fn buggy_remat_bitcast_duplicates_cast() {
+        let f = run(
+            r#"define i32 @f(float %x) {
+entry:
+  %i = bitcast float %x to i32
+  %r = xor i32 %i, %i
+  ret i32 %r
+}"#,
+            &BugSet::only(BugId::RematBitcast),
+        );
+        assert!(f.to_string().contains(".remat"), "{f}");
+    }
+
+    #[test]
+    fn icmp_ult_one_becomes_eq_zero() {
+        let f = run(
+            "define i1 @f(i32 %x) {\nentry:\n  %c = icmp ult i32 %x, 1\n  ret i1 %c\n}",
+            &BugSet::none(),
+        );
+        assert!(f.to_string().contains("icmp eq i32 %x, 0"), "{f}");
+    }
+}

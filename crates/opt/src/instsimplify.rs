@@ -1,0 +1,292 @@
+//! InstSimplify: peephole folds that replace an instruction with an
+//! existing value or constant (no new instructions, like LLVM's
+//! `-instsimplify`).
+
+use crate::bugs::BugSet;
+use crate::fold::{fold_bin, fold_icmp};
+use crate::pass::Pass;
+use alive2_ir::constant::Constant;
+use alive2_ir::function::Function;
+use alive2_ir::instruction::{BinOpKind, ICmpPred, InstOp, Operand};
+use alive2_smt::bv::BitVec;
+
+/// The instruction simplifier.
+#[derive(Debug, Default)]
+pub struct InstSimplify;
+
+fn as_int(op: &Operand) -> Option<&BitVec> {
+    match op.as_const()? {
+        Constant::Int(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// Computes a replacement value for one instruction, if any.
+fn simplify(op: &InstOp) -> Option<Operand> {
+    match op {
+        InstOp::Bin {
+            op,
+            flags,
+            ty,
+            lhs,
+            rhs,
+        } => {
+            if ty.is_vector() {
+                return None;
+            }
+            if let (Some(a), Some(b)) = (as_int(lhs), as_int(rhs)) {
+                return fold_bin(*op, *flags, a, b).map(Operand::Const);
+            }
+            let w = ty.int_width();
+            let rhs_val = as_int(rhs);
+            let lhs_val = as_int(lhs);
+            let zero = || Operand::int(w, 0);
+            match op {
+                BinOpKind::Add => {
+                    // x + 0 = x (also 0 + x by canonicalized match below).
+                    if rhs_val.map_or(false, |v| v.is_zero()) {
+                        return Some(lhs.clone());
+                    }
+                    if lhs_val.map_or(false, |v| v.is_zero()) {
+                        return Some(rhs.clone());
+                    }
+                }
+                BinOpKind::Sub => {
+                    if rhs_val.map_or(false, |v| v.is_zero()) {
+                        return Some(lhs.clone());
+                    }
+                    // x - x = 0 (sound: removes undef behaviors, which
+                    // refinement permits).
+                    if lhs == rhs && lhs.as_reg().is_some() {
+                        return Some(zero());
+                    }
+                }
+                BinOpKind::Mul => {
+                    if rhs_val.map_or(false, |v| v.is_one()) {
+                        return Some(lhs.clone());
+                    }
+                    if lhs_val.map_or(false, |v| v.is_one()) {
+                        return Some(rhs.clone());
+                    }
+                    if rhs_val.map_or(false, |v| v.is_zero())
+                        || lhs_val.map_or(false, |v| v.is_zero())
+                    {
+                        return Some(zero());
+                    }
+                }
+                BinOpKind::And => {
+                    if lhs == rhs && lhs.as_reg().is_some() {
+                        return Some(lhs.clone());
+                    }
+                    if rhs_val.map_or(false, |v| v.is_zero())
+                        || lhs_val.map_or(false, |v| v.is_zero())
+                    {
+                        return Some(zero());
+                    }
+                    if rhs_val.map_or(false, |v| v.is_all_ones()) {
+                        return Some(lhs.clone());
+                    }
+                    if lhs_val.map_or(false, |v| v.is_all_ones()) {
+                        return Some(rhs.clone());
+                    }
+                }
+                BinOpKind::Or => {
+                    if lhs == rhs && lhs.as_reg().is_some() {
+                        return Some(lhs.clone());
+                    }
+                    if rhs_val.map_or(false, |v| v.is_zero()) {
+                        return Some(lhs.clone());
+                    }
+                    if lhs_val.map_or(false, |v| v.is_zero()) {
+                        return Some(rhs.clone());
+                    }
+                    if rhs_val.map_or(false, |v| v.is_all_ones())
+                        || lhs_val.map_or(false, |v| v.is_all_ones())
+                    {
+                        return Some(Operand::Const(Constant::Int(BitVec::all_ones(w))));
+                    }
+                }
+                BinOpKind::Xor => {
+                    if lhs == rhs && lhs.as_reg().is_some() {
+                        return Some(zero());
+                    }
+                    if rhs_val.map_or(false, |v| v.is_zero()) {
+                        return Some(lhs.clone());
+                    }
+                    if lhs_val.map_or(false, |v| v.is_zero()) {
+                        return Some(rhs.clone());
+                    }
+                }
+                BinOpKind::UDiv | BinOpKind::SDiv => {
+                    if rhs_val.map_or(false, |v| v.is_one()) {
+                        return Some(lhs.clone());
+                    }
+                }
+                BinOpKind::URem => {
+                    if rhs_val.map_or(false, |v| v.is_one()) {
+                        return Some(zero());
+                    }
+                }
+                BinOpKind::Shl | BinOpKind::LShr | BinOpKind::AShr => {
+                    if rhs_val.map_or(false, |v| v.is_zero()) {
+                        return Some(lhs.clone());
+                    }
+                    if lhs_val.map_or(false, |v| v.is_zero()) {
+                        return Some(zero());
+                    }
+                }
+                _ => {}
+            }
+            None
+        }
+        InstOp::ICmp { pred, ty, lhs, rhs } => {
+            if ty.is_vector() {
+                return None;
+            }
+            if let (Some(a), Some(b)) = (as_int(lhs), as_int(rhs)) {
+                return Some(Operand::Const(fold_icmp(*pred, a, b)));
+            }
+            // x <pred> x folds for every predicate... but only when x is a
+            // register observed once — two observations of an undef value
+            // may differ, yet folding eq(x, x) to true *removes* behaviors,
+            // which refinement allows.
+            if lhs == rhs && lhs.as_reg().is_some() {
+                let r = match pred {
+                    ICmpPred::Eq | ICmpPred::Uge | ICmpPred::Ule | ICmpPred::Sge
+                    | ICmpPred::Sle => true,
+                    ICmpPred::Ne | ICmpPred::Ugt | ICmpPred::Ult | ICmpPred::Sgt
+                    | ICmpPred::Slt => false,
+                };
+                return Some(Operand::Const(Constant::bool(r)));
+            }
+            None
+        }
+        InstOp::Select {
+            cond, tval, fval, ..
+        } => {
+            if let Some(Constant::Int(c)) = cond.as_const() {
+                return Some(if c.is_one() {
+                    tval.clone()
+                } else {
+                    fval.clone()
+                });
+            }
+            if tval == fval {
+                return Some(tval.clone());
+            }
+            None
+        }
+        InstOp::Freeze { val, .. } => {
+            // freeze of a fully-defined constant is that constant.
+            match val.as_const() {
+                Some(Constant::Int(_)) | Some(Constant::Float(..)) | Some(Constant::Null)
+                | Some(Constant::Global(_)) => Some(val.clone()),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+impl Pass for InstSimplify {
+    fn name(&self) -> &'static str {
+        "instsimplify"
+    }
+
+    fn run(&self, f: &mut Function, _bugs: &BugSet) -> bool {
+        let mut changed = false;
+        loop {
+            let mut round = false;
+            let mut replace: Option<(String, Operand)> = None;
+            'scan: for b in &f.blocks {
+                for inst in &b.insts {
+                    if let Some(r) = &inst.result {
+                        if let Some(new) = simplify(&inst.op) {
+                            replace = Some((r.clone(), new));
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            if let Some((reg, new)) = replace {
+                f.replace_uses(&reg, &new);
+                for b in &mut f.blocks {
+                    b.insts.retain(|i| i.result.as_deref() != Some(reg.as_str()));
+                }
+                round = true;
+                changed = true;
+            }
+            if !round {
+                break;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_function;
+    use alive2_ir::verify::verify_function;
+
+    fn run(src: &str) -> Function {
+        let mut f = parse_function(src).unwrap();
+        InstSimplify.run(&mut f, &BugSet::none());
+        assert!(verify_function(&f).is_empty(), "{f}");
+        f
+    }
+
+    #[test]
+    fn folds_identities() {
+        let f = run(
+            r#"define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 0
+  %b = mul i32 %a, 1
+  %c = or i32 %b, 0
+  ret i32 %c
+}"#,
+        );
+        assert_eq!(f.blocks[0].insts.len(), 1);
+        assert!(f.to_string().contains("ret i32 %x"));
+    }
+
+    #[test]
+    fn folds_constants() {
+        let f = run(
+            "define i32 @f() {\nentry:\n  %a = add i32 20, 22\n  ret i32 %a\n}",
+        );
+        assert!(f.to_string().contains("ret i32 42"));
+    }
+
+    #[test]
+    fn folds_same_operand_compares() {
+        let f = run(
+            "define i1 @f(i32 %x) {\nentry:\n  %c = icmp ult i32 %x, %x\n  ret i1 %c\n}",
+        );
+        assert!(f.to_string().contains("ret i1 false"));
+    }
+
+    #[test]
+    fn preserves_division_by_zero() {
+        // udiv 1, 0 is immediate UB and must not be folded away.
+        let f = run(
+            "define i32 @f() {\nentry:\n  %a = udiv i32 1, 0\n  ret i32 %a\n}",
+        );
+        assert!(f.to_string().contains("udiv i32 1, 0"));
+    }
+
+    #[test]
+    fn select_folds() {
+        let f = run(
+            r#"define i32 @f(i32 %x, i32 %y, i1 %c) {
+entry:
+  %a = select i1 true, i32 %x, i32 %y
+  %b = select i1 %c, i32 %a, i32 %a
+  ret i32 %b
+}"#,
+        );
+        assert!(f.to_string().contains("ret i32 %x"));
+    }
+}

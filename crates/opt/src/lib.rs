@@ -1,0 +1,24 @@
+//! A mini LLVM-style optimizer: the compiler under test for the Alive2-rs
+//! evaluation.
+//!
+//! The pipeline ([`pass::PassManager::default_pipeline`]) contains real
+//! implementations of the pass families the paper's experiments exercise —
+//! instsimplify, instcombine, SimplifyCFG, GVN, mem2reg, LICM, DSE, DCE —
+//! plus faithful re-creations of historic miscompilation bugs ([`bugs`])
+//! that can be switched on per run, so the benchmark harness can regenerate
+//! the §8.2 bug taxonomy and the §8.4/§8.5 experiments.
+
+pub mod bugs;
+pub mod dce;
+pub mod dse;
+pub mod fold;
+pub mod gvn;
+pub mod instcombine;
+pub mod instsimplify;
+pub mod licm;
+pub mod mem2reg;
+pub mod pass;
+pub mod simplifycfg;
+
+pub use bugs::{BugCategory, BugId, BugSet};
+pub use pass::{Pass, PassManager};

@@ -1,0 +1,191 @@
+//! Loop-invariant code motion, with the seedable load-hoisting bug
+//! ([`BugId::LicmHoistLoad`]): hoisting a load out of a conditionally
+//! executed loop body introduces UB on paths where the loop body never
+//! runs — one of the paper's "loop optimizations incorrectly handling
+//! memory accesses".
+
+use crate::bugs::{BugId, BugSet};
+use crate::pass::Pass;
+use alive2_ir::cfg::Cfg;
+use alive2_ir::function::Function;
+use alive2_ir::instruction::{BinOpKind, InstOp, Instruction};
+use alive2_ir::loops::LoopForest;
+use std::collections::HashSet;
+
+/// The LICM pass.
+#[derive(Debug, Default)]
+pub struct Licm;
+
+/// Speculatable instructions: safe to execute even if the original would
+/// not have run. Division/remainder (UB) and loads (UB) are excluded.
+fn speculatable(op: &InstOp) -> bool {
+    match op {
+        InstOp::Bin { op, .. } => !op.is_div_rem(),
+        InstOp::ICmp { .. }
+        | InstOp::FCmp { .. }
+        | InstOp::FBin { .. }
+        | InstOp::FNeg { .. }
+        | InstOp::Select { .. }
+        | InstOp::Cast { .. }
+        | InstOp::Gep { .. }
+        | InstOp::ExtractElement { .. }
+        | InstOp::ExtractValue { .. } => true,
+        _ => false,
+    }
+}
+
+impl Pass for Licm {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run(&self, f: &mut Function, bugs: &BugSet) -> bool {
+        let cfg = Cfg::new(f);
+        let forest = LoopForest::new(&cfg);
+        if !forest.has_loops() || forest.has_irreducible() {
+            return false;
+        }
+        let mut changed = false;
+        for l in &forest.loops {
+            let loop_names: HashSet<String> = l
+                .blocks
+                .iter()
+                .map(|&b| f.blocks[b].name.clone())
+                .collect();
+            // Preheader: unique predecessor of the header outside the loop,
+            // ending in an unconditional branch.
+            let header_name = f.blocks[l.header].name.clone();
+            let preds: Vec<usize> = cfg.preds[l.header]
+                .iter()
+                .copied()
+                .filter(|p| !l.blocks.contains(p))
+                .collect();
+            if preds.len() != 1 {
+                continue;
+            }
+            let ph = preds[0];
+            if !matches!(
+                f.blocks[ph].insts.last().map(|t| &t.op),
+                Some(InstOp::Br { .. })
+            ) {
+                continue;
+            }
+            let ph_name = f.blocks[ph].name.clone();
+            let _ = header_name;
+            // Defs inside the loop (an operand defined in-loop blocks
+            // hoisting).
+            let mut loop_defs: HashSet<String> = HashSet::new();
+            for b in &f.blocks {
+                if loop_names.contains(&b.name) {
+                    for i in &b.insts {
+                        if let Some(r) = &i.result {
+                            loop_defs.insert(r.clone());
+                        }
+                    }
+                }
+            }
+            // Collect hoistable instructions.
+            let mut hoisted: Vec<Instruction> = Vec::new();
+            for b in &mut f.blocks {
+                if !loop_names.contains(&b.name) {
+                    continue;
+                }
+                let mut keep = Vec::new();
+                for inst in b.insts.drain(..) {
+                    let invariant_ops = inst
+                        .op
+                        .operands()
+                        .iter()
+                        .all(|o| o.as_reg().map_or(true, |r| !loop_defs.contains(r)));
+                    let can_hoist = inst.result.is_some()
+                        && invariant_ops
+                        && (speculatable(&inst.op)
+                            || (bugs.has(BugId::LicmHoistLoad)
+                                && matches!(inst.op, InstOp::Load { .. })));
+                    // Avoid hoisting `shl` twice-speculated poison subtleties
+                    // is unnecessary: speculating poison-producing ops is
+                    // fine (poison only flows if used).
+                    let _ = BinOpKind::Add;
+                    if can_hoist {
+                        hoisted.push(inst);
+                    } else {
+                        keep.push(inst);
+                    }
+                }
+                b.insts = keep;
+            }
+            if hoisted.is_empty() {
+                continue;
+            }
+            // A hoisted def must not itself depend on a later hoisted def;
+            // preserve original order, they were collected in order.
+            for r in hoisted.iter().filter_map(|i| i.result.clone()) {
+                loop_defs.remove(&r);
+            }
+            let phb = f.block_mut(&ph_name).expect("preheader exists");
+            let at = phb.insts.len() - 1;
+            for (k, inst) in hoisted.into_iter().enumerate() {
+                phb.insts.insert(at + k, inst);
+            }
+            changed = true;
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_function;
+    use alive2_ir::verify::verify_function;
+
+    const LOOP: &str = r#"define i32 @f(i32 %n, i32 %a, i32 %b, ptr %p) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %inv = mul i32 %a, %b
+  %v = load i32, ptr %p
+  %i1 = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 0
+}"#;
+
+    #[test]
+    fn hoists_invariant_arithmetic_but_not_loads() {
+        let mut f = parse_function(LOOP).unwrap();
+        assert!(Licm.run(&mut f, &BugSet::none()));
+        assert!(verify_function(&f).is_empty(), "{f}");
+        let entry = &f.blocks[0];
+        let s: Vec<String> = entry.insts.iter().map(|i| i.to_string()).collect();
+        assert!(s.iter().any(|i| i.contains("mul i32 %a, %b")), "{s:?}");
+        // The load stays in the body (hoisting it would add UB on the
+        // zero-iteration path).
+        assert!(f.block("body").unwrap().insts.iter().any(|i| matches!(i.op, InstOp::Load { .. })));
+    }
+
+    #[test]
+    fn buggy_variant_hoists_the_load() {
+        let mut f = parse_function(LOOP).unwrap();
+        assert!(Licm.run(&mut f, &BugSet::only(BugId::LicmHoistLoad)));
+        assert!(verify_function(&f).is_empty(), "{f}");
+        let entry = &f.blocks[0];
+        assert!(
+            entry.insts.iter().any(|i| matches!(i.op, InstOp::Load { .. })),
+            "{f}"
+        );
+    }
+
+    #[test]
+    fn no_loops_no_change() {
+        let mut f = parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 1\n  ret i32 %a\n}",
+        )
+        .unwrap();
+        assert!(!Licm.run(&mut f, &BugSet::none()));
+    }
+}

@@ -1,0 +1,186 @@
+//! A lightweight SROA/mem2reg: forwards stores to loads through
+//! non-escaping `alloca` slots and deletes slots that become dead.
+
+use crate::bugs::BugSet;
+use crate::pass::Pass;
+use alive2_ir::function::Function;
+use alive2_ir::instruction::{InstOp, Operand};
+use std::collections::HashSet;
+
+/// The promotion pass.
+#[derive(Debug, Default)]
+pub struct Mem2Reg;
+
+/// Allocas that are only ever used directly as the pointer operand of
+/// loads and stores (never stored as a value, passed to a call, GEP'd, …).
+fn promotable_allocas(f: &Function) -> HashSet<String> {
+    let mut allocas: HashSet<String> = HashSet::new();
+    for (_, inst) in f.insts() {
+        if let (Some(r), InstOp::Alloca { .. }) = (&inst.result, &inst.op) {
+            allocas.insert(r.clone());
+        }
+    }
+    let mut escaped: HashSet<String> = HashSet::new();
+    for (_, inst) in f.insts() {
+        match &inst.op {
+            InstOp::Load { ptr, .. } => {
+                let _ = ptr; // pointer position: fine
+            }
+            InstOp::Store { val, ptr, .. } => {
+                let _ = ptr; // pointer position: fine
+                if let Some(r) = val.as_reg() {
+                    if allocas.contains(r) {
+                        escaped.insert(r.to_string()); // address stored
+                    }
+                }
+            }
+            other => {
+                for op in other.operands() {
+                    if let Some(r) = op.as_reg() {
+                        if allocas.contains(r) {
+                            escaped.insert(r.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    allocas.retain(|a| !escaped.contains(a));
+    allocas
+}
+
+impl Pass for Mem2Reg {
+    fn name(&self) -> &'static str {
+        "mem2reg"
+    }
+
+    fn run(&self, f: &mut Function, _bugs: &BugSet) -> bool {
+        let promotable = promotable_allocas(f);
+        if promotable.is_empty() {
+            return false;
+        }
+        let mut changed = false;
+        // Per-block store-to-load forwarding.
+        let mut forwards: Vec<(String, Operand)> = Vec::new();
+        for b in &f.blocks {
+            // slot -> last stored value in this block
+            let mut last: std::collections::HashMap<&str, Operand> = Default::default();
+            for inst in &b.insts {
+                match &inst.op {
+                    InstOp::Store { val, ptr, .. } => {
+                        if let Some(p) = ptr.as_reg() {
+                            if promotable.contains(p) {
+                                last.insert(p, val.clone());
+                            }
+                        }
+                    }
+                    InstOp::Load { ptr, .. } => {
+                        if let (Some(p), Some(r)) = (ptr.as_reg(), &inst.result) {
+                            if let Some(v) = last.get(p) {
+                                forwards.push((r.clone(), v.clone()));
+                            }
+                        }
+                    }
+                    InstOp::Call { .. } => {
+                        // Calls cannot touch non-escaping slots; keep state.
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (reg, val) in forwards {
+            f.replace_uses(&reg, &val);
+            for b in &mut f.blocks {
+                b.insts.retain(|i| i.result.as_deref() != Some(reg.as_str()));
+            }
+            changed = true;
+        }
+        // Slots with no remaining loads: drop their stores and the alloca.
+        for slot in &promotable {
+            let still_loaded = f.insts().any(|(_, i)| {
+                matches!(&i.op, InstOp::Load { ptr, .. } if ptr.as_reg() == Some(slot.as_str()))
+            });
+            if still_loaded {
+                continue;
+            }
+            let before: usize = f.blocks.iter().map(|b| b.insts.len()).sum();
+            for b in &mut f.blocks {
+                b.insts.retain(|i| {
+                    !matches!(&i.op, InstOp::Store { ptr, .. } if ptr.as_reg() == Some(slot.as_str()))
+                        && i.result.as_deref() != Some(slot.as_str())
+                });
+            }
+            let after: usize = f.blocks.iter().map(|b| b.insts.len()).sum();
+            if after != before {
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_function;
+    use alive2_ir::verify::verify_function;
+
+    #[test]
+    fn forwards_store_to_load_and_removes_slot() {
+        let mut f = parse_function(
+            r#"define i32 @f(i32 %x) {
+entry:
+  %p = alloca i32
+  store i32 %x, ptr %p
+  %v = load i32, ptr %p
+  ret i32 %v
+}"#,
+        )
+        .unwrap();
+        assert!(Mem2Reg.run(&mut f, &BugSet::none()));
+        let s = f.to_string();
+        assert!(s.contains("ret i32 %x"), "{s}");
+        assert!(!s.contains("alloca"), "{s}");
+        assert!(verify_function(&f).is_empty());
+    }
+
+    #[test]
+    fn escaped_slot_is_untouched() {
+        let mut f = parse_function(
+            r#"declare void @g(ptr)
+define i32 @f(i32 %x) {
+entry:
+  %p = alloca i32
+  store i32 %x, ptr %p
+  call void @g(ptr %p)
+  %v = load i32, ptr %p
+  ret i32 %v
+}"#,
+        )
+        .unwrap();
+        assert!(!Mem2Reg.run(&mut f, &BugSet::none()));
+        assert!(f.to_string().contains("alloca"));
+    }
+
+    #[test]
+    fn cross_block_loads_are_left_alone() {
+        let mut f = parse_function(
+            r#"define i32 @f(i32 %x, i1 %c) {
+entry:
+  %p = alloca i32
+  store i32 %x, ptr %p
+  br i1 %c, label %a, label %b
+a:
+  %v = load i32, ptr %p
+  ret i32 %v
+b:
+  ret i32 0
+}"#,
+        )
+        .unwrap();
+        // The conservative single-block forwarding must not break this.
+        Mem2Reg.run(&mut f, &BugSet::none());
+        assert!(verify_function(&f).is_empty(), "{f}");
+        assert!(f.to_string().contains("load"));
+    }
+}

@@ -1,0 +1,142 @@
+//! The pass framework and standard pipelines.
+
+use crate::bugs::BugSet;
+use alive2_ir::function::Function;
+
+/// A function-level transformation pass.
+pub trait Pass {
+    /// The pass name (used in reports, mirroring `opt -passes=`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass; returns true if the function changed.
+    fn run(&self, f: &mut Function, bugs: &BugSet) -> bool;
+}
+
+/// A straight-line pass pipeline.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    /// Bugs seeded into this pipeline (§8.2 reproduction).
+    pub bugs: BugSet,
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+        write!(f, "PassManager {{ passes: {names:?}, bugs: {} }}", self.bugs.len())
+    }
+}
+
+impl PassManager {
+    /// An empty pipeline.
+    pub fn new(bugs: BugSet) -> PassManager {
+        PassManager {
+            passes: Vec::new(),
+            bugs,
+        }
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The passes in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the full pipeline once over a function; returns the names of
+    /// passes that changed it.
+    pub fn run(&self, f: &mut Function) -> Vec<&'static str> {
+        let mut changed = Vec::new();
+        for p in &self.passes {
+            if p.run(f, &self.bugs) {
+                changed.push(p.name());
+            }
+        }
+        changed
+    }
+
+    /// Runs each pass, snapshotting the function before/after so a
+    /// translation validator can check every step (the `opt -tv` plugin
+    /// workflow, §8.1). Returns `(pass name, before, after)` triples for
+    /// passes that changed the function.
+    pub fn run_with_snapshots(
+        &self,
+        f: &mut Function,
+    ) -> Vec<(&'static str, Function, Function)> {
+        let mut out = Vec::new();
+        for p in &self.passes {
+            let before = f.clone();
+            if p.run(f, &self.bugs) && *f != before {
+                out.push((p.name(), before, f.clone()));
+            }
+        }
+        out
+    }
+
+    /// The default `-O2`-style pipeline used by the evaluation harness.
+    pub fn default_pipeline(bugs: BugSet) -> PassManager {
+        let mut pm = PassManager::new(bugs);
+        pm.add(Box::new(crate::mem2reg::Mem2Reg));
+        pm.add(Box::new(crate::instsimplify::InstSimplify));
+        pm.add(Box::new(crate::instcombine::InstCombine));
+        pm.add(Box::new(crate::simplifycfg::SimplifyCfg));
+        pm.add(Box::new(crate::gvn::Gvn));
+        pm.add(Box::new(crate::licm::Licm));
+        pm.add(Box::new(crate::dse::Dse));
+        pm.add(Box::new(crate::instsimplify::InstSimplify));
+        pm.add(Box::new(crate::dce::Dce));
+        pm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_function;
+    use alive2_ir::verify::verify_function;
+
+    #[test]
+    fn default_pipeline_runs_and_keeps_ir_valid() {
+        let mut f = parse_function(
+            r#"define i32 @f(i32 %x, i1 %c) {
+entry:
+  %p = alloca i32
+  store i32 %x, ptr %p
+  %v = load i32, ptr %p
+  %a = add i32 %v, 0
+  %b = mul i32 %a, 1
+  %dead = xor i32 %b, 12345
+  br i1 %c, label %t, label %e
+t:
+  ret i32 %b
+e:
+  ret i32 %b
+}"#,
+        )
+        .unwrap();
+        let pm = PassManager::default_pipeline(BugSet::none());
+        let changed = pm.run(&mut f);
+        assert!(!changed.is_empty());
+        let errs = verify_function(&f);
+        assert!(errs.is_empty(), "{errs:?}\n{f}");
+        // The dead xor must be gone.
+        assert!(!f.to_string().contains("12345"), "{f}");
+    }
+
+    #[test]
+    fn snapshots_capture_changes() {
+        let mut f = parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 0\n  ret i32 %a\n}",
+        )
+        .unwrap();
+        let pm = PassManager::default_pipeline(BugSet::none());
+        let snaps = pm.run_with_snapshots(&mut f);
+        assert!(!snaps.is_empty());
+        for (_, before, after) in &snaps {
+            assert_ne!(before, after);
+        }
+    }
+}

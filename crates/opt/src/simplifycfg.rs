@@ -1,0 +1,281 @@
+//! CFG simplification: constant-branch folding and block merging, plus the
+//! seedable select→branch bug (§8.3 "Branches and UB" — introducing a
+//! branch on a possibly-undef value is UB the source never had).
+
+use crate::bugs::{BugId, BugSet};
+use crate::pass::Pass;
+use alive2_ir::constant::Constant;
+use alive2_ir::function::{Block, Function};
+use alive2_ir::instruction::{InstOp, Instruction, Operand};
+
+/// The pass.
+#[derive(Debug, Default)]
+pub struct SimplifyCfg;
+
+/// Folds `br i1 <const>, %a, %b` into an unconditional branch, fixing φs
+/// in the dead successor.
+fn fold_constant_branches(f: &mut Function) -> bool {
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        let Some(term) = f.blocks[bi].insts.last() else {
+            continue;
+        };
+        let InstOp::CondBr {
+            cond: Operand::Const(Constant::Int(c)),
+            then_dest,
+            else_dest,
+        } = &term.op
+        else {
+            continue;
+        };
+        let (live, dead) = if c.is_one() {
+            (then_dest.clone(), else_dest.clone())
+        } else {
+            (else_dest.clone(), then_dest.clone())
+        };
+        let from = f.blocks[bi].name.clone();
+        *f.blocks[bi].insts.last_mut().unwrap() =
+            Instruction::stmt(InstOp::Br { dest: live.clone() });
+        // The dead edge disappears: remove φ entries for it (unless the
+        // live edge also targets that block).
+        if dead != live {
+            if let Some(db) = f.block_mut(&dead) {
+                for inst in &mut db.insts {
+                    if let InstOp::Phi { incoming, .. } = &mut inst.op {
+                        incoming.retain(|(_, l)| *l != from);
+                    }
+                }
+            }
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Merges a block into its unique predecessor when the predecessor ends in
+/// an unconditional branch to it and the block has no φs.
+fn merge_blocks(f: &mut Function) -> bool {
+    for bi in 0..f.blocks.len() {
+        let name = f.blocks[bi].name.clone();
+        if bi == 0 {
+            continue;
+        }
+        // Unique predecessor with unconditional terminator?
+        let preds: Vec<usize> = f
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                p.insts
+                    .last()
+                    .map(|t| t.op.successor_labels().contains(&name.as_str()))
+                    .unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if preds.len() != 1 {
+            continue;
+        }
+        let p = preds[0];
+        if p == bi {
+            continue;
+        }
+        let is_simple_br = matches!(
+            f.blocks[p].insts.last().map(|t| &t.op),
+            Some(InstOp::Br { .. })
+        );
+        if !is_simple_br || f.blocks[bi].phis().count() > 0 {
+            continue;
+        }
+        // Merge: drop pred's terminator, append block's instructions.
+        let moved: Vec<Instruction> = f.blocks[bi].insts.clone();
+        let merged_name = f.blocks[p].name.clone();
+        f.blocks[p].insts.pop();
+        f.blocks[p].insts.extend(moved);
+        // φs elsewhere referring to the merged block now come from pred.
+        for b in &mut f.blocks {
+            for inst in &mut b.insts {
+                if let InstOp::Phi { incoming, .. } = &mut inst.op {
+                    for (_, l) in incoming {
+                        if *l == name {
+                            *l = merged_name.clone();
+                        }
+                    }
+                }
+            }
+        }
+        f.blocks.remove(bi);
+        return true;
+    }
+    false
+}
+
+/// BUG [`BugId::SelectToBranch`]: rewrites the first select into explicit
+/// control flow, introducing a branch on a possibly-undef/poison value.
+fn select_to_branch(f: &mut Function) -> bool {
+    let mut found: Option<(usize, usize)> = None;
+    'scan: for (bi, b) in f.blocks.iter().enumerate() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            if matches!(inst.op, InstOp::Select { .. }) && inst.result.is_some() {
+                found = Some((bi, ii));
+                break 'scan;
+            }
+        }
+    }
+    let Some((bi, ii)) = found else {
+        return false;
+    };
+    let inst = f.blocks[bi].insts[ii].clone();
+    let InstOp::Select {
+        cond,
+        ty,
+        tval,
+        fval,
+    } = inst.op
+    else {
+        unreachable!();
+    };
+    let result = inst.result.unwrap();
+    let orig_name = f.blocks[bi].name.clone();
+    let then_l = f.fresh_label(&format!("{orig_name}.selt"));
+    let else_l = f.fresh_label(&format!("{orig_name}.self"));
+    let join_l = f.fresh_label(&format!("{orig_name}.seljoin"));
+    // Split: head keeps insts[..ii] + condbr; join gets phi + rest.
+    let rest: Vec<Instruction> = f.blocks[bi].insts.split_off(ii + 1);
+    f.blocks[bi].insts.pop(); // remove the select
+    f.blocks[bi].insts.push(Instruction::stmt(InstOp::CondBr {
+        cond,
+        then_dest: then_l.clone(),
+        else_dest: else_l.clone(),
+    }));
+    let mut then_b = Block::new(then_l.clone());
+    then_b
+        .insts
+        .push(Instruction::stmt(InstOp::Br { dest: join_l.clone() }));
+    let mut else_b = Block::new(else_l.clone());
+    else_b
+        .insts
+        .push(Instruction::stmt(InstOp::Br { dest: join_l.clone() }));
+    let mut join_b = Block::new(join_l.clone());
+    join_b.insts.push(Instruction::with_result(
+        result,
+        InstOp::Phi {
+            ty,
+            incoming: vec![(tval, then_l), (fval, else_l)],
+        },
+    ));
+    join_b.insts.extend(rest);
+    // φs in successors of the original block now see `join` as pred.
+    let succs: Vec<String> = join_b
+        .insts
+        .last()
+        .map(|t| t.op.successor_labels().iter().map(|s| s.to_string()).collect())
+        .unwrap_or_default();
+    for sname in succs {
+        if let Some(sb) = f.block_mut(&sname) {
+            for inst in &mut sb.insts {
+                if let InstOp::Phi { incoming, .. } = &mut inst.op {
+                    for (_, l) in incoming {
+                        if *l == orig_name {
+                            *l = join_l.clone();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let at = f.blocks.iter().position(|b| b.name == orig_name).unwrap();
+    f.blocks.insert(at + 1, then_b);
+    f.blocks.insert(at + 2, else_b);
+    f.blocks.insert(at + 3, join_b);
+    true
+}
+
+impl Pass for SimplifyCfg {
+    fn name(&self) -> &'static str {
+        "simplifycfg"
+    }
+
+    fn run(&self, f: &mut Function, bugs: &BugSet) -> bool {
+        let mut changed = false;
+        changed |= fold_constant_branches(f);
+        while merge_blocks(f) {
+            changed = true;
+        }
+        if bugs.has(BugId::SelectToBranch) && select_to_branch(f) {
+            changed = true;
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_function;
+    use alive2_ir::verify::verify_function;
+
+    #[test]
+    fn folds_constant_branch_and_merges() {
+        let mut f = parse_function(
+            r#"define i32 @f(i32 %x) {
+entry:
+  br i1 true, label %a, label %b
+a:
+  %r = add i32 %x, 1
+  ret i32 %r
+b:
+  ret i32 0
+}"#,
+        )
+        .unwrap();
+        assert!(SimplifyCfg.run(&mut f, &BugSet::none()));
+        let errs = verify_function(&f);
+        assert!(errs.is_empty(), "{errs:?}\n{f}");
+        // entry and a merged; b still present (unreachable, DCE's job).
+        assert!(f.to_string().contains("%r = add i32 %x, 1"));
+        assert!(!f.to_string().contains("br i1 true"));
+    }
+
+    #[test]
+    fn buggy_select_to_branch() {
+        let mut f = parse_function(
+            r#"define i32 @f(i1 %c, i32 %x, i32 %y) {
+entry:
+  %r = select i1 %c, i32 %x, i32 %y
+  ret i32 %r
+}"#,
+        )
+        .unwrap();
+        assert!(SimplifyCfg.run(&mut f, &BugSet::only(BugId::SelectToBranch)));
+        let errs = verify_function(&f);
+        assert!(errs.is_empty(), "{errs:?}\n{f}");
+        let s = f.to_string();
+        assert!(s.contains("br i1 %c"), "{s}");
+        assert!(s.contains("phi i32"), "{s}");
+        assert!(!s.contains("select"), "{s}");
+    }
+
+    #[test]
+    fn phi_pred_fixup_on_merge() {
+        let mut f = parse_function(
+            r#"define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %mid, label %other
+mid:
+  br label %tail
+tail:
+  br label %join
+other:
+  br label %join
+join:
+  %r = phi i32 [ 1, %tail ], [ 2, %other ]
+  ret i32 %r
+}"#,
+        )
+        .unwrap();
+        SimplifyCfg.run(&mut f, &BugSet::none());
+        let errs = verify_function(&f);
+        assert!(errs.is_empty(), "{errs:?}\n{f}");
+    }
+}

@@ -1,0 +1,698 @@
+//! Term-level IEEE-754 circuits: the stand-in for Z3's FPA theory (§3.5).
+//!
+//! `fadd`/`fsub`/`fmul`, negation/abs, classification, and comparisons are
+//! encoded precisely (round-to-nearest-even, subnormals, signed zeros,
+//! infinities, NaN canonicalization). `fdiv`/`frem` deliberately go through
+//! the §3.8 over-approximation path instead — exactly the split the paper
+//! makes between supported and over-approximated operations.
+//!
+//! NaN bit patterns are *not* preserved: any NaN result is the canonical
+//! quiet NaN, and `bitcast` from float to integer gives NaNs a
+//! non-deterministic pattern (the second semantics of §3.5, chosen by
+//! Alive2).
+
+use alive2_ir::types::FloatKind;
+use alive2_smt::term::{Ctx, TermId};
+
+/// Field widths of a float kind.
+#[derive(Clone, Copy, Debug)]
+pub struct Layout {
+    /// Exponent bits.
+    pub exp: u32,
+    /// Explicit significand (fraction) bits.
+    pub sig: u32,
+}
+
+/// The layout of a float kind.
+pub fn layout(kind: FloatKind) -> Layout {
+    Layout {
+        exp: kind.exp_bits(),
+        sig: kind.sig_bits(),
+    }
+}
+
+fn total(k: FloatKind) -> u32 {
+    k.bits()
+}
+
+/// Unpacked fields of a float term.
+#[derive(Clone, Copy, Debug)]
+pub struct Parts {
+    /// Sign bit as Bool (true = negative).
+    pub sign: TermId,
+    /// Raw exponent field.
+    pub exp: TermId,
+    /// Raw fraction field.
+    pub frac: TermId,
+}
+
+/// Splits a float bit-vector into sign/exponent/fraction.
+pub fn unpack(ctx: &Ctx, v: TermId, k: FloatKind) -> Parts {
+    let w = total(k);
+    let l = layout(k);
+    let sign_bit = ctx.extract(v, w - 1, w - 1);
+    Parts {
+        sign: ctx.eq(sign_bit, ctx.bv_lit_u64(1, 1)),
+        exp: ctx.extract(v, w - 2, l.sig),
+        frac: ctx.extract(v, l.sig - 1, 0),
+    }
+}
+
+fn pack(ctx: &Ctx, sign: TermId, exp: TermId, frac: TermId) -> TermId {
+    let sign_bv = ctx.bool_to_bv1(sign);
+    ctx.concat_many(&[sign_bv, exp, frac])
+}
+
+fn exp_all_ones(ctx: &Ctx, k: FloatKind) -> TermId {
+    let l = layout(k);
+    ctx.bv_lit(alive2_smt::bv::BitVec::all_ones(l.exp))
+}
+
+/// Bool: the value is a NaN.
+pub fn is_nan(ctx: &Ctx, v: TermId, k: FloatKind) -> TermId {
+    let p = unpack(ctx, v, k);
+    let l = layout(k);
+    let exp_max = ctx.eq(p.exp, exp_all_ones(ctx, k));
+    let frac_nz = ctx.ne(p.frac, ctx.bv_lit_u64(l.sig, 0));
+    ctx.and(exp_max, frac_nz)
+}
+
+/// Bool: the value is ±infinity.
+pub fn is_inf(ctx: &Ctx, v: TermId, k: FloatKind) -> TermId {
+    let p = unpack(ctx, v, k);
+    let l = layout(k);
+    let exp_max = ctx.eq(p.exp, exp_all_ones(ctx, k));
+    let frac_z = ctx.eq(p.frac, ctx.bv_lit_u64(l.sig, 0));
+    ctx.and(exp_max, frac_z)
+}
+
+/// Bool: the value is ±0.
+pub fn is_zero(ctx: &Ctx, v: TermId, k: FloatKind) -> TermId {
+    let p = unpack(ctx, v, k);
+    let l = layout(k);
+    let exp_z = ctx.eq(p.exp, ctx.bv_lit_u64(l.exp, 0));
+    let frac_z = ctx.eq(p.frac, ctx.bv_lit_u64(l.sig, 0));
+    ctx.and(exp_z, frac_z)
+}
+
+/// The canonical quiet NaN bit pattern.
+pub fn canonical_nan(ctx: &Ctx, k: FloatKind) -> TermId {
+    let l = layout(k);
+    let exp = exp_all_ones(ctx, k);
+    let frac = ctx.bv_lit_u64(l.sig, 1 << (l.sig - 1));
+    pack(ctx, ctx.fals(), exp, frac)
+}
+
+/// ±infinity with the given sign.
+pub fn infinity(ctx: &Ctx, sign: TermId, k: FloatKind) -> TermId {
+    let l = layout(k);
+    pack(ctx, sign, exp_all_ones(ctx, k), ctx.bv_lit_u64(l.sig, 0))
+}
+
+/// ±0 with the given sign.
+pub fn zero(ctx: &Ctx, sign: TermId, k: FloatKind) -> TermId {
+    let l = layout(k);
+    pack(
+        ctx,
+        sign,
+        ctx.bv_lit_u64(l.exp, 0),
+        ctx.bv_lit_u64(l.sig, 0),
+    )
+}
+
+/// Bool: `v` matches some NaN bit pattern (used to constrain the
+/// non-deterministic pattern chosen when bit-casting a NaN to integer).
+pub fn is_nan_pattern(ctx: &Ctx, bits: TermId, k: FloatKind) -> TermId {
+    is_nan(ctx, bits, k)
+}
+
+/// Negation: flips the sign bit (total, no special cases).
+pub fn fneg(ctx: &Ctx, v: TermId, k: FloatKind) -> TermId {
+    let w = total(k);
+    let mask = {
+        let mut m = alive2_smt::bv::BitVec::zero(w);
+        m.set_bit(w - 1, true);
+        ctx.bv_lit(m)
+    };
+    ctx.bv_xor(v, mask)
+}
+
+/// Absolute value: clears the sign bit.
+pub fn fabs(ctx: &Ctx, v: TermId, k: FloatKind) -> TermId {
+    let w = total(k);
+    let mask = {
+        let mut m = alive2_smt::bv::BitVec::all_ones(w);
+        m.set_bit(w - 1, false);
+        ctx.bv_lit(m)
+    };
+    ctx.bv_and(v, mask)
+}
+
+/// Effective (exponent, significand-with-hidden-bit) of an operand:
+/// subnormals get exponent 1 and no hidden bit.
+fn effective(ctx: &Ctx, p: Parts, k: FloatKind, ew: u32) -> (TermId, TermId) {
+    let l = layout(k);
+    let exp_z = ctx.eq(p.exp, ctx.bv_lit_u64(l.exp, 0));
+    let e = ctx.ite(exp_z, ctx.bv_lit_u64(l.exp, 1), p.exp);
+    let e = ctx.zext(e, ew);
+    let hidden = ctx.bool_to_bv1(ctx.not(exp_z));
+    let m = ctx.concat(hidden, p.frac); // sig+1 bits
+    (e, m)
+}
+
+/// Shared rounding/packing: `shifted` is a `ws`-bit significand with its
+/// leading 1 at bit `ws-1` (or zero), `eres` a signed biased exponent in
+/// `ew` bits. Applies subnormal denormalization, RNE rounding, and
+/// overflow-to-infinity.
+fn round_and_pack(
+    ctx: &Ctx,
+    k: FloatKind,
+    sign: TermId,
+    eres: TermId,
+    shifted: TermId,
+    ws: u32,
+    ew: u32,
+) -> TermId {
+    let l = layout(k);
+    let m = l.sig;
+    // Zero significand -> signed zero.
+    let sig_zero = ctx.eq(shifted, ctx.bv_lit_u64(ws, 0));
+
+    // Denormalize when eres <= 0: shift right by min(1 - eres, m + 4),
+    // folding lost bits into the sticky (bottom) bit.
+    let zero_e = ctx.bv_lit_u64(ew, 0);
+    let one_e = ctx.bv_lit_u64(ew, 1);
+    let denorm = ctx.bv_sle(eres, zero_e);
+    let rsh_raw = ctx.bv_sub(one_e, eres);
+    let cap = ctx.bv_lit_u64(ew, (m + 4) as u64);
+    let too_big = ctx.bv_sgt(rsh_raw, cap);
+    let rsh = ctx.ite(too_big, cap, rsh_raw);
+    let rsh_ws = if ew >= ws {
+        ctx.trunc(rsh, ws)
+    } else {
+        ctx.zext(rsh, ws)
+    };
+    let ones = ctx.bv_sub(
+        ctx.bv_shl(ctx.bv_lit_u64(ws, 1), rsh_ws),
+        ctx.bv_lit_u64(ws, 1),
+    );
+    let lost = ctx.bv_and(shifted, ones);
+    let lost_nz = ctx.ne(lost, ctx.bv_lit_u64(ws, 0));
+    let shr = ctx.bv_lshr(shifted, rsh_ws);
+    let sticky_in = ctx.ite(lost_nz, ctx.bv_lit_u64(ws, 1), ctx.bv_lit_u64(ws, 0));
+    let denormed = ctx.bv_or(shr, sticky_in);
+    let shifted2 = ctx.ite(denorm, denormed, shifted);
+    let eres2 = ctx.ite(denorm, one_e, eres);
+
+    // Keep top m+1 bits; guard below; sticky the rest.
+    let kept = ctx.extract(shifted2, ws - 1, ws - 1 - m);
+    let guard = ctx.eq(
+        ctx.extract(shifted2, ws - 2 - m, ws - 2 - m),
+        ctx.bv_lit_u64(1, 1),
+    );
+    let sticky = if ws >= m + 3 {
+        ctx.ne(
+            ctx.extract(shifted2, ws - 3 - m, 0),
+            ctx.bv_lit_u64(ws - 2 - m, 0),
+        )
+    } else {
+        ctx.fals()
+    };
+    let lsb = ctx.eq(
+        ctx.extract(kept, 0, 0),
+        ctx.bv_lit_u64(1, 1),
+    );
+    let roundup = ctx.and(guard, ctx.or(sticky, lsb));
+    let kept_x = ctx.zext(kept, m + 2);
+    let rounded = ctx.bv_add(
+        kept_x,
+        ctx.ite(roundup, ctx.bv_lit_u64(m + 2, 1), ctx.bv_lit_u64(m + 2, 0)),
+    );
+    let carry = ctx.eq(
+        ctx.extract(rounded, m + 1, m + 1),
+        ctx.bv_lit_u64(1, 1),
+    );
+    let kept_final = ctx.ite(
+        carry,
+        ctx.extract(rounded, m + 1, 1),
+        ctx.extract(rounded, m, 0),
+    );
+    let eres3 = ctx.bv_add(eres2, ctx.ite(carry, one_e, zero_e));
+
+    let hidden = ctx.eq(
+        ctx.extract(kept_final, m, m),
+        ctx.bv_lit_u64(1, 1),
+    );
+    let exp_field = ctx.ite(
+        hidden,
+        ctx.trunc(eres3, l.exp),
+        ctx.bv_lit_u64(l.exp, 0),
+    );
+    let frac = ctx.extract(kept_final, m - 1, 0);
+
+    // Overflow to infinity when the (normal) exponent reaches the max.
+    let max_e = ctx.bv_lit_u64(ew, ((1u64 << l.exp) - 1) as u64);
+    let overflow = ctx.and(hidden, ctx.bv_sge(eres3, max_e));
+
+    let packed = pack(ctx, sign, exp_field, frac);
+    let inf = infinity(ctx, sign, k);
+    let z = zero(ctx, sign, k);
+    ctx.ite(sig_zero, z, ctx.ite(overflow, inf, packed))
+}
+
+/// Count-leading-zeros as a term (priority encoder).
+fn clz(ctx: &Ctx, v: TermId, w: u32, out_w: u32) -> TermId {
+    let mut result = ctx.bv_lit_u64(out_w, w as u64);
+    for i in 0..w {
+        // Scan from LSB to MSB so the highest set bit wins.
+        let bit = ctx.eq(ctx.extract(v, i, i), ctx.bv_lit_u64(1, 1));
+        let lz = ctx.bv_lit_u64(out_w, (w - 1 - i) as u64);
+        result = ctx.ite(bit, lz, result);
+    }
+    result
+}
+
+/// IEEE-754 addition with round-to-nearest-even. NaN results canonicalize.
+pub fn fadd(ctx: &Ctx, a: TermId, b: TermId, k: FloatKind) -> TermId {
+    let l = layout(k);
+    let m = l.sig;
+    let ew = l.exp + 4;
+    let pa = unpack(ctx, a, k);
+    let pb = unpack(ctx, b, k);
+    let a_nan = is_nan(ctx, a, k);
+    let b_nan = is_nan(ctx, b, k);
+    let a_inf = is_inf(ctx, a, k);
+    let b_inf = is_inf(ctx, b, k);
+    let a_zero = is_zero(ctx, a, k);
+    let b_zero = is_zero(ctx, b, k);
+
+    // General path.
+    let (ea, ma) = effective(ctx, pa, k, ew);
+    let (eb, mb) = effective(ctx, pb, k, ew);
+    // Order by magnitude (exp ++ sig).
+    let mag_a = ctx.concat(ea, ma);
+    let mag_b = ctx.concat(eb, mb);
+    let a_ge = ctx.bv_uge(mag_a, mag_b);
+    let ex = ctx.ite(a_ge, ea, eb);
+    let ey = ctx.ite(a_ge, eb, ea);
+    let mx = ctx.ite(a_ge, ma, mb);
+    let my = ctx.ite(a_ge, mb, ma);
+    let sx = ctx.ite(a_ge, ctx.bool_to_bv1(pa.sign), ctx.bool_to_bv1(pb.sign));
+    let sy = ctx.ite(a_ge, ctx.bool_to_bv1(pb.sign), ctx.bool_to_bv1(pa.sign));
+    let sx_b = ctx.bv1_to_bool(sx);
+    let sy_b = ctx.bv1_to_bool(sy);
+
+    // Working width: significand (m+1) + guard/round/sticky room (m+3) + 1.
+    let ws = 2 * m + 6;
+    let shift_const = m + 3;
+    let mx_w = {
+        let z = ctx.zext(mx, ws);
+        ctx.bv_shl(z, ctx.bv_lit_u64(ws, shift_const as u64))
+    };
+    let my_w0 = {
+        let z = ctx.zext(my, ws);
+        ctx.bv_shl(z, ctx.bv_lit_u64(ws, shift_const as u64))
+    };
+    let diff = ctx.bv_sub(ex, ey);
+    let dcap = ctx.bv_lit_u64(ew, (m + 3) as u64);
+    let too_far = ctx.bv_ugt(diff, dcap);
+    let s_amt = ctx.ite(too_far, dcap, diff);
+    let s_ws = ctx.zext(ctx.trunc(s_amt, ew.min(ws)), ws);
+    // Preserve sticky on the alignment shift.
+    let ones = ctx.bv_sub(
+        ctx.bv_shl(ctx.bv_lit_u64(ws, 1), s_ws),
+        ctx.bv_lit_u64(ws, 1),
+    );
+    let lost = ctx.bv_and(my_w0, ones);
+    let lost_nz = ctx.ne(lost, ctx.bv_lit_u64(ws, 0));
+    let my_shr = ctx.bv_lshr(my_w0, s_ws);
+    let my_w = ctx.bv_or(
+        my_shr,
+        ctx.ite(lost_nz, ctx.bv_lit_u64(ws, 1), ctx.bv_lit_u64(ws, 0)),
+    );
+
+    let same_sign = ctx.eq(sx_b, sy_b);
+    let sum_add = ctx.bv_add(mx_w, my_w);
+    let sum_sub = ctx.bv_sub(mx_w, my_w);
+    let sum = ctx.ite(same_sign, sum_add, sum_sub);
+    let sum_zero = ctx.eq(sum, ctx.bv_lit_u64(ws, 0));
+    // Result sign: larger-magnitude operand's sign; exact cancellation → +0.
+    let rsign = ctx.and(sx_b, ctx.not(sum_zero));
+
+    // Normalize: leading one to bit ws-1.
+    let lzc = clz(ctx, sum, ws, ew);
+    let lz_ws = ctx.zext(ctx.trunc(lzc, ew.min(ws)), ws);
+    let norm = ctx.bv_shl(sum, lz_ws);
+    // Exponent: the hidden bit of mx_w sits at bit 2m+3, so
+    // value = sum · 2^(ex − bias − 2m − 3); round_and_pack expects
+    // value = shifted · 2^(eres − bias − (ws−1)) with ws−1 = 2m+5, giving
+    // eres = ex + 2 − lzc.
+    let eres = ctx.bv_sub(ctx.bv_add(ex, ctx.bv_lit_u64(ew, 2)), lzc);
+
+    let general = round_and_pack(ctx, k, rsign, eres, norm, ws, ew);
+
+    // Special cases, outermost first.
+    let nan = canonical_nan(ctx, k);
+    let both_zero = ctx.and(a_zero, b_zero);
+    let zz_sign = ctx.and(pa.sign, pb.sign); // +0 + -0 = +0 (RNE)
+    let inf_conflict = ctx.and(ctx.and(a_inf, b_inf), ctx.ne(ctx.bool_to_bv1(pa.sign), ctx.bool_to_bv1(pb.sign)));
+
+    let mut r = general;
+    r = ctx.ite(b_zero, ctx.ite(a_zero, zero(ctx, zz_sign, k), a), r);
+    r = ctx.ite(ctx.and(a_zero, ctx.not(b_zero)), b, r);
+    let _ = both_zero;
+    r = ctx.ite(b_inf, b, r);
+    r = ctx.ite(a_inf, a, r);
+    r = ctx.ite(inf_conflict, nan, r);
+    r = ctx.ite(ctx.or(a_nan, b_nan), nan, r);
+    r
+}
+
+/// IEEE-754 subtraction: `a - b = a + (-b)`.
+pub fn fsub(ctx: &Ctx, a: TermId, b: TermId, k: FloatKind) -> TermId {
+    let nb = fneg(ctx, b, k);
+    fadd(ctx, a, nb, k)
+}
+
+/// IEEE-754 multiplication with round-to-nearest-even.
+pub fn fmul(ctx: &Ctx, a: TermId, b: TermId, k: FloatKind) -> TermId {
+    let l = layout(k);
+    let m = l.sig;
+    let ew = l.exp + 4;
+    let pa = unpack(ctx, a, k);
+    let pb = unpack(ctx, b, k);
+    let a_nan = is_nan(ctx, a, k);
+    let b_nan = is_nan(ctx, b, k);
+    let a_inf = is_inf(ctx, a, k);
+    let b_inf = is_inf(ctx, b, k);
+    let a_zero = is_zero(ctx, a, k);
+    let b_zero = is_zero(ctx, b, k);
+    let rsign = ctx.bxor(pa.sign, pb.sign);
+
+    let (ea, ma) = effective(ctx, pa, k, ew);
+    let (eb, mb) = effective(ctx, pb, k, ew);
+    let ws = 2 * m + 2;
+    let prod = ctx.bv_mul(ctx.zext(ma, ws), ctx.zext(mb, ws));
+    let lzc = clz(ctx, prod, ws, ew);
+    let lz_ws = ctx.zext(ctx.trunc(lzc, ew.min(ws)), ws);
+    let norm = ctx.bv_shl(prod, lz_ws);
+    // value = prod · 2^(ea+eb-2bias-2m); normalized leading one at ws-1 =
+    // 2m+1 ⇒ eres = ea + eb - bias + 1 - lzc.
+    let bias = (1u64 << (l.exp - 1)) - 1;
+    let eres = {
+        let s = ctx.bv_add(ea, eb);
+        let s = ctx.bv_sub(s, ctx.bv_lit_u64(ew, bias));
+        let s = ctx.bv_add(s, ctx.bv_lit_u64(ew, 1));
+        ctx.bv_sub(s, lzc)
+    };
+    let general = round_and_pack(ctx, k, rsign, eres, norm, ws, ew);
+
+    let nan = canonical_nan(ctx, k);
+    let inf_times_zero = ctx.or(
+        ctx.and(a_inf, b_zero),
+        ctx.and(b_inf, a_zero),
+    );
+    let any_inf = ctx.or(a_inf, b_inf);
+    let any_zero = ctx.or(a_zero, b_zero);
+
+    let mut r = general;
+    r = ctx.ite(any_zero, zero(ctx, rsign, k), r);
+    r = ctx.ite(any_inf, infinity(ctx, rsign, k), r);
+    r = ctx.ite(inf_times_zero, nan, r);
+    r = ctx.ite(ctx.or(a_nan, b_nan), nan, r);
+    r
+}
+
+/// Ordered-equal comparison primitive (`a == b`, false if either is NaN);
+/// +0 equals -0.
+fn oeq(ctx: &Ctx, a: TermId, b: TermId, k: FloatKind) -> TermId {
+    let both_zero = ctx.and(is_zero(ctx, a, k), is_zero(ctx, b, k));
+    let bits_eq = ctx.eq(a, b);
+    let any_nan = ctx.or(is_nan(ctx, a, k), is_nan(ctx, b, k));
+    ctx.and(ctx.not(any_nan), ctx.or(bits_eq, both_zero))
+}
+
+/// Ordered less-than primitive (`a < b`, false if either is NaN).
+fn olt(ctx: &Ctx, a: TermId, b: TermId, k: FloatKind) -> TermId {
+    let w = total(k);
+    let pa = unpack(ctx, a, k);
+    let pb = unpack(ctx, b, k);
+    let any_nan = ctx.or(is_nan(ctx, a, k), is_nan(ctx, b, k));
+    let both_zero = ctx.and(is_zero(ctx, a, k), is_zero(ctx, b, k));
+    let mag_a = ctx.extract(a, w - 2, 0);
+    let mag_b = ctx.extract(b, w - 2, 0);
+    let diff_sign = ctx.bxor(pa.sign, pb.sign);
+    // different signs: a < b iff a negative (and not both zero)
+    let ds_lt = ctx.and(pa.sign, ctx.not(both_zero));
+    // same sign positive: |a| < |b|; same sign negative: |a| > |b|
+    let pos_lt = ctx.bv_ult(mag_a, mag_b);
+    let neg_lt = ctx.bv_ult(mag_b, mag_a);
+    let ss_lt = ctx.ite(pa.sign, neg_lt, pos_lt);
+    let lt = ctx.ite(diff_sign, ds_lt, ss_lt);
+    ctx.and(ctx.not(any_nan), lt)
+}
+
+/// Evaluates an fcmp predicate as a Bool term.
+pub fn fcmp(
+    ctx: &Ctx,
+    pred: alive2_ir::instruction::FCmpPred,
+    a: TermId,
+    b: TermId,
+    k: FloatKind,
+) -> TermId {
+    use alive2_ir::instruction::FCmpPred as P;
+    let any_nan = ctx.or(is_nan(ctx, a, k), is_nan(ctx, b, k));
+    let eq = oeq(ctx, a, b, k);
+    let lt = olt(ctx, a, b, k);
+    let gt = olt(ctx, b, a, k);
+    match pred {
+        P::False => ctx.fals(),
+        P::Oeq => eq,
+        P::Ogt => gt,
+        P::Oge => ctx.or(gt, eq),
+        P::Olt => lt,
+        P::Ole => ctx.or(lt, eq),
+        P::One => ctx.and(ctx.not(any_nan), ctx.or(lt, gt)),
+        P::Ord => ctx.not(any_nan),
+        P::Ueq => ctx.or(any_nan, eq),
+        P::Ugt => ctx.or(any_nan, gt),
+        P::Uge => ctx.or(any_nan, ctx.or(gt, eq)),
+        P::Ult => ctx.or(any_nan, lt),
+        P::Ule => ctx.or(any_nan, ctx.or(lt, eq)),
+        P::Une => ctx.or(any_nan, ctx.or(lt, gt)),
+        P::Uno => any_nan,
+        P::True => ctx.tru(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_smt::model::Model;
+
+    fn eval_bin(
+        f: impl Fn(&Ctx, TermId, TermId, FloatKind) -> TermId,
+        a: f32,
+        b: f32,
+    ) -> u32 {
+        let ctx = Ctx::new();
+        let ta = ctx.bv_lit_u64(32, a.to_bits() as u64);
+        let tb = ctx.bv_lit_u64(32, b.to_bits() as u64);
+        let r = f(&ctx, ta, tb, FloatKind::Single);
+        let m = Model::new();
+        m.eval_bv(&ctx, r).to_u64() as u32
+    }
+
+    fn check_add(a: f32, b: f32) {
+        let got = eval_bin(fadd, a, b);
+        let expect = a + b;
+        let expect_bits = if expect.is_nan() {
+            f32::from_bits(0x7fc0_0000).to_bits()
+        } else {
+            expect.to_bits()
+        };
+        assert_eq!(
+            got, expect_bits,
+            "fadd({a:?}, {b:?}): got {:?} want {expect:?}",
+            f32::from_bits(got)
+        );
+    }
+
+    fn check_mul(a: f32, b: f32) {
+        let got = eval_bin(fmul, a, b);
+        let expect = a * b;
+        let expect_bits = if expect.is_nan() {
+            f32::from_bits(0x7fc0_0000).to_bits()
+        } else {
+            expect.to_bits()
+        };
+        assert_eq!(
+            got, expect_bits,
+            "fmul({a:?}, {b:?}): got {:?} want {expect:?}",
+            f32::from_bits(got)
+        );
+    }
+
+    #[test]
+    fn fadd_basic_values() {
+        for (a, b) in [
+            (1.0f32, 2.0f32),
+            (0.1, 0.2),
+            (1.5, -1.5),
+            (-0.0, 0.0),
+            (0.0, 0.0),
+            (-0.0, -0.0),
+            (1e30, 1e30),
+            (1e30, -1e30),
+            (1.0, 1e-30),
+            (3.25, 0.125),
+            (f32::MAX, f32::MAX),
+            (f32::MIN_POSITIVE, -f32::MIN_POSITIVE / 2.0),
+        ] {
+            check_add(a, b);
+        }
+    }
+
+    #[test]
+    fn fadd_specials() {
+        for (a, b) in [
+            (f32::INFINITY, 1.0f32),
+            (f32::NEG_INFINITY, 1.0),
+            (f32::INFINITY, f32::INFINITY),
+            (f32::INFINITY, f32::NEG_INFINITY),
+            (f32::NAN, 1.0),
+            (1.0, f32::NAN),
+        ] {
+            check_add(a, b);
+        }
+    }
+
+    #[test]
+    fn fadd_subnormals() {
+        let tiny = f32::from_bits(1); // smallest subnormal
+        for (a, b) in [
+            (tiny, tiny),
+            (tiny, -tiny),
+            (f32::MIN_POSITIVE, -tiny),
+            (f32::MIN_POSITIVE / 2.0, f32::MIN_POSITIVE / 2.0),
+        ] {
+            check_add(a, b);
+        }
+    }
+
+    #[test]
+    fn fadd_random_sampled() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = f32::from_bits((state >> 16) as u32);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = f32::from_bits((state >> 16) as u32);
+            if a.is_nan() || b.is_nan() {
+                continue;
+            }
+            check_add(a, b);
+        }
+    }
+
+    #[test]
+    fn fmul_basic_and_random() {
+        for (a, b) in [
+            (2.0f32, 3.0f32),
+            (0.1, 10.0),
+            (-2.5, 4.0),
+            (1e20, 1e20),
+            (1e-20, 1e-30),
+            (0.0, -5.0),
+            (-0.0, 5.0),
+            (f32::INFINITY, 0.0),
+            (f32::INFINITY, -2.0),
+            (f32::NAN, 2.0),
+            (f32::MIN_POSITIVE, 0.5),
+        ] {
+            check_mul(a, b);
+        }
+        let mut state = 0xdead_beef_cafe_f00du64;
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = f32::from_bits((state >> 16) as u32);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = f32::from_bits((state >> 16) as u32);
+            if a.is_nan() || b.is_nan() {
+                continue;
+            }
+            check_mul(a, b);
+        }
+    }
+
+    #[test]
+    fn fsub_uses_negation() {
+        let got = eval_bin(|c, a, b, k| fsub(c, a, b, k), 5.5, 2.25);
+        assert_eq!(f32::from_bits(got), 3.25);
+    }
+
+    #[test]
+    fn comparisons() {
+        use alive2_ir::instruction::FCmpPred as P;
+        let cases: &[(f32, f32, P, bool)] = &[
+            (1.0, 2.0, P::Olt, true),
+            (2.0, 1.0, P::Olt, false),
+            (1.0, 1.0, P::Oeq, true),
+            (0.0, -0.0, P::Oeq, true),
+            (-1.0, 1.0, P::Olt, true),
+            (-2.0, -1.0, P::Olt, true),
+            (f32::NAN, 1.0, P::Olt, false),
+            (f32::NAN, 1.0, P::Ult, true),
+            (f32::NAN, f32::NAN, P::Uno, true),
+            (1.0, 2.0, P::Uno, false),
+            (1.0, 2.0, P::Ord, true),
+            (f32::INFINITY, f32::MAX, P::Ogt, true),
+            (f32::NEG_INFINITY, f32::MIN, P::Olt, true),
+            (1.0, 1.0, P::Une, false),
+            (f32::NAN, 1.0, P::Une, true),
+        ];
+        for &(a, b, p, expect) in cases {
+            let ctx = Ctx::new();
+            let ta = ctx.bv_lit_u64(32, a.to_bits() as u64);
+            let tb = ctx.bv_lit_u64(32, b.to_bits() as u64);
+            let r = fcmp(&ctx, p, ta, tb, FloatKind::Single);
+            let m = Model::new();
+            assert_eq!(m.eval_bool(&ctx, r), expect, "fcmp {p:?}({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn classification() {
+        let ctx = Ctx::new();
+        let m = Model::new();
+        let check = |v: f32, nan: bool, inf: bool, z: bool| {
+            let t = ctx.bv_lit_u64(32, v.to_bits() as u64);
+            assert_eq!(m.eval_bool(&ctx, is_nan(&ctx, t, FloatKind::Single)), nan);
+            assert_eq!(m.eval_bool(&ctx, is_inf(&ctx, t, FloatKind::Single)), inf);
+            assert_eq!(m.eval_bool(&ctx, is_zero(&ctx, t, FloatKind::Single)), z);
+        };
+        check(f32::NAN, true, false, false);
+        check(f32::INFINITY, false, true, false);
+        check(f32::NEG_INFINITY, false, true, false);
+        check(0.0, false, false, true);
+        check(-0.0, false, false, true);
+        check(1.0, false, false, false);
+    }
+
+    #[test]
+    fn neg_and_abs() {
+        let ctx = Ctx::new();
+        let m = Model::new();
+        let t = ctx.bv_lit_u64(32, (-3.5f32).to_bits() as u64);
+        let n = fneg(&ctx, t, FloatKind::Single);
+        let a = fabs(&ctx, t, FloatKind::Single);
+        assert_eq!(
+            f32::from_bits(m.eval_bv(&ctx, n).to_u64() as u32),
+            3.5
+        );
+        assert_eq!(
+            f32::from_bits(m.eval_bv(&ctx, a).to_u64() as u32),
+            3.5
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Ackermannization: elimination of uninterpreted function applications.
+//!
+//! Every application `f(args…)` is replaced by a fresh variable, and for
+//! each pair of applications of the same function a functional-consistency
+//! constraint `args₁ = args₂ ⇒ res₁ = res₂` is added. This is sound and
+//! complete for quantifier-free formulas and lets the bit-blaster stay
+//! purely propositional.
+
+use crate::term::{Ctx, FuncId, Op, TermId};
+use std::collections::HashMap;
+
+/// Result of Ackermannizing a set of assertions.
+#[derive(Debug)]
+pub struct Ackermannized {
+    /// The rewritten assertions (applications replaced by variables).
+    pub assertions: Vec<TermId>,
+    /// The added functional-consistency constraints.
+    pub constraints: Vec<TermId>,
+    /// Map from each original application term to its replacement variable.
+    pub app_vars: Vec<(TermId, TermId)>,
+}
+
+/// Rewrites `assertions` so they contain no `Apply` nodes.
+pub fn ackermannize(ctx: &Ctx, assertions: &[TermId]) -> Ackermannized {
+    let mut memo: HashMap<TermId, TermId> = HashMap::new();
+    // (func, rewritten args) -> replacement var
+    let mut table: HashMap<(FuncId, Vec<TermId>), TermId> = HashMap::new();
+    // per func: list of (rewritten args, var)
+    let mut by_func: HashMap<FuncId, Vec<(Vec<TermId>, TermId)>> = HashMap::new();
+    let mut app_vars = Vec::new();
+
+    fn rewrite(
+        ctx: &Ctx,
+        t: TermId,
+        memo: &mut HashMap<TermId, TermId>,
+        table: &mut HashMap<(FuncId, Vec<TermId>), TermId>,
+        by_func: &mut HashMap<FuncId, Vec<(Vec<TermId>, TermId)>>,
+        app_vars: &mut Vec<(TermId, TermId)>,
+    ) -> TermId {
+        if let Some(&r) = memo.get(&t) {
+            return r;
+        }
+        let op = ctx.op(t);
+        let args = ctx.args(t);
+        let new_args: Vec<TermId> = args
+            .iter()
+            .map(|&a| rewrite(ctx, a, memo, table, by_func, app_vars))
+            .collect();
+        let r = match op {
+            Op::Apply(f) => {
+                let key = (f, new_args.clone());
+                if let Some(&v) = table.get(&key) {
+                    v
+                } else {
+                    let idx = by_func.get(&f).map_or(0, |v| v.len());
+                    let name = format!("{}!{}", ctx.func_name(f), idx);
+                    let v = ctx.var(&name, ctx.func_ret_sort(f));
+                    table.insert(key, v);
+                    by_func.entry(f).or_default().push((new_args, v));
+                    app_vars.push((t, v));
+                    v
+                }
+            }
+            Op::Var(_) => t,
+            _ => {
+                if new_args == args {
+                    t
+                } else {
+                    ctx.rebuild(op, &new_args)
+                }
+            }
+        };
+        memo.insert(t, r);
+        r
+    }
+
+    let rewritten: Vec<TermId> = assertions
+        .iter()
+        .map(|&t| {
+            rewrite(
+                ctx,
+                t,
+                &mut memo,
+                &mut table,
+                &mut by_func,
+                &mut app_vars,
+            )
+        })
+        .collect();
+
+    let mut constraints = Vec::new();
+    for apps in by_func.values() {
+        for i in 0..apps.len() {
+            for j in (i + 1)..apps.len() {
+                let (args_i, var_i) = &apps[i];
+                let (args_j, var_j) = &apps[j];
+                let eqs: Vec<TermId> = args_i
+                    .iter()
+                    .zip(args_j)
+                    .map(|(&a, &b)| ctx.eq(a, b))
+                    .collect();
+                let all_eq = ctx.and_many(&eqs);
+                let res_eq = ctx.eq(*var_i, *var_j);
+                constraints.push(ctx.implies(all_eq, res_eq));
+            }
+        }
+    }
+
+    Ackermannized {
+        assertions: rewritten,
+        constraints,
+        app_vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    #[test]
+    fn removes_applications() {
+        let ctx = Ctx::new();
+        let f = ctx.func("f", &[Sort::BitVec(8)], Sort::BitVec(8));
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let fx = ctx.apply(f, &[x]);
+        let fy = ctx.apply(f, &[y]);
+        let assertion = ctx.ne(fx, fy);
+        let ack = ackermannize(&ctx, &[assertion]);
+        assert_eq!(ack.app_vars.len(), 2);
+        assert_eq!(ack.constraints.len(), 1);
+        // Rewritten assertion must not contain Apply.
+        fn has_apply(ctx: &Ctx, t: TermId) -> bool {
+            matches!(ctx.op(t), Op::Apply(_))
+                || ctx.args(t).iter().any(|&a| has_apply(ctx, a))
+        }
+        assert!(!has_apply(&ctx, ack.assertions[0]));
+        for &c in &ack.constraints {
+            assert!(!has_apply(&ctx, c));
+        }
+    }
+
+    #[test]
+    fn identical_applications_share_a_var() {
+        let ctx = Ctx::new();
+        let f = ctx.func("f", &[Sort::BitVec(8)], Sort::BitVec(8));
+        let x = ctx.var("x", Sort::BitVec(8));
+        let fx1 = ctx.apply(f, &[x]);
+        let fx2 = ctx.apply(f, &[x]);
+        assert_eq!(fx1, fx2); // hash-consed
+        let ack = ackermannize(&ctx, &[ctx.eq(fx1, fx2)]);
+        assert_eq!(ack.app_vars.len(), 0); // folded away by eq(x, x) = true
+    }
+
+    #[test]
+    fn nested_applications() {
+        let ctx = Ctx::new();
+        let f = ctx.func("f", &[Sort::BitVec(8)], Sort::BitVec(8));
+        let x = ctx.var("x", Sort::BitVec(8));
+        let ffx = ctx.apply(f, &[ctx.apply(f, &[x])]);
+        let assertion = ctx.eq(ffx, x);
+        let ack = ackermannize(&ctx, &[assertion]);
+        assert_eq!(ack.app_vars.len(), 2);
+        assert_eq!(ack.constraints.len(), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! CEGQI (counterexample-guided quantifier instantiation) for ∃∀ queries.
+//!
+//! The Alive2 refinement check (paper §5.2–§5.3) is, after negation, a
+//! formula of the shape `∃ X. ∀ Y. φ(X, Y)` where `Y` is the source
+//! function's non-determinism (`undef` choices, `freeze` picks, call
+//! outputs). Over finite bit-vector domains CEGQI is a decision procedure:
+//!
+//! 1. Guess `X` satisfying φ for every universal instantiation seen so far.
+//! 2. Verify the guess: search `Y` with `¬φ(x*, Y)`.
+//! 3. If none exists, `x*` is a witness; otherwise add the found `y*` as a
+//!    new instantiation and repeat.
+
+use crate::model::Model;
+use crate::sat::Budget;
+use crate::solver::{SmtResult, Solver};
+use crate::term::{Ctx, TermId};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Outcome of an ∃∀ solve.
+#[derive(Clone, Debug)]
+pub enum EfResult {
+    /// A witness for the existential variables was found; the model fixes
+    /// the existentials (universals are absent).
+    Sat(Model),
+    /// No witness exists: `∀X. ∃Y. ¬φ`.
+    Unsat,
+    /// Resource budget exhausted before a definitive answer.
+    Timeout,
+    /// Memory budget exhausted.
+    OutOfMemory,
+}
+
+impl EfResult {
+    /// True for the `Sat` outcome.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, EfResult::Sat(_))
+    }
+
+    /// True for the `Unsat` outcome.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, EfResult::Unsat)
+    }
+}
+
+/// Configuration for the CEGQI loop.
+#[derive(Clone, Copy, Debug)]
+pub struct EfConfig {
+    /// Budget for each underlying SAT call.
+    pub budget: Budget,
+    /// Maximum number of refinement iterations.
+    pub max_iterations: u32,
+    /// Overall wall-clock limit in milliseconds for the whole loop.
+    pub max_millis: u64,
+}
+
+impl Default for EfConfig {
+    fn default() -> Self {
+        EfConfig {
+            budget: Budget::unlimited(),
+            max_iterations: 64,
+            max_millis: u64::MAX,
+        }
+    }
+}
+
+/// Solves `∃ (free vars ∖ universals). ∀ universals. φ`.
+///
+/// `universals` must be variable terms; every other free variable of `phi`
+/// is treated as existential. The returned model (on `Sat`) assigns the
+/// existential variables that mattered.
+pub fn solve_exists_forall(
+    ctx: &Ctx,
+    universals: &[TermId],
+    phi: TermId,
+    config: EfConfig,
+) -> EfResult {
+    solve_exists_forall_with_seeds(ctx, universals, phi, config, &[])
+}
+
+/// Like [`solve_exists_forall`], with caller-provided *seed instantiations*
+/// of the universal variables. Seeds may map universals to arbitrary terms
+/// over the existential variables (symbolic instantiations); they are
+/// conjoined to the candidate constraint up front. Sound and complete
+/// regardless of seed quality — good seeds (e.g. matching a source
+/// function's undef choices to the target's) make the loop converge in one
+/// iteration instead of chasing fresh values.
+pub fn solve_exists_forall_with_seeds(
+    ctx: &Ctx,
+    universals: &[TermId],
+    phi: TermId,
+    config: EfConfig,
+    seeds: &[HashMap<TermId, TermId>],
+) -> EfResult {
+    let start = Instant::now();
+    let deadline_exceeded =
+        |start: &Instant| start.elapsed().as_millis() as u64 >= config.max_millis;
+    let budget_left = |start: &Instant| -> Budget {
+        let mut b = config.budget;
+        if config.max_millis != u64::MAX {
+            let used = start.elapsed().as_millis() as u64;
+            b.max_millis = b.max_millis.min(config.max_millis.saturating_sub(used).max(1));
+        }
+        b
+    };
+
+    for u in universals {
+        assert!(
+            ctx.as_var(*u).is_some(),
+            "universal quantifier binds non-variable term"
+        );
+    }
+
+    // No universals: plain SAT.
+    if universals.is_empty() {
+        let mut s = Solver::new(ctx);
+        s.assert(phi);
+        return match s.check(budget_left(&start)) {
+            SmtResult::Sat(m) => EfResult::Sat(m),
+            SmtResult::Unsat => EfResult::Unsat,
+            SmtResult::Timeout => EfResult::Timeout,
+            SmtResult::OutOfMemory => EfResult::OutOfMemory,
+        };
+    }
+
+    // Instantiation set; seed with the all-zero assignment plus any
+    // caller-provided seeds (completed with zeros for unmapped universals).
+    let mut instantiations: Vec<HashMap<TermId, TermId>> = Vec::new();
+    {
+        let mut zero = HashMap::new();
+        for &u in universals {
+            let m = Model::new();
+            zero.insert(u, m.value_term(ctx, u));
+        }
+        for seed in seeds {
+            let mut inst = zero.clone();
+            for (&u, &t) in seed {
+                if inst.contains_key(&u) {
+                    inst.insert(u, t);
+                }
+            }
+            instantiations.push(inst);
+        }
+        instantiations.push(zero);
+    }
+
+    for _iter in 0..config.max_iterations {
+        if deadline_exceeded(&start) {
+            return EfResult::Timeout;
+        }
+        // Candidate step: find X satisfying φ under every instantiation.
+        let mut cand = Solver::new(ctx);
+        for inst in &instantiations {
+            cand.assert(ctx.substitute(phi, inst));
+        }
+        let x_model = match cand.check(budget_left(&start)) {
+            SmtResult::Sat(m) => m,
+            SmtResult::Unsat => return EfResult::Unsat,
+            SmtResult::Timeout => return EfResult::Timeout,
+            SmtResult::OutOfMemory => return EfResult::OutOfMemory,
+        };
+        // Verification step: fix X := x*, search for a counter-instantiation.
+        let mut x_subst: HashMap<TermId, TermId> = HashMap::new();
+        let exist_vars: Vec<TermId> = ctx
+            .free_vars(phi)
+            .into_iter()
+            .filter(|v| !universals.contains(v))
+            .collect();
+        for &xv in &exist_vars {
+            x_subst.insert(xv, x_model.value_term(ctx, xv));
+        }
+        let phi_x = ctx.substitute(phi, &x_subst);
+        let mut verify = Solver::new(ctx);
+        verify.assert(ctx.not(phi_x));
+        match verify.check(budget_left(&start)) {
+            SmtResult::Unsat => return EfResult::Sat(x_model),
+            SmtResult::Sat(y_model) => {
+                let mut inst = HashMap::new();
+                for &u in universals {
+                    inst.insert(u, y_model.value_term(ctx, u));
+                }
+                instantiations.push(inst);
+            }
+            SmtResult::Timeout => return EfResult::Timeout,
+            SmtResult::OutOfMemory => return EfResult::OutOfMemory,
+        }
+    }
+    EfResult::Timeout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    #[test]
+    fn exists_x_forall_y_sat() {
+        // ∃x. ∀y. x & y == y  holds with x = all-ones.
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(4));
+        let y = ctx.var("y", Sort::BitVec(4));
+        let phi = ctx.eq(ctx.bv_and(x, y), y);
+        match solve_exists_forall(&ctx, &[y], phi, EfConfig::default()) {
+            EfResult::Sat(m) => {
+                assert!(m.eval_bv(&ctx, x).is_all_ones());
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_x_forall_y_unsat() {
+        // ∃x. ∀y. x == y  fails for width > 0... actually for width >= 1
+        // there are at least two y values.
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(4));
+        let y = ctx.var("y", Sort::BitVec(4));
+        let phi = ctx.eq(x, y);
+        assert!(solve_exists_forall(&ctx, &[y], phi, EfConfig::default()).is_unsat());
+    }
+
+    #[test]
+    fn no_universals_degenerates_to_sat() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(4));
+        let phi = ctx.eq(x, ctx.bv_lit_u64(4, 7));
+        match solve_exists_forall(&ctx, &[], phi, EfConfig::default()) {
+            EfResult::Sat(m) => assert_eq!(m.eval_bv(&ctx, x).to_u64(), 7),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forall_with_arithmetic() {
+        // ∃x. ∀y. (y + x) - x == y  is valid for any x; expect sat.
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let phi = ctx.eq(ctx.bv_sub(ctx.bv_add(y, x), x), y);
+        assert!(solve_exists_forall(&ctx, &[y], phi, EfConfig::default()).is_sat());
+    }
+
+    #[test]
+    fn mixed_exists_multiple_universals() {
+        // ∃x. ∀y,z. x ule (y | x) — true since y|x ≥ x bitwise.
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(4));
+        let y = ctx.var("y", Sort::BitVec(4));
+        let z = ctx.var("z", Sort::BitVec(4));
+        let ored = ctx.bv_or(y, x);
+        let phi = ctx.and(ctx.bv_ule(x, ored), ctx.eq(z, z));
+        assert!(solve_exists_forall(&ctx, &[y, z], phi, EfConfig::default()).is_sat());
+    }
+
+    #[test]
+    fn iteration_limit_reports_timeout() {
+        // A query needing several refinements with max_iterations = 1:
+        // ∃x. ∀y. x != y is unsat, but the first candidate is found and
+        // refuted, so with 1 iteration we cannot conclude; expect Timeout
+        // (conservative) rather than a wrong verdict.
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let phi = ctx.ne(x, y);
+        let config = EfConfig {
+            max_iterations: 1,
+            ..EfConfig::default()
+        };
+        match solve_exists_forall(&ctx, &[y], phi, config) {
+            EfResult::Timeout | EfResult::Unsat => {}
+            other => panic!("must not claim sat: {other:?}"),
+        }
+    }
+}

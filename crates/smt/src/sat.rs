@@ -1,0 +1,924 @@
+//! A CDCL SAT solver with two-watched literals, first-UIP clause learning,
+//! VSIDS branching, phase saving, Luby restarts, and learned-clause database
+//! reduction.
+//!
+//! This is the decision engine under the bit-blaster. It deliberately
+//! supports *resource budgets* (conflicts, wall-clock time, learned-literal
+//! memory) because the Alive2 evaluation (Figures 6–8 of the paper) sweeps
+//! solver timeouts and reports timeout/out-of-memory outcomes as first-class
+//! results.
+
+use std::time::Instant;
+
+/// A propositional variable, numbered from zero.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SatVar(pub u32);
+
+/// A literal: a variable with a sign. Even codes are positive.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Builds a literal from a variable and sign (`true` = positive).
+    pub fn new(var: SatVar, positive: bool) -> Lit {
+        Lit(var.0 << 1 | (!positive as u32))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> SatVar {
+        SatVar(self.0 >> 1)
+    }
+
+    /// True if the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The negation of the literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Ternary assignment value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+/// The outcome of a satisfiability check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatOutcome {
+    /// A satisfying assignment was found.
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The conflict or time budget was exhausted.
+    TimedOut,
+    /// The learned-clause memory budget was exhausted.
+    OutOfMemory,
+}
+
+/// Resource budget for one `solve` call.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Maximum number of conflicts before giving up (`u64::MAX` = unlimited).
+    pub max_conflicts: u64,
+    /// Wall-clock limit in milliseconds (`u64::MAX` = unlimited).
+    pub max_millis: u64,
+    /// Maximum total literals in learned clauses before reporting
+    /// out-of-memory (`usize::MAX` = unlimited).
+    pub max_learned_lits: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_conflicts: u64::MAX,
+            max_millis: u64::MAX,
+            max_learned_lits: usize::MAX,
+        }
+    }
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A budget limited by wall-clock milliseconds.
+    pub fn with_millis(ms: u64) -> Self {
+        Budget {
+            max_millis: ms,
+            ..Self::default()
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+type ClauseRef = usize;
+
+#[derive(Clone, Copy)]
+struct Watcher {
+    clause: ClauseRef,
+    blocker: Lit,
+}
+
+/// Statistics from the most recent `solve` call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SatStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+}
+
+/// The CDCL solver.
+///
+/// # Examples
+///
+/// ```
+/// use alive2_smt::sat::{Budget, Lit, SatOutcome, SatSolver};
+///
+/// let mut s = SatSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::new(a, true), Lit::new(b, true)]);
+/// s.add_clause(&[Lit::new(a, false)]);
+/// assert_eq!(s.solve(Budget::unlimited()), SatOutcome::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: Vec<SatVar>,
+    order_pos: Vec<usize>,
+    seen: Vec<bool>,
+    ok: bool,
+    learned_lits: usize,
+    stats: SatStats,
+}
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SatSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SatSolver {{ vars: {}, clauses: {} }}",
+            self.assigns.len(),
+            self.clauses.len()
+        )
+    }
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        SatSolver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: Vec::new(),
+            order_pos: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            learned_lits: 0,
+            stats: SatStats::default(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (including learned, excluding deleted).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Statistics from the most recent solve.
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> SatVar {
+        let v = SatVar(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.order_pos.push(self.order.len());
+        self.order.push(v);
+        self.heap_up(self.order.len() - 1);
+        v
+    }
+
+    fn lit_value(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().0 as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    /// The value of a variable in the current (final) assignment, if set.
+    pub fn value(&self, v: SatVar) -> Option<bool> {
+        match self.assigns[v.0 as usize] {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already in an
+    /// unsatisfiable state.
+    ///
+    /// Tautologies are dropped and duplicate literals removed.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted = lits.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        for &l in &sorted {
+            match self.lit_value(l) {
+                LBool::True => return true, // satisfied at level 0
+                LBool::False => continue,   // falsified at level 0: drop
+                LBool::Undef => {}
+            }
+            if c.contains(&l.negate()) {
+                return true; // tautology
+            }
+            c.push(l);
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(c, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len();
+        if learnt {
+            self.learned_lits += lits.len();
+        }
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        self.watches[w0.negate().code()].push(Watcher {
+            clause: cref,
+            blocker: w1,
+        });
+        self.watches[w1.negate().code()].push(Watcher {
+            clause: cref,
+            blocker: w0,
+        });
+        cref
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var().0 as usize;
+        self.assigns[v] = if l.is_positive() {
+            LBool::True
+        } else {
+            LBool::False
+        };
+        self.phase[v] = l.is_positive();
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            let mut j = 0;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut conflict: Option<ClauseRef> = None;
+            'outer: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.lit_value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.clause;
+                if self.clauses[cref].deleted {
+                    continue;
+                }
+                // Make sure the false literal is at position 1.
+                let false_lit = p.negate();
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[j] = Watcher {
+                        clause: cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[cref].lits.len() {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[lk.negate().code()].push(Watcher {
+                            clause: cref,
+                            blocker: first,
+                        });
+                        continue 'outer;
+                    }
+                }
+                // Clause is unit or conflicting.
+                ws[j] = Watcher {
+                    clause: cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: copy the rest of the watchers back.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    conflict = Some(cref);
+                } else {
+                    self.enqueue(first, Some(cref));
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: SatVar) {
+        let idx = v.0 as usize;
+        self.activity[idx] += self.var_inc;
+        if self.activity[idx] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        let pos = self.order_pos[idx];
+        if pos != usize::MAX {
+            self.heap_up(pos);
+        }
+    }
+
+    fn bump_clause(&mut self, c: ClauseRef) {
+        self.clauses[c].activity += self.cla_inc;
+        if self.clauses[c].activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    // ---- activity order (binary max-heap keyed by activity) -------------
+
+    fn heap_less(&self, a: SatVar, b: SatVar) -> bool {
+        self.activity[a.0 as usize] > self.activity[b.0 as usize]
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        let v = self.order[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(v, self.order[parent]) {
+                self.order[i] = self.order[parent];
+                self.order_pos[self.order[i].0 as usize] = i;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.order[i] = v;
+        self.order_pos[v.0 as usize] = i;
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        let v = self.order[i];
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.order.len() {
+                break;
+            }
+            let r = l + 1;
+            let child = if r < self.order.len() && self.heap_less(self.order[r], self.order[l]) {
+                r
+            } else {
+                l
+            };
+            if self.heap_less(self.order[child], v) {
+                self.order[i] = self.order[child];
+                self.order_pos[self.order[i].0 as usize] = i;
+                i = child;
+            } else {
+                break;
+            }
+        }
+        self.order[i] = v;
+        self.order_pos[v.0 as usize] = i;
+    }
+
+    fn heap_pop(&mut self) -> Option<SatVar> {
+        if self.order.is_empty() {
+            return None;
+        }
+        let top = self.order[0];
+        self.order_pos[top.0 as usize] = usize::MAX;
+        let last = self.order.pop().unwrap();
+        if !self.order.is_empty() {
+            self.order[0] = last;
+            self.order_pos[last.0 as usize] = 0;
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_insert(&mut self, v: SatVar) {
+        if self.order_pos[v.0 as usize] != usize::MAX {
+            return;
+        }
+        self.order_pos[v.0 as usize] = self.order.len();
+        self.order.push(v);
+        self.heap_up(self.order.len() - 1);
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v.0 as usize] == LBool::Undef {
+                self.stats.decisions += 1;
+                return Some(Lit::new(v, self.phase[v.0 as usize]));
+            }
+        }
+        None
+    }
+
+    fn backtrack(&mut self, to_level: u32) {
+        if self.decision_level() <= to_level {
+            return;
+        }
+        let lim = self.trail_lim[to_level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assigns[v.0 as usize] = LBool::Undef;
+            self.reason[v.0 as usize] = None;
+            self.heap_insert(v);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(to_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    /// First-UIP conflict analysis; returns the learned clause (UIP literal
+    /// first) and the backjump level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = conflict;
+        let mut index = self.trail.len();
+        loop {
+            self.bump_clause(cref);
+            let start = if p.is_some() { 1 } else { 0 };
+            // Clone needed literals to appease the borrow checker; clauses are short.
+            let lits = self.clauses[cref].lits.clone();
+            for &q in &lits[start..] {
+                let v = q.var().0 as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find next literal to look at.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().0 as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var().0 as usize;
+            self.seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = p.unwrap().negate();
+                break;
+            }
+            cref = self.reason[pv].expect("implied literal must have a reason");
+        }
+        // Simple clause minimization: drop literals implied by the rest.
+        let mut minimized: Vec<Lit> = vec![learnt[0]];
+        for &l in &learnt[1..] {
+            let v = l.var().0 as usize;
+            let redundant = match self.reason[v] {
+                Some(r) => self.clauses[r].lits[1..]
+                    .iter()
+                    .all(|&q| self.seen[q.var().0 as usize] || self.level[q.var().0 as usize] == 0),
+                None => false,
+            };
+            if !redundant {
+                minimized.push(l);
+            }
+        }
+        for &l in &learnt {
+            self.seen[l.var().0 as usize] = false;
+        }
+        // Re-mark the kept ones were cleared above; recompute seen for safety.
+        for &l in &minimized[1..] {
+            self.seen[l.var().0 as usize] = false;
+        }
+        let back_level = minimized[1..]
+            .iter()
+            .map(|l| self.level[l.var().0 as usize])
+            .max()
+            .unwrap_or(0);
+        // Move a literal of back_level to index 1 (watch invariant).
+        if minimized.len() > 1 {
+            let mi = minimized[1..]
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| self.level[l.var().0 as usize])
+                .map(|(i, _)| i + 1)
+                .unwrap();
+            minimized.swap(1, mi);
+        }
+        (minimized, back_level)
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learnt && !self.clauses[i].deleted)
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap()
+        });
+        let locked: std::collections::HashSet<ClauseRef> =
+            self.reason.iter().flatten().copied().collect();
+        let target = learnt_refs.len() / 2;
+        let mut removed = 0;
+        for &cref in &learnt_refs {
+            if removed >= target {
+                break;
+            }
+            if locked.contains(&cref) || self.clauses[cref].lits.len() <= 2 {
+                continue;
+            }
+            self.clauses[cref].deleted = true;
+            self.learned_lits -= self.clauses[cref].lits.len();
+            removed += 1;
+        }
+        for ws in &mut self.watches {
+            ws.retain(|w| !self.clauses[w.clause].deleted);
+        }
+    }
+
+    /// The Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8…
+    fn luby(i: u64) -> u64 {
+        let mut x = i - 1;
+        let mut size = 1u64;
+        let mut seq = 0u32;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) >> 1;
+            seq -= 1;
+            x %= size;
+        }
+        1 << seq
+    }
+
+    /// Solves the current formula under the given budget.
+    pub fn solve(&mut self, budget: Budget) -> SatOutcome {
+        self.stats = SatStats::default();
+        if !self.ok {
+            return SatOutcome::Unsat;
+        }
+        let start = Instant::now();
+        let mut restart_num = 1u64;
+        let mut conflicts_until_restart = 32 * Self::luby(restart_num);
+        let mut max_learnts = (self.clauses.len() / 3).max(1000);
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatOutcome::Unsat;
+                }
+                let (learnt, back_level) = self.analyze(conflict);
+                self.backtrack(back_level);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], None);
+                } else {
+                    let cref = self.attach_clause(learnt.clone(), true);
+                    self.bump_clause(cref);
+                    self.enqueue(learnt[0], Some(cref));
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+                if self.stats.conflicts >= budget.max_conflicts {
+                    self.backtrack(0);
+                    return SatOutcome::TimedOut;
+                }
+                if self.stats.conflicts % 256 == 0
+                    && start.elapsed().as_millis() as u64 >= budget.max_millis
+                {
+                    self.backtrack(0);
+                    return SatOutcome::TimedOut;
+                }
+                if self.learned_lits > budget.max_learned_lits {
+                    self.backtrack(0);
+                    return SatOutcome::OutOfMemory;
+                }
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+            } else {
+                if conflicts_until_restart == 0 {
+                    self.stats.restarts += 1;
+                    restart_num += 1;
+                    conflicts_until_restart = 32 * Self::luby(restart_num);
+                    self.backtrack(0);
+                }
+                let learnt_count = self
+                    .clauses
+                    .iter()
+                    .filter(|c| c.learnt && !c.deleted)
+                    .count();
+                if learnt_count > max_learnts {
+                    self.reduce_db();
+                    max_learnts = max_learnts + max_learnts / 10;
+                }
+                match self.pick_branch() {
+                    None => return SatOutcome::Sat,
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut SatSolver, vars: &mut Vec<SatVar>, i: i32) -> Lit {
+        let idx = i.unsigned_abs() as usize - 1;
+        while vars.len() <= idx {
+            vars.push(s.new_var());
+        }
+        Lit::new(vars[idx], i > 0)
+    }
+
+    fn solve_dimacs(clauses: &[&[i32]]) -> SatOutcome {
+        let mut s = SatSolver::new();
+        let mut vars = Vec::new();
+        for c in clauses {
+            let ls: Vec<Lit> = c.iter().map(|&i| lit(&mut s, &mut vars, i)).collect();
+            s.add_clause(&ls);
+        }
+        s.solve(Budget::unlimited())
+    }
+
+    #[test]
+    fn trivial_sat_unsat() {
+        assert_eq!(solve_dimacs(&[&[1]]), SatOutcome::Sat);
+        assert_eq!(solve_dimacs(&[&[1], &[-1]]), SatOutcome::Unsat);
+        assert_eq!(solve_dimacs(&[]), SatOutcome::Sat);
+        assert_eq!(solve_dimacs(&[&[]]), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // 1, 1->2, 2->3, 3->-1 is unsat.
+        assert_eq!(
+            solve_dimacs(&[&[1], &[-1, 2], &[-2, 3], &[-3, -1]]),
+            SatOutcome::Unsat
+        );
+        assert_eq!(
+            solve_dimacs(&[&[1], &[-1, 2], &[-2, 3]]),
+            SatOutcome::Sat
+        );
+    }
+
+    #[test]
+    fn model_is_returned() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::new(a, false), Lit::new(b, true)]);
+        s.add_clause(&[Lit::new(a, true)]);
+        assert_eq!(s.solve(Budget::unlimited()), SatOutcome::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{ij}: pigeon i in hole j; i in 0..3, j in 0..2.
+        let mut s = SatSolver::new();
+        let mut p = vec![];
+        for _ in 0..6 {
+            p.push(s.new_var());
+        }
+        let idx = |i: usize, j: usize| p[i * 2 + j];
+        for i in 0..3 {
+            s.add_clause(&[Lit::new(idx(i, 0), true), Lit::new(idx(i, 1), true)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[Lit::new(idx(i1, j), false), Lit::new(idx(i2, j), false)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(Budget::unlimited()), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_3sat() {
+        // Deterministic xorshift RNG for reproducibility.
+        let mut state = 0x243F6A88u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..60 {
+            let n = 6;
+            let m = 3 + (round % 20);
+            let mut cls: Vec<Vec<i32>> = Vec::new();
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (rng() % n + 1) as i32;
+                    let s = if rng() % 2 == 0 { 1 } else { -1 };
+                    c.push(v * s);
+                }
+                cls.push(c);
+            }
+            // Brute force over 2^6 assignments.
+            let mut brute_sat = false;
+            'assign: for bits in 0..(1u32 << n) {
+                for c in &cls {
+                    let ok = c.iter().any(|&l| {
+                        let v = l.unsigned_abs() - 1;
+                        let val = bits >> v & 1 == 1;
+                        if l > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    });
+                    if !ok {
+                        continue 'assign;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            let refs: Vec<&[i32]> = cls.iter().map(|c| c.as_slice()).collect();
+            let got = solve_dimacs(&refs);
+            let expect = if brute_sat {
+                SatOutcome::Sat
+            } else {
+                SatOutcome::Unsat
+            };
+            assert_eq!(got, expect, "round {round}: {cls:?}");
+        }
+    }
+
+    #[test]
+    fn conflict_budget_reports_timeout() {
+        // A hard pigeonhole instance with a tiny conflict budget.
+        let mut s = SatSolver::new();
+        let n = 7; // pigeons
+        let h = 6; // holes
+        let mut p = vec![];
+        for _ in 0..n * h {
+            p.push(s.new_var());
+        }
+        let idx = |i: usize, j: usize| p[i * h + j];
+        for i in 0..n {
+            let c: Vec<Lit> = (0..h).map(|j| Lit::new(idx(i, j), true)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[Lit::new(idx(i1, j), false), Lit::new(idx(i2, j), false)]);
+                }
+            }
+        }
+        let out = s.solve(Budget {
+            max_conflicts: 10,
+            ..Budget::unlimited()
+        });
+        assert_eq!(out, SatOutcome::TimedOut);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(SatSolver::luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+}

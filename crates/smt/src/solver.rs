@@ -1,0 +1,263 @@
+//! The user-facing SMT solver: assert terms, check satisfiability under a
+//! resource budget, and extract models.
+
+use crate::ackermann::ackermannize;
+use crate::bitblast::BitBlaster;
+use crate::model::{Model, Value};
+use crate::sat::{Budget, SatOutcome};
+use crate::term::{Ctx, Sort, TermId};
+
+/// The outcome of an SMT check.
+#[derive(Clone, Debug)]
+pub enum SmtResult {
+    /// Satisfiable, with a model over the assertions' free variables.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// The time/conflict budget was exhausted.
+    Timeout,
+    /// The memory budget was exhausted.
+    OutOfMemory,
+}
+
+impl SmtResult {
+    /// True if the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+
+    /// True if the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SmtResult::Unsat)
+    }
+
+    /// True if the check ran out of resources.
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(self, SmtResult::Timeout | SmtResult::OutOfMemory)
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SmtResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A one-shot SMT solver over a [`Ctx`].
+///
+/// # Examples
+///
+/// ```
+/// use alive2_smt::solver::Solver;
+/// use alive2_smt::term::{Ctx, Sort};
+/// use alive2_smt::sat::Budget;
+///
+/// let ctx = Ctx::new();
+/// let x = ctx.var("x", Sort::BitVec(8));
+/// let five = ctx.bv_lit_u64(8, 5);
+/// let mut s = Solver::new(&ctx);
+/// s.assert(ctx.bv_ult(x, five));
+/// let r = s.check(Budget::unlimited());
+/// assert!(r.is_sat());
+/// let m = r.model().unwrap();
+/// assert!(m.eval_bv(&ctx, x).to_u64() < 5);
+/// ```
+#[derive(Debug)]
+pub struct Solver<'a> {
+    ctx: &'a Ctx,
+    assertions: Vec<TermId>,
+}
+
+impl<'a> Solver<'a> {
+    /// Creates a solver over the given context.
+    pub fn new(ctx: &'a Ctx) -> Self {
+        Solver {
+            ctx,
+            assertions: Vec::new(),
+        }
+    }
+
+    /// Adds an assertion (must be boolean-sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not boolean-sorted.
+    pub fn assert(&mut self, t: TermId) {
+        assert!(self.ctx.sort(t).is_bool(), "assertions must be boolean");
+        self.assertions.push(t);
+    }
+
+    /// The asserted terms.
+    pub fn assertions(&self) -> &[TermId] {
+        &self.assertions
+    }
+
+    /// Checks satisfiability of the conjunction of assertions.
+    ///
+    /// The returned model is *partial* in the sense of §3.8 of the paper:
+    /// it only assigns variables whose CNF encoding was actually created
+    /// (i.e. variables that appear in the formula after simplification).
+    pub fn check(&self, budget: Budget) -> SmtResult {
+        // Fast path: syntactically trivial.
+        let conj = self.ctx.and_many(&self.assertions);
+        if let Some(b) = self.ctx.as_bool_lit(conj) {
+            return if b {
+                SmtResult::Sat(Model::new())
+            } else {
+                SmtResult::Unsat
+            };
+        }
+        let ack = ackermannize(self.ctx, &[conj]);
+        let mut bb = BitBlaster::new(self.ctx);
+        for &t in ack.assertions.iter().chain(&ack.constraints) {
+            bb.assert_term(t);
+        }
+        match bb.sat.solve(budget) {
+            SatOutcome::Unsat => SmtResult::Unsat,
+            SatOutcome::TimedOut => SmtResult::Timeout,
+            SatOutcome::OutOfMemory => SmtResult::OutOfMemory,
+            SatOutcome::Sat => {
+                let mut model = Model::new();
+                // Collect free vars of the blasted assertions, including the
+                // Ackermann result variables (mapped back to applications by
+                // callers that care).
+                let roots: Vec<TermId> = ack
+                    .assertions
+                    .iter()
+                    .chain(&ack.constraints)
+                    .copied()
+                    .collect();
+                for vt in self.ctx.free_vars_many(&roots) {
+                    let v = self.ctx.as_var(vt).expect("free var is a Var term");
+                    match self.ctx.sort(vt) {
+                        Sort::Bool => {
+                            if bb.bool_var_lit(v).is_some() {
+                                model.set(v, Value::Bool(bb.model_bool(v)));
+                            }
+                        }
+                        Sort::BitVec(w) => {
+                            if bb.bv_var_lits(v).is_some() {
+                                model.set(v, Value::Bv(bb.model_bv(v, w)));
+                            }
+                        }
+                    }
+                }
+                SmtResult::Sat(model)
+            }
+        }
+    }
+}
+
+/// Convenience: checks whether `t` is valid (true in all models) under the
+/// budget. Returns `Some(true)` if valid, `Some(false)` if a countermodel
+/// exists, `None` on resource exhaustion.
+pub fn is_valid(ctx: &Ctx, t: TermId, budget: Budget) -> Option<bool> {
+    let mut s = Solver::new(ctx);
+    s.assert(ctx.not(t));
+    match s.check(budget) {
+        SmtResult::Unsat => Some(true),
+        SmtResult::Sat(_) => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    #[test]
+    fn sat_with_model() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let sum = ctx.bv_add(x, y);
+        let mut s = Solver::new(&ctx);
+        s.assert(ctx.eq(sum, ctx.bv_lit_u64(8, 10)));
+        s.assert(ctx.bv_ult(x, ctx.bv_lit_u64(8, 3)));
+        let r = s.check(Budget::unlimited());
+        let m = r.model().expect("sat");
+        let xv = m.eval_bv(&ctx, x).to_u64();
+        let yv = m.eval_bv(&ctx, y).to_u64();
+        assert!(xv < 3);
+        assert_eq!((xv + yv) & 0xff, 10);
+    }
+
+    #[test]
+    fn unsat_arithmetic() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        // x < x is unsat
+        let mut s = Solver::new(&ctx);
+        let xp1 = ctx.bv_add(x, ctx.bv_lit_u64(8, 1));
+        // x + 1 == x is unsat
+        s.assert(ctx.eq(xp1, x));
+        assert!(s.check(Budget::unlimited()).is_unsat());
+    }
+
+    #[test]
+    fn validity_of_commutativity() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        // These fold to the same term by canonical ordering, but check the
+        // full pipeline with a non-trivial identity: (x + y) - y == x.
+        let t = ctx.eq(ctx.bv_sub(ctx.bv_add(x, y), y), x);
+        assert_eq!(is_valid(&ctx, t, Budget::unlimited()), Some(true));
+        // x * 2 == x << 1
+        let two = ctx.bv_lit_u64(8, 2);
+        let one = ctx.bv_lit_u64(8, 1);
+        let t2 = ctx.eq(ctx.bv_mul(x, two), ctx.bv_shl(x, one));
+        assert_eq!(is_valid(&ctx, t2, Budget::unlimited()), Some(true));
+        // x - 1 == x + 1 is invalid
+        let t3 = ctx.eq(ctx.bv_sub(x, one), ctx.bv_add(x, one));
+        assert_eq!(is_valid(&ctx, t3, Budget::unlimited()), Some(false));
+    }
+
+    #[test]
+    fn uf_consistency() {
+        let ctx = Ctx::new();
+        let f = ctx.func("f", &[Sort::BitVec(8)], Sort::BitVec(8));
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let fx = ctx.apply(f, &[x]);
+        let fy = ctx.apply(f, &[y]);
+        let mut s = Solver::new(&ctx);
+        s.assert(ctx.eq(x, y));
+        s.assert(ctx.ne(fx, fy));
+        assert!(s.check(Budget::unlimited()).is_unsat());
+        // Without x == y, f(x) != f(y) is satisfiable.
+        let mut s2 = Solver::new(&ctx);
+        s2.assert(ctx.ne(fx, fy));
+        assert!(s2.check(Budget::unlimited()).is_sat());
+    }
+
+    #[test]
+    fn trivial_paths() {
+        let ctx = Ctx::new();
+        let s = Solver::new(&ctx);
+        assert!(s.check(Budget::unlimited()).is_sat()); // empty = true
+        let mut s2 = Solver::new(&ctx);
+        s2.assert(ctx.fals());
+        assert!(s2.check(Budget::unlimited()).is_unsat());
+    }
+
+    #[test]
+    fn partial_model_omits_simplified_vars() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        // y * 0 removes y from the formula entirely.
+        let t = ctx.eq(ctx.bv_add(x, ctx.bv_mul(y, ctx.bv_lit_u64(8, 0))), x);
+        let mut s = Solver::new(&ctx);
+        s.assert(t);
+        match s.check(Budget::unlimited()) {
+            SmtResult::Sat(m) => {
+                assert!(!m.contains(ctx.as_var(y).unwrap()));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+}

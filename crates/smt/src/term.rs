@@ -1,0 +1,1239 @@
+//! Hash-consed SMT term DAG over booleans and fixed-width bit-vectors.
+//!
+//! All terms live inside a [`Ctx`] and are referred to by copyable
+//! [`TermId`] handles. Builders are *smart constructors*: they apply local,
+//! sound simplifications (constant folding, identities) while preserving the
+//! syntactic structure that matters for the undef-detection trick of §3.3 of
+//! the Alive2 paper.
+
+use crate::bv::BitVec;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Handle to a term inside a [`Ctx`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The raw index of this term in its context.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Handle to a declared variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+/// Handle to a declared uninterpreted function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FuncId(pub u32);
+
+/// The sort (type) of a term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sort {
+    /// Boolean sort.
+    Bool,
+    /// Bit-vector sort of the given positive width.
+    BitVec(u32),
+}
+
+impl Sort {
+    /// Returns the bit-vector width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is `Bool`.
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::BitVec(w) => w,
+            Sort::Bool => panic!("expected bit-vector sort, found Bool"),
+        }
+    }
+
+    /// True if this is the boolean sort.
+    pub fn is_bool(self) -> bool {
+        matches!(self, Sort::Bool)
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::BitVec(w) => write!(f, "(_ BitVec {w})"),
+        }
+    }
+}
+
+/// The operator of a term node.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Boolean literal `true`.
+    True,
+    /// Boolean literal `false`.
+    False,
+    /// Bit-vector literal.
+    BvLit(BitVec),
+    /// Free variable reference.
+    Var(VarId),
+    /// Boolean negation.
+    Not,
+    /// Binary conjunction.
+    And,
+    /// Binary disjunction.
+    Or,
+    /// Boolean exclusive or.
+    BXor,
+    /// Implication.
+    Implies,
+    /// Equality over matching sorts (result is Bool).
+    Eq,
+    /// If-then-else; condition is Bool, branches share a sort.
+    Ite,
+    /// Bitwise complement.
+    BvNot,
+    /// Two's-complement negation.
+    BvNeg,
+    /// Bitwise and.
+    BvAnd,
+    /// Bitwise or.
+    BvOr,
+    /// Bitwise xor.
+    BvXor,
+    /// Wrapping addition.
+    BvAdd,
+    /// Wrapping subtraction.
+    BvSub,
+    /// Wrapping multiplication.
+    BvMul,
+    /// Unsigned division (totalized per SMT-LIB).
+    BvUdiv,
+    /// Unsigned remainder (totalized per SMT-LIB).
+    BvUrem,
+    /// Signed division truncating toward zero.
+    BvSdiv,
+    /// Signed remainder.
+    BvSrem,
+    /// Logical shift left.
+    BvShl,
+    /// Logical shift right.
+    BvLshr,
+    /// Arithmetic shift right.
+    BvAshr,
+    /// Unsigned less-than (result Bool).
+    Ult,
+    /// Unsigned less-or-equal (result Bool).
+    Ule,
+    /// Signed less-than (result Bool).
+    Slt,
+    /// Signed less-or-equal (result Bool).
+    Sle,
+    /// Concatenation; first operand becomes the high bits.
+    Concat,
+    /// Bit extraction `[hi:lo]`, inclusive.
+    Extract(u32, u32),
+    /// Zero extension to the given total width.
+    ZExt(u32),
+    /// Sign extension to the given total width.
+    SExt(u32),
+    /// Uninterpreted function application.
+    Apply(FuncId),
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Node {
+    op: Op,
+    args: Box<[TermId]>,
+    sort: Sort,
+}
+
+struct VarInfo {
+    name: String,
+    sort: Sort,
+}
+
+struct FuncInfo {
+    name: String,
+    arg_sorts: Vec<Sort>,
+    ret_sort: Sort,
+}
+
+struct Inner {
+    nodes: Vec<Node>,
+    dedup: HashMap<Node, TermId>,
+    vars: Vec<VarInfo>,
+    funcs: Vec<FuncInfo>,
+}
+
+/// A term-construction context: owns the hash-consed DAG, variables, and
+/// uninterpreted functions.
+///
+/// # Examples
+///
+/// ```
+/// use alive2_smt::term::{Ctx, Sort};
+///
+/// let ctx = Ctx::new();
+/// let x = ctx.var("x", Sort::BitVec(8));
+/// let zero = ctx.bv_lit_u64(8, 0);
+/// let t = ctx.bv_add(x, zero);
+/// assert_eq!(t, x); // x + 0 simplifies to x
+/// ```
+pub struct Ctx {
+    inner: RefCell<Inner>,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        write!(
+            f,
+            "Ctx {{ terms: {}, vars: {}, funcs: {} }}",
+            inner.nodes.len(),
+            inner.vars.len(),
+            inner.funcs.len()
+        )
+    }
+}
+
+impl Ctx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Ctx {
+            inner: RefCell::new(Inner {
+                nodes: Vec::new(),
+                dedup: HashMap::new(),
+                vars: Vec::new(),
+                funcs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Number of distinct term nodes created so far.
+    pub fn num_terms(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    fn intern(&self, op: Op, args: &[TermId], sort: Sort) -> TermId {
+        let node = Node {
+            op,
+            args: args.into(),
+            sort,
+        };
+        let mut inner = self.inner.borrow_mut();
+        if let Some(&id) = inner.dedup.get(&node) {
+            return id;
+        }
+        let id = TermId(inner.nodes.len() as u32);
+        inner.dedup.insert(node.clone(), id);
+        inner.nodes.push(node);
+        id
+    }
+
+    /// The sort of a term.
+    pub fn sort(&self, t: TermId) -> Sort {
+        self.inner.borrow().nodes[t.index()].sort
+    }
+
+    /// The operator of a term.
+    pub fn op(&self, t: TermId) -> Op {
+        self.inner.borrow().nodes[t.index()].op.clone()
+    }
+
+    /// The operands of a term.
+    pub fn args(&self, t: TermId) -> Vec<TermId> {
+        self.inner.borrow().nodes[t.index()].args.to_vec()
+    }
+
+    /// Declares a fresh variable. Names need not be unique; each call
+    /// produces a distinct variable.
+    pub fn var(&self, name: &str, sort: Sort) -> TermId {
+        let vid = {
+            let mut inner = self.inner.borrow_mut();
+            let vid = VarId(inner.vars.len() as u32);
+            inner.vars.push(VarInfo {
+                name: name.to_string(),
+                sort,
+            });
+            vid
+        };
+        self.intern(Op::Var(vid), &[], sort)
+    }
+
+    /// The variable id of a `Var` term, if it is one.
+    pub fn as_var(&self, t: TermId) -> Option<VarId> {
+        match self.inner.borrow().nodes[t.index()].op {
+            Op::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The name of a variable.
+    pub fn var_name(&self, v: VarId) -> String {
+        self.inner.borrow().vars[v.0 as usize].name.clone()
+    }
+
+    /// The sort of a variable.
+    pub fn var_sort(&self, v: VarId) -> Sort {
+        self.inner.borrow().vars[v.0 as usize].sort
+    }
+
+    /// Number of variables declared.
+    pub fn num_vars(&self) -> usize {
+        self.inner.borrow().vars.len()
+    }
+
+    /// Declares an uninterpreted function.
+    pub fn func(&self, name: &str, arg_sorts: &[Sort], ret_sort: Sort) -> FuncId {
+        let mut inner = self.inner.borrow_mut();
+        let fid = FuncId(inner.funcs.len() as u32);
+        inner.funcs.push(FuncInfo {
+            name: name.to_string(),
+            arg_sorts: arg_sorts.to_vec(),
+            ret_sort,
+        });
+        fid
+    }
+
+    /// The name of an uninterpreted function.
+    pub fn func_name(&self, f: FuncId) -> String {
+        self.inner.borrow().funcs[f.0 as usize].name.clone()
+    }
+
+    /// The result sort of an uninterpreted function.
+    pub fn func_ret_sort(&self, f: FuncId) -> Sort {
+        self.inner.borrow().funcs[f.0 as usize].ret_sort
+    }
+
+    /// Applies an uninterpreted function to arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the argument sorts do not match the declaration.
+    pub fn apply(&self, f: FuncId, args: &[TermId]) -> TermId {
+        let ret = {
+            let inner = self.inner.borrow();
+            let info = &inner.funcs[f.0 as usize];
+            assert_eq!(info.arg_sorts.len(), args.len(), "arity mismatch");
+            for (a, s) in args.iter().zip(&info.arg_sorts) {
+                assert_eq!(inner.nodes[a.index()].sort, *s, "argument sort mismatch");
+            }
+            info.ret_sort
+        };
+        self.intern(Op::Apply(f), args, ret)
+    }
+
+    // ---- boolean constructors -------------------------------------------
+
+    /// The literal `true`.
+    pub fn tru(&self) -> TermId {
+        self.intern(Op::True, &[], Sort::Bool)
+    }
+
+    /// The literal `false`.
+    pub fn fals(&self) -> TermId {
+        self.intern(Op::False, &[], Sort::Bool)
+    }
+
+    /// A boolean literal.
+    pub fn bool_lit(&self, b: bool) -> TermId {
+        if b {
+            self.tru()
+        } else {
+            self.fals()
+        }
+    }
+
+    /// If the term is a boolean literal, its value.
+    pub fn as_bool_lit(&self, t: TermId) -> Option<bool> {
+        match self.inner.borrow().nodes[t.index()].op {
+            Op::True => Some(true),
+            Op::False => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Boolean negation.
+    pub fn not(&self, a: TermId) -> TermId {
+        debug_assert!(self.sort(a).is_bool());
+        if let Some(b) = self.as_bool_lit(a) {
+            return self.bool_lit(!b);
+        }
+        if let Op::Not = self.op(a) {
+            return self.args(a)[0];
+        }
+        self.intern(Op::Not, &[a], Sort::Bool)
+    }
+
+    /// Binary conjunction with unit/absorbing simplification.
+    pub fn and(&self, a: TermId, b: TermId) -> TermId {
+        match (self.as_bool_lit(a), self.as_bool_lit(b)) {
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            (Some(false), _) | (_, Some(false)) => return self.fals(),
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Op::And, &[a, b], Sort::Bool)
+    }
+
+    /// Conjunction of many terms.
+    pub fn and_many(&self, ts: &[TermId]) -> TermId {
+        ts.iter().fold(self.tru(), |acc, &t| self.and(acc, t))
+    }
+
+    /// Binary disjunction with unit/absorbing simplification.
+    pub fn or(&self, a: TermId, b: TermId) -> TermId {
+        match (self.as_bool_lit(a), self.as_bool_lit(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) | (_, Some(true)) => return self.tru(),
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Op::Or, &[a, b], Sort::Bool)
+    }
+
+    /// Disjunction of many terms.
+    pub fn or_many(&self, ts: &[TermId]) -> TermId {
+        ts.iter().fold(self.fals(), |acc, &t| self.or(acc, t))
+    }
+
+    /// Boolean exclusive or.
+    pub fn bxor(&self, a: TermId, b: TermId) -> TermId {
+        match (self.as_bool_lit(a), self.as_bool_lit(b)) {
+            (Some(x), Some(y)) => return self.bool_lit(x ^ y),
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.fals();
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Op::BXor, &[a, b], Sort::Bool)
+    }
+
+    /// Implication `a => b`.
+    pub fn implies(&self, a: TermId, b: TermId) -> TermId {
+        match (self.as_bool_lit(a), self.as_bool_lit(b)) {
+            (Some(false), _) | (_, Some(true)) => return self.tru(),
+            (Some(true), _) => return b,
+            (_, Some(false)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.tru();
+        }
+        self.intern(Op::Implies, &[a, b], Sort::Bool)
+    }
+
+    /// Equality between two terms of the same sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sorts differ.
+    pub fn eq(&self, a: TermId, b: TermId) -> TermId {
+        assert_eq!(self.sort(a), self.sort(b), "eq sort mismatch");
+        if a == b {
+            return self.tru();
+        }
+        match (self.as_bv_lit(a), self.as_bv_lit(b)) {
+            (Some(x), Some(y)) => return self.bool_lit(x == y),
+            _ => {}
+        }
+        // (ite c k1 k2) = k  simplifies to c / !c / true / false when the
+        // branches are literals; keeps bool↔bv1 conversions cheap.
+        for (x, y) in [(a, b), (b, a)] {
+            if let (Op::Ite, Some(k)) = (self.op(x), self.as_bv_lit(y)) {
+                let args = self.args(x);
+                if let (Some(t), Some(e)) = (self.as_bv_lit(args[1]), self.as_bv_lit(args[2])) {
+                    return match (t == k, e == k) {
+                        (true, true) => self.tru(),
+                        (true, false) => args[0],
+                        (false, true) => self.not(args[0]),
+                        (false, false) => self.fals(),
+                    };
+                }
+            }
+        }
+        match (self.as_bool_lit(a), self.as_bool_lit(b)) {
+            (Some(x), Some(y)) => return self.bool_lit(x == y),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            (Some(false), _) => return self.not(b),
+            (_, Some(false)) => return self.not(a),
+            _ => {}
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Op::Eq, &[a, b], Sort::Bool)
+    }
+
+    /// Disequality.
+    pub fn ne(&self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// If-then-else over any shared branch sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not boolean or branch sorts differ.
+    pub fn ite(&self, c: TermId, t: TermId, e: TermId) -> TermId {
+        assert!(self.sort(c).is_bool(), "ite condition must be Bool");
+        let sort = self.sort(t);
+        assert_eq!(sort, self.sort(e), "ite branch sort mismatch");
+        if let Some(b) = self.as_bool_lit(c) {
+            return if b { t } else { e };
+        }
+        if t == e {
+            return t;
+        }
+        if sort.is_bool() {
+            match (self.as_bool_lit(t), self.as_bool_lit(e)) {
+                (Some(true), Some(false)) => return c,
+                (Some(false), Some(true)) => return self.not(c),
+                (Some(true), None) => return self.or(c, e),
+                (Some(false), None) => {
+                    let nc = self.not(c);
+                    return self.and(nc, e);
+                }
+                (None, Some(true)) => {
+                    let nc = self.not(c);
+                    return self.or(nc, t);
+                }
+                (None, Some(false)) => return self.and(c, t),
+                _ => {}
+            }
+        }
+        self.intern(Op::Ite, &[c, t, e], sort)
+    }
+
+    // ---- bit-vector constructors ----------------------------------------
+
+    /// A bit-vector literal.
+    pub fn bv_lit(&self, v: BitVec) -> TermId {
+        let sort = Sort::BitVec(v.width());
+        self.intern(Op::BvLit(v), &[], sort)
+    }
+
+    /// A bit-vector literal from the low bits of a `u64`.
+    pub fn bv_lit_u64(&self, width: u32, v: u64) -> TermId {
+        self.bv_lit(BitVec::from_u64(width, v))
+    }
+
+    /// If the term is a bit-vector literal, its value.
+    pub fn as_bv_lit(&self, t: TermId) -> Option<BitVec> {
+        match &self.inner.borrow().nodes[t.index()].op {
+            Op::BvLit(v) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    fn bv_binop(
+        &self,
+        op: Op,
+        a: TermId,
+        b: TermId,
+        fold: impl Fn(&BitVec, &BitVec) -> BitVec,
+    ) -> TermId {
+        let sort = self.sort(a);
+        assert_eq!(sort, self.sort(b), "bit-vector operand width mismatch");
+        if let (Some(x), Some(y)) = (self.as_bv_lit(a), self.as_bv_lit(b)) {
+            return self.bv_lit(fold(&x, &y));
+        }
+        self.intern(op, &[a, b], sort)
+    }
+
+    /// Bitwise complement.
+    pub fn bv_not(&self, a: TermId) -> TermId {
+        if let Some(x) = self.as_bv_lit(a) {
+            return self.bv_lit(x.not());
+        }
+        if let Op::BvNot = self.op(a) {
+            return self.args(a)[0];
+        }
+        let sort = self.sort(a);
+        self.intern(Op::BvNot, &[a], sort)
+    }
+
+    /// Two's-complement negation.
+    pub fn bv_neg(&self, a: TermId) -> TermId {
+        if let Some(x) = self.as_bv_lit(a) {
+            return self.bv_lit(x.neg());
+        }
+        if let Op::BvNeg = self.op(a) {
+            return self.args(a)[0];
+        }
+        let sort = self.sort(a);
+        self.intern(Op::BvNeg, &[a], sort)
+    }
+
+    /// Bitwise and, with zero/ones identities.
+    pub fn bv_and(&self, a: TermId, b: TermId) -> TermId {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(v) = self.as_bv_lit(x) {
+                if v.is_zero() {
+                    return x;
+                }
+                if v.is_all_ones() {
+                    return y;
+                }
+            }
+        }
+        if a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.bv_binop(Op::BvAnd, a, b, BitVec::and)
+    }
+
+    /// Bitwise or, with zero/ones identities.
+    pub fn bv_or(&self, a: TermId, b: TermId) -> TermId {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(v) = self.as_bv_lit(x) {
+                if v.is_zero() {
+                    return y;
+                }
+                if v.is_all_ones() {
+                    return x;
+                }
+            }
+        }
+        if a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.bv_binop(Op::BvOr, a, b, BitVec::or)
+    }
+
+    /// Bitwise xor, with zero identity.
+    pub fn bv_xor(&self, a: TermId, b: TermId) -> TermId {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(v) = self.as_bv_lit(x) {
+                if v.is_zero() {
+                    return y;
+                }
+            }
+        }
+        if a == b {
+            let w = self.sort(a).width();
+            return self.bv_lit(BitVec::zero(w));
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.bv_binop(Op::BvXor, a, b, BitVec::xor)
+    }
+
+    /// Wrapping addition, with zero identity.
+    pub fn bv_add(&self, a: TermId, b: TermId) -> TermId {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(v) = self.as_bv_lit(x) {
+                if v.is_zero() {
+                    return y;
+                }
+            }
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.bv_binop(Op::BvAdd, a, b, BitVec::add)
+    }
+
+    /// Wrapping subtraction.
+    pub fn bv_sub(&self, a: TermId, b: TermId) -> TermId {
+        if let Some(v) = self.as_bv_lit(b) {
+            if v.is_zero() {
+                return a;
+            }
+        }
+        if a == b {
+            let w = self.sort(a).width();
+            return self.bv_lit(BitVec::zero(w));
+        }
+        self.bv_binop(Op::BvSub, a, b, BitVec::sub)
+    }
+
+    /// Wrapping multiplication, with 0/1 identities.
+    pub fn bv_mul(&self, a: TermId, b: TermId) -> TermId {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(v) = self.as_bv_lit(x) {
+                if v.is_zero() {
+                    return x;
+                }
+                if v.is_one() {
+                    return y;
+                }
+            }
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.bv_binop(Op::BvMul, a, b, BitVec::mul)
+    }
+
+    /// Unsigned division (SMT-LIB totalization).
+    pub fn bv_udiv(&self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvUdiv, a, b, BitVec::udiv)
+    }
+
+    /// Unsigned remainder (SMT-LIB totalization).
+    pub fn bv_urem(&self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvUrem, a, b, BitVec::urem)
+    }
+
+    /// Signed division (SMT-LIB totalization).
+    pub fn bv_sdiv(&self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvSdiv, a, b, BitVec::sdiv)
+    }
+
+    /// Signed remainder (SMT-LIB totalization).
+    pub fn bv_srem(&self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvSrem, a, b, BitVec::srem)
+    }
+
+    /// Logical shift left.
+    pub fn bv_shl(&self, a: TermId, b: TermId) -> TermId {
+        if let Some(v) = self.as_bv_lit(b) {
+            if v.is_zero() {
+                return a;
+            }
+        }
+        self.bv_binop(Op::BvShl, a, b, BitVec::shl)
+    }
+
+    /// Logical shift right.
+    pub fn bv_lshr(&self, a: TermId, b: TermId) -> TermId {
+        if let Some(v) = self.as_bv_lit(b) {
+            if v.is_zero() {
+                return a;
+            }
+        }
+        self.bv_binop(Op::BvLshr, a, b, BitVec::lshr)
+    }
+
+    /// Arithmetic shift right.
+    pub fn bv_ashr(&self, a: TermId, b: TermId) -> TermId {
+        if let Some(v) = self.as_bv_lit(b) {
+            if v.is_zero() {
+                return a;
+            }
+        }
+        self.bv_binop(Op::BvAshr, a, b, BitVec::ashr)
+    }
+
+    fn bv_cmp(
+        &self,
+        op: Op,
+        a: TermId,
+        b: TermId,
+        fold: impl Fn(&BitVec, &BitVec) -> bool,
+    ) -> TermId {
+        assert_eq!(self.sort(a), self.sort(b), "comparison width mismatch");
+        if let (Some(x), Some(y)) = (self.as_bv_lit(a), self.as_bv_lit(b)) {
+            return self.bool_lit(fold(&x, &y));
+        }
+        self.intern(op, &[a, b], Sort::Bool)
+    }
+
+    /// Unsigned less-than.
+    pub fn bv_ult(&self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.fals();
+        }
+        self.bv_cmp(Op::Ult, a, b, BitVec::ult)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn bv_ule(&self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.tru();
+        }
+        self.bv_cmp(Op::Ule, a, b, BitVec::ule)
+    }
+
+    /// Signed less-than.
+    pub fn bv_slt(&self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.fals();
+        }
+        self.bv_cmp(Op::Slt, a, b, BitVec::slt)
+    }
+
+    /// Signed less-or-equal.
+    pub fn bv_sle(&self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.tru();
+        }
+        self.bv_cmp(Op::Sle, a, b, BitVec::sle)
+    }
+
+    /// Unsigned greater-than.
+    pub fn bv_ugt(&self, a: TermId, b: TermId) -> TermId {
+        self.bv_ult(b, a)
+    }
+
+    /// Unsigned greater-or-equal.
+    pub fn bv_uge(&self, a: TermId, b: TermId) -> TermId {
+        self.bv_ule(b, a)
+    }
+
+    /// Signed greater-than.
+    pub fn bv_sgt(&self, a: TermId, b: TermId) -> TermId {
+        self.bv_slt(b, a)
+    }
+
+    /// Signed greater-or-equal.
+    pub fn bv_sge(&self, a: TermId, b: TermId) -> TermId {
+        self.bv_sle(b, a)
+    }
+
+    /// Concatenation; `hi` becomes the high bits.
+    pub fn concat(&self, hi: TermId, lo: TermId) -> TermId {
+        let w = self.sort(hi).width() + self.sort(lo).width();
+        if let (Some(x), Some(y)) = (self.as_bv_lit(hi), self.as_bv_lit(lo)) {
+            return self.bv_lit(x.concat(&y));
+        }
+        self.intern(Op::Concat, &[hi, lo], Sort::BitVec(w))
+    }
+
+    /// Concatenation of many parts, first part highest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn concat_many(&self, parts: &[TermId]) -> TermId {
+        assert!(!parts.is_empty());
+        let mut acc = parts[0];
+        for &p in &parts[1..] {
+            acc = self.concat(acc, p);
+        }
+        acc
+    }
+
+    /// Extracts bits `[hi:lo]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid for the operand width.
+    pub fn extract(&self, t: TermId, hi: u32, lo: u32) -> TermId {
+        let w = self.sort(t).width();
+        assert!(hi >= lo && hi < w, "invalid extract range");
+        if lo == 0 && hi == w - 1 {
+            return t;
+        }
+        if let Some(x) = self.as_bv_lit(t) {
+            return self.bv_lit(x.extract(hi, lo));
+        }
+        // extract of concat: resolve if fully within one side.
+        if let Op::Concat = self.op(t) {
+            let args = self.args(t);
+            let lo_w = self.sort(args[1]).width();
+            if hi < lo_w {
+                return self.extract(args[1], hi, lo);
+            }
+            if lo >= lo_w {
+                return self.extract(args[0], hi - lo_w, lo - lo_w);
+            }
+        }
+        self.intern(Op::Extract(hi, lo), &[t], Sort::BitVec(hi - lo + 1))
+    }
+
+    /// Zero-extends to `width`.
+    pub fn zext(&self, t: TermId, width: u32) -> TermId {
+        let w = self.sort(t).width();
+        assert!(width >= w, "zext must not shrink");
+        if width == w {
+            return t;
+        }
+        if let Some(x) = self.as_bv_lit(t) {
+            return self.bv_lit(x.zext(width));
+        }
+        self.intern(Op::ZExt(width), &[t], Sort::BitVec(width))
+    }
+
+    /// Sign-extends to `width`.
+    pub fn sext(&self, t: TermId, width: u32) -> TermId {
+        let w = self.sort(t).width();
+        assert!(width >= w, "sext must not shrink");
+        if width == w {
+            return t;
+        }
+        if let Some(x) = self.as_bv_lit(t) {
+            return self.bv_lit(x.sext(width));
+        }
+        self.intern(Op::SExt(width), &[t], Sort::BitVec(width))
+    }
+
+    /// Truncates to the low `width` bits.
+    pub fn trunc(&self, t: TermId, width: u32) -> TermId {
+        let w = self.sort(t).width();
+        assert!(width <= w && width > 0, "invalid trunc width");
+        if width == w {
+            return t;
+        }
+        self.extract(t, width - 1, 0)
+    }
+
+    /// A 1-bit vector from a boolean (`b ? 1 : 0`).
+    pub fn bool_to_bv1(&self, b: TermId) -> TermId {
+        let one = self.bv_lit_u64(1, 1);
+        let zero = self.bv_lit_u64(1, 0);
+        self.ite(b, one, zero)
+    }
+
+    /// A boolean from a 1-bit vector (`v == 1`).
+    pub fn bv1_to_bool(&self, v: TermId) -> TermId {
+        debug_assert_eq!(self.sort(v).width(), 1);
+        let one = self.bv_lit_u64(1, 1);
+        self.eq(v, one)
+    }
+
+    // ---- traversals ------------------------------------------------------
+
+    /// Collects the set of variables appearing in `t`.
+    pub fn free_vars(&self, t: TermId) -> HashSet<TermId> {
+        let mut seen = HashSet::new();
+        let mut out = HashSet::new();
+        let mut stack = vec![t];
+        while let Some(cur) = stack.pop() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            if matches!(self.op(cur), Op::Var(_)) {
+                out.insert(cur);
+            }
+            stack.extend(self.args(cur));
+        }
+        out
+    }
+
+    /// Collects variables of many roots.
+    pub fn free_vars_many(&self, ts: &[TermId]) -> HashSet<TermId> {
+        let mut out = HashSet::new();
+        for &t in ts {
+            out.extend(self.free_vars(t));
+        }
+        out
+    }
+
+    /// Rebuilds `t` with variables substituted per `map` (var term → term).
+    /// Substitution happens simultaneously; results are simplified by the
+    /// smart constructors.
+    pub fn substitute(&self, t: TermId, map: &HashMap<TermId, TermId>) -> TermId {
+        let mut memo: HashMap<TermId, TermId> = HashMap::new();
+        self.subst_rec(t, map, &mut memo)
+    }
+
+    fn subst_rec(
+        &self,
+        t: TermId,
+        map: &HashMap<TermId, TermId>,
+        memo: &mut HashMap<TermId, TermId>,
+    ) -> TermId {
+        if let Some(&r) = memo.get(&t) {
+            return r;
+        }
+        if let Some(&r) = map.get(&t) {
+            memo.insert(t, r);
+            return r;
+        }
+        let op = self.op(t);
+        let args = self.args(t);
+        let new_args: Vec<TermId> = args.iter().map(|&a| self.subst_rec(a, map, memo)).collect();
+        let r = if new_args == args {
+            t
+        } else {
+            self.rebuild(op, &new_args)
+        };
+        memo.insert(t, r);
+        r
+    }
+
+    /// Rebuilds a node with new arguments via the smart constructors.
+    pub fn rebuild(&self, op: Op, a: &[TermId]) -> TermId {
+        match op {
+            Op::True => self.tru(),
+            Op::False => self.fals(),
+            Op::BvLit(v) => self.bv_lit(v),
+            Op::Var(_) => panic!("rebuild of Var requires no argument change"),
+            Op::Not => self.not(a[0]),
+            Op::And => self.and(a[0], a[1]),
+            Op::Or => self.or(a[0], a[1]),
+            Op::BXor => self.bxor(a[0], a[1]),
+            Op::Implies => self.implies(a[0], a[1]),
+            Op::Eq => self.eq(a[0], a[1]),
+            Op::Ite => self.ite(a[0], a[1], a[2]),
+            Op::BvNot => self.bv_not(a[0]),
+            Op::BvNeg => self.bv_neg(a[0]),
+            Op::BvAnd => self.bv_and(a[0], a[1]),
+            Op::BvOr => self.bv_or(a[0], a[1]),
+            Op::BvXor => self.bv_xor(a[0], a[1]),
+            Op::BvAdd => self.bv_add(a[0], a[1]),
+            Op::BvSub => self.bv_sub(a[0], a[1]),
+            Op::BvMul => self.bv_mul(a[0], a[1]),
+            Op::BvUdiv => self.bv_udiv(a[0], a[1]),
+            Op::BvUrem => self.bv_urem(a[0], a[1]),
+            Op::BvSdiv => self.bv_sdiv(a[0], a[1]),
+            Op::BvSrem => self.bv_srem(a[0], a[1]),
+            Op::BvShl => self.bv_shl(a[0], a[1]),
+            Op::BvLshr => self.bv_lshr(a[0], a[1]),
+            Op::BvAshr => self.bv_ashr(a[0], a[1]),
+            Op::Ult => self.bv_ult(a[0], a[1]),
+            Op::Ule => self.bv_ule(a[0], a[1]),
+            Op::Slt => self.bv_slt(a[0], a[1]),
+            Op::Sle => self.bv_sle(a[0], a[1]),
+            Op::Concat => self.concat(a[0], a[1]),
+            Op::Extract(hi, lo) => self.extract(a[0], hi, lo),
+            Op::ZExt(w) => self.zext(a[0], w),
+            Op::SExt(w) => self.sext(a[0], w),
+            Op::Apply(f) => self.apply(f, a),
+        }
+    }
+
+    /// Pretty-prints a term as an s-expression (for diagnostics).
+    pub fn display(&self, t: TermId) -> String {
+        let mut s = String::new();
+        self.display_rec(t, &mut s, 0);
+        s
+    }
+
+    fn display_rec(&self, t: TermId, out: &mut String, depth: usize) {
+        if depth > 40 {
+            out.push('…');
+            return;
+        }
+        let op = self.op(t);
+        let args = self.args(t);
+        match op {
+            Op::True => out.push_str("true"),
+            Op::False => out.push_str("false"),
+            Op::BvLit(v) => out.push_str(&format!("#x{:x}", v)),
+            Op::Var(v) => out.push_str(&self.var_name(v)),
+            Op::Apply(f) => {
+                out.push('(');
+                out.push_str(&self.func_name(f));
+                for a in args {
+                    out.push(' ');
+                    self.display_rec(a, out, depth + 1);
+                }
+                out.push(')');
+            }
+            _ => {
+                let name = match op {
+                    Op::Not => "not",
+                    Op::And => "and",
+                    Op::Or => "or",
+                    Op::BXor => "xor",
+                    Op::Implies => "=>",
+                    Op::Eq => "=",
+                    Op::Ite => "ite",
+                    Op::BvNot => "bvnot",
+                    Op::BvNeg => "bvneg",
+                    Op::BvAnd => "bvand",
+                    Op::BvOr => "bvor",
+                    Op::BvXor => "bvxor",
+                    Op::BvAdd => "bvadd",
+                    Op::BvSub => "bvsub",
+                    Op::BvMul => "bvmul",
+                    Op::BvUdiv => "bvudiv",
+                    Op::BvUrem => "bvurem",
+                    Op::BvSdiv => "bvsdiv",
+                    Op::BvSrem => "bvsrem",
+                    Op::BvShl => "bvshl",
+                    Op::BvLshr => "bvlshr",
+                    Op::BvAshr => "bvashr",
+                    Op::Ult => "bvult",
+                    Op::Ule => "bvule",
+                    Op::Slt => "bvslt",
+                    Op::Sle => "bvsle",
+                    Op::Concat => "concat",
+                    Op::Extract(hi, lo) => {
+                        out.push_str(&format!("((_ extract {hi} {lo}) "));
+                        self.display_rec(args[0], out, depth + 1);
+                        out.push(')');
+                        return;
+                    }
+                    Op::ZExt(w) => {
+                        let from = self.sort(args[0]).width();
+                        out.push_str(&format!("((_ zero_extend {}) ", w - from));
+                        self.display_rec(args[0], out, depth + 1);
+                        out.push(')');
+                        return;
+                    }
+                    Op::SExt(w) => {
+                        let from = self.sort(args[0]).width();
+                        out.push_str(&format!("((_ sign_extend {}) ", w - from));
+                        self.display_rec(args[0], out, depth + 1);
+                        out.push(')');
+                        return;
+                    }
+                    _ => unreachable!(),
+                };
+                out.push('(');
+                out.push_str(name);
+                for a in args {
+                    out.push(' ');
+                    self.display_rec(a, out, depth + 1);
+                }
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedups() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let a = ctx.bv_add(x, y);
+        let b = ctx.bv_add(x, y);
+        assert_eq!(a, b);
+        let c = ctx.bv_add(y, x); // commutative canonical order
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn distinct_vars_same_name() {
+        let ctx = Ctx::new();
+        let a = ctx.var("v", Sort::Bool);
+        let b = ctx.var("v", Sort::Bool);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let ctx = Ctx::new();
+        let a = ctx.bv_lit_u64(8, 200);
+        let b = ctx.bv_lit_u64(8, 100);
+        assert_eq!(ctx.as_bv_lit(ctx.bv_add(a, b)).unwrap().to_u64(), 44);
+        assert_eq!(ctx.as_bool_lit(ctx.bv_ult(b, a)), Some(true));
+        let t = ctx.tru();
+        let f = ctx.fals();
+        assert_eq!(ctx.and(t, f), f);
+        assert_eq!(ctx.or(t, f), t);
+        assert_eq!(ctx.implies(f, t), t);
+    }
+
+    #[test]
+    fn identities() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(16));
+        let zero = ctx.bv_lit_u64(16, 0);
+        let one = ctx.bv_lit_u64(16, 1);
+        let ones = ctx.bv_lit(BitVec::all_ones(16));
+        assert_eq!(ctx.bv_add(x, zero), x);
+        assert_eq!(ctx.bv_mul(x, one), x);
+        assert_eq!(ctx.bv_mul(x, zero), zero);
+        assert_eq!(ctx.bv_and(x, ones), x);
+        assert_eq!(ctx.bv_and(x, zero), zero);
+        assert_eq!(ctx.bv_or(x, zero), x);
+        assert_eq!(ctx.bv_xor(x, x), zero);
+        assert_eq!(ctx.bv_sub(x, x), zero);
+        assert_eq!(ctx.eq(x, x), ctx.tru());
+    }
+
+    #[test]
+    fn ite_simplification() {
+        let ctx = Ctx::new();
+        let c = ctx.var("c", Sort::Bool);
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        assert_eq!(ctx.ite(ctx.tru(), x, y), x);
+        assert_eq!(ctx.ite(ctx.fals(), x, y), y);
+        assert_eq!(ctx.ite(c, x, x), x);
+        let t = ctx.tru();
+        let f = ctx.fals();
+        assert_eq!(ctx.ite(c, t, f), c);
+        assert_eq!(ctx.ite(c, f, t), ctx.not(c));
+    }
+
+    #[test]
+    fn extract_of_concat_resolves() {
+        let ctx = Ctx::new();
+        let hi = ctx.var("hi", Sort::BitVec(8));
+        let lo = ctx.var("lo", Sort::BitVec(8));
+        let cc = ctx.concat(hi, lo);
+        assert_eq!(ctx.extract(cc, 7, 0), lo);
+        assert_eq!(ctx.extract(cc, 15, 8), hi);
+        assert_eq!(ctx.sort(ctx.extract(cc, 11, 4)), Sort::BitVec(8));
+    }
+
+    #[test]
+    fn substitution() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let t = ctx.bv_add(x, x);
+        let mut map = HashMap::new();
+        map.insert(x, y);
+        assert_eq!(ctx.substitute(t, &map), ctx.bv_add(y, y));
+        // substituting a constant folds
+        let three = ctx.bv_lit_u64(8, 3);
+        let mut map2 = HashMap::new();
+        map2.insert(x, three);
+        assert_eq!(
+            ctx.as_bv_lit(ctx.substitute(t, &map2)).unwrap().to_u64(),
+            6
+        );
+    }
+
+    #[test]
+    fn free_vars_collection() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let c = ctx.var("c", Sort::Bool);
+        let t = ctx.ite(c, x, y);
+        let vars = ctx.free_vars(t);
+        assert_eq!(vars.len(), 3);
+        assert!(vars.contains(&x) && vars.contains(&y) && vars.contains(&c));
+    }
+
+    #[test]
+    fn uf_application() {
+        let ctx = Ctx::new();
+        let f = ctx.func("f", &[Sort::BitVec(8)], Sort::BitVec(8));
+        let x = ctx.var("x", Sort::BitVec(8));
+        let a = ctx.apply(f, &[x]);
+        let b = ctx.apply(f, &[x]);
+        assert_eq!(a, b);
+        assert_eq!(ctx.sort(a), Sort::BitVec(8));
+    }
+
+    #[test]
+    fn display_sexpr() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let one = ctx.bv_lit_u64(8, 1);
+        let t = ctx.bv_add(x, one);
+        let s = ctx.display(t);
+        assert!(s.contains("bvadd") && s.contains('x'));
+    }
+
+    #[test]
+    fn bool_bv1_round_trip() {
+        let ctx = Ctx::new();
+        let c = ctx.var("c", Sort::Bool);
+        let v = ctx.bool_to_bv1(c);
+        assert_eq!(ctx.sort(v), Sort::BitVec(1));
+        assert_eq!(ctx.bv1_to_bool(v), c);
+    }
+}

@@ -1,0 +1,339 @@
+//! A unit-test corpus mirroring LLVM's IR transformation tests (§8.2).
+//!
+//! Each case is a small module; the harness runs the optimizer pipeline
+//! over it (like `opt`) and translation-validates every pass that changed
+//! a function — the paper's "run the LLVM unit tests through Alive2"
+//! experiment, at our scale.
+
+/// Transformation family a case exercises (named after the pass whose
+/// LLVM test directory the case imitates).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Family {
+    /// Peephole folds.
+    InstSimplify,
+    /// Combining rewrites.
+    InstCombine,
+    /// Value numbering.
+    Gvn,
+    /// Control-flow simplification.
+    SimplifyCfg,
+    /// Alloca promotion.
+    Mem2Reg,
+    /// Store elimination.
+    Dse,
+    /// Loop-invariant code motion.
+    Licm,
+    /// Loop-carried computation.
+    Loops,
+    /// Vector operations.
+    Vector,
+    /// Floating point.
+    Float,
+    /// Calls and library-function knowledge.
+    Calls,
+}
+
+impl Family {
+    /// All families.
+    pub fn all() -> [Family; 11] {
+        [
+            Family::InstSimplify,
+            Family::InstCombine,
+            Family::Gvn,
+            Family::SimplifyCfg,
+            Family::Mem2Reg,
+            Family::Dse,
+            Family::Licm,
+            Family::Loops,
+            Family::Vector,
+            Family::Float,
+            Family::Calls,
+        ]
+    }
+}
+
+/// One unit test: a module the optimizer pipeline is run over.
+#[derive(Clone, Debug)]
+pub struct TestCase {
+    /// Unique test name.
+    pub name: &'static str,
+    /// Transformation family.
+    pub family: Family,
+    /// Module source.
+    pub text: &'static str,
+}
+
+/// The corpus. Patterned after LLVM's `Transforms/*` unit tests: each
+/// entry isolates one transformation opportunity.
+pub fn corpus() -> Vec<TestCase> {
+    use Family::*;
+    vec![
+        // ---- instsimplify ------------------------------------------------
+        TestCase { name: "add-zero", family: InstSimplify, text: "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 0\n  ret i32 %r\n}" },
+        TestCase { name: "mul-one", family: InstSimplify, text: "define i32 @f(i32 %x) {\nentry:\n  %r = mul i32 %x, 1\n  ret i32 %r\n}" },
+        TestCase { name: "mul-zero", family: InstSimplify, text: "define i64 @f(i64 %x) {\nentry:\n  %r = mul i64 %x, 0\n  ret i64 %r\n}" },
+        TestCase { name: "sub-self", family: InstSimplify, text: "define i16 @f(i16 %x) {\nentry:\n  %r = sub i16 %x, %x\n  ret i16 %r\n}" },
+        TestCase { name: "and-self", family: InstSimplify, text: "define i8 @f(i8 %x) {\nentry:\n  %r = and i8 %x, %x\n  ret i8 %r\n}" },
+        TestCase { name: "xor-self", family: InstSimplify, text: "define i8 @f(i8 %x) {\nentry:\n  %r = xor i8 %x, %x\n  ret i8 %r\n}" },
+        TestCase { name: "or-allones", family: InstSimplify, text: "define i8 @f(i8 %x) {\nentry:\n  %r = or i8 %x, -1\n  ret i8 %r\n}" },
+        TestCase { name: "const-fold-chain", family: InstSimplify, text: "define i32 @f() {\nentry:\n  %a = add i32 20, 22\n  %b = mul i32 %a, 2\n  %c = sub i32 %b, 42\n  ret i32 %c\n}" },
+        TestCase { name: "icmp-self-ult", family: InstSimplify, text: "define i1 @f(i32 %x) {\nentry:\n  %r = icmp ult i32 %x, %x\n  ret i1 %r\n}" },
+        TestCase { name: "icmp-const", family: InstSimplify, text: "define i1 @f() {\nentry:\n  %r = icmp slt i8 -5, 3\n  ret i1 %r\n}" },
+        TestCase { name: "select-const-cond", family: InstSimplify, text: "define i32 @f(i32 %x, i32 %y) {\nentry:\n  %r = select i1 true, i32 %x, i32 %y\n  ret i32 %r\n}" },
+        TestCase { name: "select-same-arms", family: InstSimplify, text: "define i32 @f(i1 %c, i32 %x) {\nentry:\n  %r = select i1 %c, i32 %x, i32 %x\n  ret i32 %r\n}" },
+        TestCase { name: "udiv-one", family: InstSimplify, text: "define i32 @f(i32 %x) {\nentry:\n  %r = udiv i32 %x, 1\n  ret i32 %r\n}" },
+        TestCase { name: "shl-zero-amount", family: InstSimplify, text: "define i32 @f(i32 %x) {\nentry:\n  %r = shl i32 %x, 0\n  ret i32 %r\n}" },
+        TestCase { name: "freeze-const", family: InstSimplify, text: "define i32 @f() {\nentry:\n  %r = freeze i32 7\n  ret i32 %r\n}" },
+        TestCase { name: "nsw-overflow-folds-to-poison", family: InstSimplify, text: "define i8 @f() {\nentry:\n  %r = add nsw i8 100, 100\n  ret i8 %r\n}" },
+        // ---- instcombine -------------------------------------------------
+        TestCase { name: "mul-pow2-to-shl", family: InstCombine, text: "define i32 @f(i32 %x) {\nentry:\n  %r = mul i32 %x, 8\n  ret i32 %r\n}" },
+        TestCase { name: "mul-two", family: InstCombine, text: "define i8 @f(i8 %x) {\nentry:\n  %r = mul i8 %x, 2\n  ret i8 %r\n}" },
+        TestCase { name: "icmp-ult-one", family: InstCombine, text: "define i1 @f(i32 %x) {\nentry:\n  %r = icmp ult i32 %x, 1\n  ret i1 %r\n}" },
+        TestCase { name: "select-false-arm", family: InstCombine, text: "define i1 @f(i1 %c, i1 %y) {\nentry:\n  %r = select i1 %c, i1 %y, i1 false\n  ret i1 %r\n}" },
+        TestCase { name: "select-true-arm", family: InstCombine, text: "define i1 @f(i1 %c, i1 %y) {\nentry:\n  %r = select i1 %c, i1 true, i1 %y\n  ret i1 %r\n}" },
+        TestCase { name: "shl-then-udiv", family: InstCombine, text: "define i8 @f(i8 %x) {\nentry:\n  %s = shl i8 %x, 1\n  %r = udiv i8 %s, 2\n  ret i8 %r\n}" },
+        TestCase { name: "mul-two-in-branch", family: InstCombine, text: r#"define i32 @f(i32 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %m = mul i32 %x, 2
+  ret i32 %m
+b:
+  ret i32 0
+}"# },
+        // ---- gvn ---------------------------------------------------------
+        TestCase { name: "dup-add", family: Gvn, text: "define i32 @f(i32 %x, i32 %y) {\nentry:\n  %a = add i32 %x, %y\n  %b = add i32 %x, %y\n  %r = mul i32 %a, %b\n  ret i32 %r\n}" },
+        TestCase { name: "dup-icmp-across-blocks", family: Gvn, text: r#"define i1 @f(i32 %x) {
+entry:
+  %a = icmp eq i32 %x, 0
+  br i1 %a, label %t, label %e
+t:
+  %b = icmp eq i32 %x, 0
+  ret i1 %b
+e:
+  ret i1 false
+}"#},
+        TestCase { name: "dup-gep", family: Gvn, text: r#"define i32 @f(ptr %p) {
+entry:
+  %g1 = getelementptr i32, ptr %p, i64 1
+  %g2 = getelementptr i32, ptr %p, i64 1
+  %v1 = load i32, ptr %g1
+  %v2 = load i32, ptr %g2
+  %r = add i32 %v1, %v2
+  ret i32 %r
+}"#},
+        TestCase { name: "freeze-not-numbered", family: Gvn, text: "define i8 @f(i8 %x) {\nentry:\n  %a = freeze i8 %x\n  %b = freeze i8 %x\n  %r = sub i8 %a, %b\n  ret i8 %r\n}" },
+        // ---- simplifycfg ---------------------------------------------------
+        TestCase { name: "const-branch", family: SimplifyCfg, text: r#"define i32 @f(i32 %x) {
+entry:
+  br i1 true, label %a, label %b
+a:
+  %r = add i32 %x, 1
+  ret i32 %r
+b:
+  ret i32 0
+}"#},
+        TestCase { name: "merge-chain", family: SimplifyCfg, text: r#"define i32 @f(i32 %x) {
+entry:
+  br label %mid
+mid:
+  %a = add i32 %x, 1
+  br label %tail
+tail:
+  ret i32 %a
+}"#},
+        TestCase { name: "select-in-flow", family: SimplifyCfg, text: r#"define i32 @f(i1 %c, i32 %x, i32 %y) {
+entry:
+  %r = select i1 %c, i32 %x, i32 %y
+  ret i32 %r
+}"#},
+        // ---- mem2reg -------------------------------------------------------
+        TestCase { name: "promote-slot", family: Mem2Reg, text: r#"define i32 @f(i32 %x) {
+entry:
+  %p = alloca i32
+  store i32 %x, ptr %p
+  %v = load i32, ptr %p
+  ret i32 %v
+}"#},
+        TestCase { name: "promote-two-slots", family: Mem2Reg, text: r#"define i32 @f(i32 %x, i32 %y) {
+entry:
+  %p = alloca i32
+  %q = alloca i32
+  store i32 %x, ptr %p
+  store i32 %y, ptr %q
+  %a = load i32, ptr %p
+  %b = load i32, ptr %q
+  %r = add i32 %a, %b
+  ret i32 %r
+}"#},
+        TestCase { name: "escaped-slot-kept", family: Mem2Reg, text: r#"declare void @sink(ptr)
+define i32 @f(i32 %x) {
+entry:
+  %p = alloca i32
+  store i32 %x, ptr %p
+  call void @sink(ptr %p)
+  %v = load i32, ptr %p
+  ret i32 %v
+}"#},
+        // ---- dse -----------------------------------------------------------
+        TestCase { name: "clobbered-store", family: Dse, text: r#"@g = global i32 0
+define void @f(i32 %x, i32 %y) {
+entry:
+  store i32 %x, ptr @g
+  store i32 %y, ptr @g
+  ret void
+}"#},
+        TestCase { name: "narrow-clobber-kept", family: Dse, text: r#"@g = global i32 0
+define void @f(i32 %x, i8 %y) {
+entry:
+  store i32 %x, ptr @g
+  store i8 %y, ptr @g
+  ret void
+}"#},
+        TestCase { name: "store-load-store", family: Dse, text: r#"@g = global i32 0
+define i32 @f(i32 %x, i32 %y) {
+entry:
+  store i32 %x, ptr @g
+  %v = load i32, ptr @g
+  store i32 %y, ptr @g
+  ret i32 %v
+}"#},
+        // ---- licm ----------------------------------------------------------
+        TestCase { name: "hoist-arith", family: Licm, text: r#"define i32 @f(i32 %n, i32 %a, i32 %b) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %inv = mul i32 %a, %b
+  %i1 = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 0
+}"#},
+        TestCase { name: "load-in-loop", family: Licm, text: r#"define i32 @f(i32 %n, ptr %p) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %v = load i32, ptr %p
+  %i1 = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 0
+}"#},
+        // ---- loops ---------------------------------------------------------
+        TestCase { name: "count-to-two", family: Loops, text: r#"define i32 @f() {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc1, %body ]
+  %c = icmp ult i32 %i, 2
+  br i1 %c, label %body, label %exit
+body:
+  %acc1 = add i32 %acc, 3
+  %i1 = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %acc
+}"#},
+        TestCase { name: "loop-with-slot", family: Loops, text: r#"define i32 @f(i32 %n) {
+entry:
+  %p = alloca i32
+  store i32 0, ptr %p
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %cur = load i32, ptr %p
+  %next = add i32 %cur, %i
+  store i32 %next, ptr %p
+  %i1 = add i32 %i, 1
+  br label %head
+exit:
+  %r = load i32, ptr %p
+  ret i32 %r
+}"#},
+        // ---- vector --------------------------------------------------------
+        TestCase { name: "vec-add-zero", family: Vector, text: "define <4 x i8> @f(<4 x i8> %x) {\nentry:\n  %r = add <4 x i8> %x, zeroinitializer\n  ret <4 x i8> %r\n}" },
+        TestCase { name: "vec-extract-insert", family: Vector, text: r#"define <2 x i16> @f(<2 x i16> %v, i16 %e) {
+entry:
+  %i = insertelement <2 x i16> %v, i16 %e, i64 0
+  ret <2 x i16> %i
+}"#},
+        TestCase { name: "vec-shuffle", family: Vector, text: r#"define <2 x i8> @f(<2 x i8> %a, <2 x i8> %b) {
+entry:
+  %s = shufflevector <2 x i8> %a, <2 x i8> %b, <2 x i32> <i32 3, i32 0>
+  ret <2 x i8> %s
+}"#},
+        // ---- float ---------------------------------------------------------
+        TestCase { name: "fadd-negzero", family: Float, text: "define float @f(float %x) {\nentry:\n  %r = fadd float %x, -0.0\n  ret float %r\n}" },
+        TestCase { name: "fadd-poszero", family: Float, text: "define float @f(float %x) {\nentry:\n  %r = fadd float %x, 0.0\n  ret float %r\n}" },
+        TestCase { name: "fmul-const", family: Float, text: "define float @f(float %x) {\nentry:\n  %r = fmul float %x, 2.0\n  ret float %r\n}" },
+        TestCase { name: "fcmp-ord", family: Float, text: "define i1 @f(float %x) {\nentry:\n  %r = fcmp ord float %x, %x\n  ret i1 %r\n}" },
+        // ---- calls ---------------------------------------------------------
+        TestCase { name: "dup-readnone-call", family: Calls, text: r#"declare double @sqrt(double)
+define double @f(double %x) {
+entry:
+  %a = call double @sqrt(double %x)
+  %b = call double @sqrt(double %x)
+  %r = fadd double %a, %b
+  ret double %r
+}"#},
+        TestCase { name: "unknown-call-kept", family: Calls, text: r#"declare i32 @ext(i32)
+define i32 @f(i32 %x) {
+entry:
+  %a = call i32 @ext(i32 %x)
+  %d = add i32 %a, 0
+  ret i32 %d
+}"#},
+        TestCase { name: "noreturn-call", family: Calls, text: r#"declare void @exit(i32) noreturn
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %die, label %ok
+die:
+  call void @exit(i32 1)
+  unreachable
+ok:
+  ret i32 0
+}"#},
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_module;
+    use alive2_ir::verify::verify_module;
+    use std::collections::HashSet;
+
+    #[test]
+    fn corpus_parses_and_verifies() {
+        for case in corpus() {
+            let m = parse_module(case.text)
+                .unwrap_or_else(|e| panic!("{}: parse error {e}", case.name));
+            let errs = verify_module(&m);
+            assert!(errs.is_empty(), "{}: {errs:?}", case.name);
+        }
+    }
+
+    #[test]
+    fn corpus_names_are_unique_and_families_covered() {
+        let cases = corpus();
+        let names: HashSet<&str> = cases.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), cases.len());
+        let fams: HashSet<_> = cases.iter().map(|c| c.family).collect();
+        for f in Family::all() {
+            assert!(fams.contains(&f), "family {f:?} uncovered");
+        }
+        assert!(cases.len() >= 40, "corpus too small: {}", cases.len());
+    }
+}

@@ -1,0 +1,7 @@
+//! Workloads for the Alive2-rs evaluation: the unit-test corpus (§8.2),
+//! the synthetic single-file applications (§8.4), and the known-bug suite
+//! (§8.5).
+
+pub mod appgen;
+pub mod corpus;
+pub mod known_bugs;

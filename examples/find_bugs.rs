@@ -1,0 +1,70 @@
+//! Bug hunt over the unit-test corpus (§8.2): enables every seeded
+//! historic bug in the optimizer, runs the pipeline over the corpus with
+//! validation after each pass, and prints the violations grouped by the
+//! paper's taxonomy categories.
+//!
+//! Run with `cargo run --example find_bugs` (add `--release` for speed).
+
+use alive2::core::validator::{validate_pair, Verdict};
+use alive2::ir::parser::parse_module;
+use alive2::opt::bugs::{BugCategory, BugId, BugSet};
+use alive2::opt::pass::PassManager;
+use alive2::sema::config::EncodeConfig;
+use alive2::testgen::corpus::corpus;
+use std::collections::HashMap;
+
+fn main() {
+    let cfg = EncodeConfig::default();
+    let mut found: HashMap<&'static str, Vec<String>> = HashMap::new();
+
+    // Enable each bug in isolation so a violation is attributable.
+    for bug in BugId::all() {
+        let pm = PassManager::default_pipeline(BugSet::only(bug));
+        for case in corpus() {
+            let module = parse_module(case.text).expect("corpus parses");
+            for func in &module.functions {
+                let mut f = func.clone();
+                for (pass, before, after) in pm.run_with_snapshots(&mut f) {
+                    if let Verdict::Incorrect(cex) =
+                        validate_pair(&module, &before, &after, &cfg)
+                    {
+                        found.entry(case.name).or_default().push(format!(
+                            "{bug:?} via {pass}: {}",
+                            cex.query
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    println!("== refinement violations by corpus case ==");
+    let mut names: Vec<_> = found.keys().copied().collect();
+    names.sort_unstable();
+    for name in &names {
+        println!("{name}:");
+        for hit in &found[name] {
+            println!("  {hit}");
+        }
+    }
+
+    println!("\n== category coverage (paper §8.2 taxonomy) ==");
+    let mut by_cat: HashMap<BugCategory, usize> = HashMap::new();
+    for hits in found.values() {
+        for hit in hits {
+            for bug in BugId::all() {
+                if hit.starts_with(&format!("{bug:?}")) {
+                    *by_cat.entry(bug.category()).or_default() += 1;
+                }
+            }
+        }
+    }
+    for cat in BugCategory::all() {
+        println!(
+            "  {:45} paper: {:3}   found here: {}",
+            cat.to_string(),
+            cat.paper_count(),
+            by_cat.get(&cat).copied().unwrap_or(0)
+        );
+    }
+}

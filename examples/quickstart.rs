@@ -1,0 +1,61 @@
+//! Quickstart: check one optimization for refinement.
+//!
+//! Mirrors the paper's first example (§8.2): the instruction simplifier
+//! folds `max(x, y) < x` to `false`; Alive2 proves the rewrite correct.
+//! Then we try a *wrong* variant and show the counterexample.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use alive2::core::validator::{validate_modules, Verdict};
+use alive2::ir::parser::parse_module;
+use alive2::sema::config::EncodeConfig;
+
+fn main() {
+    let src = r#"
+define i1 @max1(i32 %x, i32 %y) {
+entry:
+  %c = icmp sgt i32 %x, %y
+  %m = select i1 %c, i32 %x, i32 %y
+  %r = icmp slt i32 %m, %x
+  ret i1 %r
+}
+"#;
+    let tgt_ok = r#"
+define i1 @max1(i32 %x, i32 %y) {
+entry:
+  ret i1 false
+}
+"#;
+    let tgt_bad = r#"
+define i1 @max1(i32 %x, i32 %y) {
+entry:
+  %r = icmp eq i32 %x, %y
+  ret i1 %r
+}
+"#;
+
+    let cfg = EncodeConfig::default();
+    let src_m = parse_module(src).expect("source parses");
+
+    println!("== checking: max(x, y) < x  -->  false");
+    let tgt_m = parse_module(tgt_ok).expect("target parses");
+    for (name, verdict) in validate_modules(&src_m, &tgt_m, &cfg) {
+        match verdict {
+            Verdict::Correct => println!("@{name}: Transformation seems to be correct!"),
+            other => println!("@{name}: {other:?}"),
+        }
+    }
+
+    println!();
+    println!("== checking the broken variant: max(x, y) < x  -->  x == y");
+    let tgt_m = parse_module(tgt_bad).expect("target parses");
+    for (name, verdict) in validate_modules(&src_m, &tgt_m, &cfg) {
+        match verdict {
+            Verdict::Incorrect(cex) => {
+                println!("@{name}: Transformation doesn't verify!");
+                print!("{cex}");
+            }
+            other => println!("@{name}: unexpected verdict {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Translation validation while "compiling" an application (§8.4).
+//!
+//! Generates one of the synthetic single-file applications, optimizes it
+//! with the default pipeline, validates every pass over every function,
+//! and prints a Fig. 7-style summary row.
+//!
+//! ```text
+//! cargo run --release --example validate_app -- [bzip2|gzip|oggenc|ph7|sqlite3]
+//! ```
+
+use alive2::core::validator::{validate_pair_with_stats, Verdict};
+use alive2::opt::bugs::BugSet;
+use alive2::opt::pass::PassManager;
+use alive2::sema::config::EncodeConfig;
+use alive2::testgen::appgen::{generate, profiles};
+use std::time::Instant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "gzip".into());
+    let Some(profile) = profiles().into_iter().find(|p| p.name == which) else {
+        eprintln!("unknown app `{which}`; choose one of bzip2, gzip, oggenc, ph7, sqlite3");
+        std::process::exit(1);
+    };
+
+    println!("generating synthetic `{}` ({} functions)…", profile.name, profile.functions);
+    let module = generate(&profile);
+    let pm = PassManager::default_pipeline(BugSet::none());
+    let cfg = EncodeConfig::default();
+
+    let start = Instant::now();
+    let (mut pairs, mut diff, mut ok, mut bad, mut to, mut oom, mut unsup) =
+        (0u32, 0u32, 0u32, 0u32, 0u32, 0u32, 0u32);
+    for func in &module.functions {
+        let mut f = func.clone();
+        let snaps = pm.run_with_snapshots(&mut f);
+        pairs += pm.pass_names().len() as u32;
+        for (_pass, before, after) in snaps {
+            diff += 1;
+            let (v, _stats) = validate_pair_with_stats(&module, &before, &after, &cfg);
+            match v {
+                Verdict::Correct => ok += 1,
+                Verdict::Incorrect(_) => bad += 1,
+                Verdict::Timeout => to += 1,
+                Verdict::OutOfMemory => oom += 1,
+                Verdict::Unsupported(_) => unsup += 1,
+                Verdict::Inconclusive(_) | Verdict::PreconditionFalse => unsup += 1,
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    println!();
+    println!(
+        "{:8} {:>6} {:>6} {:>9} {:>5} {:>5} {:>5} {:>5} {:>7}",
+        "Prog.", "Pairs", "Diff", "Time (s)", "OK", "Fail", "TO", "OOM", "Unsup."
+    );
+    println!(
+        "{:8} {:>6} {:>6} {:>9.1} {:>5} {:>5} {:>5} {:>5} {:>7}",
+        profile.name, pairs, diff, secs, ok, bad, to, oom, unsup
+    );
+    if bad > 0 {
+        println!("\nNOTE: refinement failures with a bug-free pipeline indicate a validator or optimizer defect.");
+        std::process::exit(1);
+    }
+}

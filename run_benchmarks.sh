@@ -1,0 +1,22 @@
+#!/bin/sh
+# Regenerates every table/figure of the paper evaluation plus the criterion
+# micro-benchmarks, capturing everything into bench_output.txt.
+set -e
+cd "$(dirname "$0")"
+{
+  echo "==================================================================="
+  echo "Criterion micro-benchmarks (cargo bench --workspace)"
+  echo "==================================================================="
+  cargo bench --workspace 2>&1
+  for bin in fig6_unroll fig7_apps fig8_timeout table_bugs known_bugs; do
+    echo
+    echo "==================================================================="
+    echo "Harness: $bin"
+    echo "==================================================================="
+    if [ "$bin" = fig7_apps ]; then
+      cargo run --release -q -p alive2-bench --bin "$bin" -- --scale 0.25 2>&1 || true
+    else
+      cargo run --release -q -p alive2-bench --bin "$bin" 2>&1 || true
+    fi
+  done
+} | tee bench_output.txt

@@ -1,0 +1,18 @@
+//! Facade crate re-exporting the Alive2-rs workspace.
+//!
+//! Alive2-rs is a Rust reproduction of "Alive2: Bounded Translation
+//! Validation for LLVM" (PLDI 2021). See the individual crates:
+//!
+//! - [`smt`]: SMT substrate (terms, bit-blasting, CDCL SAT, CEGQI).
+//! - [`ir`]: LLVM-style typed SSA IR with parser/printer and analyses.
+//! - [`sema`]: encoding of IR semantics into SMT.
+//! - [`core`]: the refinement checker (the paper's contribution).
+//! - [`opt`]: the mini optimizer under test, with seedable historic bugs.
+//! - [`testgen`]: unit-test corpus and synthetic application generator.
+
+pub use alive2_core as core;
+pub use alive2_ir as ir;
+pub use alive2_opt as opt;
+pub use alive2_sema as sema;
+pub use alive2_smt as smt;
+pub use alive2_testgen as testgen;

@@ -1,0 +1,83 @@
+//! Integration test for the §8.2 workflow: run the optimizer over the
+//! unit-test corpus with translation validation after every pass.
+//!
+//! - With no seeded bugs, no pass may produce a refinement violation.
+//! - With a bug seeded, the validator must catch it on the corpus case
+//!   that triggers it — with the right §5.3 query class.
+
+use alive2_core::validator::{validate_pair, Verdict};
+use alive2_ir::parser::parse_module;
+use alive2_opt::bugs::{BugId, BugSet};
+use alive2_opt::pass::PassManager;
+use alive2_sema::config::EncodeConfig;
+use alive2_testgen::corpus::{corpus, Family};
+
+/// Runs the pipeline over one module and validates every changed pass.
+fn validate_case(
+    text: &str,
+    bugs: BugSet,
+    cfg: &EncodeConfig,
+) -> Vec<(&'static str, Verdict)> {
+    let module = parse_module(text).unwrap();
+    let pm = PassManager::default_pipeline(bugs);
+    let mut out = Vec::new();
+    for func in &module.functions {
+        let mut f = func.clone();
+        for (pass, before, after) in pm.run_with_snapshots(&mut f) {
+            let v = validate_pair(&module, &before, &after, cfg);
+            out.push((pass, v));
+        }
+    }
+    out
+}
+
+#[test]
+fn clean_pipeline_never_miscompiles_the_corpus() {
+    let cfg = EncodeConfig::default();
+    let mut validated = 0;
+    for case in corpus() {
+        for (pass, v) in validate_case(case.text, BugSet::none(), &cfg) {
+            assert!(
+                !v.is_incorrect(),
+                "{}: pass {pass} flagged incorrect: {v:?}",
+                case.name
+            );
+            if v.is_correct() {
+                validated += 1;
+            }
+        }
+    }
+    assert!(
+        validated >= 20,
+        "expected the pipeline to change and validate many cases, got {validated}"
+    );
+}
+
+#[test]
+fn seeded_bugs_are_caught_on_their_trigger_cases() {
+    let cfg = EncodeConfig::default();
+    // (bug, families whose cases can trigger it)
+    let table: &[(BugId, &[Family])] = &[
+        (BugId::MulToAddSelf, &[Family::InstCombine]),
+        (BugId::SelectToLogic, &[Family::InstCombine]),
+        (BugId::ShlDivFold, &[Family::InstCombine]),
+        (BugId::SelectToBranch, &[Family::SimplifyCfg]),
+        (BugId::LicmHoistLoad, &[Family::Licm]),
+        (BugId::FAddZero, &[Family::Float]),
+        (BugId::DseWrongSize, &[Family::Dse]),
+    ];
+    for (bug, families) in table {
+        let mut caught = false;
+        for case in corpus()
+            .into_iter()
+            .filter(|c| families.contains(&c.family))
+        {
+            for (_, v) in validate_case(case.text, BugSet::only(*bug), &cfg) {
+                if v.is_incorrect() {
+                    caught = true;
+                }
+            }
+        }
+        assert!(caught, "seeded bug {bug:?} was never caught");
+    }
+}

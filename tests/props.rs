@@ -1,0 +1,283 @@
+//! Property-based tests over the core invariants of the stack:
+//! bit-vector semantics, smart-constructor soundness, SAT-solver
+//! correctness, printer/parser round-trips, refinement reflexivity, and
+//! optimizer soundness on random programs.
+
+use alive2::ir::parser::{parse_function, parse_module};
+use alive2::smt::bv::BitVec;
+use alive2::smt::model::{Model, Value};
+use alive2::smt::prelude::*;
+use proptest::prelude::*;
+
+// ---- BitVec agrees with native integer semantics -------------------------
+
+fn mask(w: u32) -> u64 {
+    if w == 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bitvec_matches_u64((w, a, b) in (1u32..=64, any::<u64>(), any::<u64>())) {
+        let m = mask(w);
+        let (a, b) = (a & m, b & m);
+        let x = BitVec::from_u64(w, a);
+        let y = BitVec::from_u64(w, b);
+        prop_assert_eq!(x.add(&y).to_u64(), a.wrapping_add(b) & m);
+        prop_assert_eq!(x.sub(&y).to_u64(), a.wrapping_sub(b) & m);
+        prop_assert_eq!(x.mul(&y).to_u64(), a.wrapping_mul(b) & m);
+        prop_assert_eq!(x.and(&y).to_u64(), a & b);
+        prop_assert_eq!(x.or(&y).to_u64(), a | b);
+        prop_assert_eq!(x.xor(&y).to_u64(), a ^ b);
+        prop_assert_eq!(x.ult(&y), a < b);
+        if b != 0 {
+            prop_assert_eq!(x.udiv(&y).to_u64(), a / b);
+            prop_assert_eq!(x.urem(&y).to_u64(), a % b);
+        }
+        let sh = b % (w as u64);
+        let shv = BitVec::from_u64(w, sh);
+        prop_assert_eq!(x.shl(&shv).to_u64(), (a << sh) & m);
+        prop_assert_eq!(x.lshr(&shv).to_u64(), (a & m) >> sh);
+    }
+
+    #[test]
+    fn bitvec_round_trips_through_bytes((w8, v) in (1u32..=8, any::<u64>())) {
+        let w = w8 * 8;
+        let m = mask(w);
+        let x = BitVec::from_u64(w, v & m);
+        prop_assert_eq!(x.bswap().bswap(), x.clone());
+        prop_assert_eq!(x.bitreverse().bitreverse(), x.clone());
+        prop_assert_eq!(x.not().not(), x);
+    }
+}
+
+// ---- smart constructors are sound (eval(simplified) == semantics) --------
+
+#[derive(Clone, Debug)]
+enum Shape {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Lshr,
+    Ashr,
+    Udiv,
+    Urem,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn term_constructors_are_sound(
+        (op_idx, a, b, use_var) in (0usize..11, any::<u8>(), any::<u8>(), any::<bool>())
+    ) {
+        use Shape::*;
+        let shapes = [Add, Sub, Mul, And, Or, Xor, Shl, Lshr, Ashr, Udiv, Urem];
+        let shape = &shapes[op_idx];
+        let ctx = Ctx::new();
+        // Either two constants (exercises folding) or var+const (exercises
+        // identities).
+        let (ta, mut model) = if use_var {
+            let v = ctx.var("a", Sort::BitVec(8));
+            let mut m = Model::new();
+            m.set(ctx.as_var(v).unwrap(), Value::Bv(BitVec::from_u64(8, a as u64)));
+            (v, m)
+        } else {
+            (ctx.bv_lit_u64(8, a as u64), Model::new())
+        };
+        let tb = ctx.bv_lit_u64(8, b as u64);
+        let t = match shape {
+            Add => ctx.bv_add(ta, tb),
+            Sub => ctx.bv_sub(ta, tb),
+            Mul => ctx.bv_mul(ta, tb),
+            And => ctx.bv_and(ta, tb),
+            Or => ctx.bv_or(ta, tb),
+            Xor => ctx.bv_xor(ta, tb),
+            Shl => ctx.bv_shl(ta, tb),
+            Lshr => ctx.bv_lshr(ta, tb),
+            Ashr => ctx.bv_ashr(ta, tb),
+            Udiv => ctx.bv_udiv(ta, tb),
+            Urem => ctx.bv_urem(ta, tb),
+        };
+        let av = BitVec::from_u64(8, a as u64);
+        let bv = BitVec::from_u64(8, b as u64);
+        let expect = match shape {
+            Add => av.add(&bv),
+            Sub => av.sub(&bv),
+            Mul => av.mul(&bv),
+            And => av.and(&bv),
+            Or => av.or(&bv),
+            Xor => av.xor(&bv),
+            Shl => av.shl(&bv),
+            Lshr => av.lshr(&bv),
+            Ashr => av.ashr(&bv),
+            Udiv => av.udiv(&bv),
+            Urem => av.urem(&bv),
+        };
+        if !use_var {
+            model = Model::new();
+        }
+        prop_assert_eq!(model.eval_bv(&ctx, t), expect);
+    }
+}
+
+// ---- SAT solver agrees with brute force -----------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sat_solver_matches_brute_force(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((1i32..=5, any::<bool>()), 1..4),
+            1..12
+        )
+    ) {
+        use alive2::smt::sat::{Budget, Lit, SatOutcome, SatSolver};
+        let mut s = SatSolver::new();
+        let vars: Vec<_> = (0..5).map(|_| s.new_var()).collect();
+        for c in &clauses {
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&(v, pos)| Lit::new(vars[(v - 1) as usize], pos))
+                .collect();
+            s.add_clause(&lits);
+        }
+        let got = s.solve(Budget::unlimited());
+        let mut brute = false;
+        'outer: for bits in 0u32..(1 << 5) {
+            for c in &clauses {
+                let sat = c.iter().any(|&(v, pos)| {
+                    let val = bits >> (v - 1) & 1 == 1;
+                    if pos { val } else { !val }
+                });
+                if !sat {
+                    continue 'outer;
+                }
+            }
+            brute = true;
+            break;
+        }
+        prop_assert_eq!(got == SatOutcome::Sat, brute);
+    }
+}
+
+// ---- printer/parser round trip --------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn printed_functions_reparse_identically(seed in any::<u64>()) {
+        let mut profile = alive2::testgen::appgen::profiles()[0];
+        profile.seed = seed;
+        profile.functions = 3;
+        let m = alive2::testgen::appgen::generate(&profile);
+        let printed = m.to_string();
+        let reparsed = parse_module(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(m, reparsed);
+    }
+}
+
+// ---- refinement reflexivity and optimizer soundness ------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn refinement_is_reflexive_on_random_functions(seed in any::<u64>()) {
+        use alive2::core::validator::validate_pair;
+        use alive2::sema::config::EncodeConfig;
+        let mut profile = alive2::testgen::appgen::profiles()[1];
+        profile.seed = seed;
+        profile.functions = 2;
+        profile.unsupported_density = 0.0;
+        let m = alive2::testgen::appgen::generate(&profile);
+        for f in &m.functions {
+            let v = validate_pair(&m, f, f, &EncodeConfig::default());
+            prop_assert!(!v.is_incorrect(), "{}: {v:?}\n{f}", f.name);
+        }
+    }
+
+    #[test]
+    fn clean_optimizer_never_flags_incorrect(seed in any::<u64>()) {
+        use alive2::core::validator::validate_pair;
+        use alive2::opt::bugs::BugSet;
+        use alive2::opt::pass::PassManager;
+        use alive2::sema::config::EncodeConfig;
+        let mut profile = alive2::testgen::appgen::profiles()[2];
+        profile.seed = seed;
+        profile.functions = 2;
+        profile.unsupported_density = 0.0;
+        let m = alive2::testgen::appgen::generate(&profile);
+        let pm = PassManager::default_pipeline(BugSet::none());
+        let cfg = EncodeConfig::default();
+        for func in &m.functions {
+            let mut f = func.clone();
+            for (pass, before, after) in pm.run_with_snapshots(&mut f) {
+                let v = validate_pair(&m, &before, &after, &cfg);
+                prop_assert!(
+                    !v.is_incorrect(),
+                    "{}/{pass}: {v:?}\nBEFORE:\n{before}\nAFTER:\n{after}",
+                    func.name
+                );
+            }
+        }
+    }
+}
+
+// ---- the unroller preserves bounded behavior -------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn unrolled_loop_computes_the_same_sum(n in 0u32..4, factor in 4u32..8) {
+        use alive2::sema::unroll::unroll_loops;
+        // sum(n) for n < factor fits in the bound; compare against the
+        // closed form via the encoder's concrete evaluation path by
+        // validating against a constant-returning target.
+        let src = format!(
+            r#"define i32 @s() {{
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc1, %body ]
+  %c = icmp ult i32 %i, {n}
+  br i1 %c, label %body, label %exit
+body:
+  %acc1 = add i32 %acc, %i
+  %i1 = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %acc
+}}"#
+        );
+        let f = parse_function(&src).unwrap();
+        let u = unroll_loops(&f, factor).unwrap();
+        prop_assert!(alive2::ir::verify::verify_function(&u.func).is_empty());
+        let expect: u32 = (0..n).sum();
+        use alive2::core::validator::validate_pair;
+        use alive2::sema::config::EncodeConfig;
+        let module = parse_module(&src).unwrap();
+        let tgt = parse_function(&format!(
+            "define i32 @s() {{\nentry:\n  ret i32 {expect}\n}}"
+        ))
+        .unwrap();
+        let mut cfg = EncodeConfig::default();
+        cfg.unroll_factor = factor;
+        let v = validate_pair(&module, &module.functions[0], &tgt, &cfg);
+        prop_assert!(v.is_correct(), "n={n} factor={factor}: {v:?}");
+    }
+}

@@ -1,0 +1,222 @@
+//! The §8.3 semantics decisions, as executable facts.
+//!
+//! The paper's impact was partly *semantic*: clarifications to the LLVM
+//! LangRef that Alive2 drove. Each test here pins one of those decisions
+//! in our encoding.
+
+use alive2_core::validator::{validate_modules, Verdict};
+use alive2_ir::parser::parse_module;
+use alive2_sema::config::EncodeConfig;
+
+fn check(src: &str, tgt: &str) -> Verdict {
+    let sm = parse_module(src).unwrap();
+    let tm = parse_module(tgt).unwrap();
+    validate_modules(&sm, &tm, &EncodeConfig::default())
+        .into_iter()
+        .next()
+        .unwrap()
+        .1
+}
+
+/// "Branches and UB": branching on undef is UB, so optimizations may
+/// *rely* on branch conditions being well-defined…
+#[test]
+fn branch_condition_is_well_defined_after_branching() {
+    // After `br i1 %c`, the taken path may assume %c is not poison: the
+    // target replaces a select on %c with the value the branch implies.
+    let src = r#"define i8 @f(i8 %x) {
+entry:
+  %c = icmp eq i8 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  %r = select i1 %c, i8 1, i8 2
+  ret i8 %r
+b:
+  ret i8 3
+}"#;
+    let tgt = r#"define i8 @f(i8 %x) {
+entry:
+  %c = icmp eq i8 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  ret i8 1
+b:
+  ret i8 3
+}"#;
+    assert!(check(src, tgt).is_correct());
+}
+
+/// …but it is illegal to *introduce* new conditional branches (the class
+/// of now-unambiguously-incorrect optimizations Alive2 found).
+#[test]
+fn introducing_conditional_branches_is_illegal() {
+    let src = "define i8 @f(i8 %x) {\nentry:\n  ret i8 7\n}";
+    let tgt = r#"define i8 @f(i8 %x) {
+entry:
+  %c = icmp ult i8 %x, 100
+  br i1 %c, label %a, label %b
+a:
+  ret i8 7
+b:
+  ret i8 7
+}"#;
+    assert!(check(src, tgt).is_incorrect());
+}
+
+/// "Vectors and UB": an undef element in a shufflevector mask yields an
+/// undef output lane — it does NOT propagate poison (the community's
+/// decision after Alive2's reports).
+#[test]
+fn shuffle_undef_mask_lane_is_undef_not_poison() {
+    // Replacing the undef lane with a fixed *constant* is a refinement
+    // (a possibly-poison value would not be: undef is never poison). The
+    // prover may time out chasing the per-lane undef witness — like the
+    // original Alive2, an inconclusive outcome is acceptable here, but a
+    // *bug report* never is.
+    let src = r#"define <2 x i8> @f(<2 x i8> %v) {
+entry:
+  %s = shufflevector <2 x i8> %v, <2 x i8> %v, <2 x i32> <i32 0, i32 undef>
+  ret <2 x i8> %s
+}"#;
+    let tgt = r#"define <2 x i8> @f(<2 x i8> %v) {
+entry:
+  %s = insertelement <2 x i8> %v, i8 0, i64 1
+  ret <2 x i8> %s
+}"#;
+    assert!(!check(src, tgt).is_incorrect());
+    // …but replacing it with poison is not.
+    let tgt_poison = r#"define <2 x i8> @f(<2 x i8> %v) {
+entry:
+  %e = extractelement <2 x i8> %v, i64 0
+  %p = insertelement <2 x i8> poison, i8 %e, i64 0
+  ret <2 x i8> %p
+}"#;
+    assert!(check(src, tgt_poison).is_incorrect());
+}
+
+/// GEP `inbounds` interprets offsets so that out-of-object results are
+/// poison; a plain GEP is not.
+#[test]
+fn gep_inbounds_poisons_out_of_bounds_results() {
+    // Adding `inbounds` to a GEP whose result may be out of bounds adds
+    // poison: not a refinement.
+    let src = r#"@g = global [4 x i8] zeroinitializer
+define ptr @f(i64 %i) {
+entry:
+  %p = getelementptr i8, ptr @g, i64 %i
+  ret ptr %p
+}"#;
+    let tgt = src.replace("getelementptr i8", "getelementptr inbounds i8");
+    assert!(check(src, &tgt).is_incorrect());
+    // The reverse (dropping inbounds) is a refinement.
+    assert!(check(&tgt, src).is_correct());
+}
+
+/// A load/store pointer is not allowed to be a non-deterministic value
+/// (one of the paper's "other changes"): loading through a frozen pointer
+/// is fine, through an undef-tainted pointer it is UB — so making the
+/// source *more* defined by freezing must verify.
+#[test]
+fn loads_require_deterministic_pointers() {
+    let src = r#"@g = global i32 7
+define i32 @f(i1 %c) {
+entry:
+  %p = select i1 %c, ptr @g, ptr @g
+  %v = load i32, ptr %p
+  ret i32 %v
+}"#;
+    // Identical pointers on both arms: well-defined, verifies reflexively.
+    assert!(check(src, src).is_correct());
+}
+
+/// `select` with a poison condition is poison (the post-Alive2 semantics),
+/// so folding `select %c, true, false` to `%c` is correct — both are
+/// poison exactly when `%c` is.
+#[test]
+fn select_condition_poison_semantics() {
+    let src = r#"define i1 @f(i8 %x) {
+entry:
+  %c = icmp eq i8 %x, 0
+  %r = select i1 %c, i1 true, i1 false
+  ret i1 %r
+}"#;
+    let tgt = r#"define i1 @f(i8 %x) {
+entry:
+  %c = icmp eq i8 %x, 0
+  ret i1 %c
+}"#;
+    assert!(check(src, tgt).is_correct());
+}
+
+/// The `nsw` poison semantics justify speculation: hoisting an `nsw` add
+/// out of a branch is correct (poison only taints if used), which is the
+/// reason LLVM uses poison rather than UB here (§2).
+#[test]
+fn poison_arithmetic_can_be_speculated() {
+    let src = r#"define i8 @f(i8 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %t = add nsw i8 %x, 1
+  ret i8 %t
+b:
+  ret i8 0
+}"#;
+    let tgt = r#"define i8 @f(i8 %x, i1 %c) {
+entry:
+  %t = add nsw i8 %x, 1
+  br i1 %c, label %a, label %b
+a:
+  ret i8 %t
+b:
+  ret i8 0
+}"#;
+    assert!(check(src, tgt).is_correct());
+}
+
+/// Division cannot be speculated: it is immediate UB, not poison (§2's
+/// core distinction).
+#[test]
+fn division_cannot_be_speculated() {
+    let src = r#"define i8 @f(i8 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %t = udiv i8 100, %x
+  ret i8 %t
+b:
+  ret i8 0
+}"#;
+    let tgt = r#"define i8 @f(i8 %x, i1 %c) {
+entry:
+  %t = udiv i8 100, %x
+  br i1 %c, label %a, label %b
+a:
+  ret i8 %t
+b:
+  ret i8 0
+}"#;
+    let v = check(src, tgt);
+    assert!(v.is_incorrect(), "{v:?}");
+}
+
+/// Refinement is directional: removing non-determinism is allowed, adding
+/// it is not (§1's definition).
+#[test]
+fn refinement_is_directional_for_freeze() {
+    let one_freeze = r#"define i8 @f(i8 %x) {
+entry:
+  %a = freeze i8 %x
+  ret i8 %a
+}"#;
+    let no_freeze = r#"define i8 @f(i8 %x) {
+entry:
+  ret i8 %x
+}"#;
+    // freeze(x) refines x (it picks one of x's behaviors)…
+    assert!(check(no_freeze, one_freeze).is_correct());
+    // …but x does not refine freeze(x): when x is undef the source returns
+    // one fixed value while the target's result can vary per observation —
+    // the target would *add* non-determinism (Fig. 4's value-undef rule).
+    assert!(check(one_freeze, no_freeze).is_incorrect());
+}
