@@ -1,0 +1,9 @@
+#!/bin/sh
+# The full offline CI gate: formatting, release build, and tests.
+# The workspace has zero non-workspace dependencies (see DESIGN.md,
+# "Dependencies"), so --offline must always succeed on a cold registry.
+set -ex
+cd "$(dirname "$0")"
+cargo fmt --check
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

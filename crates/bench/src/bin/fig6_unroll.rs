@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p alive2-bench --bin fig6_unroll`.
 
-use alive2_bench::{validate_module_pipeline, validate_pairs, Counts};
+use alive2_bench::{engine_from_args, validate_module_pipeline, validate_pairs, Counts};
 use alive2_ir::parser::parse_module;
 use alive2_opt::bugs::BugSet;
 use alive2_sema::config::EncodeConfig;
@@ -30,13 +30,18 @@ exit:
   ret i32 %i
 }}"#
     );
-    let tgt = src.replace("ret i32 %i
-", "ret i32 12345
-");
+    let tgt = src.replace(
+        "ret i32 %i
+",
+        "ret i32 12345
+",
+    );
     (src, tgt)
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let engine = engine_from_args(&args);
     let factors = [1u32, 2, 4, 8, 16, 32];
     println!("Figure 6: effect of the unroll factor (corpus + known-bug suite)\n");
     println!(
@@ -48,25 +53,17 @@ fn main() {
         let mut total = Counts::default();
         for case in corpus() {
             let m = parse_module(case.text).expect("corpus parses");
-            total.add(validate_module_pipeline(&m, BugSet::none(), &cfg));
+            total.add(validate_module_pipeline(&m, BugSet::none(), &cfg, &engine));
         }
         let mut pairs: Vec<_> = known_bugs()
             .iter()
-            .map(|b| {
-                (
-                    parse_module(b.src).unwrap(),
-                    parse_module(b.tgt).unwrap(),
-                )
-            })
+            .map(|b| (parse_module(b.src).unwrap(), parse_module(b.tgt).unwrap()))
             .collect();
         for k in [1u32, 2, 4, 8, 16, 24] {
             let (src, tgt) = depth_bug(k);
-            pairs.push((
-                parse_module(&src).unwrap(),
-                parse_module(&tgt).unwrap(),
-            ));
+            pairs.push((parse_module(&src).unwrap(), parse_module(&tgt).unwrap()));
         }
-        let (kb_counts, _) = validate_pairs(&pairs, &cfg);
+        let (kb_counts, _) = validate_pairs(&pairs, &cfg, &engine);
         total.add(kb_counts);
         println!(
             "{:>8} {:>10} {:>12} {:>12.1}",

@@ -2,22 +2,22 @@
 //! applications (synthetic profiles; see DESIGN.md for the substitution).
 //!
 //! Run with `cargo run --release -p alive2-bench --bin fig7_apps`.
-//! Pass `--scale F` (e.g. 0.25) to shrink the generated apps.
+//! Pass `--scale F` (e.g. 0.25) to shrink the generated apps, `--jobs N`
+//! to set the validation worker count (default: all cores), and
+//! `--deadline-ms MS` to cap each function pair's wall-clock time.
 
-use alive2_bench::{print_fig7_header, print_fig7_row, validate_module_pipeline, Counts};
+use alive2_bench::{
+    engine_from_args, flag_value, print_fig7_header, print_fig7_row, validate_module_pipeline,
+    Counts,
+};
 use alive2_opt::bugs::{BugId, BugSet};
 use alive2_sema::config::EncodeConfig;
 use alive2_testgen::appgen::{generate, profiles};
 
 fn main() {
-    let scale: f64 = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--scale")
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1.0)
-    };
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = flag_value(&args, "--scale").unwrap_or(1.0);
+    let engine = engine_from_args(&args);
     // §8.4 found real miscompilations in the wild (the select→and/or
     // canonicalization); seed the matching bug so the experiment
     // reproduces non-zero failure columns.
@@ -28,13 +28,17 @@ fn main() {
     // the cap to this harness so one hard function cannot dominate the run.
     let mut cfg = EncodeConfig::default();
     cfg.solver_timeout_ms = 10_000;
-    println!("Figure 7: single-file application validation (synthetic substitutes)\n");
+    println!(
+        "Figure 7: single-file application validation (synthetic substitutes; {} worker{})\n",
+        engine.workers,
+        if engine.workers == 1 { "" } else { "s" }
+    );
     print_fig7_header();
     let mut grand = Counts::default();
     for mut profile in profiles() {
         profile.functions = ((profile.functions as f64) * scale).ceil() as usize;
         let module = generate(&profile);
-        let counts = validate_module_pipeline(&module, bugs.clone(), &cfg);
+        let counts = validate_module_pipeline(&module, bugs.clone(), &cfg, &engine);
         print_fig7_row(profile.name, &counts);
         grand.add(counts);
     }

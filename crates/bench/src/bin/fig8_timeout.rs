@@ -3,13 +3,15 @@
 //!
 //! Run with `cargo run --release -p alive2-bench --bin fig8_timeout`.
 
-use alive2_bench::{validate_module_pipeline, validate_pairs, Counts};
+use alive2_bench::{engine_from_args, validate_module_pipeline, validate_pairs, Counts};
 use alive2_ir::parser::parse_module;
 use alive2_opt::bugs::BugSet;
 use alive2_sema::config::EncodeConfig;
 use alive2_testgen::{appgen, corpus::corpus, known_bugs::known_bugs};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let engine = engine_from_args(&args);
     // The paper sweeps 1 s … 5 min against Z3 on 8 cores; our workload and
     // solver are smaller, so the sweep is scaled down proportionally.
     let timeouts_ms = [5u64, 20, 50, 200, 1000, 5000];
@@ -26,19 +28,19 @@ fn main() {
         // Unit-test corpus…
         for case in corpus() {
             let m = parse_module(case.text).expect("corpus parses");
-            total.add(validate_module_pipeline(&m, BugSet::none(), &cfg));
+            total.add(validate_module_pipeline(&m, BugSet::none(), &cfg, &engine));
         }
         // …known bugs…
         let pairs: Vec<_> = known_bugs()
             .iter()
             .map(|b| (parse_module(b.src).unwrap(), parse_module(b.tgt).unwrap()))
             .collect();
-        total.add(validate_pairs(&pairs, &cfg).0);
+        total.add(validate_pairs(&pairs, &cfg, &engine).0);
         // …and one synthetic app.
         let mut profile = appgen::profiles()[1]; // gzip
         profile.functions = profile.functions.min(20);
         let m = appgen::generate(&profile);
-        total.add(validate_module_pipeline(&m, BugSet::none(), &cfg));
+        total.add(validate_module_pipeline(&m, BugSet::none(), &cfg, &engine));
 
         let t = total.millis as f64;
         let delta = match base_ms {

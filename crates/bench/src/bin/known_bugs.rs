@@ -2,21 +2,53 @@
 //! report which are detected and which are (soundly) missed, with reasons.
 //!
 //! Run with `cargo run --release -p alive2-bench --bin known_bugs`.
+//! Accepts the shared `--jobs N` / `--deadline-ms MS` flags.
 
-use alive2_core::validator::validate_modules;
+use alive2_bench::engine_from_args;
+use alive2_core::engine::Job;
+use alive2_ir::module::Module;
 use alive2_ir::parser::parse_module;
 use alive2_sema::config::EncodeConfig;
 use alive2_testgen::known_bugs::{known_bugs, Expectation};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let engine = engine_from_args(&args);
     let cfg = EncodeConfig::default();
+    let bugs = known_bugs();
+    // Parse every pair up front, then hand the whole suite to the engine
+    // as one work list (one job per bug).
+    let modules: Vec<(Module, Module)> = bugs
+        .iter()
+        .map(|b| {
+            (
+                parse_module(b.src).expect("bug source parses"),
+                parse_module(b.tgt).expect("bug target parses"),
+            )
+        })
+        .collect();
+    let jobs: Vec<Job> = bugs
+        .iter()
+        .zip(&modules)
+        .map(|(b, (src, tgt))| {
+            let s = &src.functions[0];
+            Job {
+                name: b.name.to_string(),
+                module: src,
+                src: s,
+                tgt: tgt
+                    .function(&s.name)
+                    .expect("bug target keeps the function"),
+                cfg,
+            }
+        })
+        .collect();
+    let outcomes = engine.run(&jobs);
+
     let (mut detected, mut missed) = (0u32, 0u32);
     println!("§8.5: reproducing known LLVM bugs\n");
-    for bug in known_bugs() {
-        let src = parse_module(bug.src).unwrap();
-        let tgt = parse_module(bug.tgt).unwrap();
-        let verdict = &validate_modules(&src, &tgt, &cfg)[0].1;
-        let got_detection = verdict.is_incorrect();
+    for (bug, outcome) in bugs.iter().zip(&outcomes) {
+        let got_detection = outcome.verdict.is_incorrect();
         let (status, note) = match (got_detection, bug.expect) {
             (true, Expectation::Detected) => {
                 detected += 1;

@@ -3,8 +3,12 @@
 //! refinement violations per category.
 //!
 //! Run with `cargo run --release -p alive2-bench --bin table_bugs`.
+//! Accepts the shared `--jobs N` / `--deadline-ms MS` flags.
 
-use alive2_core::validator::{validate_pair, Verdict};
+use alive2_bench::engine_from_args;
+use alive2_core::engine::Job;
+use alive2_ir::function::Function;
+use alive2_ir::module::Module;
 use alive2_ir::parser::parse_module;
 use alive2_opt::bugs::{BugCategory, BugId, BugSet};
 use alive2_opt::pass::PassManager;
@@ -28,15 +32,26 @@ fn trigger_families(bug: BugId) -> &'static [Family] {
     }
 }
 
+/// One candidate violation: the pair to validate plus the category it
+/// counts toward if the validator flags it.
+struct Candidate {
+    category: BugCategory,
+    module: Module,
+    before: Function,
+    after: Function,
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let engine = engine_from_args(&args);
     // The paper capped Z3 at one minute per query on a much larger
     // machine; scale the cap down so the table regenerates quickly.
     let mut cfg = EncodeConfig::default();
     cfg.solver_timeout_ms = 10_000;
-    let mut per_category: HashMap<BugCategory, u32> = HashMap::new();
 
-    // Pass-seeded bugs over their trigger families (isolated so hits are
-    // attributable).
+    // Phase 1 (cheap, sequential): run the seeded optimizer pipelines and
+    // collect every changed before/after pair.
+    let mut candidates: Vec<Candidate> = Vec::new();
     for bug in BugId::all() {
         let families = trigger_families(bug);
         let pm = PassManager::default_pipeline(BugSet::only(bug));
@@ -48,12 +63,12 @@ fn main() {
             for func in &module.functions {
                 let mut f = func.clone();
                 for (_pass, before, after) in pm.run_with_snapshots(&mut f) {
-                    if matches!(
-                        validate_pair(&module, &before, &after, &cfg),
-                        Verdict::Incorrect(_)
-                    ) {
-                        *per_category.entry(bug.category()).or_default() += 1;
-                    }
+                    candidates.push(Candidate {
+                        category: bug.category(),
+                        module: module.clone(),
+                        before,
+                        after,
+                    });
                 }
             }
         }
@@ -62,10 +77,33 @@ fn main() {
     for b in known_bugs::known_bugs() {
         let src = parse_module(b.src).unwrap();
         let tgt = parse_module(b.tgt).unwrap();
-        let f = &src.functions[0];
-        let t = tgt.function(&f.name).unwrap();
-        if matches!(validate_pair(&src, f, t, &cfg), Verdict::Incorrect(_)) {
-            *per_category.entry(b.category).or_default() += 1;
+        let f = src.functions[0].clone();
+        let t = tgt.function(&f.name).unwrap().clone();
+        candidates.push(Candidate {
+            category: b.category,
+            module: src,
+            before: f,
+            after: t,
+        });
+    }
+
+    // Phase 2 (expensive): validate every candidate on the engine.
+    let jobs: Vec<Job> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Job {
+            name: format!("cand{i}"),
+            module: &c.module,
+            src: &c.before,
+            tgt: &c.after,
+            cfg,
+        })
+        .collect();
+    let outcomes = engine.run(&jobs);
+    let mut per_category: HashMap<BugCategory, u32> = HashMap::new();
+    for (c, o) in candidates.iter().zip(&outcomes) {
+        if o.verdict.is_incorrect() {
+            *per_category.entry(c.category).or_default() += 1;
         }
     }
 

@@ -1,105 +1,132 @@
 //! Shared driver code for the Alive2-rs evaluation harness.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the
-//! paper's evaluation (§8); this library holds the common
-//! pipeline-and-validate loop and the outcome accounting.
+//! paper's evaluation (§8). The pipeline-and-validate loop itself lives
+//! in [`alive2_core::engine`]; this crate adds the two workload shapes
+//! (pass-pipeline snapshots, explicit module pairs), a `--jobs`/
+//! `--deadline-ms` CLI convention shared by every harness, the in-tree
+//! [`timer`] used in place of criterion, and the Fig. 7 table printers.
 
-use alive2_core::validator::{validate_pair_with_stats, Verdict};
+pub mod timer;
+
+use alive2_core::engine::{Job, ValidationEngine};
+use alive2_core::validator::Verdict;
+use alive2_ir::function::Function;
 use alive2_ir::module::Module;
 use alive2_opt::bugs::BugSet;
 use alive2_opt::pass::PassManager;
 use alive2_sema::config::EncodeConfig;
 use std::time::Instant;
 
-/// Outcome counts in the shape of the paper's Fig. 7 columns.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Counts {
-    /// Total (function, pass) pairs considered.
-    pub pairs: u32,
-    /// Pairs where the pass changed the function.
-    pub diff: u32,
-    /// Successfully validated.
-    pub correct: u32,
-    /// Refinement violations.
-    pub incorrect: u32,
-    /// Solver timeouts.
-    pub timeout: u32,
-    /// Solver memory exhaustion.
-    pub oom: u32,
-    /// Skipped: unsupported features or inconclusive over-approximations.
-    pub unsupported: u32,
-    /// Total wall-clock milliseconds spent validating.
-    pub millis: u64,
+pub use alive2_core::engine::Counts;
+
+/// Builds a [`ValidationEngine`] from the shared CLI convention:
+/// `--jobs N` (worker threads, default `available_parallelism()`) and
+/// `--deadline-ms MS` (per-job wall-clock cap, default none).
+pub fn engine_from_args(args: &[String]) -> ValidationEngine {
+    let jobs = flag_value(args, "--jobs").unwrap_or_else(|| ValidationEngine::default().workers);
+    let deadline_ms = flag_value(args, "--deadline-ms");
+    ValidationEngine::new(jobs).with_deadline_ms(deadline_ms)
 }
 
-impl Counts {
-    /// Accumulates another `Counts`.
-    pub fn add(&mut self, other: Counts) {
-        self.pairs += other.pairs;
-        self.diff += other.diff;
-        self.correct += other.correct;
-        self.incorrect += other.incorrect;
-        self.timeout += other.timeout;
-        self.oom += other.oom;
-        self.unsupported += other.unsupported;
-        self.millis += other.millis;
-    }
-
-    /// Records one verdict.
-    pub fn record(&mut self, v: &Verdict) {
-        match v {
-            Verdict::Correct => self.correct += 1,
-            Verdict::Incorrect(_) => self.incorrect += 1,
-            Verdict::Timeout => self.timeout += 1,
-            Verdict::OutOfMemory => self.oom += 1,
-            Verdict::Unsupported(_)
-            | Verdict::Inconclusive(_)
-            | Verdict::PreconditionFalse => self.unsupported += 1,
-        }
-    }
+/// Parses `--flag VALUE` from an argument list.
+pub fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }
 
 /// Runs the default pipeline (with `bugs` seeded) over every function of a
 /// module, validating each changed pass — the `opt -tv` workflow (§8.1).
+///
+/// The (sequential, cheap) optimization phase collects before/after
+/// snapshots; the (expensive) validation phase fans out on `engine`.
 pub fn validate_module_pipeline(
     module: &Module,
     bugs: BugSet,
     cfg: &EncodeConfig,
+    engine: &ValidationEngine,
 ) -> Counts {
     let pm = PassManager::default_pipeline(bugs);
-    let mut counts = Counts::default();
     let start = Instant::now();
+    let mut pairs = 0u32;
+    let mut snaps: Vec<(String, Function, Function)> = Vec::new();
     for func in &module.functions {
         let mut f = func.clone();
-        let snaps = pm.run_with_snapshots(&mut f);
-        counts.pairs += pm.pass_names().len() as u32;
-        for (_pass, before, after) in snaps {
-            counts.diff += 1;
-            let (v, _stats) = validate_pair_with_stats(module, &before, &after, cfg);
-            counts.record(&v);
+        pairs += pm.pass_names().len() as u32;
+        for (pass, before, after) in pm.run_with_snapshots(&mut f) {
+            snaps.push((format!("{}/{pass}", func.name), before, after));
         }
     }
+    let jobs: Vec<Job> = snaps
+        .iter()
+        .map(|(name, before, after)| Job {
+            name: name.clone(),
+            module,
+            src: before,
+            tgt: after,
+            cfg: *cfg,
+        })
+        .collect();
+    let (_, mut counts) = engine.run_counts(&jobs);
+    counts.pairs = pairs;
+    counts.diff = jobs.len() as u32;
     counts.millis = start.elapsed().as_millis() as u64;
     counts
 }
 
 /// Validates a list of explicit source/target module pairs.
+///
+/// Every source function participates: those with no same-named target
+/// are counted as unsupported (the dropped-function case).
 pub fn validate_pairs(
     pairs: &[(Module, Module)],
     cfg: &EncodeConfig,
+    engine: &ValidationEngine,
 ) -> (Counts, Vec<Verdict>) {
+    let start = Instant::now();
     let mut counts = Counts::default();
     let mut verdicts = Vec::new();
-    let start = Instant::now();
+    // One validate_modules call per pair would serialize on small pairs;
+    // flatten everything into a single engine work list instead.
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut resolved: Vec<(usize, Verdict)> = Vec::new();
+    let mut slot = 0usize;
     for (src, tgt) in pairs {
         for s in &src.functions {
-            let Some(t) = tgt.function(&s.name) else { continue };
-            counts.pairs += 1;
-            counts.diff += 1;
-            let (v, _stats) = validate_pair_with_stats(src, s, t, cfg);
-            counts.record(&v);
-            verdicts.push(v);
+            match tgt.function(&s.name) {
+                Some(t) => jobs.push(Job {
+                    name: s.name.clone(),
+                    module: src,
+                    src: s,
+                    tgt: t,
+                    cfg: *cfg,
+                }),
+                None => resolved.push((
+                    slot,
+                    Verdict::Unsupported("no matching target function".into()),
+                )),
+            }
+            slot += 1;
         }
+    }
+    let outcomes = engine.run(&jobs);
+    let mut merged: Vec<Option<Verdict>> = vec![None; slot];
+    for (i, v) in resolved {
+        merged[i] = Some(v);
+    }
+    let mut it = outcomes.into_iter();
+    for m in merged.iter_mut() {
+        if m.is_none() {
+            *m = Some(it.next().expect("one outcome per job").verdict);
+        }
+    }
+    for v in merged.into_iter().map(|m| m.expect("slot filled")) {
+        counts.pairs += 1;
+        counts.diff += 1;
+        counts.record(&v);
+        verdicts.push(v);
     }
     counts.millis = start.elapsed().as_millis() as u64;
     (counts, verdicts)
@@ -136,13 +163,47 @@ mod tests {
 
     #[test]
     fn pipeline_driver_counts() {
-        let m = parse_module(
-            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 0\n  ret i32 %a\n}",
-        )
-        .unwrap();
-        let c = validate_module_pipeline(&m, BugSet::none(), &EncodeConfig::default());
+        let m =
+            parse_module("define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 0\n  ret i32 %a\n}")
+                .unwrap();
+        let c = validate_module_pipeline(
+            &m,
+            BugSet::none(),
+            &EncodeConfig::default(),
+            &ValidationEngine::sequential(),
+        );
         assert!(c.diff >= 1);
         assert_eq!(c.incorrect, 0);
         assert!(c.correct >= 1);
+    }
+
+    #[test]
+    fn pipeline_driver_parallel_matches_sequential() {
+        let m = parse_module(
+            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 0\n  ret i32 %a\n}\n\
+             define i32 @g(i32 %x) {\nentry:\n  %a = mul i32 %x, 2\n  ret i32 %a\n}",
+        )
+        .unwrap();
+        let cfg = EncodeConfig::default();
+        let seq =
+            validate_module_pipeline(&m, BugSet::none(), &cfg, &ValidationEngine::sequential());
+        let par = validate_module_pipeline(&m, BugSet::none(), &cfg, &ValidationEngine::new(4));
+        assert!(seq.same_verdicts(&par));
+        assert_eq!(seq.pairs, par.pairs);
+        assert_eq!(seq.diff, par.diff);
+    }
+
+    #[test]
+    fn engine_from_args_parses_flags() {
+        let args: Vec<String> = ["--jobs", "3", "--deadline-ms", "250"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let e = engine_from_args(&args);
+        assert_eq!(e.workers, 3);
+        assert_eq!(e.deadline_ms, Some(250));
+        let e2 = engine_from_args(&[]);
+        assert!(e2.workers >= 1);
+        assert_eq!(e2.deadline_ms, None);
     }
 }

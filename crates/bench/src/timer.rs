@@ -1,0 +1,105 @@
+//! A minimal in-tree timing harness replacing the criterion benches.
+//!
+//! Each benchmark runs a closure `samples` times after a warmup pass and
+//! reports the median wall-clock time. Results are emitted as one JSON
+//! object per line so `run_benchmarks.sh` output stays grep/jq-friendly:
+//!
+//! ```text
+//! {"bench":"ir/parse-fig1","median_ns":1234,"min_ns":1200,"max_ns":2400,"samples":25}
+//! ```
+
+use std::time::Instant;
+
+/// The timing summary of one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Median of the per-sample wall-clock times, in nanoseconds.
+    pub median_ns: u128,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Number of measured samples.
+    pub samples: usize,
+}
+
+impl BenchResult {
+    /// The single-line JSON form.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+            self.name, self.median_ns, self.min_ns, self.max_ns, self.samples
+        )
+    }
+}
+
+/// Times `f` over `samples` runs (after one untimed warmup run) and
+/// returns the median-of-N summary. The closure's return value is passed
+/// through `std::hint::black_box` so the work cannot be optimized away.
+pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) -> BenchResult {
+    let samples = samples.max(1);
+    std::hint::black_box(f());
+    let mut times: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    BenchResult {
+        name: name.to_string(),
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+        max_ns: times[times.len() - 1],
+        samples,
+    }
+}
+
+/// Runs `bench` and prints the JSON line — the common case in the
+/// `micro` binary.
+pub fn bench_report<R>(name: &str, samples: usize, f: impl FnMut() -> R) -> BenchResult {
+    let r = bench(name, samples, f);
+    println!("{}", r.to_json());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_between_min_and_max() {
+        let r = bench("t/spin", 9, || {
+            let mut x = 0u64;
+            for i in 0..1000 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert_eq!(r.samples, 9);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = BenchResult {
+            name: "g/c".into(),
+            median_ns: 10,
+            min_ns: 5,
+            max_ns: 20,
+            samples: 3,
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"bench\":\"g/c\",\"median_ns\":10,\"min_ns\":5,\"max_ns\":20,\"samples\":3}"
+        );
+    }
+
+    #[test]
+    fn zero_samples_is_clamped() {
+        let r = bench("t/empty", 0, || 1 + 1);
+        assert_eq!(r.samples, 1);
+    }
+}

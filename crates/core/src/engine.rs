@@ -1,0 +1,397 @@
+//! The parallel validation engine.
+//!
+//! Every evaluation workload in this repo — `alive-tv` over two modules,
+//! the `opt -tv` pipeline driver, the figure harnesses — bottoms out in
+//! the same shape: a list of independent `(name, src, tgt, config)`
+//! validation jobs whose verdicts are aggregated into [`Counts`]. The
+//! paper ran this loop sequentially and burned 2.5 hours on the LLVM unit
+//! suite alone (§8.2); since each job is self-contained (its own term
+//! context, solver, and seeds), the work list is embarrassingly parallel.
+//!
+//! [`ValidationEngine`] runs jobs on N worker threads using only the
+//! standard library: `std::thread::scope` plus a shared atomic work index
+//! as the queue. Results are returned in job order, so `--jobs 1` and
+//! `--jobs N` produce identical output and identical [`Counts`] (modulo
+//! wall-clock). A per-job deadline, plumbed down to the SAT solver's
+//! [`Budget`](alive2_smt::sat::Budget), converts runaway jobs into
+//! [`Verdict::Timeout`] instead of stalling the whole run.
+
+use crate::validator::{validate_pair_with_deadline, ValidateStats, Verdict};
+use alive2_ir::function::Function;
+use alive2_ir::module::Module;
+use alive2_sema::config::EncodeConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One unit of validation work: check that `tgt` refines `src`.
+#[derive(Clone, Debug)]
+pub struct Job<'a> {
+    /// Display name (usually the function name, possibly qualified by the
+    /// pass or app that produced the pair).
+    pub name: String,
+    /// The module providing globals and declarations for the pair.
+    pub module: &'a Module,
+    /// The source (pre-transformation) function.
+    pub src: &'a Function,
+    /// The target (post-transformation) function.
+    pub tgt: &'a Function,
+    /// Per-job encoding/solver configuration.
+    pub cfg: EncodeConfig,
+}
+
+/// The result of one [`Job`].
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The job's name, copied through.
+    pub name: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Query/time statistics for the job.
+    pub stats: ValidateStats,
+}
+
+/// Outcome counts in the shape of the paper's Fig. 7 columns.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counts {
+    /// Total (function, pass) pairs considered.
+    pub pairs: u32,
+    /// Pairs where the pass changed the function.
+    pub diff: u32,
+    /// Successfully validated.
+    pub correct: u32,
+    /// Refinement violations.
+    pub incorrect: u32,
+    /// Solver timeouts (including per-job deadline hits).
+    pub timeout: u32,
+    /// Solver memory exhaustion.
+    pub oom: u32,
+    /// Skipped: unsupported features or inconclusive over-approximations.
+    pub unsupported: u32,
+    /// Wall-clock milliseconds for the run (not a per-thread sum).
+    pub millis: u64,
+}
+
+impl Counts {
+    /// Accumulates another `Counts`.
+    pub fn add(&mut self, other: Counts) {
+        self.pairs += other.pairs;
+        self.diff += other.diff;
+        self.correct += other.correct;
+        self.incorrect += other.incorrect;
+        self.timeout += other.timeout;
+        self.oom += other.oom;
+        self.unsupported += other.unsupported;
+        self.millis += other.millis;
+    }
+
+    /// Records one verdict.
+    pub fn record(&mut self, v: &Verdict) {
+        match v {
+            Verdict::Correct => self.correct += 1,
+            Verdict::Incorrect(_) => self.incorrect += 1,
+            Verdict::Timeout => self.timeout += 1,
+            Verdict::OutOfMemory => self.oom += 1,
+            Verdict::Unsupported(_) | Verdict::Inconclusive(_) | Verdict::PreconditionFalse => {
+                self.unsupported += 1
+            }
+        }
+    }
+
+    /// True when every verdict column matches `other` — wall-clock time
+    /// and pair bookkeeping excluded. This is the invariant `--jobs N`
+    /// must preserve against `--jobs 1`.
+    pub fn same_verdicts(&self, other: &Counts) -> bool {
+        self.correct == other.correct
+            && self.incorrect == other.incorrect
+            && self.timeout == other.timeout
+            && self.oom == other.oom
+            && self.unsupported == other.unsupported
+    }
+}
+
+/// A fixed-size worker pool for validation jobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidationEngine {
+    /// Number of worker threads (`1` = run on the calling thread).
+    pub workers: usize,
+    /// Optional per-job wall-clock cap in milliseconds. Applies to each
+    /// job individually, from the moment a worker picks it up.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for ValidationEngine {
+    fn default() -> Self {
+        ValidationEngine {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            deadline_ms: None,
+        }
+    }
+}
+
+impl ValidationEngine {
+    /// An engine with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        ValidationEngine {
+            workers: workers.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// A single-threaded engine (runs jobs on the calling thread).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Sets the per-job deadline.
+    pub fn with_deadline_ms(self, deadline_ms: Option<u64>) -> Self {
+        ValidationEngine {
+            deadline_ms,
+            ..self
+        }
+    }
+
+    fn run_one(&self, job: &Job) -> Outcome {
+        let deadline = self
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let (verdict, stats) =
+            validate_pair_with_deadline(job.module, job.src, job.tgt, &job.cfg, deadline);
+        Outcome {
+            name: job.name.clone(),
+            verdict,
+            stats,
+        }
+    }
+
+    /// Runs every job and returns the outcomes in job order.
+    ///
+    /// Jobs are independent (each builds its own term context), so the
+    /// verdicts do not depend on the worker count; only wall-clock time
+    /// does.
+    pub fn run(&self, jobs: &[Job]) -> Vec<Outcome> {
+        let workers = self.workers.max(1).min(jobs.len().max(1));
+        if workers <= 1 {
+            return jobs.iter().map(|j| self.run_one(j)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, Outcome)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            done.push((i, self.run_one(&jobs[i])));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("validation worker panicked"))
+                .collect()
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, o)| o).collect()
+    }
+
+    /// Runs every job and aggregates the verdicts. `pairs` and `diff` are
+    /// both set to the job count; drivers with a different notion of
+    /// "considered pairs" (e.g. the pass pipeline) overwrite them.
+    pub fn run_counts(&self, jobs: &[Job]) -> (Vec<Outcome>, Counts) {
+        let start = Instant::now();
+        let outcomes = self.run(jobs);
+        let mut counts = Counts {
+            pairs: jobs.len() as u32,
+            diff: jobs.len() as u32,
+            ..Counts::default()
+        };
+        for o in &outcomes {
+            counts.record(&o.verdict);
+        }
+        counts.millis = start.elapsed().as_millis() as u64;
+        (outcomes, counts)
+    }
+
+    /// Validates every function of `src_mod` against its same-named
+    /// counterpart in `tgt_mod` — the `alive-tv` workflow (§8.1) — and
+    /// returns `(name, verdict)` in source order.
+    ///
+    /// Source functions with no same-named target are reported as
+    /// `Unsupported("no matching target function")` rather than silently
+    /// dropped: a pass that deletes a function is a (potential)
+    /// miscompile the user must see.
+    pub fn validate_modules(
+        &self,
+        src_mod: &Module,
+        tgt_mod: &Module,
+        cfg: &EncodeConfig,
+    ) -> Vec<(String, Verdict)> {
+        let mut slots: Vec<Option<(String, Verdict)>> = Vec::new();
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut job_slots: Vec<usize> = Vec::new();
+        for src in &src_mod.functions {
+            let slot = slots.len();
+            let Some(tgt) = tgt_mod.function(&src.name) else {
+                slots.push(Some((
+                    src.name.clone(),
+                    Verdict::Unsupported("no matching target function".into()),
+                )));
+                continue;
+            };
+            if src_mod.globals != tgt_mod.globals {
+                slots.push(Some((
+                    src.name.clone(),
+                    Verdict::Unsupported("source/target globals differ".into()),
+                )));
+                continue;
+            }
+            // Skip byte-identical pairs — the optimization the paper's
+            // plugins apply when a pass makes no changes (§8.1).
+            if src == tgt {
+                slots.push(Some((src.name.clone(), Verdict::Correct)));
+                continue;
+            }
+            slots.push(None);
+            job_slots.push(slot);
+            jobs.push(Job {
+                name: src.name.clone(),
+                module: src_mod,
+                src,
+                tgt,
+                cfg: *cfg,
+            });
+        }
+        let outcomes = self.run(&jobs);
+        for (slot, o) in job_slots.into_iter().zip(outcomes) {
+            slots[slot] = Some((o.name, o.verdict));
+        }
+        slots.into_iter().map(|s| s.expect("slot filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive2_ir::parser::parse_module;
+
+    fn modules() -> (Module, Module) {
+        let src = parse_module(
+            "define i8 @a(i8 %x) {\nentry:\n  %r = mul i8 %x, 2\n  ret i8 %r\n}\n\
+             define i8 @b(i8 %x) {\nentry:\n  %r = add i8 %x, 1\n  ret i8 %r\n}\n\
+             define i8 @c(i8 %x) {\nentry:\n  ret i8 %x\n}",
+        )
+        .unwrap();
+        let tgt = parse_module(
+            "define i8 @a(i8 %x) {\nentry:\n  %r = shl i8 %x, 1\n  ret i8 %r\n}\n\
+             define i8 @b(i8 %x) {\nentry:\n  %r = add i8 %x, 2\n  ret i8 %r\n}\n\
+             define i8 @c(i8 %x) {\nentry:\n  ret i8 %x\n}",
+        )
+        .unwrap();
+        (src, tgt)
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let (src, tgt) = modules();
+        let cfg = EncodeConfig::default();
+        let seq = ValidationEngine::sequential().validate_modules(&src, &tgt, &cfg);
+        let par = ValidationEngine::new(4).validate_modules(&src, &tgt, &cfg);
+        assert_eq!(seq.len(), par.len());
+        for ((n1, v1), (n2, v2)) in seq.iter().zip(&par) {
+            assert_eq!(n1, n2);
+            assert_eq!(
+                std::mem::discriminant(v1),
+                std::mem::discriminant(v2),
+                "{n1}: {v1:?} vs {v2:?}"
+            );
+        }
+        assert!(seq[0].1.is_correct());
+        assert!(seq[1].1.is_incorrect());
+        assert!(seq[2].1.is_correct());
+    }
+
+    #[test]
+    fn outcomes_preserve_job_order() {
+        let (src, tgt) = modules();
+        let cfg = EncodeConfig::default();
+        let jobs: Vec<Job> = src
+            .functions
+            .iter()
+            .map(|f| Job {
+                name: f.name.clone(),
+                module: &src,
+                src: f,
+                tgt: tgt.function(&f.name).unwrap(),
+                cfg,
+            })
+            .collect();
+        let outcomes = ValidationEngine::new(3).run(&jobs);
+        let names: Vec<&str> = outcomes.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn missing_target_function_is_reported_not_dropped() {
+        let src = parse_module(
+            "define i8 @keep(i8 %x) {\nentry:\n  ret i8 %x\n}\n\
+             define i8 @gone(i8 %x) {\nentry:\n  ret i8 %x\n}",
+        )
+        .unwrap();
+        let tgt = parse_module("define i8 @keep(i8 %x) {\nentry:\n  ret i8 %x\n}").unwrap();
+        let results =
+            ValidationEngine::sequential().validate_modules(&src, &tgt, &EncodeConfig::default());
+        assert_eq!(results.len(), 2);
+        assert!(results[0].1.is_correct());
+        match &results[1].1 {
+            Verdict::Unsupported(why) => {
+                assert_eq!(results[1].0, "gone");
+                assert!(why.contains("no matching target function"), "{why}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_times_out_instead_of_hanging() {
+        let (src, tgt) = modules();
+        let cfg = EncodeConfig::default();
+        let engine = ValidationEngine::new(2).with_deadline_ms(Some(0));
+        for (name, v) in engine.validate_modules(&src, &tgt, &cfg) {
+            // @c is byte-identical and resolved without running a job; the
+            // others must hit the deadline before their first query.
+            if name != "c" {
+                assert!(matches!(v, Verdict::Timeout), "{name}: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_counts_aggregates() {
+        let (src, tgt) = modules();
+        let cfg = EncodeConfig::default();
+        let jobs: Vec<Job> = src
+            .functions
+            .iter()
+            .map(|f| Job {
+                name: f.name.clone(),
+                module: &src,
+                src: f,
+                tgt: tgt.function(&f.name).unwrap(),
+                cfg,
+            })
+            .collect();
+        let (_, counts) = ValidationEngine::new(2).run_counts(&jobs);
+        assert_eq!(counts.pairs, 3);
+        assert_eq!(counts.correct, 2);
+        assert_eq!(counts.incorrect, 1);
+        let (_, seq_counts) = ValidationEngine::sequential().run_counts(&jobs);
+        assert!(counts.same_verdicts(&seq_counts));
+    }
+}

@@ -21,9 +21,11 @@
 //! # Ok::<(), alive2_ir::parser::ParseError>(())
 //! ```
 
+pub mod engine;
 pub mod refine;
 pub mod report;
 pub mod validator;
 
+pub use engine::{Counts, Job, Outcome, ValidationEngine};
 pub use report::{CounterExample, QueryKind};
 pub use validator::{validate_modules, validate_pair, Verdict};

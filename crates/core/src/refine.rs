@@ -1,11 +1,11 @@
 //! Refinement relations between symbolic values and memory bytes
 //! (paper Fig. 4).
 
+use alive2_ir::types::Type;
 use alive2_sema::config::EncodeConfig;
 use alive2_sema::memory::{ByteCodec, SymMemory};
 use alive2_sema::value::SymValue;
 use alive2_smt::term::{Ctx, TermId};
-use alive2_ir::types::Type;
 
 /// Bool: target scalar `t` refines source scalar `s` for a value of type
 /// `ty` (element rules of Fig. 4).
@@ -221,7 +221,8 @@ mod tests {
         let ctx = Ctx::new();
         let codec = ByteCodec { ptr_bits: 18 };
         let m = Model::new();
-        let num = |v: u64, mask: u64| codec.pack_num(&ctx, ctx.bv_lit_u64(8, v), ctx.bv_lit_u64(8, mask));
+        let num =
+            |v: u64, mask: u64| codec.pack_num(&ctx, ctx.bv_lit_u64(8, v), ctx.bv_lit_u64(8, mask));
         // Identical bytes refine.
         assert!(m.eval_bool(&ctx, byte_refined(&ctx, codec, num(5, 0), num(5, 0))));
         // Fully-poison source refines to anything.
@@ -229,9 +230,15 @@ mod tests {
         // Target may not add poison.
         assert!(!m.eval_bool(&ctx, byte_refined(&ctx, codec, num(5, 0), num(5, 0x01))));
         // Partially-poison source: target may define those bits freely.
-        assert!(m.eval_bool(&ctx, byte_refined(&ctx, codec, num(0b100, 0b011), num(0b110, 0))));
+        assert!(m.eval_bool(
+            &ctx,
+            byte_refined(&ctx, codec, num(0b100, 0b011), num(0b110, 0))
+        ));
         // …but must preserve the defined ones.
-        assert!(!m.eval_bool(&ctx, byte_refined(&ctx, codec, num(0b100, 0b011), num(0b010, 0))));
+        assert!(!m.eval_bool(
+            &ctx,
+            byte_refined(&ctx, codec, num(0b100, 0b011), num(0b010, 0))
+        ));
     }
 
     #[test]

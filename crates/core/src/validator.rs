@@ -14,11 +14,11 @@ use alive2_ir::module::Module;
 use alive2_sema::config::EncodeConfig;
 use alive2_sema::encode::{encode_function, CallSite, EncodedFn, Env};
 use alive2_smt::exists_forall::{solve_exists_forall_with_seeds, EfConfig, EfResult};
-use std::collections::HashMap;
 use alive2_smt::model::Model;
 use alive2_smt::sat::Budget;
 use alive2_smt::solver::{SmtResult, Solver};
 use alive2_smt::term::{Ctx, Sort, TermId};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// The outcome of validating one function pair.
@@ -81,8 +81,24 @@ pub fn validate_pair_with_stats(
     tgt: &Function,
     cfg: &EncodeConfig,
 ) -> (Verdict, ValidateStats) {
+    validate_pair_with_deadline(module, src, tgt, cfg, None)
+}
+
+/// Like [`validate_pair_with_stats`], additionally bounded by an absolute
+/// wall-clock deadline shared by every query of this pair (the engine's
+/// per-job cap). Exceeding it yields [`Verdict::Timeout`].
+pub fn validate_pair_with_deadline(
+    module: &Module,
+    src: &Function,
+    tgt: &Function,
+    cfg: &EncodeConfig,
+    deadline: Option<Instant>,
+) -> (Verdict, ValidateStats) {
     let start = Instant::now();
     let mut stats = ValidateStats::default();
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return (Verdict::Timeout, stats);
+    }
     let env = match Env::new(*cfg, module, src) {
         Ok(e) => e,
         Err(u) => return (Verdict::Unsupported(u.reason), stats),
@@ -95,7 +111,7 @@ pub fn validate_pair_with_stats(
         Ok(e) => e,
         Err(u) => return (Verdict::Unsupported(u.reason), stats),
     };
-    let v = check_refinement(&env, &mut src_enc, &mut tgt_enc, cfg, &mut stats);
+    let v = check_refinement(&env, &mut src_enc, &mut tgt_enc, cfg, deadline, &mut stats);
     stats.millis = start.elapsed().as_millis() as u64;
     (v, stats)
 }
@@ -144,9 +160,7 @@ fn call_constraints(ctx: &Ctx, src_calls: &[CallSite], tgt_calls: &[CallSite]) -
     for t in tgt_calls {
         let candidates: Vec<&CallSite> = src_calls
             .iter()
-            .filter(|s| {
-                s.match_class == t.match_class && s.arg_values.len() == t.arg_values.len()
-            })
+            .filter(|s| s.match_class == t.match_class && s.arg_values.len() == t.arg_values.len())
             .collect();
         let mut matches: Vec<TermId> = Vec::new();
         for s in &candidates {
@@ -173,10 +187,7 @@ fn call_constraints(ctx: &Ctx, src_calls: &[CallSite], tgt_calls: &[CallSite]) -
                 let exact = ctx.and(ctx.eq(vs, vt), ctx.not(pt));
                 out.push(ctx.or(ps, exact));
             }
-            bound.push(ctx.implies(
-                ctx.and(t.guard, selected),
-                ctx.and_many(&out),
-            ));
+            bound.push(ctx.implies(ctx.and(t.guard, selected), ctx.and_many(&out)));
             no_earlier = ctx.and(no_earlier, ctx.not(matches[k]));
         }
         // No match at all: the call is new in the target — UB.
@@ -407,6 +418,7 @@ fn check_refinement(
     src: &mut EncodedFn,
     tgt: &mut EncodedFn,
     cfg: &EncodeConfig,
+    deadline: Option<Instant>,
     stats: &mut ValidateStats,
 ) -> Verdict {
     let ctx = &env.ctx;
@@ -427,7 +439,8 @@ fn check_refinement(
             max_millis: cfg.solver_timeout_ms,
             max_learned_lits: cfg.solver_memory,
             ..Budget::unlimited()
-        },
+        }
+        .with_deadline(deadline),
         max_iterations: cfg.max_ef_iterations,
         max_millis: cfg.solver_timeout_ms.saturating_mul(4),
     };
@@ -547,8 +560,14 @@ fn check_refinement(
         let sp = s_ret.any_poison(ctx);
         let tp = t_ret.any_poison(ctx);
         let viol4 = ctx.and_many(&[live, tp, ctx.not(sp)]);
-        if let Some(v) = engine.run(env, QueryKind::RetPoison, viol4, &[], &[t_flat.value], stats)
-        {
+        if let Some(v) = engine.run(
+            env,
+            QueryKind::RetPoison,
+            viol4,
+            &[],
+            &[t_flat.value],
+            stats,
+        ) {
             return v;
         }
 
@@ -580,8 +599,7 @@ fn check_refinement(
         // source is well-defined.
         let refined = value_refined(ctx, cfg, env.shared_blocks, &src.ret_ty, s_ret, t_ret);
         let viol6 = ctx.and(live, ctx.not(refined));
-        if let Some(v) = engine.run(env, QueryKind::RetValue, viol6, &[], &[t_flat.value], stats)
-        {
+        if let Some(v) = engine.run(env, QueryKind::RetValue, viol6, &[], &[t_flat.value], stats) {
             return v;
         }
     }
@@ -601,14 +619,7 @@ fn check_refinement(
         );
         let both_done = ctx.or(src.returns, src.noreturn);
         let viol7 = ctx.and_many(&[both_done, not_src_ub, ctx.not(refined)]);
-        if let Some(v) = engine.run(
-            env,
-            QueryKind::Memory,
-            viol7,
-            &src_fresh,
-            &tgt_fresh,
-            stats,
-        ) {
+        if let Some(v) = engine.run(env, QueryKind::Memory, viol7, &src_fresh, &tgt_fresh, stats) {
             return v;
         }
     }
@@ -618,32 +629,18 @@ fn check_refinement(
 
 /// Validates every same-named function pair in two modules — the
 /// `alive-tv` tool (§8.1).
+///
+/// Runs on the calling thread; use
+/// [`ValidationEngine::validate_modules`](crate::engine::ValidationEngine)
+/// directly for a parallel run or a per-job deadline. Source functions
+/// with no same-named target are reported as
+/// `Unsupported("no matching target function")`.
 pub fn validate_modules(
     src_mod: &Module,
     tgt_mod: &Module,
     cfg: &EncodeConfig,
 ) -> Vec<(String, Verdict)> {
-    let mut out = Vec::new();
-    for src in &src_mod.functions {
-        let Some(tgt) = tgt_mod.function(&src.name) else {
-            continue;
-        };
-        if src_mod.globals != tgt_mod.globals {
-            out.push((
-                src.name.clone(),
-                Verdict::Unsupported("source/target globals differ".into()),
-            ));
-            continue;
-        }
-        // Skip byte-identical pairs — the optimization the paper's plugins
-        // apply when a pass makes no changes (§8.1).
-        if src == tgt {
-            out.push((src.name.clone(), Verdict::Correct));
-            continue;
-        }
-        out.push((src.name.clone(), validate_pair(src_mod, src, tgt, cfg)));
-    }
-    out
+    crate::engine::ValidationEngine::sequential().validate_modules(src_mod, tgt_mod, cfg)
 }
 
 /// Extracts the concrete argument assignment from a counterexample model.
@@ -960,6 +957,27 @@ exit:
     }
 
     #[test]
+    fn unmatched_source_function_is_unsupported_not_dropped() {
+        // A target module that lost a function must not silently shrink
+        // the result list — dropped-function miscompiles would be
+        // invisible otherwise.
+        let src = parse_module(
+            "define i8 @f(i8 %x) {\nentry:\n  ret i8 %x\n}\n\
+             define i8 @g(i8 %x) {\nentry:\n  ret i8 %x\n}",
+        )
+        .unwrap();
+        let tgt = parse_module("define i8 @f(i8 %x) {\nentry:\n  ret i8 %x\n}").unwrap();
+        let results = validate_modules(&src, &tgt, &EncodeConfig::default());
+        assert_eq!(results.len(), 2);
+        assert!(results[0].1.is_correct());
+        assert!(
+            matches!(&results[1].1, Verdict::Unsupported(r) if r.contains("no matching target function")),
+            "{:?}",
+            results[1].1
+        );
+    }
+
+    #[test]
     fn unsupported_features_are_reported() {
         let src = "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}";
         let tgt_bad_sig = "define i32 @f(i64 %x) {\nentry:\n  ret i32 0\n}";
@@ -973,8 +991,10 @@ exit:
     fn overapproximated_fdiv_is_inconclusive_not_wrong() {
         // fdiv is over-approximated (§3.8); a would-be counterexample that
         // depends on it must be reported as inconclusive, never as a bug.
-        let src = "define float @f(float %x) {\nentry:\n  %r = fdiv float %x, 2.0\n  ret float %r\n}";
-        let tgt = "define float @f(float %x) {\nentry:\n  %r = fmul float %x, 0.5\n  ret float %r\n}";
+        let src =
+            "define float @f(float %x) {\nentry:\n  %r = fdiv float %x, 2.0\n  ret float %r\n}";
+        let tgt =
+            "define float @f(float %x) {\nentry:\n  %r = fmul float %x, 0.5\n  ret float %r\n}";
         let v = check(src, tgt);
         match v {
             Verdict::Inconclusive(_) | Verdict::Correct => {}

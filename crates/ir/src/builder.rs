@@ -170,7 +170,12 @@ impl FunctionBuilder {
     }
 
     /// Call.
-    pub fn call(&mut self, ty: Type, callee: impl Into<String>, args: Vec<(Type, Operand)>) -> Operand {
+    pub fn call(
+        &mut self,
+        ty: Type,
+        callee: impl Into<String>,
+        args: Vec<(Type, Operand)>,
+    ) -> Operand {
         let args = args
             .into_iter()
             .map(|(t, v)| (t, v, ParamAttrs::default()))
@@ -230,7 +235,9 @@ impl FunctionBuilder {
 
     /// `ret <ty> <val>`.
     pub fn ret(&mut self, ty: Type, val: Operand) -> &mut Self {
-        self.stmt(InstOp::Ret { val: Some((ty, val)) })
+        self.stmt(InstOp::Ret {
+            val: Some((ty, val)),
+        })
     }
 
     /// `ret void`.
@@ -304,10 +311,7 @@ mod tests {
         );
         b.br("join");
         b.block("join");
-        let r = b.phi(
-            Type::i32(),
-            vec![(x, "entry".into()), (n, "flip".into())],
-        );
+        let r = b.phi(Type::i32(), vec![(x, "entry".into()), (n, "flip".into())]);
         b.ret(Type::i32(), r);
         let f = b.finish();
         assert!(verify_function(&f).is_empty(), "{f}");

@@ -672,10 +672,9 @@ impl InstOp {
             InstOp::Load { ty, .. } => Some(ty.clone()),
             InstOp::ExtractElement { vec_ty, .. } => Some(vec_ty.elem_type().clone()),
             InstOp::InsertElement { vec_ty, .. } => Some(vec_ty.clone()),
-            InstOp::ShuffleVector { vec_ty, mask, .. } => Some(Type::vec(
-                mask.len() as u32,
-                vec_ty.elem_type().clone(),
-            )),
+            InstOp::ShuffleVector { vec_ty, mask, .. } => {
+                Some(Type::vec(mask.len() as u32, vec_ty.elem_type().clone()))
+            }
             InstOp::ExtractValue {
                 agg_ty, indices, ..
             } => {

@@ -139,14 +139,8 @@ mod tests {
         );
         assert_eq!(intrinsic_kind("llvm.smax.i8"), Some(IntrinsicKind::SMax));
         assert_eq!(intrinsic_kind("llvm.ctpop.i64"), Some(IntrinsicKind::Ctpop));
-        assert_eq!(
-            intrinsic_kind("llvm.fabs.f32"),
-            Some(IntrinsicKind::Fabs)
-        );
-        assert_eq!(
-            intrinsic_kind("llvm.umax.v4i32"),
-            Some(IntrinsicKind::UMax)
-        );
+        assert_eq!(intrinsic_kind("llvm.fabs.f32"), Some(IntrinsicKind::Fabs));
+        assert_eq!(intrinsic_kind("llvm.umax.v4i32"), Some(IntrinsicKind::UMax));
     }
 
     #[test]

@@ -60,70 +60,300 @@ const fn lf(name: &'static str) -> LibFunc {
 /// math, process control).
 pub static LIBFUNCS: &[LibFunc] = &[
     // -- process control ---------------------------------------------------
-    LibFunc { noreturn: true, ..lf("exit") },
-    LibFunc { noreturn: true, ..lf("_exit") },
-    LibFunc { noreturn: true, ..lf("abort") },
-    LibFunc { noreturn: true, ..lf("longjmp") },
-    LibFunc { noreturn: true, ..lf("__assert_fail") },
+    LibFunc {
+        noreturn: true,
+        ..lf("exit")
+    },
+    LibFunc {
+        noreturn: true,
+        ..lf("_exit")
+    },
+    LibFunc {
+        noreturn: true,
+        ..lf("abort")
+    },
+    LibFunc {
+        noreturn: true,
+        ..lf("longjmp")
+    },
+    LibFunc {
+        noreturn: true,
+        ..lf("__assert_fail")
+    },
     // -- allocation ---------------------------------------------------------
-    LibFunc { allocator: true, willreturn: true, ..lf("malloc") },
-    LibFunc { allocator: true, willreturn: true, ..lf("calloc") },
-    LibFunc { allocator: true, willreturn: true, ..lf("aligned_alloc") },
-    LibFunc { allocator: true, willreturn: true, ..lf("_Znwm") },  // operator new
-    LibFunc { allocator: true, willreturn: true, ..lf("_Znam") },  // operator new[]
-    LibFunc { deallocator: true, willreturn: true, ..lf("free") },
-    LibFunc { deallocator: true, willreturn: true, ..lf("_ZdlPv") }, // operator delete
-    LibFunc { allocator: true, deallocator: true, ..lf("realloc") },
+    LibFunc {
+        allocator: true,
+        willreturn: true,
+        ..lf("malloc")
+    },
+    LibFunc {
+        allocator: true,
+        willreturn: true,
+        ..lf("calloc")
+    },
+    LibFunc {
+        allocator: true,
+        willreturn: true,
+        ..lf("aligned_alloc")
+    },
+    LibFunc {
+        allocator: true,
+        willreturn: true,
+        ..lf("_Znwm")
+    }, // operator new
+    LibFunc {
+        allocator: true,
+        willreturn: true,
+        ..lf("_Znam")
+    }, // operator new[]
+    LibFunc {
+        deallocator: true,
+        willreturn: true,
+        ..lf("free")
+    },
+    LibFunc {
+        deallocator: true,
+        willreturn: true,
+        ..lf("_ZdlPv")
+    }, // operator delete
+    LibFunc {
+        allocator: true,
+        deallocator: true,
+        ..lf("realloc")
+    },
     // -- stdio ---------------------------------------------------------------
-    LibFunc { io_class: Some("stdout"), willreturn: true, ..lf("printf") },
-    LibFunc { io_class: Some("stdout"), willreturn: true, ..lf("puts") },
-    LibFunc { io_class: Some("stdout"), willreturn: true, ..lf("putchar") },
-    LibFunc { io_class: Some("stream"), willreturn: true, ..lf("fprintf") },
-    LibFunc { io_class: Some("stream"), willreturn: true, ..lf("fputs") },
-    LibFunc { io_class: Some("stream"), willreturn: true, ..lf("fputc") },
-    LibFunc { io_class: Some("stream"), willreturn: true, ..lf("fwrite") },
-    LibFunc { io_class: Some("stream"), willreturn: true, ..lf("fread") },
-    LibFunc { willreturn: true, ..lf("fopen") },
-    LibFunc { willreturn: true, ..lf("fclose") },
-    LibFunc { willreturn: true, ..lf("fflush") },
-    LibFunc { io_class: Some("sprintf"), willreturn: true, mem: MemEffect::ArgMemOnly, ..lf("sprintf") },
-    LibFunc { io_class: Some("sprintf"), willreturn: true, mem: MemEffect::ArgMemOnly, ..lf("snprintf") },
+    LibFunc {
+        io_class: Some("stdout"),
+        willreturn: true,
+        ..lf("printf")
+    },
+    LibFunc {
+        io_class: Some("stdout"),
+        willreturn: true,
+        ..lf("puts")
+    },
+    LibFunc {
+        io_class: Some("stdout"),
+        willreturn: true,
+        ..lf("putchar")
+    },
+    LibFunc {
+        io_class: Some("stream"),
+        willreturn: true,
+        ..lf("fprintf")
+    },
+    LibFunc {
+        io_class: Some("stream"),
+        willreturn: true,
+        ..lf("fputs")
+    },
+    LibFunc {
+        io_class: Some("stream"),
+        willreturn: true,
+        ..lf("fputc")
+    },
+    LibFunc {
+        io_class: Some("stream"),
+        willreturn: true,
+        ..lf("fwrite")
+    },
+    LibFunc {
+        io_class: Some("stream"),
+        willreturn: true,
+        ..lf("fread")
+    },
+    LibFunc {
+        willreturn: true,
+        ..lf("fopen")
+    },
+    LibFunc {
+        willreturn: true,
+        ..lf("fclose")
+    },
+    LibFunc {
+        willreturn: true,
+        ..lf("fflush")
+    },
+    LibFunc {
+        io_class: Some("sprintf"),
+        willreturn: true,
+        mem: MemEffect::ArgMemOnly,
+        ..lf("sprintf")
+    },
+    LibFunc {
+        io_class: Some("sprintf"),
+        willreturn: true,
+        mem: MemEffect::ArgMemOnly,
+        ..lf("snprintf")
+    },
     // -- string/memory ------------------------------------------------------
-    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("strlen") },
-    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("strcmp") },
-    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("strncmp") },
-    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("memcmp") },
-    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("strchr") },
-    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("strrchr") },
-    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("strstr") },
-    LibFunc { mem: MemEffect::ArgMemOnly, willreturn: true, returns_nonnull: true, ..lf("memcpy") },
-    LibFunc { mem: MemEffect::ArgMemOnly, willreturn: true, returns_nonnull: true, ..lf("memmove") },
-    LibFunc { mem: MemEffect::ArgMemOnly, willreturn: true, returns_nonnull: true, ..lf("memset") },
-    LibFunc { mem: MemEffect::ArgMemOnly, willreturn: true, ..lf("strcpy") },
-    LibFunc { mem: MemEffect::ArgMemOnly, willreturn: true, ..lf("strncpy") },
-    LibFunc { mem: MemEffect::ArgMemOnly, willreturn: true, ..lf("strcat") },
+    LibFunc {
+        mem: MemEffect::ReadOnly,
+        willreturn: true,
+        ..lf("strlen")
+    },
+    LibFunc {
+        mem: MemEffect::ReadOnly,
+        willreturn: true,
+        ..lf("strcmp")
+    },
+    LibFunc {
+        mem: MemEffect::ReadOnly,
+        willreturn: true,
+        ..lf("strncmp")
+    },
+    LibFunc {
+        mem: MemEffect::ReadOnly,
+        willreturn: true,
+        ..lf("memcmp")
+    },
+    LibFunc {
+        mem: MemEffect::ReadOnly,
+        willreturn: true,
+        ..lf("strchr")
+    },
+    LibFunc {
+        mem: MemEffect::ReadOnly,
+        willreturn: true,
+        ..lf("strrchr")
+    },
+    LibFunc {
+        mem: MemEffect::ReadOnly,
+        willreturn: true,
+        ..lf("strstr")
+    },
+    LibFunc {
+        mem: MemEffect::ArgMemOnly,
+        willreturn: true,
+        returns_nonnull: true,
+        ..lf("memcpy")
+    },
+    LibFunc {
+        mem: MemEffect::ArgMemOnly,
+        willreturn: true,
+        returns_nonnull: true,
+        ..lf("memmove")
+    },
+    LibFunc {
+        mem: MemEffect::ArgMemOnly,
+        willreturn: true,
+        returns_nonnull: true,
+        ..lf("memset")
+    },
+    LibFunc {
+        mem: MemEffect::ArgMemOnly,
+        willreturn: true,
+        ..lf("strcpy")
+    },
+    LibFunc {
+        mem: MemEffect::ArgMemOnly,
+        willreturn: true,
+        ..lf("strncpy")
+    },
+    LibFunc {
+        mem: MemEffect::ArgMemOnly,
+        willreturn: true,
+        ..lf("strcat")
+    },
     // -- math ----------------------------------------------------------------
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("sqrt") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("sqrtf") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("sin") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("cos") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("exp") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("log") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("pow") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("fabs") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("floor") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("ceil") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("round") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("trunc") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("fmod") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("ldexp") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("abs") },
-    LibFunc { mem: MemEffect::None, willreturn: true, ..lf("labs") },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("sqrt")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("sqrtf")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("sin")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("cos")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("exp")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("log")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("pow")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("fabs")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("floor")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("ceil")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("round")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("trunc")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("fmod")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("ldexp")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("abs")
+    },
+    LibFunc {
+        mem: MemEffect::None,
+        willreturn: true,
+        ..lf("labs")
+    },
     // -- misc ----------------------------------------------------------------
-    LibFunc { mem: MemEffect::ReadOnly, willreturn: true, ..lf("getenv") },
-    LibFunc { willreturn: true, ..lf("rand") },
-    LibFunc { willreturn: true, ..lf("clock") },
-    LibFunc { willreturn: true, ..lf("time") },
+    LibFunc {
+        mem: MemEffect::ReadOnly,
+        willreturn: true,
+        ..lf("getenv")
+    },
+    LibFunc {
+        willreturn: true,
+        ..lf("rand")
+    },
+    LibFunc {
+        willreturn: true,
+        ..lf("clock")
+    },
+    LibFunc {
+        willreturn: true,
+        ..lf("time")
+    },
 ];
 
 /// Looks up the knowledge record for a library function.

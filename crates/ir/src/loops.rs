@@ -82,8 +82,7 @@ impl LoopForest {
                 }
             }
         }
-        let is_ancestor =
-            |w: usize, v: usize| number[w] <= number[v] && last[v] <= last[w];
+        let is_ancestor = |w: usize, v: usize| number[w] <= number[v] && last[v] <= last[w];
 
         // Union-find over blocks, collapsing inner loops into their header.
         let mut uf: Vec<usize> = (0..n).collect();

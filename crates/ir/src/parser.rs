@@ -610,8 +610,8 @@ fn parse_fn_suffix_attrs(lx: &mut Lexer, attrs: &mut FnAttrs) {
                         }
                     }
                 }
-                "nounwind" | "norecurse" | "nosync" | "nofree" | "speculatable" | "alwaysinline"
-                | "inlinehint" | "noinline" | "optnone" | "!md" => {
+                "nounwind" | "norecurse" | "nosync" | "nofree" | "speculatable"
+                | "alwaysinline" | "inlinehint" | "noinline" | "optnone" | "!md" => {
                     lx.next();
                 }
                 _ => break,
@@ -721,42 +721,40 @@ fn parse_define(lx: &mut Lexer) -> Result<Function> {
 
 fn parse_type(lx: &mut Lexer) -> Result<Type> {
     let t = match lx.peek().clone() {
-        Tok::Ident(s) => {
-            match s.as_str() {
-                "void" => {
-                    lx.next();
-                    Type::Void
-                }
-                "ptr" => {
-                    lx.next();
-                    Type::Ptr
-                }
-                "half" => {
-                    lx.next();
-                    Type::Float(FloatKind::Half)
-                }
-                "float" => {
-                    lx.next();
-                    Type::Float(FloatKind::Single)
-                }
-                "double" => {
-                    lx.next();
-                    Type::Float(FloatKind::Double)
-                }
-                _ if s.starts_with('i') && s[1..].chars().all(|c| c.is_ascii_digit()) => {
-                    lx.next();
-                    let w: u32 = s[1..].parse().map_err(|_| ParseError {
-                        message: format!("bad integer type `{s}`"),
-                        line: lx.line(),
-                    })?;
-                    if w == 0 {
-                        return lx.err("integer width must be positive");
-                    }
-                    Type::Int(w)
-                }
-                _ => return lx.err(format!("unknown type `{s}`")),
+        Tok::Ident(s) => match s.as_str() {
+            "void" => {
+                lx.next();
+                Type::Void
             }
-        }
+            "ptr" => {
+                lx.next();
+                Type::Ptr
+            }
+            "half" => {
+                lx.next();
+                Type::Float(FloatKind::Half)
+            }
+            "float" => {
+                lx.next();
+                Type::Float(FloatKind::Single)
+            }
+            "double" => {
+                lx.next();
+                Type::Float(FloatKind::Double)
+            }
+            _ if s.starts_with('i') && s[1..].chars().all(|c| c.is_ascii_digit()) => {
+                lx.next();
+                let w: u32 = s[1..].parse().map_err(|_| ParseError {
+                    message: format!("bad integer type `{s}`"),
+                    line: lx.line(),
+                })?;
+                if w == 0 {
+                    return lx.err("integer width must be positive");
+                }
+                Type::Int(w)
+            }
+            _ => return lx.err(format!("unknown type `{s}`")),
+        },
         Tok::Lt => {
             lx.next();
             let n = lx.int()? as u32;
@@ -838,7 +836,10 @@ fn parse_constant(lx: &mut Lexer, ty: &Type) -> Result<Constant> {
                 }
                 Type::Float(FloatKind::Half) => {
                     let h = f64_to_f16_bits(f64::from_bits(bits));
-                    Ok(Constant::Float(FloatKind::Half, BitVec::from_u64(16, h as u64)))
+                    Ok(Constant::Float(
+                        FloatKind::Half,
+                        BitVec::from_u64(16, h as u64),
+                    ))
                 }
                 Type::Int(w) => Ok(Constant::Int(BitVec::from_u64(*w, bits))),
                 other => lx.err(format!("hex literal for type {other}")),
@@ -944,7 +945,9 @@ fn parse_fmf(lx: &mut Lexer) -> FastMathFlags {
             fmf.nnan = true;
             fmf.ninf = true;
             fmf.nsz = true;
-        } else if lx.accept_ident("arcp") || lx.accept_ident("contract") || lx.accept_ident("afn")
+        } else if lx.accept_ident("arcp")
+            || lx.accept_ident("contract")
+            || lx.accept_ident("afn")
             || lx.accept_ident("reassoc")
         {
             // accepted but not modeled
@@ -1136,11 +1139,10 @@ fn parse_inst_op(lx: &mut Lexer, mnemonic: &str) -> Result<InstOp> {
         "icmp" => {
             lx.next();
             let p = lx.ident()?;
-            let pred = icmp_pred(&p)
-                .ok_or_else(|| ParseError {
-                    message: format!("unknown icmp predicate `{p}`"),
-                    line: lx.line(),
-                })?;
+            let pred = icmp_pred(&p).ok_or_else(|| ParseError {
+                message: format!("unknown icmp predicate `{p}`"),
+                line: lx.line(),
+            })?;
             let ty = parse_type(lx)?;
             let lhs = parse_operand(lx, &ty)?;
             lx.expect(Tok::Comma)?;
@@ -1151,11 +1153,10 @@ fn parse_inst_op(lx: &mut Lexer, mnemonic: &str) -> Result<InstOp> {
             lx.next();
             let _fmf = parse_fmf(lx);
             let p = lx.ident()?;
-            let pred = fcmp_pred(&p)
-                .ok_or_else(|| ParseError {
-                    message: format!("unknown fcmp predicate `{p}`"),
-                    line: lx.line(),
-                })?;
+            let pred = fcmp_pred(&p).ok_or_else(|| ParseError {
+                message: format!("unknown fcmp predicate `{p}`"),
+                line: lx.line(),
+            })?;
             let ty = parse_type(lx)?;
             let lhs = parse_operand(lx, &ty)?;
             lx.expect(Tok::Comma)?;
@@ -1368,9 +1369,7 @@ fn parse_inst_op(lx: &mut Lexer, mnemonic: &str) -> Result<InstOp> {
                         match e {
                             Constant::Int(v) => mask.push(Some(v.to_u64() as u32)),
                             Constant::Undef(_) | Constant::Poison(_) => mask.push(None),
-                            other => {
-                                return lx.err(format!("bad shuffle mask element {other}"))
-                            }
+                            other => return lx.err(format!("bad shuffle mask element {other}")),
                         }
                     }
                 }
@@ -1518,10 +1517,7 @@ else:
         assert_eq!(f.blocks.len(), 3);
         assert_eq!(f.blocks[0].name, "entry");
         assert_eq!(f.blocks[1].name, "then");
-        assert!(matches!(
-            f.blocks[0].insts[2].op,
-            InstOp::CondBr { .. }
-        ));
+        assert!(matches!(f.blocks[0].insts[2].op, InstOp::CondBr { .. }));
     }
 
     #[test]
@@ -1555,8 +1551,14 @@ else:
 }"#,
         )
         .unwrap();
-        assert!(matches!(f.blocks[0].insts[0].op, InstOp::Gep { inbounds: true, .. }));
-        assert!(matches!(f.blocks[0].insts[1].op, InstOp::Load { align: 4, .. }));
+        assert!(matches!(
+            f.blocks[0].insts[0].op,
+            InstOp::Gep { inbounds: true, .. }
+        ));
+        assert!(matches!(
+            f.blocks[0].insts[1].op,
+            InstOp::Load { align: 4, .. }
+        ));
         assert!(matches!(f.blocks[0].insts[2].op, InstOp::Store { .. }));
         assert!(matches!(f.blocks[0].insts[3].op, InstOp::Alloca { .. }));
     }
@@ -1630,8 +1632,9 @@ define i32 @f() mustprogress {
 
     #[test]
     fn parses_globals() {
-        let m = parse_module("@g = global i32 42, align 4\n@c = constant [2 x i8] zeroinitializer\n")
-            .unwrap();
+        let m =
+            parse_module("@g = global i32 42, align 4\n@c = constant [2 x i8] zeroinitializer\n")
+                .unwrap();
         assert_eq!(m.globals.len(), 2);
         assert!(m.globals[1].is_const);
         assert_eq!(m.globals[0].align, 4);
@@ -1659,8 +1662,8 @@ define i32 @f() mustprogress {
 
     #[test]
     fn error_reports_line() {
-        let err = parse_module("define i32 @f() {\n  %x = bogus i32 1\n  ret i32 %x\n}")
-            .unwrap_err();
+        let err =
+            parse_module("define i32 @f() {\n  %x = bogus i32 1\n  ret i32 %x\n}").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.message.contains("bogus"));
     }

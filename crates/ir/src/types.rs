@@ -286,10 +286,7 @@ mod tests {
         assert_eq!(Type::vec(4, Type::i32()).bit_width(), 128);
         assert_eq!(Type::vec(4, Type::i32()).byte_size(), 16);
         assert_eq!(Type::Ptr.bit_width(), PTR_BITS);
-        assert_eq!(
-            Type::Struct(vec![Type::i8(), Type::i32()]).byte_size(),
-            5
-        );
+        assert_eq!(Type::Struct(vec![Type::i8(), Type::i32()]).byte_size(), 5);
         assert_eq!(Type::Float(FloatKind::Half).bit_width(), 16);
     }
 

@@ -40,7 +40,10 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
     let mut labels = HashSet::new();
     for b in &f.blocks {
         if !labels.insert(b.name.as_str()) {
-            err(&mut errors, format!("@{}: duplicate label %{}", f.name, b.name));
+            err(
+                &mut errors,
+                format!("@{}: duplicate label %{}", f.name, b.name),
+            );
         }
     }
 
@@ -50,7 +53,10 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
             None => err(&mut errors, format!("@{}: empty block %{}", f.name, b.name)),
             Some(t) if !t.op.is_terminator() => err(
                 &mut errors,
-                format!("@{}: block %{} does not end in a terminator", f.name, b.name),
+                format!(
+                    "@{}: block %{} does not end in a terminator",
+                    f.name, b.name
+                ),
             ),
             _ => {}
         }
@@ -99,7 +105,10 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
     let mut def_block: HashMap<&str, usize> = HashMap::new();
     for p in &f.params {
         if def_block.insert(&p.name, usize::MAX).is_some() {
-            err(&mut errors, format!("@{}: duplicate parameter %{}", f.name, p.name));
+            err(
+                &mut errors,
+                format!("@{}: duplicate parameter %{}", f.name, p.name),
+            );
         }
     }
     for (bi, b) in f.blocks.iter().enumerate() {
@@ -112,7 +121,10 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
                     );
                 }
                 if def_block.insert(r, bi).is_some() {
-                    err(&mut errors, format!("@{}: multiple definitions of %{r}", f.name));
+                    err(
+                        &mut errors,
+                        format!("@{}: multiple definitions of %{r}", f.name),
+                    );
                 }
             }
         }
@@ -133,7 +145,10 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
                 if inc.len() != incoming.len() {
                     err(
                         &mut errors,
-                        format!("@{}: φ in %{} has duplicate incoming labels", f.name, b.name),
+                        format!(
+                            "@{}: φ in %{} has duplicate incoming labels",
+                            f.name, b.name
+                        ),
                     );
                 }
                 for l in &preds {
@@ -192,8 +207,7 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
                                     ),
                                 );
                             }
-                        } else if dom.is_reachable(db) && !dom.strictly_dominates(db, use_block)
-                        {
+                        } else if dom.is_reachable(db) && !dom.strictly_dominates(db, use_block) {
                             err(
                                 errors,
                                 format!(
@@ -208,8 +222,7 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
             if let InstOp::Phi { incoming, .. } = &inst.op {
                 for (v, from) in incoming {
                     if let Some(reg) = v.as_reg() {
-                        if let (Some(fb), Some(&db)) = (f.block_index(from), def_block.get(reg))
-                        {
+                        if let (Some(fb), Some(&db)) = (f.block_index(from), def_block.get(reg)) {
                             if db != usize::MAX
                                 && dom.is_reachable(fb)
                                 && dom.is_reachable(db)
@@ -318,7 +331,9 @@ join:
     #[test]
     fn undefined_register() {
         let errs = check("define i32 @f() {\nentry:\n  ret i32 %nope\n}");
-        assert!(errs.iter().any(|e| e.message.contains("undefined register")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("undefined register")));
     }
 
     #[test]

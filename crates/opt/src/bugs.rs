@@ -213,8 +213,7 @@ mod tests {
 
     #[test]
     fn every_category_has_a_seeded_bug() {
-        let covered: HashSet<BugCategory> =
-            BugId::all().iter().map(|b| b.category()).collect();
+        let covered: HashSet<BugCategory> = BugId::all().iter().map(|b| b.category()).collect();
         for c in BugCategory::all() {
             assert!(covered.contains(&c), "category {c} lacks a seeded bug");
         }

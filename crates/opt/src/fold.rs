@@ -7,12 +7,7 @@ use alive2_smt::bv::BitVec;
 /// Folds an integer binary operation on constants. Returns `None` when the
 /// result cannot be represented as a constant the optimizer may use (e.g.
 /// division by zero — immediate UB must not be folded away).
-pub fn fold_bin(
-    op: BinOpKind,
-    flags: WrapFlags,
-    a: &BitVec,
-    b: &BitVec,
-) -> Option<Constant> {
+pub fn fold_bin(op: BinOpKind, flags: WrapFlags, a: &BitVec, b: &BitVec) -> Option<Constant> {
     let w = a.width();
     let poison = || Some(Constant::Poison(alive2_ir::types::Type::Int(w)));
     match op {

@@ -5,9 +5,7 @@ use crate::bugs::{BugId, BugSet};
 use crate::pass::Pass;
 use alive2_ir::constant::Constant;
 use alive2_ir::function::Function;
-use alive2_ir::instruction::{
-    BinOpKind, FBinOpKind, ICmpPred, InstOp, Operand, WrapFlags,
-};
+use alive2_ir::instruction::{BinOpKind, FBinOpKind, ICmpPred, InstOp, Operand, WrapFlags};
 use alive2_ir::types::{FloatKind, Type};
 use alive2_smt::bv::BitVec;
 
@@ -31,9 +29,7 @@ fn float_is_pos_zero(op: &Operand, k: FloatKind) -> bool {
 
 fn float_is_neg_zero(op: &Operand, k: FloatKind) -> bool {
     match op.as_const() {
-        Some(Constant::Float(fk, bits)) => {
-            *fk == k && bits.count_ones() == 1 && bits.sign_bit()
-        }
+        Some(Constant::Float(fk, bits)) => *fk == k && bits.count_ones() == 1 && bits.sign_bit(),
         _ => false,
     }
 }
@@ -58,7 +54,9 @@ fn combine(inst_op: &mut InstOp, bugs: &BugSet) -> Combined {
             lhs,
             rhs,
         } if !ty.is_vector() => {
-            let Some(c) = as_int(rhs) else { return Combined::No };
+            let Some(c) = as_int(rhs) else {
+                return Combined::No;
+            };
             if bugs.has(BugId::MulToAddSelf) && c.to_u64() == 2 {
                 // BUG: x*2 -> x+x adds behaviors when x is undef (the two
                 // uses may observe different values).
@@ -178,7 +176,9 @@ fn combine_div_of_shl(f: &mut Function, bugs: &BugSet) -> bool {
                 if ty.is_vector() || as_int(rhs).map_or(true, |v| v.to_u64() != 2) {
                     continue;
                 }
-                let Some(shl_reg) = lhs.as_reg() else { continue };
+                let Some(shl_reg) = lhs.as_reg() else {
+                    continue;
+                };
                 // find the defining shl x, 1
                 for b2 in &f.blocks {
                     for inst2 in &b2.insts {
@@ -194,10 +194,7 @@ fn combine_div_of_shl(f: &mut Function, bugs: &BugSet) -> bool {
                                     // BUG: requires the shift to be lossless
                                     // (nuw); folding unconditionally is
                                     // wrong when x's top bit is set.
-                                    edit = Some((
-                                        inst.result.clone().unwrap(),
-                                        x.clone(),
-                                    ));
+                                    edit = Some((inst.result.clone().unwrap(), x.clone()));
                                     break 'scan;
                                 }
                             }
@@ -210,7 +207,8 @@ fn combine_div_of_shl(f: &mut Function, bugs: &BugSet) -> bool {
     if let Some((reg, new)) = edit {
         f.replace_uses(&reg, &new);
         for b in &mut f.blocks {
-            b.insts.retain(|i| i.result.as_deref() != Some(reg.as_str()));
+            b.insts
+                .retain(|i| i.result.as_deref() != Some(reg.as_str()));
         }
         true
     } else {
@@ -289,7 +287,8 @@ impl Pass for InstCombine {
         for (reg, new) in replacements {
             f.replace_uses(&reg, &new);
             for b in &mut f.blocks {
-                b.insts.retain(|i| i.result.as_deref() != Some(reg.as_str()));
+                b.insts
+                    .retain(|i| i.result.as_deref() != Some(reg.as_str()));
             }
             changed = true;
         }

@@ -152,9 +152,15 @@ fn simplify(op: &InstOp) -> Option<Operand> {
             // which refinement allows.
             if lhs == rhs && lhs.as_reg().is_some() {
                 let r = match pred {
-                    ICmpPred::Eq | ICmpPred::Uge | ICmpPred::Ule | ICmpPred::Sge
+                    ICmpPred::Eq
+                    | ICmpPred::Uge
+                    | ICmpPred::Ule
+                    | ICmpPred::Sge
                     | ICmpPred::Sle => true,
-                    ICmpPred::Ne | ICmpPred::Ugt | ICmpPred::Ult | ICmpPred::Sgt
+                    ICmpPred::Ne
+                    | ICmpPred::Ugt
+                    | ICmpPred::Ult
+                    | ICmpPred::Sgt
                     | ICmpPred::Slt => false,
                 };
                 return Some(Operand::Const(Constant::bool(r)));
@@ -179,7 +185,9 @@ fn simplify(op: &InstOp) -> Option<Operand> {
         InstOp::Freeze { val, .. } => {
             // freeze of a fully-defined constant is that constant.
             match val.as_const() {
-                Some(Constant::Int(_)) | Some(Constant::Float(..)) | Some(Constant::Null)
+                Some(Constant::Int(_))
+                | Some(Constant::Float(..))
+                | Some(Constant::Null)
                 | Some(Constant::Global(_)) => Some(val.clone()),
                 _ => None,
             }
@@ -211,7 +219,8 @@ impl Pass for InstSimplify {
             if let Some((reg, new)) = replace {
                 f.replace_uses(&reg, &new);
                 for b in &mut f.blocks {
-                    b.insts.retain(|i| i.result.as_deref() != Some(reg.as_str()));
+                    b.insts
+                        .retain(|i| i.result.as_deref() != Some(reg.as_str()));
                 }
                 round = true;
                 changed = true;
@@ -239,54 +248,44 @@ mod tests {
 
     #[test]
     fn folds_identities() {
-        let f = run(
-            r#"define i32 @f(i32 %x) {
+        let f = run(r#"define i32 @f(i32 %x) {
 entry:
   %a = add i32 %x, 0
   %b = mul i32 %a, 1
   %c = or i32 %b, 0
   ret i32 %c
-}"#,
-        );
+}"#);
         assert_eq!(f.blocks[0].insts.len(), 1);
         assert!(f.to_string().contains("ret i32 %x"));
     }
 
     #[test]
     fn folds_constants() {
-        let f = run(
-            "define i32 @f() {\nentry:\n  %a = add i32 20, 22\n  ret i32 %a\n}",
-        );
+        let f = run("define i32 @f() {\nentry:\n  %a = add i32 20, 22\n  ret i32 %a\n}");
         assert!(f.to_string().contains("ret i32 42"));
     }
 
     #[test]
     fn folds_same_operand_compares() {
-        let f = run(
-            "define i1 @f(i32 %x) {\nentry:\n  %c = icmp ult i32 %x, %x\n  ret i1 %c\n}",
-        );
+        let f = run("define i1 @f(i32 %x) {\nentry:\n  %c = icmp ult i32 %x, %x\n  ret i1 %c\n}");
         assert!(f.to_string().contains("ret i1 false"));
     }
 
     #[test]
     fn preserves_division_by_zero() {
         // udiv 1, 0 is immediate UB and must not be folded away.
-        let f = run(
-            "define i32 @f() {\nentry:\n  %a = udiv i32 1, 0\n  ret i32 %a\n}",
-        );
+        let f = run("define i32 @f() {\nentry:\n  %a = udiv i32 1, 0\n  ret i32 %a\n}");
         assert!(f.to_string().contains("udiv i32 1, 0"));
     }
 
     #[test]
     fn select_folds() {
-        let f = run(
-            r#"define i32 @f(i32 %x, i32 %y, i1 %c) {
+        let f = run(r#"define i32 @f(i32 %x, i32 %y, i1 %c) {
 entry:
   %a = select i1 true, i32 %x, i32 %y
   %b = select i1 %c, i32 %a, i32 %a
   ret i32 %b
-}"#,
-        );
+}"#);
         assert!(f.to_string().contains("ret i32 %x"));
     }
 }

@@ -47,11 +47,8 @@ impl Pass for Licm {
         }
         let mut changed = false;
         for l in &forest.loops {
-            let loop_names: HashSet<String> = l
-                .blocks
-                .iter()
-                .map(|&b| f.blocks[b].name.clone())
-                .collect();
+            let loop_names: HashSet<String> =
+                l.blocks.iter().map(|&b| f.blocks[b].name.clone()).collect();
             // Preheader: unique predecessor of the header outside the loop,
             // ending in an unconditional branch.
             let header_name = f.blocks[l.header].name.clone();
@@ -165,7 +162,12 @@ exit:
         assert!(s.iter().any(|i| i.contains("mul i32 %a, %b")), "{s:?}");
         // The load stays in the body (hoisting it would add UB on the
         // zero-iteration path).
-        assert!(f.block("body").unwrap().insts.iter().any(|i| matches!(i.op, InstOp::Load { .. })));
+        assert!(f
+            .block("body")
+            .unwrap()
+            .insts
+            .iter()
+            .any(|i| matches!(i.op, InstOp::Load { .. })));
     }
 
     #[test]
@@ -175,7 +177,10 @@ exit:
         assert!(verify_function(&f).is_empty(), "{f}");
         let entry = &f.blocks[0];
         assert!(
-            entry.insts.iter().any(|i| matches!(i.op, InstOp::Load { .. })),
+            entry
+                .insts
+                .iter()
+                .any(|i| matches!(i.op, InstOp::Load { .. })),
             "{f}"
         );
     }

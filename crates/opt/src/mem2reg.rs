@@ -91,7 +91,8 @@ impl Pass for Mem2Reg {
         for (reg, val) in forwards {
             f.replace_uses(&reg, &val);
             for b in &mut f.blocks {
-                b.insts.retain(|i| i.result.as_deref() != Some(reg.as_str()));
+                b.insts
+                    .retain(|i| i.result.as_deref() != Some(reg.as_str()));
             }
             changed = true;
         }

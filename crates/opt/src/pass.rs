@@ -22,7 +22,11 @@ pub struct PassManager {
 impl std::fmt::Debug for PassManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
-        write!(f, "PassManager {{ passes: {names:?}, bugs: {} }}", self.bugs.len())
+        write!(
+            f,
+            "PassManager {{ passes: {names:?}, bugs: {} }}",
+            self.bugs.len()
+        )
     }
 }
 
@@ -62,10 +66,7 @@ impl PassManager {
     /// translation validator can check every step (the `opt -tv` plugin
     /// workflow, §8.1). Returns `(pass name, before, after)` triples for
     /// passes that changed the function.
-    pub fn run_with_snapshots(
-        &self,
-        f: &mut Function,
-    ) -> Vec<(&'static str, Function, Function)> {
+    pub fn run_with_snapshots(&self, f: &mut Function) -> Vec<(&'static str, Function, Function)> {
         let mut out = Vec::new();
         for p in &self.passes {
             let before = f.clone();

@@ -149,13 +149,13 @@ fn select_to_branch(f: &mut Function) -> bool {
         else_dest: else_l.clone(),
     }));
     let mut then_b = Block::new(then_l.clone());
-    then_b
-        .insts
-        .push(Instruction::stmt(InstOp::Br { dest: join_l.clone() }));
+    then_b.insts.push(Instruction::stmt(InstOp::Br {
+        dest: join_l.clone(),
+    }));
     let mut else_b = Block::new(else_l.clone());
-    else_b
-        .insts
-        .push(Instruction::stmt(InstOp::Br { dest: join_l.clone() }));
+    else_b.insts.push(Instruction::stmt(InstOp::Br {
+        dest: join_l.clone(),
+    }));
     let mut join_b = Block::new(join_l.clone());
     join_b.insts.push(Instruction::with_result(
         result,
@@ -169,7 +169,12 @@ fn select_to_branch(f: &mut Function) -> bool {
     let succs: Vec<String> = join_b
         .insts
         .last()
-        .map(|t| t.op.successor_labels().iter().map(|s| s.to_string()).collect())
+        .map(|t| {
+            t.op.successor_labels()
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        })
         .unwrap_or_default();
     for sname in succs {
         if let Some(sb) = f.block_mut(&sname) {

@@ -243,12 +243,8 @@ impl Env {
                     // Pointer arguments refer to null, a global, or one of
                     // the hypothetical argument blocks.
                     let bid = ctx.extract(base, w - 1, cfg.off_bits);
-                    pre.push(ctx.bv_ult(
-                        bid,
-                        ctx.bv_lit_u64(cfg.bid_bits, shared_blocks as u64),
-                    ));
-                    let is_null_bid =
-                        ctx.eq(bid, ctx.bv_lit_u64(cfg.bid_bits, 0));
+                    pre.push(ctx.bv_ult(bid, ctx.bv_lit_u64(cfg.bid_bits, shared_blocks as u64)));
+                    let is_null_bid = ctx.eq(bid, ctx.bv_lit_u64(cfg.bid_bits, 0));
                     let off = ctx.extract(base, cfg.off_bits - 1, 0);
                     let off_zero = ctx.eq(off, ctx.bv_lit_u64(cfg.off_bits, 0));
                     pre.push(ctx.implies(is_null_bid, off_zero));
@@ -267,7 +263,6 @@ impl Env {
             }
         }
     }
-
 }
 
 /// One encoded call site (§6).
@@ -376,8 +371,8 @@ pub fn encode_function(env: &Env, f: &Function) -> Result<EncodedFn, Unsupported
     if !errs.is_empty() {
         return unsupported(format!("ill-formed IR: {}", errs[0]));
     }
-    let unrolled = unroll_loops(f, env.cfg.unroll_factor)
-        .map_err(|e| Unsupported { reason: e.reason })?;
+    let unrolled =
+        unroll_loops(f, env.cfg.unroll_factor).map_err(|e| Unsupported { reason: e.reason })?;
     let func = unrolled.func;
     let ctx = &env.ctx;
 
@@ -802,11 +797,7 @@ impl<'e> FnEncoder<'e> {
                     SymValue::Scalar(s) => SymValue::Scalar(ScalarVal {
                         value: s.value,
                         poison: ctx.or(cs.poison, s.poison),
-                        undef_vars: s
-                            .undef_vars
-                            .union(&cs.undef_vars)
-                            .copied()
-                            .collect(),
+                        undef_vars: s.undef_vars.union(&cs.undef_vars).copied().collect(),
                     }),
                     agg => {
                         let p = cs.poison;
@@ -874,14 +865,9 @@ impl<'e> FnEncoder<'e> {
                     allocated: guard,
                     freed: ctx.fals(),
                     init: None,
-                    name: inst
-                        .result
-                        .clone()
-                        .unwrap_or_else(|| "alloca".into()),
+                    name: inst.result.clone().unwrap_or_else(|| "alloca".into()),
                 });
-                let ptr = self
-                    .mem
-                    .ptr(ctx, bid, ctx.bv_lit_u64(cfg.off_bits, 0));
+                let ptr = self.mem.ptr(ctx, bid, ctx.bv_lit_u64(cfg.off_bits, 0));
                 self.def(&inst.result, SymValue::Scalar(ScalarVal::defined(ptr, ctx)));
                 Ok(guard)
             }
@@ -974,8 +960,7 @@ impl<'e> FnEncoder<'e> {
                 let a = self.operand(v1, vec_ty)?;
                 let b = self.operand(v2, vec_ty)?;
                 let n = vec_ty.elem_count() as usize;
-                let mut lanes: Vec<SymValue> =
-                    a.as_aggregate().iter().cloned().collect();
+                let mut lanes: Vec<SymValue> = a.as_aggregate().iter().cloned().collect();
                 lanes.extend(b.as_aggregate().iter().cloned());
                 let mut out = Vec::new();
                 for m in mask {
@@ -1054,10 +1039,9 @@ impl<'e> FnEncoder<'e> {
                 self.ub_parts
                     .push(ctx.and(guard, ctx.or(cs.poison, undef_ub)));
                 let cv = ctx.bv1_to_bool(cs.value);
-                let (Some(ti), Some(ei)) = (
-                    func.block_index(then_dest),
-                    func.block_index(else_dest),
-                ) else {
+                let (Some(ti), Some(ei)) =
+                    (func.block_index(then_dest), func.block_index(else_dest))
+                else {
                     return unsupported("branch to unknown label");
                 };
                 self.add_edge(bi, ti, ctx.and(guard, cv));
@@ -1205,8 +1189,7 @@ impl<'e> FnEncoder<'e> {
                 // (udiv-ub rule in Fig. 3).
                 let zero = ctx.bv_lit_u64(w, 0);
                 let div0 = ctx.eq(y, zero);
-                self.ub_parts
-                    .push(ctx.and(guard, ctx.or(div0, b.poison)));
+                self.ub_parts.push(ctx.and(guard, ctx.or(div0, b.poison)));
                 if flags.exact && op == BinOpKind::UDiv {
                     let rem = ctx.bv_urem(x, y);
                     poison = ctx.or(poison, ctx.ne(rem, zero));
@@ -1279,7 +1262,12 @@ impl<'e> FnEncoder<'e> {
         })
     }
 
-    fn apply_fmf(&mut self, fmf: alive2_ir::instruction::FastMathFlags, k: FloatKind, r: &mut ScalarVal) {
+    fn apply_fmf(
+        &mut self,
+        fmf: alive2_ir::instruction::FastMathFlags,
+        k: FloatKind,
+        r: &mut ScalarVal,
+    ) {
         let ctx = self.ctx();
         if fmf.nnan {
             let bad = float::is_nan(ctx, r.value, k);
@@ -1337,7 +1325,11 @@ impl<'e> FnEncoder<'e> {
                 // depend on it are suppressed.
                 let name = format!(
                     "{}.{}",
-                    if op == FBinOpKind::FDiv { "fdiv" } else { "frem" },
+                    if op == FBinOpKind::FDiv {
+                        "fdiv"
+                    } else {
+                        "frem"
+                    },
                     k.bits()
                 );
                 let v = self.uf_overapprox(&name, &[a.value, b.value], k.bits());
@@ -1413,8 +1405,7 @@ impl<'e> FnEncoder<'e> {
                         // a non-deterministic NaN pattern (§3.5).
                         let nanv = ctx.var("nan_pattern", Sort::BitVec(k.bits()));
                         self.nondet.push(nanv);
-                        self.pre_parts
-                            .push(float::is_nan_pattern(ctx, nanv, *k));
+                        self.pre_parts.push(float::is_nan_pattern(ctx, nanv, *k));
                         let isnan = float::is_nan(ctx, s.value, *k);
                         ctx.ite(isnan, nanv, s.value)
                     }
@@ -1496,9 +1487,7 @@ impl<'e> FnEncoder<'e> {
                         off = ctx.bv_add(off, ctx.bv_lit_u64(cfg.off_bits, skip));
                         cur_ty = ts[k].clone();
                     }
-                    other => {
-                        return unsupported(format!("GEP index into non-aggregate {other}"))
-                    }
+                    other => return unsupported(format!("GEP index into non-aggregate {other}")),
                 }
             }
         }
@@ -1521,10 +1510,7 @@ impl<'e> FnEncoder<'e> {
         let ctx = self.ctx();
         let mut cases = Vec::new();
         for (k, b) in self.mem.blocks.iter().enumerate() {
-            let is_k = ctx.eq(
-                bid,
-                ctx.bv_lit_u64(self.env.cfg.bid_bits, k as u64),
-            );
+            let is_k = ctx.eq(bid, ctx.bv_lit_u64(self.env.cfg.bid_bits, k as u64));
             let ok = ctx.bv_ule(off, b.size);
             cases.push(ctx.and(is_k, ok));
         }
@@ -1672,9 +1658,7 @@ impl<'e> FnEncoder<'e> {
                     init: None,
                     name: format!("{callee}#{}", self.calls.len()),
                 });
-                let ok_ptr = self
-                    .mem
-                    .ptr(ctx, bid, ctx.bv_lit_u64(cfg.off_bits, 0));
+                let ok_ptr = self.mem.ptr(ctx, bid, ctx.bv_lit_u64(cfg.off_bits, 0));
                 // Allocation may fail: the result is non-deterministically
                 // null.
                 let fail = ctx.var("alloc_fail", Sort::Bool);
@@ -2142,9 +2126,7 @@ fn bit_count_term(ctx: &Ctx, kind: IntrinsicKind, v: TermId, w: u32) -> TermId {
         }
         Bswap => {
             let n = w / 8;
-            let parts: Vec<TermId> = (0..n)
-                .map(|i| ctx.extract(v, i * 8 + 7, i * 8))
-                .collect();
+            let parts: Vec<TermId> = (0..n).map(|i| ctx.extract(v, i * 8 + 7, i * 8)).collect();
             ctx.concat_many(&parts)
         }
         Bitreverse => {
@@ -2187,13 +2169,7 @@ fn saturating_term(ctx: &Ctx, kind: IntrinsicKind, x: TermId, y: TermId, w: u32)
     }
 }
 
-fn overflow_term(
-    ctx: &Ctx,
-    kind: IntrinsicKind,
-    x: TermId,
-    y: TermId,
-    w: u32,
-) -> (TermId, TermId) {
+fn overflow_term(ctx: &Ctx, kind: IntrinsicKind, x: TermId, y: TermId, w: u32) -> (TermId, TermId) {
     use IntrinsicKind::*;
     match kind {
         SAddWithOverflow | SSubWithOverflow => {
@@ -2219,10 +2195,7 @@ fn overflow_term(
         UMulWithOverflow => {
             let wide = ctx.bv_mul(ctx.zext(x, 2 * w), ctx.zext(y, 2 * w));
             let hi = ctx.extract(wide, 2 * w - 1, w);
-            (
-                ctx.trunc(wide, w),
-                ctx.ne(hi, ctx.bv_lit_u64(w, 0)),
-            )
+            (ctx.trunc(wide, w), ctx.ne(hi, ctx.bv_lit_u64(w, 0)))
         }
         _ => unreachable!(),
     }
@@ -2321,9 +2294,8 @@ else:
 
     #[test]
     fn nsw_overflow_is_poison_not_ub() {
-        let (env, enc) = encode_src(
-            "define i8 @f(i8 %a) {\nentry:\n  %r = add nsw i8 %a, 100\n  ret i8 %r\n}",
-        );
+        let (env, enc) =
+            encode_src("define i8 @f(i8 %a) {\nentry:\n  %r = add nsw i8 %a, 100\n  ret i8 %r\n}");
         let ret = enc.ret.as_ref().unwrap().as_scalar();
         let mut m = Model::new();
         pin_args(&env, &mut m, &[100]); // 100 + 100 overflows signed i8
@@ -2545,8 +2517,7 @@ entry:
         let m1 = parse_module("define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}").unwrap();
         let f1 = &m1.functions[0];
         let env = Env::new(EncodeConfig::default(), &m1, f1).unwrap();
-        let other =
-            parse_function("define i32 @f(i64 %x) {\nentry:\n  ret i32 0\n}").unwrap();
+        let other = parse_function("define i32 @f(i64 %x) {\nentry:\n  ret i32 0\n}").unwrap();
         assert!(encode_function(&env, &other).is_err());
     }
 

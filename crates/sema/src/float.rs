@@ -218,20 +218,14 @@ fn round_and_pack(
     } else {
         ctx.fals()
     };
-    let lsb = ctx.eq(
-        ctx.extract(kept, 0, 0),
-        ctx.bv_lit_u64(1, 1),
-    );
+    let lsb = ctx.eq(ctx.extract(kept, 0, 0), ctx.bv_lit_u64(1, 1));
     let roundup = ctx.and(guard, ctx.or(sticky, lsb));
     let kept_x = ctx.zext(kept, m + 2);
     let rounded = ctx.bv_add(
         kept_x,
         ctx.ite(roundup, ctx.bv_lit_u64(m + 2, 1), ctx.bv_lit_u64(m + 2, 0)),
     );
-    let carry = ctx.eq(
-        ctx.extract(rounded, m + 1, m + 1),
-        ctx.bv_lit_u64(1, 1),
-    );
+    let carry = ctx.eq(ctx.extract(rounded, m + 1, m + 1), ctx.bv_lit_u64(1, 1));
     let kept_final = ctx.ite(
         carry,
         ctx.extract(rounded, m + 1, 1),
@@ -239,15 +233,8 @@ fn round_and_pack(
     );
     let eres3 = ctx.bv_add(eres2, ctx.ite(carry, one_e, zero_e));
 
-    let hidden = ctx.eq(
-        ctx.extract(kept_final, m, m),
-        ctx.bv_lit_u64(1, 1),
-    );
-    let exp_field = ctx.ite(
-        hidden,
-        ctx.trunc(eres3, l.exp),
-        ctx.bv_lit_u64(l.exp, 0),
-    );
+    let hidden = ctx.eq(ctx.extract(kept_final, m, m), ctx.bv_lit_u64(1, 1));
+    let exp_field = ctx.ite(hidden, ctx.trunc(eres3, l.exp), ctx.bv_lit_u64(l.exp, 0));
     let frac = ctx.extract(kept_final, m - 1, 0);
 
     // Overflow to infinity when the (normal) exponent reaches the max.
@@ -355,7 +342,10 @@ pub fn fadd(ctx: &Ctx, a: TermId, b: TermId, k: FloatKind) -> TermId {
     let nan = canonical_nan(ctx, k);
     let both_zero = ctx.and(a_zero, b_zero);
     let zz_sign = ctx.and(pa.sign, pb.sign); // +0 + -0 = +0 (RNE)
-    let inf_conflict = ctx.and(ctx.and(a_inf, b_inf), ctx.ne(ctx.bool_to_bv1(pa.sign), ctx.bool_to_bv1(pb.sign)));
+    let inf_conflict = ctx.and(
+        ctx.and(a_inf, b_inf),
+        ctx.ne(ctx.bool_to_bv1(pa.sign), ctx.bool_to_bv1(pb.sign)),
+    );
 
     let mut r = general;
     r = ctx.ite(b_zero, ctx.ite(a_zero, zero(ctx, zz_sign, k), a), r);
@@ -408,10 +398,7 @@ pub fn fmul(ctx: &Ctx, a: TermId, b: TermId, k: FloatKind) -> TermId {
     let general = round_and_pack(ctx, k, rsign, eres, norm, ws, ew);
 
     let nan = canonical_nan(ctx, k);
-    let inf_times_zero = ctx.or(
-        ctx.and(a_inf, b_zero),
-        ctx.and(b_inf, a_zero),
-    );
+    let inf_times_zero = ctx.or(ctx.and(a_inf, b_zero), ctx.and(b_inf, a_zero));
     let any_inf = ctx.or(a_inf, b_inf);
     let any_zero = ctx.or(a_zero, b_zero);
 
@@ -490,11 +477,7 @@ mod tests {
     use super::*;
     use alive2_smt::model::Model;
 
-    fn eval_bin(
-        f: impl Fn(&Ctx, TermId, TermId, FloatKind) -> TermId,
-        a: f32,
-        b: f32,
-    ) -> u32 {
+    fn eval_bin(f: impl Fn(&Ctx, TermId, TermId, FloatKind) -> TermId, a: f32, b: f32) -> u32 {
         let ctx = Ctx::new();
         let ta = ctx.bv_lit_u64(32, a.to_bits() as u64);
         let tb = ctx.bv_lit_u64(32, b.to_bits() as u64);
@@ -512,7 +495,8 @@ mod tests {
             expect.to_bits()
         };
         assert_eq!(
-            got, expect_bits,
+            got,
+            expect_bits,
             "fadd({a:?}, {b:?}): got {:?} want {expect:?}",
             f32::from_bits(got)
         );
@@ -527,7 +511,8 @@ mod tests {
             expect.to_bits()
         };
         assert_eq!(
-            got, expect_bits,
+            got,
+            expect_bits,
             "fmul({a:?}, {b:?}): got {:?} want {expect:?}",
             f32::from_bits(got)
         );
@@ -584,9 +569,13 @@ mod tests {
     fn fadd_random_sampled() {
         let mut state = 0x1234_5678_9abc_def0u64;
         for _ in 0..300 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = f32::from_bits((state >> 16) as u32);
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = f32::from_bits((state >> 16) as u32);
             if a.is_nan() || b.is_nan() {
                 continue;
@@ -614,9 +603,13 @@ mod tests {
         }
         let mut state = 0xdead_beef_cafe_f00du64;
         for _ in 0..300 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = f32::from_bits((state >> 16) as u32);
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = f32::from_bits((state >> 16) as u32);
             if a.is_nan() || b.is_nan() {
                 continue;
@@ -686,13 +679,7 @@ mod tests {
         let t = ctx.bv_lit_u64(32, (-3.5f32).to_bits() as u64);
         let n = fneg(&ctx, t, FloatKind::Single);
         let a = fabs(&ctx, t, FloatKind::Single);
-        assert_eq!(
-            f32::from_bits(m.eval_bv(&ctx, n).to_u64() as u32),
-            3.5
-        );
-        assert_eq!(
-            f32::from_bits(m.eval_bv(&ctx, a).to_u64() as u32),
-            3.5
-        );
+        assert_eq!(f32::from_bits(m.eval_bv(&ctx, n).to_u64() as u32), 3.5);
+        assert_eq!(f32::from_bits(m.eval_bv(&ctx, a).to_u64() as u32), 3.5);
     }
 }

@@ -1,7 +1,7 @@
 //! Encoding of LLVM-style IR semantics into SMT (paper §3–§7).
 pub mod config;
-pub mod float;
 pub mod encode;
+pub mod float;
 pub mod memory;
 pub mod unroll;
 pub mod value;

@@ -76,11 +76,7 @@ impl ByteCodec {
 
     /// A pointer-fragment byte.
     pub fn pack_ptr(self, ctx: &Ctx, payload: TermId, frag: u32, poison: TermId) -> TermId {
-        let mask = ctx.ite(
-            poison,
-            ctx.bv_lit_u64(8, 0xff),
-            ctx.bv_lit_u64(8, 0),
-        );
+        let mask = ctx.ite(poison, ctx.bv_lit_u64(8, 0xff), ctx.bv_lit_u64(8, 0));
         let frag_t = ctx.bv_lit_u64(3, frag as u64);
         let is_ptr = ctx.bv_lit_u64(1, 1);
         let value = ctx.bv_lit_u64(8, 0);
@@ -229,10 +225,7 @@ impl SymMemory {
         let bid = self.bid_of(ctx, ptr);
         let off = self.off_of(ctx, ptr);
         let ext = self.cfg.off_bits + 2;
-        let end = ctx.bv_add(
-            ctx.zext(off, ext),
-            ctx.bv_lit_u64(ext, len),
-        );
+        let end = ctx.bv_add(ctx.zext(off, ext), ctx.bv_lit_u64(ext, len));
         let mut cases = Vec::new();
         for (k, b) in self.blocks.iter().enumerate() {
             if b.kind == BlockKind::Null {
@@ -368,13 +361,12 @@ impl SymMemory {
     ) -> TermId {
         let len = ty.byte_size();
         let ub = ctx.and(guard, ctx.not(self.write_ok(ctx, ptr, len)));
-        self.stored_undef_vars.extend(val.undef_vars.iter().copied());
+        self.stored_undef_vars
+            .extend(val.undef_vars.iter().copied());
         match ty {
             Type::Ptr => {
                 for i in 0..len {
-                    let byte = self
-                        .codec
-                        .pack_ptr(ctx, val.value, i as u32, val.poison);
+                    let byte = self.codec.pack_ptr(ctx, val.value, i as u32, val.poison);
                     let addr = self.addr_plus(ctx, ptr, i);
                     self.store_byte(guard, addr, byte);
                 }
@@ -646,10 +638,7 @@ mod tests {
         let m = Model::new();
         assert!(!m.eval_bool(&ctx, ub));
         assert!(!m.eval_bool(&ctx, loaded.poison));
-        assert_eq!(
-            m.eval_bv(&ctx, loaded.value),
-            m.eval_bv(&ctx, stored_ptr)
-        );
+        assert_eq!(m.eval_bv(&ctx, loaded.value), m.eval_bv(&ctx, stored_ptr));
     }
 
     #[test]
@@ -733,11 +722,7 @@ mod tests {
         // Prove: g => loaded == 2, !g => loaded == 1 via the solver.
         let two = ctx.bv_lit_u64(8, 2);
         let one = ctx.bv_lit_u64(8, 1);
-        let prop = ctx.ite(
-            g,
-            ctx.eq(loaded.value, two),
-            ctx.eq(loaded.value, one),
-        );
+        let prop = ctx.ite(g, ctx.eq(loaded.value, two), ctx.eq(loaded.value, one));
         let mut s = Solver::new(&ctx);
         s.assert(ctx.not(prop));
         assert!(s.check(Budget::unlimited()).is_unsat());

@@ -523,9 +523,7 @@ fn demote_broken_ssa(func: &mut Function) {
             if let InstOp::Phi { incoming, .. } = &inst.op {
                 for (v, from) in incoming {
                     if let Some(r) = v.as_reg() {
-                        if let (Some(&db), Some(fb)) =
-                            (def_block.get(r), func.block_index(from))
-                        {
+                        if let (Some(&db), Some(fb)) = (def_block.get(r), func.block_index(from)) {
                             if dom.is_reachable(fb) && !dom.dominates(db, fb) {
                                 broken.insert(r.to_string());
                             }

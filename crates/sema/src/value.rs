@@ -133,9 +133,9 @@ impl SymValue {
                     undef_vars: new_vars,
                 })
             }
-            SymValue::Aggregate(vs) => SymValue::Aggregate(
-                vs.iter().map(|v| v.refresh_undef(ctx, fresh_acc)).collect(),
-            ),
+            SymValue::Aggregate(vs) => {
+                SymValue::Aggregate(vs.iter().map(|v| v.refresh_undef(ctx, fresh_acc)).collect())
+            }
         }
     }
 

@@ -76,16 +76,7 @@ pub fn ackermannize(ctx: &Ctx, assertions: &[TermId]) -> Ackermannized {
 
     let rewritten: Vec<TermId> = assertions
         .iter()
-        .map(|&t| {
-            rewrite(
-                ctx,
-                t,
-                &mut memo,
-                &mut table,
-                &mut by_func,
-                &mut app_vars,
-            )
-        })
+        .map(|&t| rewrite(ctx, t, &mut memo, &mut table, &mut by_func, &mut app_vars))
         .collect();
 
     let mut constraints = Vec::new();
@@ -132,8 +123,7 @@ mod tests {
         assert_eq!(ack.constraints.len(), 1);
         // Rewritten assertion must not contain Apply.
         fn has_apply(ctx: &Ctx, t: TermId) -> bool {
-            matches!(ctx.op(t), Op::Apply(_))
-                || ctx.args(t).iter().any(|&a| has_apply(ctx, a))
+            matches!(ctx.op(t), Op::Apply(_)) || ctx.args(t).iter().any(|&a| has_apply(ctx, a))
         }
         assert!(!has_apply(&ctx, ack.assertions[0]));
         for &c in &ack.constraints {

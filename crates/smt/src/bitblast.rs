@@ -688,11 +688,7 @@ mod tests {
             let got_bv = BitVec::from_bits(&got);
             // concrete reference via term constant folding
             let ctx3 = Ctx::new();
-            let ref_t = op(
-                &ctx3,
-                ctx3.bv_lit_u64(width, a),
-                ctx3.bv_lit_u64(width, b),
-            );
+            let ref_t = op(&ctx3, ctx3.bv_lit_u64(width, a), ctx3.bv_lit_u64(width, b));
             let expect = ctx3.as_bv_lit(ref_t).expect("constants fold");
             assert_eq!(got_bv, expect, "inputs a={a} b={b}");
         }

@@ -310,9 +310,8 @@ impl BitVec {
         for i in 0..n {
             let mut carry = 0u128;
             for j in 0..n - i {
-                let cur = acc[i + j] as u128
-                    + (self.words[i] as u128) * (rhs.words[j] as u128)
-                    + carry;
+                let cur =
+                    acc[i + j] as u128 + (self.words[i] as u128) * (rhs.words[j] as u128) + carry;
                 acc[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -416,7 +415,11 @@ impl BitVec {
         }
         let sa = self.sign_bit();
         let a = if sa { self.neg() } else { self.clone() };
-        let b = if rhs.sign_bit() { rhs.neg() } else { rhs.clone() };
+        let b = if rhs.sign_bit() {
+            rhs.neg()
+        } else {
+            rhs.clone()
+        };
         let r = a.urem(&b);
         if sa {
             r.neg()

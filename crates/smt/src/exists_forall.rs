@@ -93,13 +93,18 @@ pub fn solve_exists_forall_with_seeds(
     seeds: &[HashMap<TermId, TermId>],
 ) -> EfResult {
     let start = Instant::now();
-    let deadline_exceeded =
-        |start: &Instant| start.elapsed().as_millis() as u64 >= config.max_millis;
+    // Two clocks: the relative per-query cap (`max_millis`, restarted per
+    // ∃∀ solve) and the job-wide absolute deadline riding on the budget.
+    let deadline_exceeded = |start: &Instant| {
+        start.elapsed().as_millis() as u64 >= config.max_millis || config.budget.deadline_passed()
+    };
     let budget_left = |start: &Instant| -> Budget {
         let mut b = config.budget;
         if config.max_millis != u64::MAX {
             let used = start.elapsed().as_millis() as u64;
-            b.max_millis = b.max_millis.min(config.max_millis.saturating_sub(used).max(1));
+            b.max_millis = b
+                .max_millis
+                .min(config.max_millis.saturating_sub(used).max(1));
         }
         b
     };

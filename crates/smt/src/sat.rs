@@ -75,6 +75,11 @@ pub struct Budget {
     /// Maximum total literals in learned clauses before reporting
     /// out-of-memory (`usize::MAX` = unlimited).
     pub max_learned_lits: usize,
+    /// Absolute wall-clock deadline (`None` = unlimited). Unlike
+    /// `max_millis`, which is relative to each `solve` call, the deadline
+    /// is shared by every query of one validation job — the engine's
+    /// per-job cap.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for Budget {
@@ -83,6 +88,7 @@ impl Default for Budget {
             max_conflicts: u64::MAX,
             max_millis: u64::MAX,
             max_learned_lits: usize::MAX,
+            deadline: None,
         }
     }
 }
@@ -99,6 +105,16 @@ impl Budget {
             max_millis: ms,
             ..Self::default()
         }
+    }
+
+    /// This budget further capped by an absolute deadline.
+    pub fn with_deadline(self, deadline: Option<Instant>) -> Self {
+        Budget { deadline, ..self }
+    }
+
+    /// True once the absolute deadline (if any) has passed.
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -689,6 +705,9 @@ impl SatSolver {
         if !self.ok {
             return SatOutcome::Unsat;
         }
+        if budget.deadline_passed() {
+            return SatOutcome::TimedOut;
+        }
         let start = Instant::now();
         let mut restart_num = 1u64;
         let mut conflicts_until_restart = 32 * Self::luby(restart_num);
@@ -716,7 +735,8 @@ impl SatSolver {
                     return SatOutcome::TimedOut;
                 }
                 if self.stats.conflicts % 256 == 0
-                    && start.elapsed().as_millis() as u64 >= budget.max_millis
+                    && (start.elapsed().as_millis() as u64 >= budget.max_millis
+                        || budget.deadline_passed())
                 {
                     self.backtrack(0);
                     return SatOutcome::TimedOut;
@@ -791,10 +811,7 @@ mod tests {
             solve_dimacs(&[&[1], &[-1, 2], &[-2, 3], &[-3, -1]]),
             SatOutcome::Unsat
         );
-        assert_eq!(
-            solve_dimacs(&[&[1], &[-1, 2], &[-2, 3]]),
-            SatOutcome::Sat
-        );
+        assert_eq!(solve_dimacs(&[&[1], &[-1, 2], &[-2, 3]]), SatOutcome::Sat);
     }
 
     #[test]

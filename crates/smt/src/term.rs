@@ -1189,10 +1189,7 @@ mod tests {
         let three = ctx.bv_lit_u64(8, 3);
         let mut map2 = HashMap::new();
         map2.insert(x, three);
-        assert_eq!(
-            ctx.as_bv_lit(ctx.substitute(t, &map2)).unwrap().to_u64(),
-            6
-        );
+        assert_eq!(ctx.as_bv_lit(ctx.substitute(t, &map2)).unwrap().to_u64(), 6);
     }
 
     #[test]

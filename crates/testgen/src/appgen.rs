@@ -9,16 +9,13 @@
 //! / timeout / OOM / unsupported counts) depend on those distributions,
 //! not on the C semantics, so the shape of Fig. 7 is preserved.
 
+use crate::rng::Rng64;
 use alive2_ir::builder::FunctionBuilder;
 use alive2_ir::function::FnAttrs;
-use alive2_ir::instruction::{
-    BinOpKind, CastKind, ICmpPred, InstOp, Operand, WrapFlags,
-};
+use alive2_ir::instruction::{BinOpKind, CastKind, ICmpPred, InstOp, Operand, WrapFlags};
 use alive2_ir::module::{FuncDecl, GlobalVar, Module};
 use alive2_ir::types::Type;
 use alive2_ir::Constant;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The knobs describing one synthetic application.
 #[derive(Clone, Copy, Debug)]
@@ -95,7 +92,7 @@ pub fn profiles() -> [AppProfile; 5] {
 
 /// Generates the module for a profile. Deterministic per seed.
 pub fn generate(profile: &AppProfile) -> Module {
-    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mut rng = Rng64::seed_from_u64(profile.seed);
     let mut m = Module::new();
     m.globals.push(GlobalVar {
         name: "state".into(),
@@ -133,19 +130,19 @@ pub fn generate(profile: &AppProfile) -> Module {
     m
 }
 
-fn width(rng: &mut StdRng) -> u32 {
-    *[8u32, 16, 32].get(rng.gen_range(0..3)).unwrap()
+fn width(rng: &mut Rng64) -> u32 {
+    *[8u32, 16, 32].get(rng.range_usize(0, 3)).unwrap()
 }
 
-fn pick(pool: &[Operand], rng: &mut StdRng, w: u32) -> Operand {
-    if pool.is_empty() || rng.gen_bool(0.25) {
-        Operand::int(w, rng.gen_range(0..64))
+fn pick(pool: &[Operand], rng: &mut Rng64, w: u32) -> Operand {
+    if pool.is_empty() || rng.chance(0.25) {
+        Operand::int(w, rng.range_u64(0, 64))
     } else {
-        pool[rng.gen_range(0..pool.len())].clone()
+        pool[rng.range_usize(0, pool.len())].clone()
     }
 }
 
-fn arith_op(rng: &mut StdRng) -> (BinOpKind, WrapFlags) {
+fn arith_op(rng: &mut Rng64) -> (BinOpKind, WrapFlags) {
     let ops = [
         BinOpKind::Add,
         BinOpKind::Sub,
@@ -156,9 +153,9 @@ fn arith_op(rng: &mut StdRng) -> (BinOpKind, WrapFlags) {
         BinOpKind::Shl,
         BinOpKind::LShr,
     ];
-    let op = ops[rng.gen_range(0..ops.len())];
-    let flags = if op.supports_wrap_flags() && rng.gen_bool(0.3) {
-        if rng.gen_bool(0.5) {
+    let op = ops[rng.range_usize(0, ops.len())];
+    let flags = if op.supports_wrap_flags() && rng.chance(0.3) {
+        if rng.chance(0.5) {
             WrapFlags::nsw()
         } else {
             WrapFlags::nuw()
@@ -173,7 +170,7 @@ fn arith_op(rng: &mut StdRng) -> (BinOpKind, WrapFlags) {
 fn arith_run(
     b: &mut FunctionBuilder,
     pool: &mut Vec<Operand>,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
     ty: &Type,
     n: usize,
 ) {
@@ -183,29 +180,29 @@ fn arith_run(
         let lhs = pick(pool, rng, w);
         let mut rhs = pick(pool, rng, w);
         if matches!(op, BinOpKind::Shl | BinOpKind::LShr) {
-            rhs = Operand::int(w, rng.gen_range(0..w as u64));
+            rhs = Operand::int(w, rng.range_u64(0, w as u64));
         }
         let v = b.bin(op, flags, ty.clone(), lhs, rhs);
         pool.push(v);
     }
 }
 
-fn gen_function(profile: &AppProfile, index: usize, rng: &mut StdRng) -> alive2_ir::Function {
+fn gen_function(profile: &AppProfile, index: usize, rng: &mut Rng64) -> alive2_ir::Function {
     let w = width(rng);
     let ty = Type::Int(w);
     let mut b = FunctionBuilder::new(format!("fn{index}"), ty.clone());
-    let nparams = rng.gen_range(1..=3);
+    let nparams = rng.range_usize(1, 3 + 1);
     let mut pool: Vec<Operand> = (0..nparams)
         .map(|i| b.param(format!("a{i}"), ty.clone()))
         .collect();
     b.block("entry");
 
-    let unsupported = rng.gen_bool(profile.unsupported_density);
-    let has_loop = rng.gen_bool(profile.loop_density);
-    let has_mem = rng.gen_bool(profile.mem_density);
-    let has_call = rng.gen_bool(profile.call_density);
+    let unsupported = rng.chance(profile.unsupported_density);
+    let has_loop = rng.chance(profile.loop_density);
+    let has_mem = rng.chance(profile.mem_density);
+    let has_call = rng.chance(profile.call_density);
 
-    let n_arith = rng.gen_range(2..6);
+    let n_arith = rng.range_usize(2, 6);
     arith_run(&mut b, &mut pool, rng, &ty, n_arith);
 
     if has_mem {
@@ -231,7 +228,11 @@ fn gen_function(profile: &AppProfile, index: usize, rng: &mut StdRng) -> alive2_
         } else {
             b.cast(CastKind::ZExt, ty.clone(), arg, Type::i32())
         };
-        let callee = if rng.gen_bool(0.5) { "ext_pure" } else { "ext_io" };
+        let callee = if rng.chance(0.5) {
+            "ext_pure"
+        } else {
+            "ext_io"
+        };
         let r = b.call(Type::i32(), callee, vec![(Type::i32(), arg32)]);
         let back = if w == 32 {
             r
@@ -252,7 +253,7 @@ fn gen_function(profile: &AppProfile, index: usize, rng: &mut StdRng) -> alive2_
 
     if has_loop {
         // A bounded counting loop accumulating into a φ.
-        let trip = rng.gen_range(1..=3u64);
+        let trip = rng.range_u64(1, 3 + 1);
         let seedv = pick(&pool, rng, w);
         b.br("head");
         b.block("head");
@@ -327,7 +328,7 @@ fn gen_function(profile: &AppProfile, index: usize, rng: &mut StdRng) -> alive2_
     }
 
     // Occasionally end through a diamond.
-    if rng.gen_bool(0.4) {
+    if rng.chance(0.4) {
         let x = pick(&pool, rng, w);
         let y = pick(&pool, rng, w);
         let c = b.icmp(ICmpPred::Slt, ty.clone(), x.clone(), y.clone());

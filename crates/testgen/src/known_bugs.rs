@@ -457,8 +457,7 @@ mod tests {
     fn all_pairs_parse_and_verify() {
         for b in known_bugs() {
             for (side, text) in [("src", b.src), ("tgt", b.tgt)] {
-                let m = parse_module(text)
-                    .unwrap_or_else(|e| panic!("{}/{side}: {e}", b.name));
+                let m = parse_module(text).unwrap_or_else(|e| panic!("{}/{side}: {e}", b.name));
                 let errs = verify_module(&m);
                 assert!(errs.is_empty(), "{}/{side}: {errs:?}", b.name);
             }

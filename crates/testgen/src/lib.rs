@@ -5,3 +5,4 @@
 pub mod appgen;
 pub mod corpus;
 pub mod known_bugs;
+pub mod rng;

@@ -4,12 +4,14 @@
 //! present in both, printing Alive2-style reports.
 //!
 //! ```text
-//! cargo run --example alive_tv -- src.ll tgt.ll [--unroll N] [--timeout MS]
+//! cargo run --example alive_tv -- src.ll tgt.ll [--unroll N] [--timeout MS] \
+//!     [--jobs N] [--deadline-ms MS]
 //! ```
 //!
 //! With no arguments, runs on a built-in demo pair.
 
-use alive2::core::validator::{validate_modules, Verdict};
+use alive2::core::engine::ValidationEngine;
+use alive2::core::validator::Verdict;
 use alive2::ir::parser::parse_module;
 use alive2::sema::config::EncodeConfig;
 use std::process::ExitCode;
@@ -47,6 +49,7 @@ entry:
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = EncodeConfig::default();
+    let mut engine = ValidationEngine::default();
     let mut files: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -62,6 +65,21 @@ fn main() -> ExitCode {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--timeout needs milliseconds");
+            }
+            "--jobs" => {
+                engine = ValidationEngine::new(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--jobs needs a worker count"),
+                )
+                .with_deadline_ms(engine.deadline_ms);
+            }
+            "--deadline-ms" => {
+                engine = engine.with_deadline_ms(Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--deadline-ms needs milliseconds"),
+                ));
             }
             other => files.push(other.to_string()),
         }
@@ -98,10 +116,8 @@ fn main() -> ExitCode {
     };
 
     let mut bad = 0u32;
-    for (name, verdict) in validate_modules(&src, &tgt, &cfg) {
-        println!(
-            "----------------------------------------\n@{name}:"
-        );
+    for (name, verdict) in engine.validate_modules(&src, &tgt, &cfg) {
+        println!("----------------------------------------\n@{name}:");
         match verdict {
             Verdict::Correct => println!("  Transformation seems to be correct!"),
             Verdict::Incorrect(cex) => {

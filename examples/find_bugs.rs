@@ -25,13 +25,11 @@ fn main() {
             for func in &module.functions {
                 let mut f = func.clone();
                 for (pass, before, after) in pm.run_with_snapshots(&mut f) {
-                    if let Verdict::Incorrect(cex) =
-                        validate_pair(&module, &before, &after, &cfg)
-                    {
-                        found.entry(case.name).or_default().push(format!(
-                            "{bug:?} via {pass}: {}",
-                            cex.query
-                        ));
+                    if let Verdict::Incorrect(cex) = validate_pair(&module, &before, &after, &cfg) {
+                        found
+                            .entry(case.name)
+                            .or_default()
+                            .push(format!("{bug:?} via {pass}: {}", cex.query));
                     }
                 }
             }

@@ -1,53 +1,84 @@
 //! Translation validation while "compiling" an application (§8.4).
 //!
 //! Generates one of the synthetic single-file applications, optimizes it
-//! with the default pipeline, validates every pass over every function,
-//! and prints a Fig. 7-style summary row.
+//! with the default pipeline, validates every pass over every function on
+//! the parallel validation engine, and prints a Fig. 7-style summary row.
 //!
 //! ```text
-//! cargo run --release --example validate_app -- [bzip2|gzip|oggenc|ph7|sqlite3]
+//! cargo run --release --example validate_app -- [bzip2|gzip|oggenc|ph7|sqlite3] \
+//!     [--jobs N] [--deadline-ms MS]
 //! ```
 
-use alive2::core::validator::{validate_pair_with_stats, Verdict};
+use alive2::core::engine::{Job, ValidationEngine};
 use alive2::opt::bugs::BugSet;
 use alive2::opt::pass::PassManager;
 use alive2::sema::config::EncodeConfig;
 use alive2::testgen::appgen::{generate, profiles};
 use std::time::Instant;
 
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "gzip".into());
+    let args: Vec<String> = std::env::args().collect();
+    let mut which = "gzip".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" | "--deadline-ms" => i += 2,
+            other => {
+                which = other.to_string();
+                i += 1;
+            }
+        }
+    }
     let Some(profile) = profiles().into_iter().find(|p| p.name == which) else {
         eprintln!("unknown app `{which}`; choose one of bzip2, gzip, oggenc, ph7, sqlite3");
         std::process::exit(1);
     };
+    let workers =
+        flag_value(&args, "--jobs").unwrap_or_else(|| ValidationEngine::default().workers);
+    let engine =
+        ValidationEngine::new(workers).with_deadline_ms(flag_value(&args, "--deadline-ms"));
 
-    println!("generating synthetic `{}` ({} functions)…", profile.name, profile.functions);
+    println!(
+        "generating synthetic `{}` ({} functions)… validating on {} worker(s)",
+        profile.name, profile.functions, engine.workers
+    );
     let module = generate(&profile);
     let pm = PassManager::default_pipeline(BugSet::none());
     let cfg = EncodeConfig::default();
 
+    // Cheap sequential phase: optimize and snapshot every changed pass.
     let start = Instant::now();
-    let (mut pairs, mut diff, mut ok, mut bad, mut to, mut oom, mut unsup) =
-        (0u32, 0u32, 0u32, 0u32, 0u32, 0u32, 0u32);
+    let mut pairs = 0u32;
+    let mut snaps = Vec::new();
     for func in &module.functions {
         let mut f = func.clone();
-        let snaps = pm.run_with_snapshots(&mut f);
         pairs += pm.pass_names().len() as u32;
-        for (_pass, before, after) in snaps {
-            diff += 1;
-            let (v, _stats) = validate_pair_with_stats(&module, &before, &after, &cfg);
-            match v {
-                Verdict::Correct => ok += 1,
-                Verdict::Incorrect(_) => bad += 1,
-                Verdict::Timeout => to += 1,
-                Verdict::OutOfMemory => oom += 1,
-                Verdict::Unsupported(_) => unsup += 1,
-                Verdict::Inconclusive(_) | Verdict::PreconditionFalse => unsup += 1,
-            }
+        for (pass, before, after) in pm.run_with_snapshots(&mut f) {
+            snaps.push((format!("{}/{pass}", func.name), before, after));
         }
     }
-    let secs = start.elapsed().as_secs_f64();
+    // Expensive phase: fan the snapshots out on the engine.
+    let jobs: Vec<Job> = snaps
+        .iter()
+        .map(|(name, before, after)| Job {
+            name: name.clone(),
+            module: &module,
+            src: before,
+            tgt: after,
+            cfg,
+        })
+        .collect();
+    let (_, mut counts) = engine.run_counts(&jobs);
+    counts.pairs = pairs;
+    counts.diff = jobs.len() as u32;
+    counts.millis = start.elapsed().as_millis() as u64;
 
     println!();
     println!(
@@ -56,9 +87,17 @@ fn main() {
     );
     println!(
         "{:8} {:>6} {:>6} {:>9.1} {:>5} {:>5} {:>5} {:>5} {:>7}",
-        profile.name, pairs, diff, secs, ok, bad, to, oom, unsup
+        profile.name,
+        counts.pairs,
+        counts.diff,
+        counts.millis as f64 / 1000.0,
+        counts.correct,
+        counts.incorrect,
+        counts.timeout,
+        counts.oom,
+        counts.unsupported
     );
-    if bad > 0 {
+    if counts.incorrect > 0 {
         println!("\nNOTE: refinement failures with a bug-free pipeline indicate a validator or optimizer defect.");
         std::process::exit(1);
     }

@@ -1,22 +1,27 @@
 #!/bin/sh
-# Regenerates every table/figure of the paper evaluation plus the criterion
+# Regenerates every table/figure of the paper evaluation plus the in-tree
 # micro-benchmarks, capturing everything into bench_output.txt.
+#
+# The figure harnesses accept --jobs N (worker threads, default: all
+# cores) and --deadline-ms MS (per-job wall-clock cap); the micro timer
+# emits one JSON line per bench ({"bench":...,"median_ns":...,...}).
 set -e
 cd "$(dirname "$0")"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
 {
   echo "==================================================================="
-  echo "Criterion micro-benchmarks (cargo bench --workspace)"
+  echo "In-tree micro-benchmarks (alive2-bench --bin micro)"
   echo "==================================================================="
-  cargo bench --workspace 2>&1
+  cargo run --release -q -p alive2-bench --bin micro 2>&1
   for bin in fig6_unroll fig7_apps fig8_timeout table_bugs known_bugs; do
     echo
     echo "==================================================================="
-    echo "Harness: $bin"
+    echo "Harness: $bin (--jobs $JOBS)"
     echo "==================================================================="
     if [ "$bin" = fig7_apps ]; then
-      cargo run --release -q -p alive2-bench --bin "$bin" -- --scale 0.25 2>&1 || true
+      cargo run --release -q -p alive2-bench --bin "$bin" -- --scale 0.25 --jobs "$JOBS" 2>&1 || true
     else
-      cargo run --release -q -p alive2-bench --bin "$bin" 2>&1 || true
+      cargo run --release -q -p alive2-bench --bin "$bin" -- --jobs "$JOBS" 2>&1 || true
     fi
   done
 } | tee bench_output.txt

@@ -5,6 +5,7 @@
 //! - With a bug seeded, the validator must catch it on the corpus case
 //!   that triggers it — with the right §5.3 query class.
 
+use alive2_core::engine::ValidationEngine;
 use alive2_core::validator::{validate_pair, Verdict};
 use alive2_ir::parser::parse_module;
 use alive2_opt::bugs::{BugId, BugSet};
@@ -13,11 +14,7 @@ use alive2_sema::config::EncodeConfig;
 use alive2_testgen::corpus::{corpus, Family};
 
 /// Runs the pipeline over one module and validates every changed pass.
-fn validate_case(
-    text: &str,
-    bugs: BugSet,
-    cfg: &EncodeConfig,
-) -> Vec<(&'static str, Verdict)> {
+fn validate_case(text: &str, bugs: BugSet, cfg: &EncodeConfig) -> Vec<(&'static str, Verdict)> {
     let module = parse_module(text).unwrap();
     let pm = PassManager::default_pipeline(bugs);
     let mut out = Vec::new();
@@ -80,4 +77,70 @@ fn seeded_bugs_are_caught_on_their_trigger_cases() {
         }
         assert!(caught, "seeded bug {bug:?} was never caught");
     }
+}
+
+/// A generated app module and its pipeline-optimized counterpart: a
+/// source/target pair where the functions genuinely differ, so parallel
+/// runs exercise real solver work rather than the byte-identical fast
+/// path.
+fn generated_pair() -> (alive2_ir::module::Module, alive2_ir::module::Module) {
+    let mut profile = alive2_testgen::appgen::profiles()[0];
+    profile.functions = 6;
+    profile.unsupported_density = 0.0;
+    let src = alive2_testgen::appgen::generate(&profile);
+    let mut tgt = src.clone();
+    let pm = PassManager::default_pipeline(BugSet::none());
+    for f in &mut tgt.functions {
+        pm.run(f);
+    }
+    (src, tgt)
+}
+
+/// A parallel run must report exactly the same verdicts as a sequential
+/// one — validation jobs are independent, so worker count can only change
+/// wall-clock, never verdicts.
+#[test]
+fn parallel_run_matches_sequential_counts() {
+    let (src, tgt) = generated_pair();
+    let cfg = EncodeConfig::default();
+    let seq_results = ValidationEngine::sequential().validate_modules(&src, &tgt, &cfg);
+    let par_results = ValidationEngine::new(4).validate_modules(&src, &tgt, &cfg);
+    assert_eq!(seq_results.len(), par_results.len());
+    assert_eq!(seq_results.len(), src.functions.len());
+    for ((sn, sv), (pn, pv)) in seq_results.iter().zip(&par_results) {
+        assert_eq!(sn, pn, "result order must not depend on worker count");
+        assert_eq!(
+            std::mem::discriminant(sv),
+            std::mem::discriminant(pv),
+            "{sn}: sequential={sv:?} parallel={pv:?}"
+        );
+    }
+}
+
+/// A tiny per-job deadline must turn expensive jobs into `Timeout`
+/// verdicts — never a hang.
+#[test]
+fn tiny_deadline_times_out_instead_of_hanging() {
+    let (src, tgt) = generated_pair();
+    let cfg = EncodeConfig::default();
+    let engine = ValidationEngine::new(2).with_deadline_ms(Some(0));
+    let results = engine.validate_modules(&src, &tgt, &cfg);
+    assert_eq!(results.len(), src.functions.len());
+    let mut timeouts = 0;
+    for (name, v) in &results {
+        // Functions the pipeline left untouched short-circuit to Correct
+        // before any solving; every job that reaches the solver must
+        // report Timeout under a zero deadline.
+        assert!(
+            v.is_correct() || matches!(v, Verdict::Timeout),
+            "{name}: expected Correct (identical fast path) or Timeout, got {v:?}"
+        );
+        if matches!(v, Verdict::Timeout) {
+            timeouts += 1;
+        }
+    }
+    assert!(
+        timeouts > 0,
+        "the zero deadline should have timed out at least one changed function"
+    );
 }

@@ -2,12 +2,35 @@
 //! bit-vector semantics, smart-constructor soundness, SAT-solver
 //! correctness, printer/parser round-trips, refinement reflexivity, and
 //! optimizer soundness on random programs.
+//!
+//! Formerly driven by proptest; now a deterministic in-tree harness on
+//! [`alive2::testgen::rng::Rng64`]. Every run tests the exact same cases,
+//! so a failure message's inputs are directly reproducible. The seeds in
+//! [`REGRESSION_SEEDS`] are the counterexamples proptest once shrank to
+//! (the old `props.proptest-regressions` file) and are pinned forever.
 
 use alive2::ir::parser::{parse_function, parse_module};
 use alive2::smt::bv::BitVec;
 use alive2::smt::model::{Model, Value};
 use alive2::smt::prelude::*;
-use proptest::prelude::*;
+use alive2::testgen::rng::Rng64;
+
+/// Counterexample seeds shrunk by the old proptest harness; kept as
+/// explicit cases in every generator-seeded property below.
+const REGRESSION_SEEDS: [u64; 3] = [0, 1548306937187382123, 4716925595663273561];
+
+/// The generator seeds for a property: the pinned regressions first, then
+/// `cases` deterministic pseudo-random seeds derived from the property
+/// name (so properties don't all sample the same stream).
+fn seeds(property: &str, cases: usize) -> Vec<u64> {
+    let tag = property
+        .bytes()
+        .fold(0xa1ec_5eedu64, |h, b| h.wrapping_mul(0x100_0193) ^ b as u64);
+    let mut rng = Rng64::seed_from_u64(tag);
+    let mut out = REGRESSION_SEEDS.to_vec();
+    out.extend((0..cases).map(|_| rng.next_u64()));
+    out
+}
 
 // ---- BitVec agrees with native integer semantics -------------------------
 
@@ -19,46 +42,79 @@ fn mask(w: u32) -> u64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn bitvec_matches_u64((w, a, b) in (1u32..=64, any::<u64>(), any::<u64>())) {
+#[test]
+fn bitvec_matches_u64() {
+    let mut rng = Rng64::seed_from_u64(0xb17_5eed);
+    for case in 0..256 {
+        let w = rng.range_u64(1, 65) as u32;
         let m = mask(w);
-        let (a, b) = (a & m, b & m);
+        // First cases pin the boundary values the old regressions covered.
+        let (a, b) = match case {
+            0 => (0, 0),
+            1 => (m, m),
+            2 => (1, m),
+            _ => (rng.next_u64() & m, rng.next_u64() & m),
+        };
         let x = BitVec::from_u64(w, a);
         let y = BitVec::from_u64(w, b);
-        prop_assert_eq!(x.add(&y).to_u64(), a.wrapping_add(b) & m);
-        prop_assert_eq!(x.sub(&y).to_u64(), a.wrapping_sub(b) & m);
-        prop_assert_eq!(x.mul(&y).to_u64(), a.wrapping_mul(b) & m);
-        prop_assert_eq!(x.and(&y).to_u64(), a & b);
-        prop_assert_eq!(x.or(&y).to_u64(), a | b);
-        prop_assert_eq!(x.xor(&y).to_u64(), a ^ b);
-        prop_assert_eq!(x.ult(&y), a < b);
+        assert_eq!(
+            x.add(&y).to_u64(),
+            a.wrapping_add(b) & m,
+            "add w={w} a={a} b={b}"
+        );
+        assert_eq!(
+            x.sub(&y).to_u64(),
+            a.wrapping_sub(b) & m,
+            "sub w={w} a={a} b={b}"
+        );
+        assert_eq!(
+            x.mul(&y).to_u64(),
+            a.wrapping_mul(b) & m,
+            "mul w={w} a={a} b={b}"
+        );
+        assert_eq!(x.and(&y).to_u64(), a & b, "and w={w} a={a} b={b}");
+        assert_eq!(x.or(&y).to_u64(), a | b, "or w={w} a={a} b={b}");
+        assert_eq!(x.xor(&y).to_u64(), a ^ b, "xor w={w} a={a} b={b}");
+        assert_eq!(x.ult(&y), a < b, "ult w={w} a={a} b={b}");
         if b != 0 {
-            prop_assert_eq!(x.udiv(&y).to_u64(), a / b);
-            prop_assert_eq!(x.urem(&y).to_u64(), a % b);
+            assert_eq!(x.udiv(&y).to_u64(), a / b, "udiv w={w} a={a} b={b}");
+            assert_eq!(x.urem(&y).to_u64(), a % b, "urem w={w} a={a} b={b}");
         }
         let sh = b % (w as u64);
         let shv = BitVec::from_u64(w, sh);
-        prop_assert_eq!(x.shl(&shv).to_u64(), (a << sh) & m);
-        prop_assert_eq!(x.lshr(&shv).to_u64(), (a & m) >> sh);
+        assert_eq!(
+            x.shl(&shv).to_u64(),
+            (a << sh) & m,
+            "shl w={w} a={a} sh={sh}"
+        );
+        assert_eq!(
+            x.lshr(&shv).to_u64(),
+            (a & m) >> sh,
+            "lshr w={w} a={a} sh={sh}"
+        );
     }
+}
 
-    #[test]
-    fn bitvec_round_trips_through_bytes((w8, v) in (1u32..=8, any::<u64>())) {
-        let w = w8 * 8;
-        let m = mask(w);
-        let x = BitVec::from_u64(w, v & m);
-        prop_assert_eq!(x.bswap().bswap(), x.clone());
-        prop_assert_eq!(x.bitreverse().bitreverse(), x.clone());
-        prop_assert_eq!(x.not().not(), x);
+#[test]
+fn bitvec_round_trips_through_bytes() {
+    let mut rng = Rng64::seed_from_u64(0xb57e_5eed);
+    for _ in 0..256 {
+        let w = rng.range_u64(1, 9) as u32 * 8;
+        let v = rng.next_u64() & mask(w);
+        let x = BitVec::from_u64(w, v);
+        assert_eq!(x.bswap().bswap(), x.clone(), "bswap w={w} v={v}");
+        assert_eq!(
+            x.bitreverse().bitreverse(),
+            x.clone(),
+            "bitreverse w={w} v={v}"
+        );
+        assert_eq!(x.not().not(), x, "not w={w} v={v}");
     }
 }
 
 // ---- smart constructors are sound (eval(simplified) == semantics) --------
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 enum Shape {
     Add,
     Sub,
@@ -73,23 +129,26 @@ enum Shape {
     Urem,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn term_constructors_are_sound(
-        (op_idx, a, b, use_var) in (0usize..11, any::<u8>(), any::<u8>(), any::<bool>())
-    ) {
-        use Shape::*;
-        let shapes = [Add, Sub, Mul, And, Or, Xor, Shl, Lshr, Ashr, Udiv, Urem];
-        let shape = &shapes[op_idx];
+#[test]
+fn term_constructors_are_sound() {
+    use Shape::*;
+    let shapes = [Add, Sub, Mul, And, Or, Xor, Shl, Lshr, Ashr, Udiv, Urem];
+    let mut rng = Rng64::seed_from_u64(0xc075_7ec7);
+    for _ in 0..256 {
+        let shape = *rng.pick(&shapes);
+        let a = rng.next_u64() as u8;
+        let b = rng.next_u64() as u8;
+        let use_var = rng.chance(0.5);
         let ctx = Ctx::new();
         // Either two constants (exercises folding) or var+const (exercises
         // identities).
         let (ta, mut model) = if use_var {
             let v = ctx.var("a", Sort::BitVec(8));
             let mut m = Model::new();
-            m.set(ctx.as_var(v).unwrap(), Value::Bv(BitVec::from_u64(8, a as u64)));
+            m.set(
+                ctx.as_var(v).unwrap(),
+                Value::Bv(BitVec::from_u64(8, a as u64)),
+            );
             (v, m)
         } else {
             (ctx.bv_lit_u64(8, a as u64), Model::new())
@@ -126,23 +185,30 @@ proptest! {
         if !use_var {
             model = Model::new();
         }
-        prop_assert_eq!(model.eval_bv(&ctx, t), expect);
+        assert_eq!(
+            model.eval_bv(&ctx, t),
+            expect,
+            "{shape:?} a={a} b={b} use_var={use_var}"
+        );
     }
 }
 
 // ---- SAT solver agrees with brute force -----------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn sat_solver_matches_brute_force(
-        clauses in proptest::collection::vec(
-            proptest::collection::vec((1i32..=5, any::<bool>()), 1..4),
-            1..12
-        )
-    ) {
-        use alive2::smt::sat::{Budget, Lit, SatOutcome, SatSolver};
+#[test]
+fn sat_solver_matches_brute_force() {
+    use alive2::smt::sat::{Budget, Lit, SatOutcome, SatSolver};
+    let mut rng = Rng64::seed_from_u64(0x5a7_f02ce);
+    for case in 0..128 {
+        // Random CNF over 5 variables: 1..12 clauses of 1..4 literals.
+        let n_clauses = rng.range_usize(1, 12);
+        let clauses: Vec<Vec<(u32, bool)>> = (0..n_clauses)
+            .map(|_| {
+                (0..rng.range_usize(1, 4))
+                    .map(|_| (rng.range_u64(1, 6) as u32, rng.chance(0.5)))
+                    .collect()
+            })
+            .collect();
         let mut s = SatSolver::new();
         let vars: Vec<_> = (0..5).map(|_| s.new_var()).collect();
         for c in &clauses {
@@ -158,7 +224,11 @@ proptest! {
             for c in &clauses {
                 let sat = c.iter().any(|&(v, pos)| {
                     let val = bits >> (v - 1) & 1 == 1;
-                    if pos { val } else { !val }
+                    if pos {
+                        val
+                    } else {
+                        !val
+                    }
                 });
                 if !sat {
                     continue 'outer;
@@ -167,37 +237,33 @@ proptest! {
             brute = true;
             break;
         }
-        prop_assert_eq!(got == SatOutcome::Sat, brute);
+        assert_eq!(got == SatOutcome::Sat, brute, "case {case}: {clauses:?}");
     }
 }
 
 // ---- printer/parser round trip --------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn printed_functions_reparse_identically(seed in any::<u64>()) {
+#[test]
+fn printed_functions_reparse_identically() {
+    for seed in seeds("reparse", 32) {
         let mut profile = alive2::testgen::appgen::profiles()[0];
         profile.seed = seed;
         profile.functions = 3;
         let m = alive2::testgen::appgen::generate(&profile);
         let printed = m.to_string();
         let reparsed = parse_module(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
-        prop_assert_eq!(m, reparsed);
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{printed}"));
+        assert_eq!(m, reparsed, "seed {seed}");
     }
 }
 
 // ---- refinement reflexivity and optimizer soundness ------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn refinement_is_reflexive_on_random_functions(seed in any::<u64>()) {
-        use alive2::core::validator::validate_pair;
-        use alive2::sema::config::EncodeConfig;
+#[test]
+fn refinement_is_reflexive_on_random_functions() {
+    use alive2::core::validator::validate_pair;
+    use alive2::sema::config::EncodeConfig;
+    for seed in seeds("reflexive", 8) {
         let mut profile = alive2::testgen::appgen::profiles()[1];
         profile.seed = seed;
         profile.functions = 2;
@@ -205,16 +271,18 @@ proptest! {
         let m = alive2::testgen::appgen::generate(&profile);
         for f in &m.functions {
             let v = validate_pair(&m, f, f, &EncodeConfig::default());
-            prop_assert!(!v.is_incorrect(), "{}: {v:?}\n{f}", f.name);
+            assert!(!v.is_incorrect(), "seed {seed} {}: {v:?}\n{f}", f.name);
         }
     }
+}
 
-    #[test]
-    fn clean_optimizer_never_flags_incorrect(seed in any::<u64>()) {
-        use alive2::core::validator::validate_pair;
-        use alive2::opt::bugs::BugSet;
-        use alive2::opt::pass::PassManager;
-        use alive2::sema::config::EncodeConfig;
+#[test]
+fn clean_optimizer_never_flags_incorrect() {
+    use alive2::core::validator::validate_pair;
+    use alive2::opt::bugs::BugSet;
+    use alive2::opt::pass::PassManager;
+    use alive2::sema::config::EncodeConfig;
+    for seed in seeds("clean-opt", 8) {
         let mut profile = alive2::testgen::appgen::profiles()[2];
         profile.seed = seed;
         profile.functions = 2;
@@ -226,9 +294,9 @@ proptest! {
             let mut f = func.clone();
             for (pass, before, after) in pm.run_with_snapshots(&mut f) {
                 let v = validate_pair(&m, &before, &after, &cfg);
-                prop_assert!(
+                assert!(
                     !v.is_incorrect(),
-                    "{}/{pass}: {v:?}\nBEFORE:\n{before}\nAFTER:\n{after}",
+                    "seed {seed} {}/{pass}: {v:?}\nBEFORE:\n{before}\nAFTER:\n{after}",
                     func.name
                 );
             }
@@ -238,17 +306,18 @@ proptest! {
 
 // ---- the unroller preserves bounded behavior -------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn unrolled_loop_computes_the_same_sum(n in 0u32..4, factor in 4u32..8) {
-        use alive2::sema::unroll::unroll_loops;
-        // sum(n) for n < factor fits in the bound; compare against the
-        // closed form via the encoder's concrete evaluation path by
-        // validating against a constant-returning target.
-        let src = format!(
-            r#"define i32 @s() {{
+#[test]
+fn unrolled_loop_computes_the_same_sum() {
+    use alive2::sema::unroll::unroll_loops;
+    // The whole (n, factor) grid is small; test it exhaustively instead of
+    // sampling like the proptest version did.
+    for n in 0u32..4 {
+        for factor in 4u32..8 {
+            // sum(n) for n < factor fits in the bound; compare against the
+            // closed form via the encoder's concrete evaluation path by
+            // validating against a constant-returning target.
+            let src = format!(
+                r#"define i32 @s() {{
 entry:
   br label %head
 head:
@@ -263,21 +332,22 @@ body:
 exit:
   ret i32 %acc
 }}"#
-        );
-        let f = parse_function(&src).unwrap();
-        let u = unroll_loops(&f, factor).unwrap();
-        prop_assert!(alive2::ir::verify::verify_function(&u.func).is_empty());
-        let expect: u32 = (0..n).sum();
-        use alive2::core::validator::validate_pair;
-        use alive2::sema::config::EncodeConfig;
-        let module = parse_module(&src).unwrap();
-        let tgt = parse_function(&format!(
-            "define i32 @s() {{\nentry:\n  ret i32 {expect}\n}}"
-        ))
-        .unwrap();
-        let mut cfg = EncodeConfig::default();
-        cfg.unroll_factor = factor;
-        let v = validate_pair(&module, &module.functions[0], &tgt, &cfg);
-        prop_assert!(v.is_correct(), "n={n} factor={factor}: {v:?}");
+            );
+            let f = parse_function(&src).unwrap();
+            let u = unroll_loops(&f, factor).unwrap();
+            assert!(alive2::ir::verify::verify_function(&u.func).is_empty());
+            let expect: u32 = (0..n).sum();
+            use alive2::core::validator::validate_pair;
+            use alive2::sema::config::EncodeConfig;
+            let module = parse_module(&src).unwrap();
+            let tgt = parse_function(&format!(
+                "define i32 @s() {{\nentry:\n  ret i32 {expect}\n}}"
+            ))
+            .unwrap();
+            let mut cfg = EncodeConfig::default();
+            cfg.unroll_factor = factor;
+            let v = validate_pair(&module, &module.functions[0], &tgt, &cfg);
+            assert!(v.is_correct(), "n={n} factor={factor}: {v:?}");
+        }
     }
 }
