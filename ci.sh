@@ -1,9 +1,47 @@
 #!/bin/sh
-# The full offline CI gate: formatting, release build, and tests.
-# The workspace has zero non-workspace dependencies (see DESIGN.md,
-# "Dependencies"), so --offline must always succeed on a cold registry.
+# The full offline CI gate: formatting, release build, tests, and the
+# fault-containment smoke. The workspace has zero non-workspace
+# dependencies (see DESIGN.md, "Dependencies"), so --offline must always
+# succeed on a cold registry.
 set -ex
 cd "$(dirname "$0")"
 cargo fmt --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# ---- fault-containment smoke (see DESIGN.md, "Fault containment") ----
+# A tiny corpus where one job is made to panic (--inject-panic) and one
+# blows a deliberately small term-memory budget. The run must complete
+# every remaining job and exit 0 with one crash and one oom in the
+# summary; verdict counts must be identical at --jobs 1 and --jobs 4 and
+# across a killed-then-resumed journal.
+cargo build --release --offline --example alive_tv
+TV=target/release/examples/alive_tv
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+
+"$TV" tests/fixtures/faults_src.ll tests/fixtures/faults_tgt.ll \
+    --unroll 8 --mem-budget-mb 2 --inject-panic doomed --jobs 4 \
+    --journal "$SMOKE/journal.jsonl" > "$SMOKE/par.out" 2> "$SMOKE/par.err"
+tail -n 1 "$SMOKE/par.out" | grep -q '"crash":1'
+tail -n 1 "$SMOKE/par.out" | grep -q '"oom":1'
+tail -n 1 "$SMOKE/par.out" | grep -q '"incorrect":0'
+
+# --jobs 1 must report the same summary line.
+"$TV" tests/fixtures/faults_src.ll tests/fixtures/faults_tgt.ll \
+    --unroll 8 --mem-budget-mb 2 --inject-panic doomed --jobs 1 \
+    > "$SMOKE/seq.out" 2> "$SMOKE/seq.err"
+tail -n 1 "$SMOKE/par.out" > "$SMOKE/par.sum"
+tail -n 1 "$SMOKE/seq.out" > "$SMOKE/seq.sum"
+cmp "$SMOKE/par.sum" "$SMOKE/seq.sum"
+
+# Kill simulation: keep the journal's first line plus a torn fragment of
+# the second (as left by a mid-write SIGKILL), then resume. The resumed
+# run must land on the identical summary.
+head -n 1 "$SMOKE/journal.jsonl" > "$SMOKE/torn.jsonl"
+sed -n 2p "$SMOKE/journal.jsonl" | cut -c1-25 >> "$SMOKE/torn.jsonl"
+"$TV" tests/fixtures/faults_src.ll tests/fixtures/faults_tgt.ll \
+    --unroll 8 --mem-budget-mb 2 --inject-panic doomed --jobs 4 \
+    --resume "$SMOKE/torn.jsonl" > "$SMOKE/res.out" 2> "$SMOKE/res.err"
+tail -n 1 "$SMOKE/res.out" > "$SMOKE/res.sum"
+cmp "$SMOKE/par.sum" "$SMOKE/res.sum"

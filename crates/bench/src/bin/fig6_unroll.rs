@@ -4,7 +4,10 @@
 //!
 //! Run with `cargo run --release -p alive2-bench --bin fig6_unroll`.
 
-use alive2_bench::{engine_from_args, validate_module_pipeline, validate_pairs, Counts};
+use alive2_bench::{
+    config_from_args, engine_from_args, print_summary_json, validate_module_pipeline,
+    validate_pairs, Counts,
+};
 use alive2_ir::parser::parse_module;
 use alive2_opt::bugs::BugSet;
 use alive2_sema::config::EncodeConfig;
@@ -48,8 +51,9 @@ fn main() {
         "{:>8} {:>10} {:>12} {:>12}",
         "Unroll", "# Correct", "# Incorrect", "Time (s)"
     );
+    let mut grand = Counts::default();
     for factor in factors {
-        let cfg = EncodeConfig::with_unroll(factor);
+        let cfg = config_from_args(&args, EncodeConfig::with_unroll(factor));
         let mut total = Counts::default();
         for case in corpus() {
             let m = parse_module(case.text).expect("corpus parses");
@@ -72,7 +76,9 @@ fn main() {
             total.incorrect,
             total.millis as f64 / 1000.0
         );
+        grand.add(total);
     }
+    print_summary_json("fig6", &grand);
     println!("\nPaper shape: #correct decreases slightly with the factor (timeouts),");
     println!("#incorrect grows as deeper iterations come into scope, and wall-clock");
     println!("time grows roughly linearly.");

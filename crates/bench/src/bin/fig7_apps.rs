@@ -7,8 +7,8 @@
 //! `--deadline-ms MS` to cap each function pair's wall-clock time.
 
 use alive2_bench::{
-    engine_from_args, flag_value, print_fig7_header, print_fig7_row, validate_module_pipeline,
-    Counts,
+    config_from_args, engine_from_args, flag_value, print_fig7_header, print_fig7_row,
+    print_summary_json, validate_module_pipeline, Counts,
 };
 use alive2_opt::bugs::{BugId, BugSet};
 use alive2_sema::config::EncodeConfig;
@@ -26,7 +26,7 @@ fn main() {
 
     // The paper capped Z3 at one minute per query on an 8-core Xeon; scale
     // the cap to this harness so one hard function cannot dominate the run.
-    let mut cfg = EncodeConfig::default();
+    let mut cfg = config_from_args(&args, EncodeConfig::default());
     cfg.solver_timeout_ms = 10_000;
     println!(
         "Figure 7: single-file application validation (synthetic substitutes; {} worker{})\n",
@@ -43,6 +43,7 @@ fn main() {
         grand.add(counts);
     }
     print_fig7_row("TOTAL", &grand);
+    print_summary_json("fig7", &grand);
     println!("\nPaper shape: most pairs validate; a small number of genuine");
     println!("refinement failures (the select canonicalization); the rest split");
     println!("between timeouts and unsupported features.");

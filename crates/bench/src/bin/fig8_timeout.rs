@@ -3,7 +3,10 @@
 //!
 //! Run with `cargo run --release -p alive2-bench --bin fig8_timeout`.
 
-use alive2_bench::{engine_from_args, validate_module_pipeline, validate_pairs, Counts};
+use alive2_bench::{
+    config_from_args, engine_from_args, print_summary_json, validate_module_pipeline,
+    validate_pairs, Counts,
+};
 use alive2_ir::parser::parse_module;
 use alive2_opt::bugs::BugSet;
 use alive2_sema::config::EncodeConfig;
@@ -21,8 +24,9 @@ fn main() {
         "Timeout(ms)", "# Correct", "# Incorrect", "# Timeout", "Runtime Δ(%)"
     );
     let mut base_ms: Option<f64> = None;
+    let mut grand = Counts::default();
     for ms in timeouts_ms {
-        let mut cfg = EncodeConfig::with_timeout_ms(ms);
+        let mut cfg = config_from_args(&args, EncodeConfig::with_timeout_ms(ms));
         cfg.max_ef_iterations = 16;
         let mut total = Counts::default();
         // Unit-test corpus…
@@ -54,7 +58,9 @@ fn main() {
             "{:>12} {:>10} {:>12} {:>10} {:>14.0}",
             ms, total.correct, total.incorrect, total.timeout, delta
         );
+        grand.add(total);
     }
+    print_summary_json("fig8", &grand);
     println!("\nPaper shape: the number of definitive results plateaus once the");
     println!("timeout is large enough, while running time keeps growing with it.");
 }

@@ -4,7 +4,7 @@
 //! Run with `cargo run --release -p alive2-bench --bin known_bugs`.
 //! Accepts the shared `--jobs N` / `--deadline-ms MS` flags.
 
-use alive2_bench::engine_from_args;
+use alive2_bench::{config_from_args, engine_from_args, print_summary_json, Counts};
 use alive2_core::engine::Job;
 use alive2_ir::module::Module;
 use alive2_ir::parser::parse_module;
@@ -14,7 +14,7 @@ use alive2_testgen::known_bugs::{known_bugs, Expectation};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let engine = engine_from_args(&args);
-    let cfg = EncodeConfig::default();
+    let cfg = config_from_args(&args, EncodeConfig::default());
     let bugs = known_bugs();
     // Parse every pair up front, then hand the whole suite to the engine
     // as one work list (one job per bug).
@@ -65,6 +65,13 @@ fn main() {
         };
         println!("  {:10} {:32} {}", status, bug.name, note);
     }
+    let mut counts = Counts::default();
+    for o in &outcomes {
+        counts.pairs += 1;
+        counts.diff += 1;
+        counts.record(&o.verdict);
+    }
+    print_summary_json("known_bugs", &counts);
     println!("\n{detected} detected / {missed} missed (paper: 29 / 7)");
     if detected != 29 || missed != 7 {
         std::process::exit(1);

@@ -5,7 +5,7 @@
 //! Run with `cargo run --release -p alive2-bench --bin table_bugs`.
 //! Accepts the shared `--jobs N` / `--deadline-ms MS` flags.
 
-use alive2_bench::engine_from_args;
+use alive2_bench::{config_from_args, engine_from_args, print_summary_json, Counts};
 use alive2_core::engine::Job;
 use alive2_ir::function::Function;
 use alive2_ir::module::Module;
@@ -46,7 +46,7 @@ fn main() {
     let engine = engine_from_args(&args);
     // The paper capped Z3 at one minute per query on a much larger
     // machine; scale the cap down so the table regenerates quickly.
-    let mut cfg = EncodeConfig::default();
+    let mut cfg = config_from_args(&args, EncodeConfig::default());
     cfg.solver_timeout_ms = 10_000;
 
     // Phase 1 (cheap, sequential): run the seeded optimizer pipelines and
@@ -101,11 +101,16 @@ fn main() {
         .collect();
     let outcomes = engine.run(&jobs);
     let mut per_category: HashMap<BugCategory, u32> = HashMap::new();
+    let mut counts = Counts::default();
     for (c, o) in candidates.iter().zip(&outcomes) {
+        counts.pairs += 1;
+        counts.diff += 1;
+        counts.record(&o.verdict);
         if o.verdict.is_incorrect() {
             *per_category.entry(c.category).or_default() += 1;
         }
     }
+    print_summary_json("table_bugs", &counts);
 
     println!("§8.2: refinement violations by category\n");
     println!("{:>48}  {:>6}  {:>10}", "category", "paper", "found here");

@@ -10,23 +10,74 @@
 pub mod timer;
 
 use alive2_core::engine::{Job, ValidationEngine};
+use alive2_core::journal::{Journal, ResumeLog};
 use alive2_core::validator::Verdict;
 use alive2_ir::function::Function;
 use alive2_ir::module::Module;
 use alive2_opt::bugs::BugSet;
 use alive2_opt::pass::PassManager;
 use alive2_sema::config::EncodeConfig;
+use std::sync::Arc;
 use std::time::Instant;
 
 pub use alive2_core::engine::Counts;
 
 /// Builds a [`ValidationEngine`] from the shared CLI convention:
-/// `--jobs N` (worker threads, default `available_parallelism()`) and
-/// `--deadline-ms MS` (per-job wall-clock cap, default none).
+/// `--jobs N` (worker threads, default `available_parallelism()`),
+/// `--deadline-ms MS` (per-job wall-clock cap, default none),
+/// `--journal PATH` (append one JSON line per completed outcome),
+/// `--resume PATH` (skip jobs already recorded in a journal), and
+/// `--inject-panic MARKER` / `ALIVE2_INJECT_PANIC` (fault injection for
+/// containment smoke tests — jobs whose name contains the marker panic).
+///
+/// Exits with a diagnostic if `--journal` or `--resume` name an unusable
+/// path; fault containment is about surviving *job* failures, not about
+/// silently dropping the operator's journal.
 pub fn engine_from_args(args: &[String]) -> ValidationEngine {
     let jobs = flag_value(args, "--jobs").unwrap_or_else(|| ValidationEngine::default().workers);
     let deadline_ms = flag_value(args, "--deadline-ms");
-    ValidationEngine::new(jobs).with_deadline_ms(deadline_ms)
+    let journal = flag_value::<String>(args, "--journal").map(|path| {
+        Arc::new(Journal::append(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open journal `{path}`: {e}");
+            std::process::exit(2);
+        }))
+    });
+    let resume = flag_value::<String>(args, "--resume").map(|path| {
+        Arc::new(ResumeLog::load(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read resume journal `{path}`: {e}");
+            std::process::exit(2);
+        }))
+    });
+    let fault_marker = flag_value::<String>(args, "--inject-panic").or_else(|| {
+        std::env::var("ALIVE2_INJECT_PANIC")
+            .ok()
+            .filter(|s| !s.is_empty())
+    });
+    ValidationEngine::new(jobs)
+        .with_deadline_ms(deadline_ms)
+        .with_journal(journal)
+        .with_resume(resume)
+        .with_fault_marker(fault_marker)
+}
+
+/// Builds an [`EncodeConfig`] from the shared CLI convention, currently
+/// just `--mem-budget-mb MB` (global term-allocation budget per job;
+/// exceeding it yields `Verdict::OutOfMemory` instead of swapping).
+pub fn config_from_args(args: &[String], base: EncodeConfig) -> EncodeConfig {
+    EncodeConfig {
+        mem_budget_mb: flag_value(args, "--mem-budget-mb").or(base.mem_budget_mb),
+        ..base
+    }
+}
+
+/// Prints the machine-readable run summary consumed by `ci.sh` and the
+/// resume-parity checks: a single JSON line holding the full [`Counts`].
+pub fn print_summary_json(name: &str, c: &Counts) {
+    println!(
+        "{{\"name\":\"{}\",\"pairs\":{},\"diff\":{},\"correct\":{},\"incorrect\":{},\
+         \"timeout\":{},\"oom\":{},\"unsupported\":{},\"crash\":{}}}",
+        name, c.pairs, c.diff, c.correct, c.incorrect, c.timeout, c.oom, c.unsupported, c.crash
+    );
 }
 
 /// Parses `--flag VALUE` from an argument list.
@@ -135,15 +186,15 @@ pub fn validate_pairs(
 /// Prints a Fig. 7-style header.
 pub fn print_fig7_header() {
     println!(
-        "{:8} {:>6} {:>6} {:>9} {:>6} {:>6} {:>5} {:>5} {:>7}",
-        "Prog.", "Pairs", "Diff", "Time(s)", "OK", "Fail", "TO", "OOM", "Unsup."
+        "{:8} {:>6} {:>6} {:>9} {:>6} {:>6} {:>5} {:>5} {:>7} {:>5}",
+        "Prog.", "Pairs", "Diff", "Time(s)", "OK", "Fail", "TO", "OOM", "Unsup.", "Crash"
     );
 }
 
 /// Prints a Fig. 7-style row.
 pub fn print_fig7_row(name: &str, c: &Counts) {
     println!(
-        "{:8} {:>6} {:>6} {:>9.1} {:>6} {:>6} {:>5} {:>5} {:>7}",
+        "{:8} {:>6} {:>6} {:>9.1} {:>6} {:>6} {:>5} {:>5} {:>7} {:>5}",
         name,
         c.pairs,
         c.diff,
@@ -152,7 +203,8 @@ pub fn print_fig7_row(name: &str, c: &Counts) {
         c.incorrect,
         c.timeout,
         c.oom,
-        c.unsupported
+        c.unsupported,
+        c.crash
     );
 }
 
@@ -205,5 +257,31 @@ mod tests {
         let e2 = engine_from_args(&[]);
         assert!(e2.workers >= 1);
         assert_eq!(e2.deadline_ms, None);
+    }
+
+    #[test]
+    fn config_from_args_parses_mem_budget() {
+        let args: Vec<String> = ["--mem-budget-mb", "64"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = config_from_args(&args, EncodeConfig::default());
+        assert_eq!(cfg.mem_budget_mb, Some(64));
+        let base = EncodeConfig::with_mem_budget_mb(8);
+        let kept = config_from_args(&[], base);
+        assert_eq!(kept.mem_budget_mb, Some(8));
+    }
+
+    #[test]
+    fn injected_fault_flows_through_driver() {
+        let m = parse_module(
+            "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 0\n  ret i32 %a\n}\n\
+             define i32 @g(i32 %x) {\nentry:\n  %a = mul i32 %x, 2\n  ret i32 %a\n}",
+        )
+        .unwrap();
+        let engine = ValidationEngine::new(2).with_fault_marker(Some("g/".into()));
+        let c = validate_module_pipeline(&m, BugSet::none(), &EncodeConfig::default(), &engine);
+        assert!(c.crash >= 1, "{c:?}");
+        assert!(c.correct >= 1, "other jobs must still run: {c:?}");
     }
 }

@@ -15,12 +15,29 @@
 //! wall-clock). A per-job deadline, plumbed down to the SAT solver's
 //! [`Budget`](alive2_smt::sat::Budget), converts runaway jobs into
 //! [`Verdict::Timeout`] instead of stalling the whole run.
+//!
+//! The engine is *fault-contained* (the paper's harness survives
+//! crashing, timing-out, and memory-exhausting jobs and reports them as
+//! Fig. 7 columns; so does this one):
+//!
+//! - every job runs under [`std::panic::catch_unwind`], so a panicking
+//!   job becomes a [`Verdict::Crash`] outcome instead of killing the
+//!   worker pool;
+//! - a per-job term-DAG memory budget (`EncodeConfig::mem_budget_mb`)
+//!   turns encoding explosions into [`Verdict::OutOfMemory`] before the
+//!   box swaps;
+//! - an optional [`Journal`] appends one JSON line per completed outcome
+//!   (flushed before the verdict is counted), and a [`ResumeLog`] built
+//!   from that file lets an interrupted run resume instead of restart.
 
+use crate::journal::{Journal, ResumeLog};
 use crate::validator::{validate_pair_with_deadline, ValidateStats, Verdict};
 use alive2_ir::function::Function;
 use alive2_ir::module::Module;
 use alive2_sema::config::EncodeConfig;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One unit of validation work: check that `tgt` refines `src`.
@@ -67,6 +84,8 @@ pub struct Counts {
     pub oom: u32,
     /// Skipped: unsupported features or inconclusive over-approximations.
     pub unsupported: u32,
+    /// Validator panics contained by the engine (one per crashed job).
+    pub crash: u32,
     /// Wall-clock milliseconds for the run (not a per-thread sum).
     pub millis: u64,
 }
@@ -81,6 +100,7 @@ impl Counts {
         self.timeout += other.timeout;
         self.oom += other.oom;
         self.unsupported += other.unsupported;
+        self.crash += other.crash;
         self.millis += other.millis;
     }
 
@@ -91,6 +111,7 @@ impl Counts {
             Verdict::Incorrect(_) => self.incorrect += 1,
             Verdict::Timeout => self.timeout += 1,
             Verdict::OutOfMemory => self.oom += 1,
+            Verdict::Crash(_) => self.crash += 1,
             Verdict::Unsupported(_) | Verdict::Inconclusive(_) | Verdict::PreconditionFalse => {
                 self.unsupported += 1
             }
@@ -99,24 +120,40 @@ impl Counts {
 
     /// True when every verdict column matches `other` — wall-clock time
     /// and pair bookkeeping excluded. This is the invariant `--jobs N`
-    /// must preserve against `--jobs 1`.
+    /// must preserve against `--jobs 1`, and a resumed run against an
+    /// uninterrupted one.
     pub fn same_verdicts(&self, other: &Counts) -> bool {
         self.correct == other.correct
             && self.incorrect == other.incorrect
             && self.timeout == other.timeout
             && self.oom == other.oom
             && self.unsupported == other.unsupported
+            && self.crash == other.crash
     }
 }
 
 /// A fixed-size worker pool for validation jobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ValidationEngine {
     /// Number of worker threads (`1` = run on the calling thread).
     pub workers: usize,
     /// Optional per-job wall-clock cap in milliseconds. Applies to each
     /// job individually, from the moment a worker picks it up.
     pub deadline_ms: Option<u64>,
+    /// Fault-injection hook for testing containment: any job whose name
+    /// contains this marker panics deliberately instead of validating.
+    /// Wired to `--inject-panic` / `ALIVE2_INJECT_PANIC` by the drivers.
+    pub fault_marker: Option<String>,
+    /// Optional outcome journal, appended to (and flushed) as each job
+    /// completes — before its verdict is counted.
+    journal: Option<Arc<Journal>>,
+    /// Optional log of a previous run's outcomes: journaled jobs are
+    /// skipped and their recorded verdicts returned instead.
+    resume: Option<Arc<ResumeLog>>,
+    /// Ordinal of the next [`ValidationEngine::run`] invocation — the
+    /// `run` component of journal/resume keys. Shared across clones so a
+    /// driver that copies the engine keeps a single key space.
+    run_seq: Arc<AtomicU32>,
 }
 
 impl Default for ValidationEngine {
@@ -126,6 +163,10 @@ impl Default for ValidationEngine {
                 .map(|n| n.get())
                 .unwrap_or(1),
             deadline_ms: None,
+            fault_marker: None,
+            journal: None,
+            resume: None,
+            run_seq: Arc::new(AtomicU32::new(0)),
         }
     }
 }
@@ -144,6 +185,15 @@ impl ValidationEngine {
         Self::new(1)
     }
 
+    /// Sets the worker count (clamped to at least 1), keeping everything
+    /// else — deadline, journal, resume log, fault marker — as-is.
+    pub fn with_workers(self, workers: usize) -> Self {
+        ValidationEngine {
+            workers: workers.max(1),
+            ..self
+        }
+    }
+
     /// Sets the per-job deadline.
     pub fn with_deadline_ms(self, deadline_ms: Option<u64>) -> Self {
         ValidationEngine {
@@ -152,12 +202,66 @@ impl ValidationEngine {
         }
     }
 
+    /// Attaches an outcome journal: one JSON line per completed job,
+    /// flushed before the verdict is counted.
+    pub fn with_journal(self, journal: Option<Arc<Journal>>) -> Self {
+        ValidationEngine { journal, ..self }
+    }
+
+    /// Attaches a resume log: jobs found in it are skipped and their
+    /// journaled verdicts returned, seeding [`Counts`] on aggregation.
+    pub fn with_resume(self, resume: Option<Arc<ResumeLog>>) -> Self {
+        ValidationEngine { resume, ..self }
+    }
+
+    /// Sets the fault-injection marker (see [`ValidationEngine::fault_marker`]).
+    pub fn with_fault_marker(self, fault_marker: Option<String>) -> Self {
+        ValidationEngine {
+            fault_marker,
+            ..self
+        }
+    }
+
+    /// Renders a `catch_unwind` payload for a [`Verdict::Crash`].
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    }
+
+    /// Runs one job with the panic firewall: a panic anywhere inside the
+    /// validation stack is contained to this job and reported as
+    /// [`Verdict::Crash`] with the panic payload and job name captured.
     fn run_one(&self, job: &Job) -> Outcome {
-        let deadline = self
-            .deadline_ms
-            .map(|ms| Instant::now() + Duration::from_millis(ms));
-        let (verdict, stats) =
-            validate_pair_with_deadline(job.module, job.src, job.tgt, &job.cfg, deadline);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(marker) = self.fault_marker.as_deref() {
+                if !marker.is_empty() && job.name.contains(marker) {
+                    panic!(
+                        "injected fault: job `{}` matches marker `{marker}`",
+                        job.name
+                    );
+                }
+            }
+            let deadline = self
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            validate_pair_with_deadline(job.module, job.src, job.tgt, &job.cfg, deadline)
+        }));
+        let (verdict, stats) = match result {
+            Ok(vs) => vs,
+            Err(payload) => (
+                Verdict::Crash(format!(
+                    "job `{}`: {}",
+                    job.name,
+                    Self::panic_message(payload.as_ref())
+                )),
+                ValidateStats::default(),
+            ),
+        };
         Outcome {
             name: job.name.clone(),
             verdict,
@@ -169,36 +273,92 @@ impl ValidationEngine {
     ///
     /// Jobs are independent (each builds its own term context), so the
     /// verdicts do not depend on the worker count; only wall-clock time
-    /// does.
+    /// does. A panicking job yields a [`Verdict::Crash`] outcome and the
+    /// pool moves on to the next job — `--jobs N` and `--jobs 1` still
+    /// report identical verdicts.
     pub fn run(&self, jobs: &[Job]) -> Vec<Outcome> {
-        let workers = self.workers.max(1).min(jobs.len().max(1));
-        if workers <= 1 {
-            return jobs.iter().map(|j| self.run_one(j)).collect();
+        let run_id = self.run_seq.fetch_add(1, Ordering::Relaxed);
+        let mut slots: Vec<Option<Outcome>> = vec![None; jobs.len()];
+
+        // Resolve already-journaled jobs from the resume log first.
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            match self
+                .resume
+                .as_ref()
+                .and_then(|r| r.lookup(run_id, i, &job.name))
+            {
+                Some(outcome) => slots[i] = Some(outcome),
+                None => pending.push(i),
+            }
         }
-        let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, Outcome)> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut done = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= jobs.len() {
+
+        // Completed outcomes land in shared storage as they finish (not in
+        // worker-local vectors), so a worker that dies abnormally cannot
+        // take the work it already finished down with it.
+        let done: Mutex<Vec<(usize, Outcome)>> = Mutex::new(Vec::new());
+        let complete = |i: usize, outcome: Outcome| {
+            // Journal before counting: once a verdict is observable in the
+            // aggregate it must already be on disk.
+            if let Some(journal) = &self.journal {
+                journal.record(run_id, i, &outcome);
+            }
+            done.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((i, outcome));
+        };
+
+        let workers = self.workers.max(1).min(pending.len().max(1));
+        if workers <= 1 {
+            for &i in &pending {
+                complete(i, self.run_one(&jobs[i]));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= pending.len() {
                                 break;
                             }
-                            done.push((i, self.run_one(&jobs[i])));
-                        }
-                        done
+                            let i = pending[k];
+                            complete(i, self.run_one(&jobs[i]));
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("validation worker panicked"))
-                .collect()
-        });
-        indexed.sort_by_key(|(i, _)| *i);
-        indexed.into_iter().map(|(_, o)| o).collect()
+                    .collect();
+                for h in handles {
+                    // run_one contains job panics, so a join error means
+                    // the worker died in its own bookkeeping. The pool is
+                    // not poisoned by it: the other workers keep draining
+                    // the queue, and whatever job was in flight is
+                    // finished by the retry pass below.
+                    let _ = h.join();
+                }
+            });
+        }
+
+        for (i, outcome) in done.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            slots[i] = Some(outcome);
+        }
+
+        // Retry pass: any job still unfinished (its worker died between
+        // claiming the index and storing the result) reruns on the calling
+        // thread, where a repeatable panic becomes its Crash outcome.
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                let outcome = self.run_one(&jobs[i]);
+                if let Some(journal) = &self.journal {
+                    journal.record(run_id, i, &outcome);
+                }
+                *slot = Some(outcome);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
     }
 
     /// Runs every job and aggregates the verdicts. `pairs` and `diff` are
@@ -370,6 +530,125 @@ mod tests {
                 assert!(matches!(v, Verdict::Timeout), "{name}: {v:?}");
             }
         }
+    }
+
+    fn jobs_of<'m>(src: &'m Module, tgt: &'m Module, cfg: EncodeConfig) -> Vec<Job<'m>> {
+        src.functions
+            .iter()
+            .map(|f| Job {
+                name: f.name.clone(),
+                module: src,
+                src: f,
+                tgt: tgt.function(&f.name).unwrap(),
+                cfg,
+            })
+            .collect()
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "alive2-engine-{tag}-{}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn injected_panic_is_contained_as_crash() {
+        let (src, tgt) = modules();
+        let jobs = jobs_of(&src, &tgt, EncodeConfig::default());
+        let engine = ValidationEngine::new(4).with_fault_marker(Some("b".into()));
+        let outcomes = engine.run(&jobs);
+        assert_eq!(outcomes.len(), 3);
+        match &outcomes[1].verdict {
+            Verdict::Crash(msg) => {
+                assert!(msg.contains("injected fault"), "{msg}");
+                assert!(msg.contains("`b`"), "payload should name the job: {msg}");
+            }
+            other => panic!("expected Crash, got {other:?}"),
+        }
+        // The pool keeps draining: neighbors of the crashed job still ran.
+        assert!(outcomes[0].verdict.is_correct());
+        assert!(outcomes[2].verdict.is_correct());
+    }
+
+    #[test]
+    fn crash_parity_across_worker_counts() {
+        let (src, tgt) = modules();
+        let jobs = jobs_of(&src, &tgt, EncodeConfig::default());
+        let seq = ValidationEngine::sequential()
+            .with_fault_marker(Some("a".into()))
+            .run_counts(&jobs)
+            .1;
+        let par = ValidationEngine::new(4)
+            .with_fault_marker(Some("a".into()))
+            .run_counts(&jobs)
+            .1;
+        assert_eq!(seq.crash, 1);
+        assert!(seq.same_verdicts(&par), "{seq:?} vs {par:?}");
+    }
+
+    #[test]
+    fn journal_then_resume_replays_verdicts() {
+        let (src, tgt) = modules();
+        let jobs = jobs_of(&src, &tgt, EncodeConfig::default());
+        let path = temp_path("resume");
+
+        let journal = Arc::new(Journal::append(&path).unwrap());
+        let first = ValidationEngine::new(2)
+            .with_journal(Some(journal))
+            .with_fault_marker(Some("c".into()));
+        let (_, counts1) = first.run_counts(&jobs);
+        assert_eq!(counts1.crash, 1);
+
+        // Resume with a *different* fault marker: journaled verdicts (incl.
+        // the Crash) are replayed instead of recomputed, so the counts are
+        // identical even though no job actually reruns.
+        let resume = Arc::new(ResumeLog::load(&path).unwrap());
+        assert_eq!(resume.len(), 3);
+        let second = ValidationEngine::sequential()
+            .with_resume(Some(resume))
+            .with_fault_marker(Some("a".into()));
+        let (outcomes2, counts2) = second.run_counts(&jobs);
+        assert!(
+            counts1.same_verdicts(&counts2),
+            "{counts1:?} vs {counts2:?}"
+        );
+        assert!(matches!(outcomes2[2].verdict, Verdict::Crash(_)));
+        assert!(outcomes2[0].verdict.is_correct());
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_journal_resumes_partially() {
+        let (src, tgt) = modules();
+        let jobs = jobs_of(&src, &tgt, EncodeConfig::default());
+        let path = temp_path("torn");
+
+        let journal = Arc::new(Journal::append(&path).unwrap());
+        let (_, full) = ValidationEngine::sequential()
+            .with_journal(Some(journal))
+            .run_counts(&jobs);
+
+        // Simulate a crash mid-write: drop the last line and leave a torn
+        // fragment behind. Resume must skip the fragment, replay the intact
+        // prefix, and recompute the rest to the same aggregate counts.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.pop();
+        let torn = format!("{}\n{{\"run\":0,\"idx\":2,\"na", lines.join("\n"));
+        std::fs::write(&path, torn).unwrap();
+
+        let resume = Arc::new(ResumeLog::load(&path).unwrap());
+        assert_eq!(resume.len(), 2);
+        let (_, resumed) = ValidationEngine::new(4)
+            .with_resume(Some(resume))
+            .run_counts(&jobs);
+        assert!(full.same_verdicts(&resumed), "{full:?} vs {resumed:?}");
+
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

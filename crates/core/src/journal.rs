@@ -1,0 +1,490 @@
+//! Crash-safe outcome journal: one JSON line per completed validation job.
+//!
+//! A multi-hour corpus run (the paper burned 2.5 h on the LLVM unit suite
+//! alone, §8.2) must survive being killed: the [`Journal`] appends one
+//! line per *completed* outcome — written and flushed before the verdict
+//! is counted — and a [`ResumeLog`] built from that file lets the engine
+//! skip already-journaled jobs on the next run, seeding their verdicts
+//! instead of recomputing them.
+//!
+//! Entries are keyed by `(run, idx, name)`: `run` is the ordinal of the
+//! `ValidationEngine::run` invocation within the process and `idx` the
+//! job's index in that invocation's work list. Drivers build their work
+//! lists deterministically, so the key identifies the same job across a
+//! kill/restart; the `name` field double-checks that and stale entries
+//! (key collision with a different job name) are ignored rather than
+//! trusted.
+//!
+//! The format is plain JSON lines so BENCH_* trajectories and external
+//! tools can consume it; the codec below is hand-rolled because the
+//! workspace is dependency-free (DESIGN.md, "Dependencies"). A torn final
+//! line — the signature of a kill mid-write — parses as malformed and is
+//! skipped on load.
+
+use crate::engine::Outcome;
+use crate::report::{CounterExample, QueryKind};
+use crate::validator::{ValidateStats, Verdict};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+// ---- minimal JSON-line codec -------------------------------------------
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value covering exactly the subset the journal emits.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(u64),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonParser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        self.skip_ws();
+        match self.peek()? {
+            b'"' => self.string().map(JsonValue::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek()?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = self.peek()?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: find the full sequence.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let slice = self.bytes.get(start..start + len)?;
+                    out.push_str(std::str::from_utf8(slice).ok()?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonValue> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+            .map(JsonValue::Num)
+    }
+
+    fn array(&mut self) -> Option<JsonValue> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(JsonValue::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn object(&mut self) -> Option<JsonValue> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(JsonValue::Obj(fields));
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+// ---- verdict (de)serialization ------------------------------------------
+
+/// Renders one outcome as a self-contained JSON line.
+fn entry_line(run: u32, idx: usize, o: &Outcome) -> String {
+    let mut detail = String::new();
+    let mut args: Vec<String> = Vec::new();
+    match &o.verdict {
+        Verdict::Correct | Verdict::Timeout | Verdict::OutOfMemory | Verdict::PreconditionFalse => {
+        }
+        Verdict::Incorrect(cex) => {
+            detail = cex.query.name().to_string();
+            args = cex.args.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        }
+        Verdict::Inconclusive(features) => {
+            args = features.clone();
+        }
+        Verdict::Unsupported(why) => detail = why.clone(),
+        Verdict::Crash(payload) => detail = payload.clone(),
+    }
+    let args_json: Vec<String> = args.iter().map(|a| format!("\"{}\"", esc(a))).collect();
+    format!(
+        "{{\"run\":{run},\"idx\":{idx},\"name\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\",\"args\":[{}],\"queries\":{},\"millis\":{}}}",
+        esc(&o.name),
+        o.verdict.kind(),
+        esc(&detail),
+        args_json.join(","),
+        o.stats.queries,
+        o.stats.millis,
+    )
+}
+
+/// Rebuilds an [`Outcome`] from one parsed journal line.
+fn entry_outcome(v: &JsonValue) -> Option<(u32, usize, Outcome)> {
+    let run = v.get("run")?.as_num()? as u32;
+    let idx = v.get("idx")?.as_num()? as usize;
+    let name = v.get("name")?.as_str()?.to_string();
+    let kind = v.get("verdict")?.as_str()?;
+    let detail = v.get("detail")?.as_str()?.to_string();
+    let args: Vec<String> = match v.get("args")? {
+        JsonValue::Arr(items) => items
+            .iter()
+            .map(|i| i.as_str().map(str::to_string))
+            .collect::<Option<_>>()?,
+        _ => return None,
+    };
+    let verdict = match kind {
+        "correct" => Verdict::Correct,
+        "timeout" => Verdict::Timeout,
+        "oom" => Verdict::OutOfMemory,
+        "precondition_false" => Verdict::PreconditionFalse,
+        "unsupported" => Verdict::Unsupported(detail),
+        "crash" => Verdict::Crash(detail),
+        "inconclusive" => Verdict::Inconclusive(args.clone()),
+        "incorrect" => Verdict::Incorrect(CounterExample {
+            query: QueryKind::from_name(&detail)?,
+            args: args
+                .iter()
+                .map(|a| match a.split_once('=') {
+                    Some((n, v)) => (n.to_string(), v.to_string()),
+                    None => (a.clone(), String::new()),
+                })
+                .collect(),
+        }),
+        _ => return None,
+    };
+    let stats = ValidateStats {
+        queries: v.get("queries")?.as_num()? as u32,
+        millis: v.get("millis")?.as_num()?,
+    };
+    Some((
+        run,
+        idx,
+        Outcome {
+            name,
+            verdict,
+            stats,
+        },
+    ))
+}
+
+// ---- the journal ---------------------------------------------------------
+
+/// An append-only outcome journal. Safe to share across worker threads;
+/// each entry is written as one `write` call and flushed immediately, so
+/// killing the process loses at most the line being written (which the
+/// loader then skips as malformed).
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) a journal for appending.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one outcome and flushes it to the OS. Journal I/O errors
+    /// are reported to stderr but never fail the run: losing resumability
+    /// must not lose the run itself.
+    pub fn record(&self, run: u32, idx: usize, outcome: &Outcome) {
+        let mut line = entry_line(run, idx, outcome);
+        line.push('\n');
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(e) = file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
+            eprintln!(
+                "warning: journal write to {} failed: {e}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+/// Previously journaled outcomes, ready for `--resume`: lookups are keyed
+/// by `(run, idx)` and verified against the job name.
+#[derive(Debug, Default)]
+pub struct ResumeLog {
+    entries: HashMap<(u32, usize), Outcome>,
+}
+
+impl ResumeLog {
+    /// Loads a journal file. Malformed lines — including the torn final
+    /// line of a killed run — are skipped, not errors.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<ResumeLog> {
+        let mut text = String::new();
+        File::open(path)?.read_to_string(&mut text)?;
+        Ok(Self::parse(&text))
+    }
+
+    /// Parses journal text (exposed for tests).
+    pub fn parse(text: &str) -> ResumeLog {
+        let mut entries = HashMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(v) = JsonParser::new(line).object() {
+                if let Some((run, idx, outcome)) = entry_outcome(&v) {
+                    entries.insert((run, idx), outcome);
+                }
+            }
+        }
+        ResumeLog { entries }
+    }
+
+    /// Number of usable journaled outcomes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the log holds no usable outcomes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The journaled outcome for job `idx` of run `run`, if present and
+    /// recorded under the same job name (stale entries are ignored).
+    pub fn lookup(&self, run: u32, idx: usize, name: &str) -> Option<Outcome> {
+        self.entries
+            .get(&(run, idx))
+            .filter(|o| o.name == name)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str, verdict: Verdict) -> Outcome {
+        Outcome {
+            name: name.to_string(),
+            verdict,
+            stats: ValidateStats {
+                queries: 7,
+                millis: 42,
+            },
+        }
+    }
+
+    fn round_trip(verdict: Verdict) -> Verdict {
+        let line = entry_line(3, 9, &outcome("fn/pass", verdict));
+        let v = JsonParser::new(&line).object().expect("parses");
+        let (run, idx, o) = entry_outcome(&v).expect("decodes");
+        assert_eq!((run, idx), (3, 9));
+        assert_eq!(o.name, "fn/pass");
+        assert_eq!(o.stats.queries, 7);
+        assert_eq!(o.stats.millis, 42);
+        o.verdict
+    }
+
+    #[test]
+    fn verdicts_round_trip() {
+        assert!(matches!(round_trip(Verdict::Correct), Verdict::Correct));
+        assert!(matches!(round_trip(Verdict::Timeout), Verdict::Timeout));
+        assert!(matches!(
+            round_trip(Verdict::OutOfMemory),
+            Verdict::OutOfMemory
+        ));
+        match round_trip(Verdict::Crash(
+            "index out of bounds: \"quoted\"\npanic".into(),
+        )) {
+            Verdict::Crash(msg) => assert_eq!(msg, "index out of bounds: \"quoted\"\npanic"),
+            other => panic!("{other:?}"),
+        }
+        match round_trip(Verdict::Unsupported("weird op".into())) {
+            Verdict::Unsupported(r) => assert_eq!(r, "weird op"),
+            other => panic!("{other:?}"),
+        }
+        match round_trip(Verdict::Inconclusive(vec!["fdiv".into(), "fptoui".into()])) {
+            Verdict::Inconclusive(f) => assert_eq!(f, ["fdiv", "fptoui"]),
+            other => panic!("{other:?}"),
+        }
+        match round_trip(Verdict::Incorrect(CounterExample {
+            query: QueryKind::RetPoison,
+            args: vec![("%x".into(), "poison".into()), ("%y".into(), "3".into())],
+        })) {
+            Verdict::Incorrect(cex) => {
+                assert_eq!(cex.query, QueryKind::RetPoison);
+                assert_eq!(cex.args[0], ("%x".to_string(), "poison".to_string()));
+                assert_eq!(cex.args[1], ("%y".to_string(), "3".to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        let good = entry_line(0, 0, &outcome("a", Verdict::Correct));
+        let torn = &good[..good.len() / 2];
+        let log = ResumeLog::parse(&format!("{good}\n{torn}"));
+        assert_eq!(log.len(), 1);
+        assert!(log.lookup(0, 0, "a").is_some());
+    }
+
+    #[test]
+    fn lookup_checks_name_and_key() {
+        let text = entry_line(1, 2, &outcome("f", Verdict::Timeout));
+        let log = ResumeLog::parse(&text);
+        assert!(log.lookup(1, 2, "f").is_some());
+        assert!(log.lookup(1, 2, "g").is_none(), "stale name must not hit");
+        assert!(log.lookup(0, 2, "f").is_none());
+        assert!(log.lookup(1, 3, "f").is_none());
+    }
+}

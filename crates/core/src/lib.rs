@@ -22,10 +22,12 @@
 //! ```
 
 pub mod engine;
+pub mod journal;
 pub mod refine;
 pub mod report;
 pub mod validator;
 
 pub use engine::{Counts, Job, Outcome, ValidationEngine};
+pub use journal::{Journal, ResumeLog};
 pub use report::{CounterExample, QueryKind};
 pub use validator::{validate_modules, validate_pair, Verdict};

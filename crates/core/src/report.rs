@@ -24,6 +24,35 @@ pub enum QueryKind {
     Memory,
 }
 
+impl QueryKind {
+    /// Stable machine-readable name, used by the outcome journal.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::TargetMoreUb => "target_more_ub",
+            QueryKind::CallIntroduced => "call_introduced",
+            QueryKind::ReturnDomain => "return_domain",
+            QueryKind::RetPoison => "ret_poison",
+            QueryKind::RetUndef => "ret_undef",
+            QueryKind::RetValue => "ret_value",
+            QueryKind::Memory => "memory",
+        }
+    }
+
+    /// Inverse of [`QueryKind::name`].
+    pub fn from_name(name: &str) -> Option<QueryKind> {
+        Some(match name {
+            "target_more_ub" => QueryKind::TargetMoreUb,
+            "call_introduced" => QueryKind::CallIntroduced,
+            "return_domain" => QueryKind::ReturnDomain,
+            "ret_poison" => QueryKind::RetPoison,
+            "ret_undef" => QueryKind::RetUndef,
+            "ret_value" => QueryKind::RetValue,
+            "memory" => QueryKind::Memory,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for QueryKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -68,9 +97,54 @@ impl fmt::Display for CounterExample {
     }
 }
 
+/// One-line human rendering of a verdict for reports and driver output.
+/// Crashes are reported distinctly — with their panic payload — so a
+/// contained validator fault is never mistaken for a solver limit.
+pub fn verdict_line(v: &crate::validator::Verdict) -> String {
+    use crate::validator::Verdict;
+    match v {
+        Verdict::Correct => "Transformation seems to be correct!".into(),
+        Verdict::Incorrect(cex) => format!("ERROR: {}", cex.query),
+        Verdict::Inconclusive(features) => format!(
+            "Couldn't prove the correctness of the transformation (over-approximated: {})",
+            features.join(", ")
+        ),
+        Verdict::PreconditionFalse => "ERROR: the precondition is unsatisfiable".into(),
+        Verdict::Timeout => "SMT timed out".into(),
+        Verdict::OutOfMemory => "memory budget exhausted".into(),
+        Verdict::Unsupported(why) => format!("skipped (unsupported: {why})"),
+        Verdict::Crash(payload) => format!("CRASH: validator panicked: {payload}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn query_kind_names_round_trip() {
+        for q in [
+            QueryKind::TargetMoreUb,
+            QueryKind::CallIntroduced,
+            QueryKind::ReturnDomain,
+            QueryKind::RetPoison,
+            QueryKind::RetUndef,
+            QueryKind::RetValue,
+            QueryKind::Memory,
+        ] {
+            assert_eq!(QueryKind::from_name(q.name()), Some(q));
+        }
+        assert_eq!(QueryKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn crash_verdict_is_reported_distinctly() {
+        let line = verdict_line(&crate::validator::Verdict::Crash("boom".into()));
+        assert!(line.contains("CRASH"), "{line}");
+        assert!(line.contains("boom"), "{line}");
+        let oom = verdict_line(&crate::validator::Verdict::OutOfMemory);
+        assert_ne!(line, oom);
+    }
 
     #[test]
     fn display_formats_like_alive2() {

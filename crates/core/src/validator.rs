@@ -12,7 +12,7 @@ use crate::report::{CounterExample, QueryKind};
 use alive2_ir::function::Function;
 use alive2_ir::module::Module;
 use alive2_sema::config::EncodeConfig;
-use alive2_sema::encode::{encode_function, CallSite, EncodedFn, Env};
+use alive2_sema::encode::{encode_function, CallSite, EncodeError, EncodedFn, Env};
 use alive2_smt::exists_forall::{solve_exists_forall_with_seeds, EfConfig, EfResult};
 use alive2_smt::model::Model;
 use alive2_smt::sat::Budget;
@@ -40,6 +40,11 @@ pub enum Verdict {
     OutOfMemory,
     /// The pair uses unsupported features and was skipped (§3.8).
     Unsupported(String),
+    /// The validator itself panicked on this job; the string is the panic
+    /// payload. A crash is contained to its job (the worker pool keeps
+    /// running) and counted in its own Fig. 7-style column, mirroring how
+    /// the paper's harness survives per-test validator failures (§8.2).
+    Crash(String),
 }
 
 impl Verdict {
@@ -51,6 +56,22 @@ impl Verdict {
     /// True for `Incorrect`.
     pub fn is_incorrect(&self) -> bool {
         matches!(self, Verdict::Incorrect(_))
+    }
+
+    /// A short, stable name for the verdict class — the journal's and the
+    /// summary JSON's `verdict` field, and the Fig. 7 column the verdict
+    /// counts toward.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Verdict::Correct => "correct",
+            Verdict::Incorrect(_) => "incorrect",
+            Verdict::Inconclusive(_) => "inconclusive",
+            Verdict::PreconditionFalse => "precondition_false",
+            Verdict::Timeout => "timeout",
+            Verdict::OutOfMemory => "oom",
+            Verdict::Unsupported(_) => "unsupported",
+            Verdict::Crash(_) => "crash",
+        }
     }
 }
 
@@ -105,11 +126,13 @@ pub fn validate_pair_with_deadline(
     };
     let mut src_enc = match encode_function(&env, src) {
         Ok(e) => e,
-        Err(u) => return (Verdict::Unsupported(u.reason), stats),
+        Err(EncodeError::Unsupported(u)) => return (Verdict::Unsupported(u.reason), stats),
+        Err(EncodeError::OutOfMemory) => return (Verdict::OutOfMemory, stats),
     };
     let mut tgt_enc = match encode_function(&env, tgt) {
         Ok(e) => e,
-        Err(u) => return (Verdict::Unsupported(u.reason), stats),
+        Err(EncodeError::Unsupported(u)) => return (Verdict::Unsupported(u.reason), stats),
+        Err(EncodeError::OutOfMemory) => return (Verdict::OutOfMemory, stats),
     };
     let v = check_refinement(&env, &mut src_enc, &mut tgt_enc, cfg, deadline, &mut stats);
     stats.millis = start.elapsed().as_millis() as u64;
@@ -321,6 +344,12 @@ impl<'a> QueryEngine<'a> {
     ) -> Option<Verdict> {
         stats.queries += 1;
         let ctx = self.ctx;
+        // Query construction (ackermannization, undef refreshes, seed
+        // substitutions) allocates terms too; stop before building more on
+        // an already-exhausted context.
+        if ctx.over_budget() {
+            return Some(Verdict::OutOfMemory);
+        }
         // The source precondition is a hypothesis on the ∀ side (§5.2:
         // `pre_src(I, N_src) ⇒ …` inside the ∀, plus an `∃N_src. pre_src`
         // non-vacuity conjunct realized with fresh existential copies).
@@ -447,6 +476,9 @@ fn check_refinement(
 
     // Query 1 (§5.3): is the precondition satisfiable at all?
     stats.queries += 1;
+    if ctx.over_budget() {
+        return Verdict::OutOfMemory;
+    }
     {
         let mut s = Solver::new(ctx);
         s.assert(pre);

@@ -231,9 +231,11 @@ fn lex(src: &str) -> Result<Lexer> {
                         is_float = true;
                         s.push(d);
                         it.next();
-                        if (d == 'e' || d == 'E') && matches!(it.peek(), Some('+') | Some('-')) {
-                            s.push(*it.peek().unwrap());
-                            it.next();
+                        if d == 'e' || d == 'E' {
+                            if let Some(&sign @ ('+' | '-')) = it.peek() {
+                                s.push(sign);
+                                it.next();
+                            }
                         }
                     } else {
                         break;
@@ -708,7 +710,12 @@ fn parse_define(lx: &mut Lexer) -> Result<Function> {
             blocks.push(Block::new("entry"));
         }
         let inst = parse_instruction(lx, &mut counter)?;
-        blocks.last_mut().unwrap().insts.push(inst);
+        match blocks.last_mut() {
+            Some(block) => block.insts.push(inst),
+            // Unreachable (an implicit entry block is pushed above), but
+            // untrusted input earns an error over an unwrap.
+            None => return lx.err("instruction outside any basic block"),
+        }
     }
     Ok(Function {
         name,

@@ -26,6 +26,11 @@ pub struct EncodeConfig {
     /// Bound on the number of `isundef` instantiations expanded in the
     /// final formula (§3.7's exponential-growth limiter).
     pub max_undef_instantiations: u32,
+    /// Approximate cap, in megabytes, on the per-job term DAG (the paper's
+    /// 1 GB-per-process analogue, enforced *before* the solver rather than
+    /// by the OS). `None` means unlimited. Exceeding it yields an
+    /// out-of-memory verdict at the next encoding/solving choke point.
+    pub mem_budget_mb: Option<u64>,
 }
 
 impl Default for EncodeConfig {
@@ -38,6 +43,7 @@ impl Default for EncodeConfig {
             solver_memory: 50_000_000,
             max_ef_iterations: 32,
             max_undef_instantiations: 8,
+            mem_budget_mb: None,
         }
     }
 }
@@ -63,6 +69,20 @@ impl EncodeConfig {
             ..Default::default()
         }
     }
+
+    /// A configuration with a given term-DAG memory budget in megabytes.
+    pub fn with_mem_budget_mb(mb: u64) -> Self {
+        EncodeConfig {
+            mem_budget_mb: Some(mb),
+            ..Default::default()
+        }
+    }
+
+    /// The memory budget in bytes, if configured.
+    pub fn mem_budget_bytes(&self) -> Option<usize> {
+        self.mem_budget_mb
+            .map(|mb| (mb as usize).saturating_mul(1024 * 1024))
+    }
 }
 
 #[cfg(test)]
@@ -80,5 +100,12 @@ mod tests {
     fn sweep_constructors() {
         assert_eq!(EncodeConfig::with_unroll(8).unroll_factor, 8);
         assert_eq!(EncodeConfig::with_timeout_ms(5).solver_timeout_ms, 5);
+    }
+
+    #[test]
+    fn mem_budget_conversion() {
+        assert_eq!(EncodeConfig::default().mem_budget_bytes(), None);
+        let c = EncodeConfig::with_mem_budget_mb(2);
+        assert_eq!(c.mem_budget_bytes(), Some(2 * 1024 * 1024));
     }
 }

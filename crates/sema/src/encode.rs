@@ -42,6 +42,36 @@ impl std::fmt::Display for Unsupported {
 
 impl std::error::Error for Unsupported {}
 
+/// Why an encoding attempt stopped: either the fragment is outside the
+/// supported subset (skip the pair) or the term DAG blew through the
+/// configured memory budget (report out-of-memory, keep the process
+/// alive). Resource exhaustion is an *expected* per-job outcome in a
+/// corpus run (paper Fig. 7's OOM column), never a process-fatal event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The function uses unsupported features (§3.8).
+    Unsupported(Unsupported),
+    /// The per-job term-DAG memory budget was exhausted mid-encoding.
+    OutOfMemory,
+}
+
+impl From<Unsupported> for EncodeError {
+    fn from(u: Unsupported) -> Self {
+        EncodeError::Unsupported(u)
+    }
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::Unsupported(u) => u.fmt(f),
+            EncodeError::OutOfMemory => f.write_str("term memory budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 fn unsupported<T>(reason: impl Into<String>) -> Result<T, Unsupported> {
     Err(Unsupported {
         reason: reason.into(),
@@ -123,6 +153,9 @@ impl Env {
     /// the module's globals.
     pub fn new(cfg: EncodeConfig, module: &Module, src: &Function) -> Result<Env, Unsupported> {
         let ctx = Ctx::new();
+        // The whole job (both encodings plus every query) shares this
+        // context, so the budget set here bounds the job end to end.
+        ctx.set_mem_budget(cfg.mem_budget_bytes());
         let byte_w = 20 + cfg.ptr_bits();
         let init_mem = ctx.func(
             "init_mem",
@@ -355,21 +388,25 @@ struct FnEncoder<'e> {
 ///
 /// # Errors
 ///
-/// Returns [`Unsupported`] when the function uses features outside the
-/// supported fragment (irreducible loops, mismatched signature, …).
-pub fn encode_function(env: &Env, f: &Function) -> Result<EncodedFn, Unsupported> {
+/// Returns [`EncodeError::Unsupported`] when the function uses features
+/// outside the supported fragment (irreducible loops, mismatched
+/// signature, …), and [`EncodeError::OutOfMemory`] when the term DAG
+/// exceeds the configured [`EncodeConfig::mem_budget_mb`] mid-encoding —
+/// checked once per encoded instruction, so encoding explosions surface
+/// long before the SAT solver starts learning clauses.
+pub fn encode_function(env: &Env, f: &Function) -> Result<EncodedFn, EncodeError> {
     // Signature must match the environment (built from the source).
     if f.params.len() != env.args.len() {
-        return unsupported("source/target parameter counts differ");
+        unsupported::<()>("source/target parameter counts differ")?;
     }
     for (p, a) in f.params.iter().zip(&env.args) {
         if p.ty != a.ty {
-            return unsupported("source/target parameter types differ");
+            unsupported::<()>("source/target parameter types differ")?;
         }
     }
     let errs = verify_function(f);
     if !errs.is_empty() {
-        return unsupported(format!("ill-formed IR: {}", errs[0]));
+        unsupported::<()>(format!("ill-formed IR: {}", errs[0]))?;
     }
     let unrolled =
         unroll_loops(f, env.cfg.unroll_factor).map_err(|e| Unsupported { reason: e.reason })?;
@@ -457,6 +494,11 @@ pub fn encode_function(env: &Env, f: &Function) -> Result<EncodedFn, Unsupported
         }
         let mut guard = enc.exec[bi];
         for inst in &block.insts {
+            // The per-instruction choke point: wide vectors × deep unrolls
+            // can mint millions of terms, and nothing below here frees.
+            if ctx.over_budget() {
+                return Err(EncodeError::OutOfMemory);
+            }
             guard = enc.encode_inst(&func, &cfg_an, bi, guard, inst)?;
         }
     }

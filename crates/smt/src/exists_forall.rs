@@ -118,6 +118,9 @@ pub fn solve_exists_forall_with_seeds(
 
     // No universals: plain SAT.
     if universals.is_empty() {
+        if ctx.over_budget() {
+            return EfResult::OutOfMemory;
+        }
         let mut s = Solver::new(ctx);
         s.assert(phi);
         return match s.check(budget_left(&start)) {
@@ -152,6 +155,12 @@ pub fn solve_exists_forall_with_seeds(
     for _iter in 0..config.max_iterations {
         if deadline_exceeded(&start) {
             return EfResult::Timeout;
+        }
+        // Every iteration substitutes fresh instantiations into φ, growing
+        // the term DAG; a tripped context budget ends the loop as OOM
+        // before the box starts swapping.
+        if ctx.over_budget() {
+            return EfResult::OutOfMemory;
         }
         // Candidate step: find X satisfying φ under every instantiation.
         let mut cand = Solver::new(ctx);

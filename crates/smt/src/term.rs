@@ -165,6 +165,34 @@ struct Inner {
     dedup: HashMap<Node, TermId>,
     vars: Vec<VarInfo>,
     funcs: Vec<FuncInfo>,
+    /// Approximate bytes held by the DAG (nodes + dedup entries + operand
+    /// slices). The DAG is append-only, so this is also the live size.
+    mem_bytes: usize,
+    /// Optional cap on `mem_bytes`. Exceeding it latches [`Inner::over`];
+    /// construction still succeeds so callers can poll at choke points
+    /// rather than thread `Result` through every smart constructor.
+    mem_budget: Option<usize>,
+    /// Latched budget-exceeded flag.
+    over: bool,
+}
+
+impl Inner {
+    /// Approximate heap cost of one interned node: the node stored in
+    /// `nodes`, its clone in the `dedup` key, and both `args` boxes.
+    fn node_bytes(node: &Node) -> usize {
+        2 * (std::mem::size_of::<Node>()
+            + node.args.len() * std::mem::size_of::<TermId>()
+            + std::mem::size_of::<TermId>())
+    }
+
+    fn charge(&mut self, bytes: usize) {
+        self.mem_bytes += bytes;
+        if let Some(cap) = self.mem_budget {
+            if self.mem_bytes > cap {
+                self.over = true;
+            }
+        }
+    }
 }
 
 /// A term-construction context: owns the hash-consed DAG, variables, and
@@ -213,6 +241,9 @@ impl Ctx {
                 dedup: HashMap::new(),
                 vars: Vec::new(),
                 funcs: Vec::new(),
+                mem_bytes: 0,
+                mem_budget: None,
+                over: false,
             }),
         }
     }
@@ -220,6 +251,32 @@ impl Ctx {
     /// Number of distinct term nodes created so far.
     pub fn num_terms(&self) -> usize {
         self.inner.borrow().nodes.len()
+    }
+
+    /// Approximate bytes held by the term DAG (nodes, dedup table,
+    /// variable/function tables). Append-only, so this is the live size.
+    pub fn mem_bytes(&self) -> usize {
+        self.inner.borrow().mem_bytes
+    }
+
+    /// Caps the DAG at approximately `bytes` (`None` removes the cap).
+    /// Exceeding the cap latches [`Ctx::over_budget`]; term construction
+    /// itself never fails, so callers poll the flag at encoding/solving
+    /// choke points and convert it into an out-of-memory verdict.
+    pub fn set_mem_budget(&self, bytes: Option<usize>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.mem_budget = bytes;
+        inner.over = bytes.is_some_and(|cap| inner.mem_bytes > cap);
+    }
+
+    /// The configured memory cap, if any.
+    pub fn mem_budget(&self) -> Option<usize> {
+        self.inner.borrow().mem_budget
+    }
+
+    /// True once the DAG has grown past the configured cap (latched).
+    pub fn over_budget(&self) -> bool {
+        self.inner.borrow().over
     }
 
     fn intern(&self, op: Op, args: &[TermId], sort: Sort) -> TermId {
@@ -233,8 +290,10 @@ impl Ctx {
             return id;
         }
         let id = TermId(inner.nodes.len() as u32);
+        let bytes = Inner::node_bytes(&node);
         inner.dedup.insert(node.clone(), id);
         inner.nodes.push(node);
+        inner.charge(bytes);
         id
     }
 
@@ -263,6 +322,7 @@ impl Ctx {
                 name: name.to_string(),
                 sort,
             });
+            inner.charge(std::mem::size_of::<VarInfo>() + name.len());
             vid
         };
         self.intern(Op::Var(vid), &[], sort)
@@ -300,6 +360,11 @@ impl Ctx {
             arg_sorts: arg_sorts.to_vec(),
             ret_sort,
         });
+        inner.charge(
+            std::mem::size_of::<FuncInfo>()
+                + name.len()
+                + arg_sorts.len() * std::mem::size_of::<Sort>(),
+        );
         fid
     }
 
@@ -1232,5 +1297,39 @@ mod tests {
         let v = ctx.bool_to_bv1(c);
         assert_eq!(ctx.sort(v), Sort::BitVec(1));
         assert_eq!(ctx.bv1_to_bool(v), c);
+    }
+
+    #[test]
+    fn mem_meter_counts_and_dedup_is_free() {
+        let ctx = Ctx::new();
+        assert_eq!(ctx.mem_bytes(), 0);
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let t = ctx.bv_add(x, y);
+        let after = ctx.mem_bytes();
+        assert!(after > 0);
+        // Hash-consing: rebuilding the same term allocates nothing new.
+        assert_eq!(ctx.bv_add(x, y), t);
+        assert_eq!(ctx.mem_bytes(), after);
+    }
+
+    #[test]
+    fn mem_budget_latches_when_exceeded() {
+        let ctx = Ctx::new();
+        ctx.set_mem_budget(Some(512));
+        assert!(!ctx.over_budget());
+        let mut t = ctx.var("x", Sort::BitVec(32));
+        let mut i = 0u64;
+        while !ctx.over_budget() && i < 10_000 {
+            t = ctx.bv_add(t, ctx.bv_lit_u64(32, i + 1));
+            i += 1;
+        }
+        assert!(ctx.over_budget(), "budget never tripped");
+        assert!(ctx.mem_bytes() > 512);
+        // Lifting the cap clears the latch; re-tightening restores it.
+        ctx.set_mem_budget(None);
+        assert!(!ctx.over_budget());
+        ctx.set_mem_budget(Some(512));
+        assert!(ctx.over_budget());
     }
 }

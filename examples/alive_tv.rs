@@ -5,16 +5,26 @@
 //!
 //! ```text
 //! cargo run --example alive_tv -- src.ll tgt.ll [--unroll N] [--timeout MS] \
-//!     [--jobs N] [--deadline-ms MS]
+//!     [--jobs N] [--deadline-ms MS] [--mem-budget-mb MB] \
+//!     [--journal PATH] [--resume PATH] [--inject-panic MARKER]
 //! ```
 //!
 //! With no arguments, runs on a built-in demo pair.
+//!
+//! Fault containment: a validator panic or a blown memory budget is
+//! reported per function (CRASH / OOM) and the run continues. The exit
+//! code reflects *refinement failures only* — crashes and OOMs leave it
+//! at 0 so one bad function cannot abort a corpus sweep. The final line
+//! is a machine-readable JSON summary including the crash/oom columns.
 
-use alive2::core::engine::ValidationEngine;
+use alive2::core::engine::{Counts, ValidationEngine};
+use alive2::core::journal::{Journal, ResumeLog};
+use alive2::core::report::verdict_line;
 use alive2::core::validator::Verdict;
 use alive2::ir::parser::parse_module;
 use alive2::sema::config::EncodeConfig;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const DEMO_SRC: &str = r#"
 define i8 @twice(i8 %x) {
@@ -66,13 +76,19 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .expect("--timeout needs milliseconds");
             }
+            "--mem-budget-mb" => {
+                cfg.mem_budget_mb = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--mem-budget-mb needs a size in MiB"),
+                );
+            }
             "--jobs" => {
-                engine = ValidationEngine::new(
+                engine = engine.with_workers(
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .expect("--jobs needs a worker count"),
-                )
-                .with_deadline_ms(engine.deadline_ms);
+                );
             }
             "--deadline-ms" => {
                 engine = engine.with_deadline_ms(Some(
@@ -81,8 +97,35 @@ fn main() -> ExitCode {
                         .expect("--deadline-ms needs milliseconds"),
                 ));
             }
+            "--journal" => {
+                let path = it.next().expect("--journal needs a path");
+                let journal = Journal::append(&path).unwrap_or_else(|e| {
+                    eprintln!("error: cannot open journal `{path}`: {e}");
+                    std::process::exit(2);
+                });
+                engine = engine.with_journal(Some(Arc::new(journal)));
+            }
+            "--resume" => {
+                let path = it.next().expect("--resume needs a path");
+                let resume = ResumeLog::load(&path).unwrap_or_else(|e| {
+                    eprintln!("error: cannot read resume journal `{path}`: {e}");
+                    std::process::exit(2);
+                });
+                engine = engine.with_resume(Some(Arc::new(resume)));
+            }
+            "--inject-panic" => {
+                engine = engine
+                    .with_fault_marker(Some(it.next().expect("--inject-panic needs a marker")));
+            }
             other => files.push(other.to_string()),
         }
+    }
+    if engine.fault_marker.is_none() {
+        engine = engine.with_fault_marker(
+            std::env::var("ALIVE2_INJECT_PANIC")
+                .ok()
+                .filter(|s| !s.is_empty()),
+        );
     }
 
     let (src_text, tgt_text) = match files.as_slice() {
@@ -115,30 +158,36 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut bad = 0u32;
+    let mut counts = Counts::default();
     for (name, verdict) in engine.validate_modules(&src, &tgt, &cfg) {
         println!("----------------------------------------\n@{name}:");
+        counts.pairs += 1;
+        counts.diff += 1;
+        counts.record(&verdict);
         match verdict {
-            Verdict::Correct => println!("  Transformation seems to be correct!"),
             Verdict::Incorrect(cex) => {
-                bad += 1;
                 for line in cex.to_string().lines() {
                     println!("  {line}");
                 }
             }
-            Verdict::Inconclusive(features) => {
-                println!("  Couldn't prove the correctness of the transformation");
-                println!("  (over-approximated features involved: {features:?})");
-            }
-            Verdict::PreconditionFalse => {
-                println!("  ERROR: the precondition is unsatisfiable");
-            }
-            Verdict::Timeout => println!("  SMT timed out"),
-            Verdict::OutOfMemory => println!("  SMT ran out of memory"),
-            Verdict::Unsupported(why) => println!("  skipped (unsupported: {why})"),
+            other => println!("  {}", verdict_line(&other)),
         }
     }
-    if bad > 0 {
+    println!("----------------------------------------");
+    println!(
+        "{{\"name\":\"alive_tv\",\"pairs\":{},\"correct\":{},\"incorrect\":{},\
+         \"timeout\":{},\"oom\":{},\"unsupported\":{},\"crash\":{}}}",
+        counts.pairs,
+        counts.correct,
+        counts.incorrect,
+        counts.timeout,
+        counts.oom,
+        counts.unsupported,
+        counts.crash
+    );
+    // Contained faults (crash/oom) do not fail the run; genuine refinement
+    // violations do.
+    if counts.incorrect > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

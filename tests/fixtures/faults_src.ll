@@ -1,0 +1,28 @@
+define i8 @ok(i8 %x) {
+entry:
+  %r = mul i8 %x, 2
+  ret i8 %r
+}
+
+define i8 @doomed(i8 %x) {
+entry:
+  ret i8 %x
+}
+
+define <8 x i64> @burn(<8 x i64> %x, i64 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i1, %body ]
+  %acc = phi <8 x i64> [ %x, %entry ], [ %a3, %body ]
+  %c = icmp ult i64 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %a1 = mul <8 x i64> %acc, %acc
+  %a2 = add <8 x i64> %a1, %x
+  %a3 = xor <8 x i64> %a2, %a1
+  %i1 = add i64 %i, 1
+  br label %head
+exit:
+  ret <8 x i64> %acc
+}

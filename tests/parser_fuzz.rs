@@ -1,0 +1,170 @@
+//! Seeded mutation fuzzing for the `.ll` parser (fault-containment PR).
+//!
+//! The parser is the one component that consumes *untrusted* input, so it
+//! must return `Err(ParseError)` on malformed text — never panic. These
+//! tests mutate well-formed corpus modules with the in-tree xoshiro PRNG
+//! (truncation, byte flips, insertions, line splices) and assert every
+//! variant either parses or fails cleanly. Deterministic by seed: a
+//! failure report names the seed and the mutated text so it can be
+//! replayed exactly.
+
+use alive2::ir::parser::parse_module;
+use alive2::testgen::corpus::corpus;
+use alive2::testgen::rng::Rng64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Base texts for mutation: a cross-section of the unit-test corpus plus
+/// a hand-picked module exercising memory ops and vectors.
+fn bases() -> Vec<String> {
+    let mut out: Vec<String> = corpus()
+        .into_iter()
+        .step_by(3)
+        .take(12)
+        .map(|c| c.text.to_string())
+        .collect();
+    out.push(
+        r#"define <4 x i32> @v(<4 x i32> %x, ptr %p) {
+entry:
+  %l = load <4 x i32>, ptr %p
+  %s = add <4 x i32> %x, %l
+  store <4 x i32> %s, ptr %p
+  ret <4 x i32> %s
+}"#
+        .to_string(),
+    );
+    out
+}
+
+/// Applies one seeded mutation to `text`.
+fn mutate(rng: &mut Rng64, text: &str) -> String {
+    let bytes = text.as_bytes();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    match rng.range_u32(0, 5) {
+        // Truncate at an arbitrary byte offset (torn file / partial read).
+        0 => {
+            let cut = rng.range_usize(0, bytes.len() + 1);
+            String::from_utf8_lossy(&bytes[..cut]).into_owned()
+        }
+        // Flip a handful of bytes to printable garbage.
+        1 => {
+            let mut b = bytes.to_vec();
+            for _ in 0..rng.range_usize(1, 8) {
+                let i = rng.range_usize(0, b.len());
+                b[i] = rng.range_u32(0x20, 0x7f) as u8;
+            }
+            String::from_utf8_lossy(&b).into_owned()
+        }
+        // Insert random printable junk at one position.
+        2 => {
+            let i = rng.range_usize(0, bytes.len() + 1);
+            let junk: String = (0..rng.range_usize(1, 16))
+                .map(|_| rng.range_u32(0x20, 0x7f) as u8 as char)
+                .collect();
+            let mut s = String::from_utf8_lossy(&bytes[..i]).into_owned();
+            s.push_str(&junk);
+            s.push_str(&String::from_utf8_lossy(&bytes[i..]));
+            s
+        }
+        // Delete a random line (drops labels, terminators, braces...).
+        3 => {
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                return String::new();
+            }
+            let drop = rng.range_usize(0, lines.len());
+            lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, l)| *l)
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+        // Duplicate a random line (redefinitions, double terminators).
+        _ => {
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                return String::new();
+            }
+            let dup = rng.range_usize(0, lines.len());
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+            for (i, l) in lines.iter().enumerate() {
+                out.push(l);
+                if i == dup {
+                    out.push(l);
+                }
+            }
+            out.join("\n")
+        }
+    }
+}
+
+/// Asserts that parsing `text` terminates without panicking.
+fn assert_no_panic(seed: u64, round: usize, text: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _ = parse_module(text);
+    }));
+    assert!(
+        result.is_ok(),
+        "parse_module panicked (seed {seed}, round {round}); input:\n{text}"
+    );
+}
+
+#[test]
+fn mutated_corpus_never_panics_the_parser() {
+    // Default is a quick regression sweep; set ALIVE2_FUZZ_SEEDS to dig.
+    let n: u64 = std::env::var("ALIVE2_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let bases = bases();
+    for seed in 0u64..n {
+        let mut rng = Rng64::seed_from_u64(0xfa2_5eed ^ seed.wrapping_mul(0x9e37_79b9));
+        let base = &bases[rng.range_usize(0, bases.len())];
+        let mut text = base.clone();
+        // Stack up to 4 mutations so damage compounds.
+        for round in 0..rng.range_usize(1, 5) {
+            text = mutate(&mut rng, &text);
+            assert_no_panic(seed, round, &text);
+        }
+    }
+}
+
+#[test]
+fn truncation_sweep_never_panics_the_parser() {
+    // Exhaustive prefix sweep on one module: every torn-write length.
+    let text = bases().remove(0);
+    for cut in 0..=text.len() {
+        if !text.is_char_boundary(cut) {
+            continue;
+        }
+        assert_no_panic(cut as u64, 0, &text[..cut]);
+    }
+}
+
+#[test]
+fn hostile_fragments_fail_cleanly() {
+    // Regression pin for specific shapes a generic mutation may take a
+    // while to hit: unterminated tokens, missing blocks, bad widths.
+    let cases = [
+        "",
+        "define",
+        "define i32 @f(",
+        "define i32 @f(i32 %x) {",
+        "define i32 @f(i32 %x) {\nentry:",
+        "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x",
+        "define i0 @f() {\nentry:\n  ret i0 0\n}",
+        "define i32 @f() {\nentry:\n  %a = add i32 1, \n  ret i32 %a\n}",
+        "define i32 @f() {\n  ret i32 0\n}",
+        "define <0 x i32> @f() {\nentry:\n  ret <0 x i32> zeroinitializer\n}",
+        "define i32 @f() {\nentry:\n  br label %nope\n}",
+        "define i999999999 @f() {\nentry:\n  ret i999999999 0\n}",
+        "define i32 @f() {\nentry:\n  %v = extractelement <4 x i32> zeroinitializer, i64 9\n  ret i32 %v\n}",
+        "@g = global i32 3405691582, align 4\ndefine i32 @f() {\nentry:\n  ret i32 0\n}",
+    ];
+    for (i, text) in cases.iter().enumerate() {
+        assert_no_panic(i as u64, 0, text);
+    }
+}
