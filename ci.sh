@@ -27,12 +27,15 @@ tail -n 1 "$SMOKE/par.out" | grep -q '"crash":1'
 tail -n 1 "$SMOKE/par.out" | grep -q '"oom":1'
 tail -n 1 "$SMOKE/par.out" | grep -q '"incorrect":0'
 
-# --jobs 1 must report the same summary line.
+# --jobs 1 must report the same summary line. Timing fields (stats/phases)
+# legitimately vary run to run, so comparisons strip them and keep the
+# deterministic verdict columns.
+verdicts() { tail -n 1 "$1" | sed 's/,"stats":.*$/}/'; }
 "$TV" tests/fixtures/faults_src.ll tests/fixtures/faults_tgt.ll \
     --unroll 8 --mem-budget-mb 2 --inject-panic doomed --jobs 1 \
     > "$SMOKE/seq.out" 2> "$SMOKE/seq.err"
-tail -n 1 "$SMOKE/par.out" > "$SMOKE/par.sum"
-tail -n 1 "$SMOKE/seq.out" > "$SMOKE/seq.sum"
+verdicts "$SMOKE/par.out" > "$SMOKE/par.sum"
+verdicts "$SMOKE/seq.out" > "$SMOKE/seq.sum"
 cmp "$SMOKE/par.sum" "$SMOKE/seq.sum"
 
 # Kill simulation: keep the journal's first line plus a torn fragment of
@@ -43,5 +46,29 @@ sed -n 2p "$SMOKE/journal.jsonl" | cut -c1-25 >> "$SMOKE/torn.jsonl"
 "$TV" tests/fixtures/faults_src.ll tests/fixtures/faults_tgt.ll \
     --unroll 8 --mem-budget-mb 2 --inject-panic doomed --jobs 4 \
     --resume "$SMOKE/torn.jsonl" > "$SMOKE/res.out" 2> "$SMOKE/res.err"
-tail -n 1 "$SMOKE/res.out" > "$SMOKE/res.sum"
+verdicts "$SMOKE/res.out" > "$SMOKE/res.sum"
 cmp "$SMOKE/par.sum" "$SMOKE/res.sum"
+
+# ---- observability smoke (see DESIGN.md, "Observability") ----
+# The same fault corpus under --stats --trace: the stats report and the
+# summary's stats object must agree with the verdicts (3 jobs), the trace
+# must be a well-formed JSON array with balanced B/E events, and at
+# --jobs 1 the per-phase busy times must sum to within 5% of wall time.
+"$TV" tests/fixtures/faults_src.ll tests/fixtures/faults_tgt.ll \
+    --unroll 8 --mem-budget-mb 2 --inject-panic doomed --jobs 1 \
+    --stats --trace "$SMOKE/trace.json" > "$SMOKE/obs.out" 2> "$SMOKE/obs.err"
+grep -q 'phase breakdown' "$SMOKE/obs.out"
+grep -q 'jobs 3' "$SMOKE/obs.out"
+tail -n 1 "$SMOKE/obs.out" | grep -q '"stats":{"jobs":3'
+tail -n 1 "$SMOKE/obs.out" | grep -q '"crash":1'
+head -c 1 "$SMOKE/trace.json" | grep -q '\['
+tail -c 1 "$SMOKE/trace.json" | grep -q ']'
+B=$(grep -c '"ph":"B"' "$SMOKE/trace.json")
+E=$(grep -c '"ph":"E"' "$SMOKE/trace.json")
+test "$B" -gt 0
+test "$B" -eq "$E"
+tail -n 1 "$SMOKE/obs.out" | sed 's/.*"phases"://' | tr ',{}' '\n\n\n' | awk -F: '
+  /"(parse|opt|encode|solve|journal|teardown)_us"/ { sum += $2 }
+  /"wall_us"/ { wall = $2 }
+  END { if (wall == 0 || sum < 0.95 * wall || sum > 1.05 * wall) {
+          printf "phase sum %d vs wall %d outside 5%%\n", sum, wall; exit 1 } }'

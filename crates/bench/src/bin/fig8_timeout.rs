@@ -4,8 +4,8 @@
 //! Run with `cargo run --release -p alive2-bench --bin fig8_timeout`.
 
 use alive2_bench::{
-    config_from_args, engine_from_args, print_summary_json, validate_module_pipeline,
-    validate_pairs, Counts,
+    config_from_args, engine_from_args, finish_obs, obs_from_args, print_summary_json,
+    validate_module_pipeline, validate_pairs, Counts,
 };
 use alive2_ir::parser::parse_module;
 use alive2_opt::bugs::BugSet;
@@ -14,6 +14,7 @@ use alive2_testgen::{appgen, corpus::corpus, known_bugs::known_bugs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let obs = obs_from_args(&args);
     let engine = engine_from_args(&args);
     // The paper sweeps 1 s … 5 min against Z3 on 8 cores; our workload and
     // solver are smaller, so the sweep is scaled down proportionally.
@@ -60,6 +61,7 @@ fn main() {
         );
         grand.add(total);
     }
+    finish_obs(&obs, &grand);
     print_summary_json("fig8", &grand);
     println!("\nPaper shape: the number of definitive results plateaus once the");
     println!("timeout is large enough, while running time keeps growing with it.");

@@ -4,7 +4,9 @@
 //! Run with `cargo run --release -p alive2-bench --bin known_bugs`.
 //! Accepts the shared `--jobs N` / `--deadline-ms MS` flags.
 
-use alive2_bench::{config_from_args, engine_from_args, print_summary_json, Counts};
+use alive2_bench::{
+    config_from_args, engine_from_args, finish_obs, obs_from_args, print_summary_json, Counts,
+};
 use alive2_core::engine::Job;
 use alive2_ir::module::Module;
 use alive2_ir::parser::parse_module;
@@ -13,6 +15,8 @@ use alive2_testgen::known_bugs::{known_bugs, Expectation};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let obs = obs_from_args(&args);
+    let started = std::time::Instant::now();
     let engine = engine_from_args(&args);
     let cfg = config_from_args(&args, EncodeConfig::default());
     let bugs = known_bugs();
@@ -70,7 +74,10 @@ fn main() {
         counts.pairs += 1;
         counts.diff += 1;
         counts.record(&o.verdict);
+        counts.stats.add_job(&o.stats);
     }
+    counts.millis = started.elapsed().as_millis() as u64;
+    finish_obs(&obs, &counts);
     print_summary_json("known_bugs", &counts);
     println!("\n{detected} detected / {missed} missed (paper: 29 / 7)");
     if detected != 29 || missed != 7 {

@@ -5,7 +5,9 @@
 //! Run with `cargo run --release -p alive2-bench --bin table_bugs`.
 //! Accepts the shared `--jobs N` / `--deadline-ms MS` flags.
 
-use alive2_bench::{config_from_args, engine_from_args, print_summary_json, Counts};
+use alive2_bench::{
+    config_from_args, engine_from_args, finish_obs, obs_from_args, print_summary_json, Counts,
+};
 use alive2_core::engine::Job;
 use alive2_ir::function::Function;
 use alive2_ir::module::Module;
@@ -43,6 +45,8 @@ struct Candidate {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let obs = obs_from_args(&args);
+    let started = std::time::Instant::now();
     let engine = engine_from_args(&args);
     // The paper capped Z3 at one minute per query on a much larger
     // machine; scale the cap down so the table regenerates quickly.
@@ -106,10 +110,13 @@ fn main() {
         counts.pairs += 1;
         counts.diff += 1;
         counts.record(&o.verdict);
+        counts.stats.add_job(&o.stats);
         if o.verdict.is_incorrect() {
             *per_category.entry(c.category).or_default() += 1;
         }
     }
+    counts.millis = started.elapsed().as_millis() as u64;
+    finish_obs(&obs, &counts);
     print_summary_json("table_bugs", &counts);
 
     println!("§8.2: refinement violations by category\n");

@@ -70,13 +70,82 @@ pub fn config_from_args(args: &[String], base: EncodeConfig) -> EncodeConfig {
     }
 }
 
+/// Observability settings shared by every driver:
+/// `--stats` (per-phase breakdown + counter totals on stdout),
+/// `--trace FILE` (Chrome tracing JSON, load via `chrome://tracing` or
+/// Perfetto), `--trace-detail` (adds per-instruction encode spans to the
+/// trace — high volume, off by default).
+#[derive(Clone, Debug, Default)]
+pub struct ObsConfig {
+    /// Print the phase/counter report after the run.
+    pub stats: bool,
+    /// Destination for Chrome tracing JSON, if requested.
+    pub trace: Option<String>,
+}
+
+/// Parses the observability flags and arms the global span/trace state
+/// accordingly. Call once, before any validation work runs.
+pub fn obs_from_args(args: &[String]) -> ObsConfig {
+    let stats = args.iter().any(|a| a == "--stats");
+    let trace = flag_value::<String>(args, "--trace");
+    let detail = args.iter().any(|a| a == "--trace-detail");
+    alive2_core::obs::trace::set_enabled(trace.is_some());
+    alive2_core::obs::trace::set_detail(detail);
+    // Tracing needs timestamps anyway, so --trace implies phase timing.
+    alive2_core::obs::set_timing(stats || trace.is_some());
+    ObsConfig { stats, trace }
+}
+
+/// Emits the post-run observability artifacts: the `--stats` report on
+/// stdout and the `--trace` Chrome JSON file. Call after the run
+/// completes and *before* [`print_summary_json`], so the summary stays
+/// the last line of output (the contract `ci.sh` relies on).
+pub fn finish_obs(obs: &ObsConfig, c: &Counts) {
+    if obs.stats {
+        print!(
+            "{}",
+            alive2_core::obs::report::render_phase_table(c.millis * 1_000)
+        );
+        print!("{}", alive2_core::obs::report::render_counters(&c.stats));
+    }
+    if let Some(path) = &obs.trace {
+        match alive2_core::obs::trace::write_chrome(path) {
+            Ok(n) => {
+                let dropped = alive2_core::obs::trace::dropped();
+                if dropped > 0 {
+                    eprintln!("trace: wrote {n} events to {path} ({dropped} dropped)");
+                } else {
+                    eprintln!("trace: wrote {n} events to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot write trace `{path}`: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 /// Prints the machine-readable run summary consumed by `ci.sh` and the
-/// resume-parity checks: a single JSON line holding the full [`Counts`].
+/// resume-parity checks: a single JSON line holding the full [`Counts`],
+/// the aggregated per-job telemetry (`stats`), and the per-phase busy
+/// times (`phases`, all zero unless `--stats`/`--trace` armed timing).
 pub fn print_summary_json(name: &str, c: &Counts) {
     println!(
         "{{\"name\":\"{}\",\"pairs\":{},\"diff\":{},\"correct\":{},\"incorrect\":{},\
-         \"timeout\":{},\"oom\":{},\"unsupported\":{},\"crash\":{}}}",
-        name, c.pairs, c.diff, c.correct, c.incorrect, c.timeout, c.oom, c.unsupported, c.crash
+         \"timeout\":{},\"oom\":{},\"unsupported\":{},\"crash\":{},\
+         \"stats\":{},\"phases\":{}}}",
+        name,
+        c.pairs,
+        c.diff,
+        c.correct,
+        c.incorrect,
+        c.timeout,
+        c.oom,
+        c.unsupported,
+        c.crash,
+        c.stats.to_json_obj(),
+        alive2_core::obs::report::phases_json_obj(c.millis * 1_000)
     );
 }
 
@@ -163,6 +232,9 @@ pub fn validate_pairs(
         }
     }
     let outcomes = engine.run(&jobs);
+    for o in &outcomes {
+        counts.stats.add_job(&o.stats);
+    }
     let mut merged: Vec<Option<Verdict>> = vec![None; slot];
     for (i, v) in resolved {
         merged[i] = Some(v);

@@ -34,6 +34,7 @@ use crate::journal::{Journal, ResumeLog};
 use crate::validator::{validate_pair_with_deadline, ValidateStats, Verdict};
 use alive2_ir::function::Function;
 use alive2_ir::module::Module;
+use alive2_obs::{Phase, StatsTotals};
 use alive2_sema::config::EncodeConfig;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -88,6 +89,9 @@ pub struct Counts {
     pub crash: u32,
     /// Wall-clock milliseconds for the run (not a per-thread sum).
     pub millis: u64,
+    /// Aggregated per-job telemetry (SMT splits, CEGQI iterations,
+    /// term/hash-cons meters, busy time) — the run's `stats` object.
+    pub stats: StatsTotals,
 }
 
 impl Counts {
@@ -102,6 +106,7 @@ impl Counts {
         self.unsupported += other.unsupported;
         self.crash += other.crash;
         self.millis += other.millis;
+        self.stats.merge(&other.stats);
     }
 
     /// Records one verdict.
@@ -236,7 +241,16 @@ impl ValidationEngine {
     /// Runs one job with the panic firewall: a panic anywhere inside the
     /// validation stack is contained to this job and reported as
     /// [`Verdict::Crash`] with the panic payload and job name captured.
-    fn run_one(&self, job: &Job) -> Outcome {
+    /// `run_started` anchors the job's queue-wait measurement.
+    fn run_one(&self, job: &Job, run_started: Instant) -> Outcome {
+        let queue_ms = run_started.elapsed().as_millis() as u64;
+        // Job phase starts at Queued; the validator advances it. If the
+        // job panics, the unwound guards do NOT reset it, so the crash
+        // record below still reports the furthest phase reached.
+        alive2_obs::set_job_phase(Phase::Queued);
+        let snap = alive2_obs::counters_snapshot();
+        let picked = Instant::now();
+        let _sp = alive2_obs::span_labeled(Phase::Job, &job.name);
         let result = catch_unwind(AssertUnwindSafe(|| {
             if let Some(marker) = self.fault_marker.as_deref() {
                 if !marker.is_empty() && job.name.contains(marker) {
@@ -251,17 +265,29 @@ impl ValidationEngine {
                 .map(|ms| Instant::now() + Duration::from_millis(ms));
             validate_pair_with_deadline(job.module, job.src, job.tgt, &job.cfg, deadline)
         }));
-        let (verdict, stats) = match result {
+        let (verdict, mut stats) = match result {
             Ok(vs) => vs,
-            Err(payload) => (
-                Verdict::Crash(format!(
-                    "job `{}`: {}",
-                    job.name,
-                    Self::panic_message(payload.as_ref())
-                )),
-                ValidateStats::default(),
-            ),
+            Err(payload) => {
+                // Partial stats for the crashed job: the counter deltas
+                // up to the panic plus the phase it died in — enough to
+                // triage a crash from the journal alone.
+                let mut stats = ValidateStats {
+                    phase: alive2_obs::job_phase(),
+                    millis: picked.elapsed().as_millis() as u64,
+                    ..ValidateStats::default()
+                };
+                stats.absorb_since(&snap);
+                (
+                    Verdict::Crash(format!(
+                        "job `{}`: {}",
+                        job.name,
+                        Self::panic_message(payload.as_ref())
+                    )),
+                    stats,
+                )
+            }
         };
+        stats.queue_ms = queue_ms;
         Outcome {
             name: job.name.clone(),
             verdict,
@@ -278,6 +304,7 @@ impl ValidationEngine {
     /// report identical verdicts.
     pub fn run(&self, jobs: &[Job]) -> Vec<Outcome> {
         let run_id = self.run_seq.fetch_add(1, Ordering::Relaxed);
+        let run_started = Instant::now();
         let mut slots: Vec<Option<Outcome>> = vec![None; jobs.len()];
 
         // Resolve already-journaled jobs from the resume log first.
@@ -301,6 +328,7 @@ impl ValidationEngine {
             // Journal before counting: once a verdict is observable in the
             // aggregate it must already be on disk.
             if let Some(journal) = &self.journal {
+                let _sp = alive2_obs::span(Phase::Journal);
                 journal.record(run_id, i, &outcome);
             }
             done.lock()
@@ -311,7 +339,7 @@ impl ValidationEngine {
         let workers = self.workers.max(1).min(pending.len().max(1));
         if workers <= 1 {
             for &i in &pending {
-                complete(i, self.run_one(&jobs[i]));
+                complete(i, self.run_one(&jobs[i], run_started));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -324,7 +352,7 @@ impl ValidationEngine {
                                 break;
                             }
                             let i = pending[k];
-                            complete(i, self.run_one(&jobs[i]));
+                            complete(i, self.run_one(&jobs[i], run_started));
                         })
                     })
                     .collect();
@@ -348,8 +376,9 @@ impl ValidationEngine {
         // thread, where a repeatable panic becomes its Crash outcome.
         for (i, slot) in slots.iter_mut().enumerate() {
             if slot.is_none() {
-                let outcome = self.run_one(&jobs[i]);
+                let outcome = self.run_one(&jobs[i], run_started);
                 if let Some(journal) = &self.journal {
+                    let _sp = alive2_obs::span(Phase::Journal);
                     journal.record(run_id, i, &outcome);
                 }
                 *slot = Some(outcome);
@@ -374,6 +403,7 @@ impl ValidationEngine {
         };
         for o in &outcomes {
             counts.record(&o.verdict);
+            counts.stats.add_job(&o.stats);
         }
         counts.millis = start.elapsed().as_millis() as u64;
         (outcomes, counts)
@@ -393,21 +423,45 @@ impl ValidationEngine {
         tgt_mod: &Module,
         cfg: &EncodeConfig,
     ) -> Vec<(String, Verdict)> {
-        let mut slots: Vec<Option<(String, Verdict)>> = Vec::new();
+        self.validate_modules_outcomes(src_mod, tgt_mod, cfg)
+            .into_iter()
+            .map(|o| (o.name, o.verdict))
+            .collect()
+    }
+
+    /// Like [`ValidationEngine::validate_modules`] but returns the full
+    /// [`Outcome`] per function, including per-job stats. Pairs resolved
+    /// without running a job (missing target, global mismatch,
+    /// byte-identical) carry default stats with phase `Done`.
+    pub fn validate_modules_outcomes(
+        &self,
+        src_mod: &Module,
+        tgt_mod: &Module,
+        cfg: &EncodeConfig,
+    ) -> Vec<Outcome> {
+        let resolved = |name: &str, verdict: Verdict| Outcome {
+            name: name.to_string(),
+            verdict,
+            stats: ValidateStats {
+                phase: Phase::Done,
+                ..ValidateStats::default()
+            },
+        };
+        let mut slots: Vec<Option<Outcome>> = Vec::new();
         let mut jobs: Vec<Job> = Vec::new();
         let mut job_slots: Vec<usize> = Vec::new();
         for src in &src_mod.functions {
             let slot = slots.len();
             let Some(tgt) = tgt_mod.function(&src.name) else {
-                slots.push(Some((
-                    src.name.clone(),
+                slots.push(Some(resolved(
+                    &src.name,
                     Verdict::Unsupported("no matching target function".into()),
                 )));
                 continue;
             };
             if src_mod.globals != tgt_mod.globals {
-                slots.push(Some((
-                    src.name.clone(),
+                slots.push(Some(resolved(
+                    &src.name,
                     Verdict::Unsupported("source/target globals differ".into()),
                 )));
                 continue;
@@ -415,7 +469,7 @@ impl ValidationEngine {
             // Skip byte-identical pairs — the optimization the paper's
             // plugins apply when a pass makes no changes (§8.1).
             if src == tgt {
-                slots.push(Some((src.name.clone(), Verdict::Correct)));
+                slots.push(Some(resolved(&src.name, Verdict::Correct)));
                 continue;
             }
             slots.push(None);
@@ -430,7 +484,7 @@ impl ValidationEngine {
         }
         let outcomes = self.run(&jobs);
         for (slot, o) in job_slots.into_iter().zip(outcomes) {
-            slots[slot] = Some((o.name, o.verdict));
+            slots[slot] = Some(o);
         }
         slots.into_iter().map(|s| s.expect("slot filled")).collect()
     }

@@ -16,220 +16,28 @@
 //! trusted.
 //!
 //! The format is plain JSON lines so BENCH_* trajectories and external
-//! tools can consume it; the codec below is hand-rolled because the
-//! workspace is dependency-free (DESIGN.md, "Dependencies"). A torn final
-//! line — the signature of a kill mid-write — parses as malformed and is
-//! skipped on load.
+//! tools can consume it; the codec lives in [`alive2_obs::json`]
+//! (hand-rolled because the workspace is dependency-free — DESIGN.md,
+//! "Dependencies" — and shared with the Chrome trace writer). A torn
+//! final line — the signature of a kill mid-write — parses as malformed
+//! and is skipped on load.
+//!
+//! Each entry carries the job's full [`ValidateStats`] as a `stats`
+//! sub-object, so a `--resume` run reconstructs run-level telemetry
+//! (query counts, SMT splits, per-phase busy time) without recomputing
+//! the replayed jobs. Journals from before the stats object are still
+//! loadable: their top-level `queries`/`millis` fields seed a default
+//! stats record.
 
 use crate::engine::Outcome;
 use crate::report::{CounterExample, QueryKind};
 use crate::validator::{ValidateStats, Verdict};
+use alive2_obs::json::{esc, JsonParser, JsonValue};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
-
-// ---- minimal JSON-line codec -------------------------------------------
-
-/// Escapes a string for inclusion in a JSON string literal.
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// A parsed JSON value covering exactly the subset the journal emits.
-#[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
-    Str(String),
-    Num(u64),
-    Arr(Vec<JsonValue>),
-    Obj(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_num(&self) -> Option<u64> {
-        match self {
-            JsonValue::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn get(&self, key: &str) -> Option<&JsonValue> {
-        match self {
-            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-}
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn new(s: &'a str) -> Self {
-        JsonParser {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, b: u8) -> Option<()> {
-        self.skip_ws();
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Some(())
-        } else {
-            None
-        }
-    }
-
-    fn value(&mut self) -> Option<JsonValue> {
-        self.skip_ws();
-        match self.peek()? {
-            b'"' => self.string().map(JsonValue::Str),
-            b'[' => self.array(),
-            b'{' => self.object(),
-            b'0'..=b'9' => self.number(),
-            _ => None,
-        }
-    }
-
-    fn string(&mut self) -> Option<String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = self.peek()?;
-            self.pos += 1;
-            match b {
-                b'"' => return Some(out),
-                b'\\' => {
-                    let e = self.peek()?;
-                    self.pos += 1;
-                    match e {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
-                            self.pos += 4;
-                            let code =
-                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
-                            out.push(char::from_u32(code)?);
-                        }
-                        _ => return None,
-                    }
-                }
-                b if b < 0x80 => out.push(b as char),
-                _ => {
-                    // Multi-byte UTF-8: find the full sequence.
-                    let start = self.pos - 1;
-                    let len = match b {
-                        0xC0..=0xDF => 2,
-                        0xE0..=0xEF => 3,
-                        _ => 4,
-                    };
-                    let slice = self.bytes.get(start..start + len)?;
-                    out.push_str(std::str::from_utf8(slice).ok()?);
-                    self.pos = start + len;
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Option<JsonValue> {
-        let start = self.pos;
-        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()?
-            .parse()
-            .ok()
-            .map(JsonValue::Num)
-    }
-
-    fn array(&mut self) -> Option<JsonValue> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Some(JsonValue::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Some(JsonValue::Arr(items));
-                }
-                _ => return None,
-            }
-        }
-    }
-
-    fn object(&mut self) -> Option<JsonValue> {
-        self.eat(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Some(JsonValue::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.eat(b':')?;
-            let val = self.value()?;
-            fields.push((key, val));
-            self.skip_ws();
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Some(JsonValue::Obj(fields));
-                }
-                _ => return None,
-            }
-        }
-    }
-}
 
 // ---- verdict (de)serialization ------------------------------------------
 
@@ -252,13 +60,12 @@ fn entry_line(run: u32, idx: usize, o: &Outcome) -> String {
     }
     let args_json: Vec<String> = args.iter().map(|a| format!("\"{}\"", esc(a))).collect();
     format!(
-        "{{\"run\":{run},\"idx\":{idx},\"name\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\",\"args\":[{}],\"queries\":{},\"millis\":{}}}",
+        "{{\"run\":{run},\"idx\":{idx},\"name\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\",\"args\":[{}],\"stats\":{}}}",
         esc(&o.name),
         o.verdict.kind(),
         esc(&detail),
         args_json.join(","),
-        o.stats.queries,
-        o.stats.millis,
+        o.stats.to_json_obj(),
     )
 }
 
@@ -296,9 +103,15 @@ fn entry_outcome(v: &JsonValue) -> Option<(u32, usize, Outcome)> {
         }),
         _ => return None,
     };
-    let stats = ValidateStats {
-        queries: v.get("queries")?.as_num()? as u32,
-        millis: v.get("millis")?.as_num()?,
+    // Current format: a `stats` sub-object. Legacy format (pre-obs):
+    // top-level `queries`/`millis` only.
+    let stats = match v.get("stats") {
+        Some(sv) => ValidateStats::from_json(sv),
+        None => ValidateStats {
+            queries: v.get("queries")?.as_num()? as u32,
+            millis: v.get("millis")?.as_num()?,
+            ..ValidateStats::default()
+        },
     };
     Some((
         run,
@@ -412,6 +225,8 @@ impl ResumeLog {
 mod tests {
     use super::*;
 
+    use alive2_obs::Phase;
+
     fn outcome(name: &str, verdict: Verdict) -> Outcome {
         Outcome {
             name: name.to_string(),
@@ -419,6 +234,13 @@ mod tests {
             stats: ValidateStats {
                 queries: 7,
                 millis: 42,
+                phase: Phase::Done,
+                smt_unsat: 6,
+                cegqi_iters: 3,
+                terms: 1234,
+                hc_hits: 99,
+                mem_bytes: 4096,
+                ..ValidateStats::default()
             },
         }
     }
@@ -431,6 +253,12 @@ mod tests {
         assert_eq!(o.name, "fn/pass");
         assert_eq!(o.stats.queries, 7);
         assert_eq!(o.stats.millis, 42);
+        assert_eq!(o.stats.phase, Phase::Done);
+        assert_eq!(o.stats.smt_unsat, 6);
+        assert_eq!(o.stats.cegqi_iters, 3);
+        assert_eq!(o.stats.terms, 1234);
+        assert_eq!(o.stats.hc_hits, 99);
+        assert_eq!(o.stats.mem_bytes, 4096);
         o.verdict
     }
 
@@ -476,6 +304,17 @@ mod tests {
         let log = ResumeLog::parse(&format!("{good}\n{torn}"));
         assert_eq!(log.len(), 1);
         assert!(log.lookup(0, 0, "a").is_some());
+    }
+
+    #[test]
+    fn legacy_lines_without_stats_object_still_load() {
+        let line = "{\"run\":0,\"idx\":1,\"name\":\"old\",\"verdict\":\"correct\",\
+                    \"detail\":\"\",\"args\":[],\"queries\":5,\"millis\":17}";
+        let log = ResumeLog::parse(line);
+        let o = log.lookup(0, 1, "old").expect("legacy line loads");
+        assert_eq!(o.stats.queries, 5);
+        assert_eq!(o.stats.millis, 17);
+        assert_eq!(o.stats.phase, Phase::Queued, "legacy stats default");
     }
 
     #[test]

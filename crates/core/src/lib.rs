@@ -23,6 +23,9 @@
 
 pub mod engine;
 pub mod journal;
+/// The observability substrate (spans, counters, trace emission),
+/// re-exported so drivers depending on `alive2-core` get it for free.
+pub use alive2_obs as obs;
 pub mod refine;
 pub mod report;
 pub mod validator;

@@ -11,6 +11,7 @@ use crate::refine::{memory_refined_at, value_refined};
 use crate::report::{CounterExample, QueryKind};
 use alive2_ir::function::Function;
 use alive2_ir::module::Module;
+use alive2_obs::Phase;
 use alive2_sema::config::EncodeConfig;
 use alive2_sema::encode::{encode_function, CallSite, EncodeError, EncodedFn, Env};
 use alive2_smt::exists_forall::{solve_exists_forall_with_seeds, EfConfig, EfResult};
@@ -75,14 +76,11 @@ impl Verdict {
     }
 }
 
-/// Statistics for one validation run.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ValidateStats {
-    /// Number of SMT queries dispatched.
-    pub queries: u32,
-    /// Wall-clock milliseconds spent.
-    pub millis: u64,
-}
+/// Statistics for one validation job: [`alive2_obs::JobStats`] — query
+/// counts, SMT sat/unsat/unknown splits, CEGQI iterations, term-DAG and
+/// hash-cons meters, per-phase busy time, and the furthest
+/// [`Phase`](alive2_obs::Phase) the job reached.
+pub use alive2_obs::JobStats as ValidateStats;
 
 /// Validates that `tgt` refines `src` under the given module and
 /// configuration.
@@ -116,27 +114,109 @@ pub fn validate_pair_with_deadline(
     deadline: Option<Instant>,
 ) -> (Verdict, ValidateStats) {
     let start = Instant::now();
-    let mut stats = ValidateStats::default();
-    if deadline.is_some_and(|d| Instant::now() >= d) {
-        return (Verdict::Timeout, stats);
+    let snap = alive2_obs::counters_snapshot();
+    let mut stats = ValidateStats {
+        phase: Phase::Encode,
+        ..ValidateStats::default()
+    };
+    alive2_obs::set_job_phase(Phase::Encode);
+
+    // Finalizes the stats record: counter deltas since job start, the
+    // term-context meters, wall time, and the final phase (`Done` for
+    // conclusive verdicts; the firing phase for Timeout/OOM/Unsupported,
+    // which is what the journal and crash triage report).
+    let seal =
+        |mut stats: ValidateStats, v: Verdict, ctx: Option<&Ctx>| -> (Verdict, ValidateStats) {
+            stats.absorb_since(&snap);
+            if let Some(ctx) = ctx {
+                stats.terms = ctx.num_terms() as u32;
+                stats.mem_bytes = ctx.mem_bytes() as u64;
+                stats.hc_hits = ctx.hc_hits();
+                stats.hc_misses = ctx.hc_misses();
+            }
+            stats.millis = start.elapsed().as_millis() as u64;
+            if matches!(
+                v,
+                Verdict::Correct
+                    | Verdict::Incorrect(_)
+                    | Verdict::Inconclusive(_)
+                    | Verdict::PreconditionFalse
+            ) {
+                stats.phase = Phase::Done;
+            }
+            alive2_obs::set_job_phase(stats.phase);
+            (v, stats)
+        };
+    let past_deadline = || deadline.is_some_and(|d| Instant::now() >= d);
+
+    // Times the term-context teardown: dropping the env frees the
+    // hash-cons tables and the term DAG, which scales with peak term
+    // count — real per-job cost that would otherwise show up only as a
+    // busy-time-vs-wall-time gap. Every return path that owns an env
+    // goes through here so the Teardown phase captures all of it.
+    let finish = |out: (Verdict, ValidateStats), env: Env| -> (Verdict, ValidateStats) {
+        let _sp = alive2_obs::span(Phase::Teardown);
+        drop(env);
+        out
+    };
+
+    if past_deadline() {
+        return seal(stats, Verdict::Timeout, None);
     }
-    let env = match Env::new(*cfg, module, src) {
+    let env = {
+        let _sp = alive2_obs::span(Phase::Encode);
+        Env::new(*cfg, module, src)
+    };
+    let env = match env {
         Ok(e) => e,
-        Err(u) => return (Verdict::Unsupported(u.reason), stats),
+        Err(u) => return seal(stats, Verdict::Unsupported(u.reason), None),
     };
     let mut src_enc = match encode_function(&env, src) {
         Ok(e) => e,
-        Err(EncodeError::Unsupported(u)) => return (Verdict::Unsupported(u.reason), stats),
-        Err(EncodeError::OutOfMemory) => return (Verdict::OutOfMemory, stats),
+        Err(EncodeError::Unsupported(u)) => {
+            let sealed = seal(stats, Verdict::Unsupported(u.reason), Some(&env.ctx));
+            return finish(sealed, env);
+        }
+        Err(EncodeError::OutOfMemory) => {
+            let sealed = seal(stats, Verdict::OutOfMemory, Some(&env.ctx));
+            return finish(sealed, env);
+        }
     };
+    // Span-close deadline checks: encoding alone can consume the whole
+    // job budget, and a deadline that fires here is reported as a timeout
+    // in the *encode* phase rather than lingering until the first
+    // SAT-budget boundary deep in the solve phase.
+    if past_deadline() {
+        let sealed = seal(stats, Verdict::Timeout, Some(&env.ctx));
+        return finish(sealed, env);
+    }
     let mut tgt_enc = match encode_function(&env, tgt) {
         Ok(e) => e,
-        Err(EncodeError::Unsupported(u)) => return (Verdict::Unsupported(u.reason), stats),
-        Err(EncodeError::OutOfMemory) => return (Verdict::OutOfMemory, stats),
+        Err(EncodeError::Unsupported(u)) => {
+            let sealed = seal(stats, Verdict::Unsupported(u.reason), Some(&env.ctx));
+            return finish(sealed, env);
+        }
+        Err(EncodeError::OutOfMemory) => {
+            let sealed = seal(stats, Verdict::OutOfMemory, Some(&env.ctx));
+            return finish(sealed, env);
+        }
     };
-    let v = check_refinement(&env, &mut src_enc, &mut tgt_enc, cfg, deadline, &mut stats);
-    stats.millis = start.elapsed().as_millis() as u64;
-    (v, stats)
+    if past_deadline() {
+        let sealed = seal(stats, Verdict::Timeout, Some(&env.ctx));
+        return finish(sealed, env);
+    }
+    stats.phase = Phase::Solve;
+    alive2_obs::set_job_phase(Phase::Solve);
+    let v = {
+        let _sp = alive2_obs::span(Phase::Solve);
+        check_refinement(&env, &mut src_enc, &mut tgt_enc, cfg, deadline, &mut stats)
+    };
+    let sealed = seal(stats, v, Some(&env.ctx));
+    // The encoded functions hold only ids into the env's context; drop
+    // them first so `finish` times the whole context teardown.
+    drop(src_enc);
+    drop(tgt_enc);
+    finish(sealed, env)
 }
 
 /// Builds the §6 call-relation constraints.

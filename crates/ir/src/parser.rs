@@ -402,6 +402,7 @@ impl Lexer {
 /// assert_eq!(m.functions.len(), 1);
 /// ```
 pub fn parse_module(src: &str) -> Result<Module> {
+    let _sp = alive2_obs::span(alive2_obs::Phase::Parse);
     let mut lx = lex(src)?;
     let mut module = Module::new();
     loop {

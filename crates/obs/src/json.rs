@@ -1,0 +1,256 @@
+//! The workspace's shared hand-rolled JSON codec.
+//!
+//! Originally private to the outcome journal, now the single codec behind
+//! the journal, the Chrome trace writer, and the stats blocks in every
+//! driver's summary line. Hand-rolled because the workspace is
+//! dependency-free (DESIGN.md, "Dependencies"); it covers exactly the
+//! subset those producers emit: strings, non-negative integers, arrays,
+//! and objects.
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value covering exactly the subset the workspace emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Str(String),
+    Num(u64),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Option<JsonValue> {
+        let mut p = JsonParser::new(text);
+        let v = p.value()?;
+        p.skip_ws();
+        (p.pos == p.bytes.len()).then_some(v)
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Shorthand: numeric field of an object, defaulting to 0 if absent.
+    pub fn num(&self, key: &str) -> u64 {
+        self.get(key).and_then(JsonValue::as_num).unwrap_or(0)
+    }
+}
+
+pub struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    pub fn new(s: &'a str) -> Self {
+        JsonParser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    pub fn value(&mut self) -> Option<JsonValue> {
+        self.skip_ws();
+        match self.peek()? {
+            b'"' => self.string().map(JsonValue::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek()?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = self.peek()?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: find the full sequence.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let slice = self.bytes.get(start..start + len)?;
+                    out.push_str(std::str::from_utf8(slice).ok()?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonValue> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+            .map(JsonValue::Num)
+    }
+
+    fn array(&mut self) -> Option<JsonValue> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(JsonValue::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    pub fn object(&mut self) -> Option<JsonValue> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(JsonValue::Obj(fields));
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_emitted_subset() {
+        let text = r#"{"name":"a\"b","n":42,"xs":["x","y"],"o":{"k":7}}"#;
+        let v = JsonValue::parse(text).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(v.num("n"), 42);
+        assert_eq!(v.get("xs").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.get("o").unwrap().num("k"), 7);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(JsonValue::parse("{\"a\":1}x").is_none());
+        assert!(JsonValue::parse("{\"a\":1}  ").is_some());
+    }
+
+    #[test]
+    fn esc_handles_controls_and_quotes() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let v = JsonValue::parse(&format!("\"{}\"", esc("tab\there"))).unwrap();
+        assert_eq!(v.as_str(), Some("tab\there"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Observability substrate for the Alive2-rs workspace.
+//!
+//! The paper's whole evaluation (§8, Figs. 6–8) is an observability
+//! exercise — per-function solver time, timeout rates, memory behavior
+//! under varying unroll factors — so this crate gives every layer a
+//! shared, dependency-free way to report *where time and memory went*:
+//!
+//! - [`span`]: phase-timing spans (parse / opt / encode / solve /
+//!   journal, plus trace-only job / cegqi / query / inst scopes), ~free
+//!   when disabled;
+//! - [`stats`]: always-on per-job counters (SMT sat/unsat/unknown
+//!   splits, CEGQI iterations, instructions encoded, hash-cons hit
+//!   rates, …) aggregated into run totals;
+//! - [`trace`]: a bounded event buffer serialized as Chrome
+//!   `chrome://tracing` JSON (`--trace FILE`);
+//! - [`report`]: the `--stats` tables and summary-JSON fragments;
+//! - [`json`]: the workspace's hand-rolled JSON codec (shared with the
+//!   outcome journal, which predates this crate and now imports it).
+//!
+//! This crate sits at the bottom of the dependency graph (below `smt`)
+//! so every layer can instrument itself; `alive2-core` re-exports it as
+//! `alive2_core::obs`.
+
+pub mod json;
+pub mod report;
+pub mod span;
+pub mod stats;
+pub mod trace;
+
+pub use span::{
+    job_phase, phase_total_ns, reset_phase_totals, set_job_phase, set_timing, span, span_labeled,
+    timing_enabled, Phase, SpanGuard,
+};
+pub use stats::{counters_snapshot, CounterSnapshot, JobStats, StatsTotals};

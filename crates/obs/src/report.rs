@@ -1,0 +1,130 @@
+//! Human-readable `--stats` rendering and the summary-JSON `phases`
+//! fragment shared by every driver.
+
+use crate::span::{phase_total_ns, Phase, BREAKDOWN};
+use crate::stats::StatsTotals;
+
+/// Renders the summary-JSON `phases` object: per-phase busy time plus
+/// the run's wall time, all in microseconds. At `--jobs 1` the phase
+/// values partition busy time, so their sum tracks `wall_us` closely
+/// (the residue is driver overhead: I/O, job dispatch, reporting).
+pub fn phases_json_obj(wall_us: u64) -> String {
+    let mut parts: Vec<String> = BREAKDOWN
+        .iter()
+        .map(|p| format!("\"{}_us\":{}", p.as_str(), phase_total_ns(*p) / 1_000))
+        .collect();
+    parts.push(format!("\"wall_us\":{wall_us}"));
+    format!("{{{}}}", parts.join(","))
+}
+
+fn pct(us: u64, wall_us: u64) -> f64 {
+    if wall_us == 0 {
+        0.0
+    } else {
+        100.0 * us as f64 / wall_us as f64
+    }
+}
+
+/// Renders the `--stats` per-phase time breakdown table.
+pub fn render_phase_table(wall_us: u64) -> String {
+    let mut out = String::new();
+    out.push_str("-- phase breakdown ------------------------------\n");
+    let mut busy_us = 0u64;
+    for p in BREAKDOWN {
+        let us = phase_total_ns(p) / 1_000;
+        busy_us += us;
+        out.push_str(&format!(
+            "  {:10} {:>10.1} ms {:>6.1}%\n",
+            p.as_str(),
+            us as f64 / 1_000.0,
+            pct(us, wall_us)
+        ));
+    }
+    out.push_str(&format!(
+        "  {:10} {:>10.1} ms {:>6.1}% of wall\n",
+        "busy total",
+        busy_us as f64 / 1_000.0,
+        pct(busy_us, wall_us)
+    ));
+    out.push_str(&format!(
+        "  {:10} {:>10.1} ms\n",
+        "wall",
+        wall_us as f64 / 1_000.0
+    ));
+    out
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Renders the `--stats` counter-totals block.
+pub fn render_counters(t: &StatsTotals) -> String {
+    let mut out = String::new();
+    out.push_str("-- counters -------------------------------------\n");
+    out.push_str(&format!(
+        "  jobs {}, refinement queries {}\n",
+        t.jobs, t.queries
+    ));
+    out.push_str(&format!(
+        "  smt checks {} (sat {} / unsat {} / unknown {})\n",
+        t.smt_sat + t.smt_unsat + t.smt_unknown,
+        t.smt_sat,
+        t.smt_unsat,
+        t.smt_unknown
+    ));
+    out.push_str(&format!("  cegqi iterations {}\n", t.cegqi_iters));
+    out.push_str(&format!(
+        "  instructions encoded {}, approximations {}\n",
+        t.insts_encoded, t.approx
+    ));
+    out.push_str(&format!(
+        "  term nodes {}, hash-cons hits {} ({:.1}%), peak term mem {:.2} MiB\n",
+        t.terms,
+        t.hc_hits,
+        100.0 * t.hc_hit_rate(),
+        mib(t.mem_peak_bytes)
+    ));
+    out.push_str(&format!(
+        "  per-job busy: encode {:.1} ms, solve {:.1} ms; queue wait {} ms total\n",
+        t.encode_us as f64 / 1_000.0,
+        t.solve_us as f64 / 1_000.0,
+        t.queue_ms
+    ));
+    out
+}
+
+/// One `Phase` busy total in microseconds (convenience for drivers).
+pub fn phase_us(p: Phase) -> u64 {
+    phase_total_ns(p) / 1_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn phases_json_has_every_breakdown_phase_and_wall() {
+        let v = JsonValue::parse(&phases_json_obj(123_456)).expect("valid JSON");
+        for p in BREAKDOWN {
+            assert!(
+                v.get(&format!("{}_us", p.as_str())).is_some(),
+                "missing {}",
+                p.as_str()
+            );
+        }
+        assert_eq!(v.num("wall_us"), 123_456);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_mentions_phases() {
+        let table = render_phase_table(1_000);
+        assert!(table.contains("encode"));
+        assert!(table.contains("solve"));
+        assert!(table.contains("wall"));
+        let counters = render_counters(&StatsTotals::default());
+        assert!(counters.contains("smt checks"));
+        assert!(counters.contains("hash-cons"));
+    }
+}

@@ -1,0 +1,466 @@
+//! Per-job counters and run-level totals.
+//!
+//! The instrumented layers bump plain thread-local counters — always on,
+//! no gating, since a `Cell` increment is a few nanoseconds and the
+//! journal needs per-job counters even in un-instrumented runs (crash
+//! triage, `--resume` telemetry). A job's worth of activity is carved
+//! out of the monotonic thread-locals with a snapshot/delta pair:
+//! the engine snapshots before running a job and
+//! [`JobStats::absorb_since`] takes the difference after, so nested
+//! scopes and consecutive jobs on one worker thread never double count.
+//!
+//! [`JobStats`] is the per-job record (journaled, attached to every
+//! [`Outcome`](../../alive2_core/engine/struct.Outcome.html));
+//! [`StatsTotals`] is the run-level aggregate embedded in `Counts` and in
+//! every driver's summary JSON.
+
+use crate::json::JsonValue;
+use crate::span::Phase;
+use std::cell::Cell;
+
+// ---- thread-local monotonic counters -------------------------------------
+
+#[derive(Clone, Copy, Default)]
+struct Block {
+    smt_sat: u64,
+    smt_unsat: u64,
+    smt_unknown: u64,
+    cegqi_iters: u64,
+    insts_encoded: u64,
+    approx: u64,
+    encode_ns: u64,
+    solve_ns: u64,
+}
+
+thread_local! {
+    static BLOCK: Cell<Block> = const {
+        Cell::new(Block {
+            smt_sat: 0,
+            smt_unsat: 0,
+            smt_unknown: 0,
+            cegqi_iters: 0,
+            insts_encoded: 0,
+            approx: 0,
+            encode_ns: 0,
+            solve_ns: 0,
+        })
+    };
+}
+
+fn bump(f: impl FnOnce(&mut Block)) {
+    BLOCK.with(|b| {
+        let mut block = b.get();
+        f(&mut block);
+        b.set(block);
+    });
+}
+
+/// One SMT check answered `Sat`.
+pub fn record_smt_sat() {
+    bump(|b| b.smt_sat += 1);
+}
+
+/// One SMT check answered `Unsat`.
+pub fn record_smt_unsat() {
+    bump(|b| b.smt_unsat += 1);
+}
+
+/// One SMT check gave no answer (timeout or memory exhaustion).
+pub fn record_smt_unknown() {
+    bump(|b| b.smt_unknown += 1);
+}
+
+/// One CEGQI refinement-loop iteration ran.
+pub fn record_cegqi_iter() {
+    bump(|b| b.cegqi_iters += 1);
+}
+
+/// `n` IR instructions were encoded.
+pub fn record_insts_encoded(n: u64) {
+    bump(|b| b.insts_encoded += n);
+}
+
+/// One §3.8 over-approximation was applied.
+pub fn record_approx() {
+    bump(|b| b.approx += 1);
+}
+
+/// Span-close hook: folds an accumulating span's duration into the
+/// thread's per-job encode/solve time (only those two are job-attributed).
+pub(crate) fn add_phase_ns(phase: Phase, ns: u64) {
+    match phase {
+        Phase::Encode => bump(|b| b.encode_ns += ns),
+        Phase::Solve => bump(|b| b.solve_ns += ns),
+        _ => {}
+    }
+}
+
+/// An opaque snapshot of this thread's counters; see [`JobStats::absorb_since`].
+#[derive(Clone, Copy, Debug)]
+pub struct CounterSnapshot(Block);
+
+impl std::fmt::Debug for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Block").finish_non_exhaustive()
+    }
+}
+
+/// Snapshots the current thread's monotonic counters.
+pub fn counters_snapshot() -> CounterSnapshot {
+    CounterSnapshot(BLOCK.with(|b| b.get()))
+}
+
+// ---- per-job stats -------------------------------------------------------
+
+/// Statistics for one validation job. Journaled alongside the verdict
+/// (so `--resume` reconstructs run telemetry) and attached to crash
+/// outcomes as the partial record of how far the job got.
+#[derive(Clone, Copy, Debug)]
+pub struct JobStats {
+    /// Refinement queries dispatched (§5.3 steps).
+    pub queries: u32,
+    /// Wall-clock milliseconds for the job.
+    pub millis: u64,
+    /// Furthest lifecycle phase reached; `Done` for conclusive verdicts,
+    /// the firing phase for Timeout/OOM/Crash.
+    pub phase: Phase,
+    /// SMT checks answered sat / unsat / unknown (timeout, OOM).
+    pub smt_sat: u32,
+    pub smt_unsat: u32,
+    pub smt_unknown: u32,
+    /// CEGQI loop iterations across all queries.
+    pub cegqi_iters: u32,
+    /// IR instructions encoded (source + target).
+    pub insts_encoded: u32,
+    /// §3.8 over-approximations applied while encoding.
+    pub approx: u32,
+    /// Term-DAG nodes live in the job's context at completion.
+    pub terms: u32,
+    /// Hash-cons lookups that hit an existing node / allocated a new one.
+    pub hc_hits: u64,
+    pub hc_misses: u64,
+    /// Peak estimated term memory (the `Ctx` allocation meter).
+    pub mem_bytes: u64,
+    /// Busy time inside encode / solve spans (µs; 0 unless `--stats`/`--trace`).
+    pub encode_us: u64,
+    pub solve_us: u64,
+    /// Milliseconds between run start and this job's pickup.
+    pub queue_ms: u64,
+}
+
+impl Default for JobStats {
+    fn default() -> Self {
+        JobStats {
+            queries: 0,
+            millis: 0,
+            phase: Phase::Queued,
+            smt_sat: 0,
+            smt_unsat: 0,
+            smt_unknown: 0,
+            cegqi_iters: 0,
+            insts_encoded: 0,
+            approx: 0,
+            terms: 0,
+            hc_hits: 0,
+            hc_misses: 0,
+            mem_bytes: 0,
+            encode_us: 0,
+            solve_us: 0,
+            queue_ms: 0,
+        }
+    }
+}
+
+impl JobStats {
+    /// Fills the counter fields from the difference between the current
+    /// thread counters and `snap` (taken when the job started). The
+    /// deltas *overwrite*; call once, at job end (or at the crash site).
+    pub fn absorb_since(&mut self, snap: &CounterSnapshot) {
+        let now = BLOCK.with(|b| b.get());
+        let d = |cur: u64, old: u64| cur.saturating_sub(old);
+        self.smt_sat = d(now.smt_sat, snap.0.smt_sat) as u32;
+        self.smt_unsat = d(now.smt_unsat, snap.0.smt_unsat) as u32;
+        self.smt_unknown = d(now.smt_unknown, snap.0.smt_unknown) as u32;
+        self.cegqi_iters = d(now.cegqi_iters, snap.0.cegqi_iters) as u32;
+        self.insts_encoded = d(now.insts_encoded, snap.0.insts_encoded) as u32;
+        self.approx = d(now.approx, snap.0.approx) as u32;
+        self.encode_us = d(now.encode_ns, snap.0.encode_ns) / 1_000;
+        self.solve_us = d(now.solve_ns, snap.0.solve_ns) / 1_000;
+    }
+
+    /// Renders the journal/summary `stats` object.
+    pub fn to_json_obj(&self) -> String {
+        format!(
+            "{{\"phase\":\"{}\",\"queries\":{},\"millis\":{},\"sat\":{},\"unsat\":{},\
+             \"unknown\":{},\"cegqi\":{},\"insts\":{},\"approx\":{},\"terms\":{},\
+             \"hc_hits\":{},\"hc_misses\":{},\"mem_bytes\":{},\"encode_us\":{},\
+             \"solve_us\":{},\"queue_ms\":{}}}",
+            self.phase.as_str(),
+            self.queries,
+            self.millis,
+            self.smt_sat,
+            self.smt_unsat,
+            self.smt_unknown,
+            self.cegqi_iters,
+            self.insts_encoded,
+            self.approx,
+            self.terms,
+            self.hc_hits,
+            self.hc_misses,
+            self.mem_bytes,
+            self.encode_us,
+            self.solve_us,
+            self.queue_ms,
+        )
+    }
+
+    /// Rebuilds stats from a parsed `stats` object. Tolerant: absent
+    /// fields default to zero so old journals stay loadable.
+    pub fn from_json(v: &JsonValue) -> JobStats {
+        JobStats {
+            queries: v.num("queries") as u32,
+            millis: v.num("millis"),
+            phase: v
+                .get("phase")
+                .and_then(JsonValue::as_str)
+                .and_then(Phase::from_name)
+                .unwrap_or(Phase::Queued),
+            smt_sat: v.num("sat") as u32,
+            smt_unsat: v.num("unsat") as u32,
+            smt_unknown: v.num("unknown") as u32,
+            cegqi_iters: v.num("cegqi") as u32,
+            insts_encoded: v.num("insts") as u32,
+            approx: v.num("approx") as u32,
+            terms: v.num("terms") as u32,
+            hc_hits: v.num("hc_hits"),
+            hc_misses: v.num("hc_misses"),
+            mem_bytes: v.num("mem_bytes"),
+            encode_us: v.num("encode_us"),
+            solve_us: v.num("solve_us"),
+            queue_ms: v.num("queue_ms"),
+        }
+    }
+}
+
+// ---- run-level totals ----------------------------------------------------
+
+/// Run-level aggregate of [`JobStats`], embedded in `Counts` and in the
+/// drivers' summary JSON.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsTotals {
+    /// Jobs aggregated (incl. synthesized outcomes for skipped pairs).
+    pub jobs: u64,
+    pub queries: u64,
+    pub smt_sat: u64,
+    pub smt_unsat: u64,
+    pub smt_unknown: u64,
+    pub cegqi_iters: u64,
+    pub insts_encoded: u64,
+    pub approx: u64,
+    pub terms: u64,
+    pub hc_hits: u64,
+    pub hc_misses: u64,
+    /// Maximum per-job peak term memory seen.
+    pub mem_peak_bytes: u64,
+    pub encode_us: u64,
+    pub solve_us: u64,
+    pub queue_ms: u64,
+}
+
+impl StatsTotals {
+    /// Folds one job's stats in.
+    pub fn add_job(&mut self, s: &JobStats) {
+        self.jobs += 1;
+        self.queries += s.queries as u64;
+        self.smt_sat += s.smt_sat as u64;
+        self.smt_unsat += s.smt_unsat as u64;
+        self.smt_unknown += s.smt_unknown as u64;
+        self.cegqi_iters += s.cegqi_iters as u64;
+        self.insts_encoded += s.insts_encoded as u64;
+        self.approx += s.approx as u64;
+        self.terms += s.terms as u64;
+        self.hc_hits += s.hc_hits;
+        self.hc_misses += s.hc_misses;
+        self.mem_peak_bytes = self.mem_peak_bytes.max(s.mem_bytes);
+        self.encode_us += s.encode_us;
+        self.solve_us += s.solve_us;
+        self.queue_ms += s.queue_ms;
+    }
+
+    /// Merges another total (multi-run drivers).
+    pub fn merge(&mut self, other: &StatsTotals) {
+        self.jobs += other.jobs;
+        self.queries += other.queries;
+        self.smt_sat += other.smt_sat;
+        self.smt_unsat += other.smt_unsat;
+        self.smt_unknown += other.smt_unknown;
+        self.cegqi_iters += other.cegqi_iters;
+        self.insts_encoded += other.insts_encoded;
+        self.approx += other.approx;
+        self.terms += other.terms;
+        self.hc_hits += other.hc_hits;
+        self.hc_misses += other.hc_misses;
+        self.mem_peak_bytes = self.mem_peak_bytes.max(other.mem_peak_bytes);
+        self.encode_us += other.encode_us;
+        self.solve_us += other.solve_us;
+        self.queue_ms += other.queue_ms;
+    }
+
+    /// True when every *deterministic* counter matches `other` — the time
+    /// and queue fields (scheduling-dependent) are excluded. This is the
+    /// invariant `--jobs N` preserves against `--jobs 1`, and a resumed
+    /// run against an uninterrupted one.
+    pub fn same_counters(&self, other: &StatsTotals) -> bool {
+        self.jobs == other.jobs
+            && self.queries == other.queries
+            && self.smt_sat == other.smt_sat
+            && self.smt_unsat == other.smt_unsat
+            && self.smt_unknown == other.smt_unknown
+            && self.cegqi_iters == other.cegqi_iters
+            && self.insts_encoded == other.insts_encoded
+            && self.approx == other.approx
+            && self.terms == other.terms
+            && self.hc_hits == other.hc_hits
+            && self.hc_misses == other.hc_misses
+            && self.mem_peak_bytes == other.mem_peak_bytes
+    }
+
+    /// Hash-cons hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn hc_hit_rate(&self) -> f64 {
+        let total = self.hc_hits + self.hc_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hc_hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the summary-JSON `stats` object.
+    pub fn to_json_obj(&self) -> String {
+        format!(
+            "{{\"jobs\":{},\"queries\":{},\"sat\":{},\"unsat\":{},\"unknown\":{},\
+             \"cegqi\":{},\"insts\":{},\"approx\":{},\"terms\":{},\"hc_hits\":{},\
+             \"hc_misses\":{},\"mem_peak_bytes\":{},\"encode_us\":{},\"solve_us\":{},\
+             \"queue_ms\":{}}}",
+            self.jobs,
+            self.queries,
+            self.smt_sat,
+            self.smt_unsat,
+            self.smt_unknown,
+            self.cegqi_iters,
+            self.insts_encoded,
+            self.approx,
+            self.terms,
+            self.hc_hits,
+            self.hc_misses,
+            self.mem_peak_bytes,
+            self.encode_us,
+            self.solve_us,
+            self.queue_ms,
+        )
+    }
+
+    /// Rebuilds totals from a parsed summary `stats` object (tolerant).
+    pub fn from_json(v: &JsonValue) -> StatsTotals {
+        StatsTotals {
+            jobs: v.num("jobs"),
+            queries: v.num("queries"),
+            smt_sat: v.num("sat"),
+            smt_unsat: v.num("unsat"),
+            smt_unknown: v.num("unknown"),
+            cegqi_iters: v.num("cegqi"),
+            insts_encoded: v.num("insts"),
+            approx: v.num("approx"),
+            terms: v.num("terms"),
+            hc_hits: v.num("hc_hits"),
+            hc_misses: v.num("hc_misses"),
+            mem_peak_bytes: v.num("mem_peak_bytes"),
+            encode_us: v.num("encode_us"),
+            solve_us: v.num("solve_us"),
+            queue_ms: v.num("queue_ms"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_isolates_a_scope() {
+        let outer = counters_snapshot();
+        record_smt_sat();
+        let inner = counters_snapshot();
+        record_smt_unsat();
+        record_smt_unsat();
+        record_cegqi_iter();
+
+        let mut job = JobStats::default();
+        job.absorb_since(&inner);
+        assert_eq!(job.smt_sat, 0, "sat happened before the inner snapshot");
+        assert_eq!(job.smt_unsat, 2);
+        assert_eq!(job.cegqi_iters, 1);
+
+        let mut whole = JobStats::default();
+        whole.absorb_since(&outer);
+        assert_eq!(whole.smt_sat, 1);
+        assert_eq!(whole.smt_unsat, 2);
+    }
+
+    #[test]
+    fn job_stats_json_round_trip() {
+        let s = JobStats {
+            queries: 7,
+            millis: 42,
+            phase: Phase::Solve,
+            smt_sat: 1,
+            smt_unsat: 5,
+            smt_unknown: 1,
+            cegqi_iters: 3,
+            insts_encoded: 19,
+            approx: 2,
+            terms: 1234,
+            hc_hits: 999,
+            hc_misses: 321,
+            mem_bytes: 65536,
+            encode_us: 1500,
+            solve_us: 2500,
+            queue_ms: 4,
+        };
+        let v = JsonValue::parse(&s.to_json_obj()).expect("valid JSON");
+        let back = JobStats::from_json(&v);
+        assert_eq!(back.queries, 7);
+        assert_eq!(back.millis, 42);
+        assert_eq!(back.phase, Phase::Solve);
+        assert_eq!(back.smt_unsat, 5);
+        assert_eq!(back.terms, 1234);
+        assert_eq!(back.hc_hits, 999);
+        assert_eq!(back.mem_bytes, 65536);
+        assert_eq!(back.queue_ms, 4);
+    }
+
+    #[test]
+    fn totals_aggregate_and_compare() {
+        let mut a = StatsTotals::default();
+        let mut job = JobStats {
+            queries: 3,
+            mem_bytes: 10,
+            ..JobStats::default()
+        };
+        a.add_job(&job);
+        job.mem_bytes = 50;
+        a.add_job(&job);
+        assert_eq!(a.jobs, 2);
+        assert_eq!(a.queries, 6);
+        assert_eq!(a.mem_peak_bytes, 50, "peak is a max, not a sum");
+
+        let mut b = a;
+        b.queue_ms = 777; // scheduling-dependent: ignored by same_counters
+        assert!(a.same_counters(&b));
+        b.queries += 1;
+        assert!(!a.same_counters(&b));
+
+        let v = JsonValue::parse(&a.to_json_obj()).unwrap();
+        assert!(StatsTotals::from_json(&v).same_counters(&a));
+    }
+}

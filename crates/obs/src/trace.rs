@@ -1,0 +1,200 @@
+//! The trace event buffer and the Chrome `chrome://tracing` writer.
+//!
+//! When enabled (`--trace FILE`), every span pushes a begin event at open
+//! and an end event at drop into a process-wide buffer; at run end the
+//! driver serializes the buffer as a Chrome trace-event JSON array of
+//! `"ph":"B"` / `"ph":"E"` records (timestamps in microseconds since the
+//! first enable, one `tid` per OS thread). The buffer is bounded: past
+//! [`MAX_EVENTS`] further events are counted in [`dropped`] rather than
+//! stored, so a pathological run cannot trade its memory budget for
+//! trace volume.
+
+use crate::json::esc;
+use crate::span::Phase;
+use std::cell::Cell;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hard cap on buffered events (~96 MB worst case at 2^20 events).
+pub const MAX_EVENTS: usize = 1 << 20;
+
+/// Whether a span opened or closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    Begin,
+    End,
+}
+
+/// One buffered trace event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    pub phase: Phase,
+    /// Display label (empty for unlabeled spans); begin and end events of
+    /// one span carry the same label, so B/E names pair up.
+    pub label: String,
+    pub kind: EventKind,
+    /// Microseconds since tracing was first enabled.
+    pub ts_us: u64,
+    /// Small dense per-thread id (not the OS tid).
+    pub tid: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DETAIL: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn buffer() -> &'static Mutex<Vec<Event>> {
+    static EVENTS: OnceLock<Mutex<Vec<Event>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn this_tid() -> u64 {
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// Turns event recording on or off. Enabling pins the trace epoch.
+pub fn set_enabled(on: bool) {
+    if on {
+        epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when spans should record events.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns per-instruction spans (`--trace-detail`) on or off; only
+/// meaningful while tracing is enabled.
+pub fn set_detail(on: bool) {
+    DETAIL.store(on, Ordering::Relaxed);
+}
+
+/// True when per-instruction spans should be emitted.
+pub fn detail() -> bool {
+    DETAIL.load(Ordering::Relaxed) && enabled()
+}
+
+/// Events discarded after the buffer filled.
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Records one event (called from span open/close).
+pub(crate) fn push(phase: Phase, label: &str, kind: EventKind) {
+    let ts_us = epoch().elapsed().as_micros() as u64;
+    let tid = this_tid();
+    let mut buf = buffer().lock().unwrap_or_else(|e| e.into_inner());
+    if buf.len() >= MAX_EVENTS {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    buf.push(Event {
+        phase,
+        label: label.to_string(),
+        kind,
+        ts_us,
+        tid,
+    });
+}
+
+/// Drains and returns the buffered events (in record order).
+pub fn take_events() -> Vec<Event> {
+    std::mem::take(&mut *buffer().lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Serializes events as a Chrome trace-event JSON array.
+pub fn chrome_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 64 + 2);
+    out.push_str("[\n");
+    for (i, e) in events.iter().enumerate() {
+        let name = if e.label.is_empty() {
+            e.phase.as_str().to_string()
+        } else {
+            format!("{}:{}", e.phase.as_str(), e.label)
+        };
+        let ph = match e.kind {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"alive2\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}}}",
+            esc(&name),
+            ph,
+            e.ts_us,
+            e.tid
+        ));
+        out.push_str(if i + 1 == events.len() { "\n" } else { ",\n" });
+    }
+    out.push(']');
+    out
+}
+
+/// Drains the buffer and writes it to `path` as Chrome trace JSON.
+/// Returns the number of events written.
+pub fn write_chrome(path: impl AsRef<Path>) -> std::io::Result<usize> {
+    let events = take_events();
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(chrome_json(&events).as_bytes())?;
+    file.flush()?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn chrome_json_is_parseable_and_balanced() {
+        let events = vec![
+            Event {
+                phase: Phase::Encode,
+                label: "f".into(),
+                kind: EventKind::Begin,
+                ts_us: 10,
+                tid: 1,
+            },
+            Event {
+                phase: Phase::Encode,
+                label: String::new(),
+                kind: EventKind::End,
+                ts_us: 25,
+                tid: 1,
+            },
+        ];
+        let text = chrome_json(&events);
+        let v = JsonValue::parse(&text).expect("valid JSON");
+        let arr = v.as_arr().expect("array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(arr[0].get("name").unwrap().as_str(), Some("encode:f"));
+        assert_eq!(arr[1].get("ph").unwrap().as_str(), Some("E"));
+        assert_eq!(arr[1].num("ts"), 25);
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_array() {
+        let v = JsonValue::parse(&chrome_json(&[])).expect("valid JSON");
+        assert_eq!(v.as_arr().map(<[JsonValue]>::len), Some(0));
+    }
+}

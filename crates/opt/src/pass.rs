@@ -55,6 +55,7 @@ impl PassManager {
     pub fn run(&self, f: &mut Function) -> Vec<&'static str> {
         let mut changed = Vec::new();
         for p in &self.passes {
+            let _sp = alive2_obs::span_labeled(alive2_obs::Phase::Opt, p.name());
             if p.run(f, &self.bugs) {
                 changed.push(p.name());
             }
@@ -69,6 +70,7 @@ impl PassManager {
     pub fn run_with_snapshots(&self, f: &mut Function) -> Vec<(&'static str, Function, Function)> {
         let mut out = Vec::new();
         for p in &self.passes {
+            let _sp = alive2_obs::span_labeled(alive2_obs::Phase::Opt, p.name());
             let before = f.clone();
             if p.run(f, &self.bugs) && *f != before {
                 out.push((p.name(), before, f.clone()));

@@ -395,6 +395,7 @@ struct FnEncoder<'e> {
 /// checked once per encoded instruction, so encoding explosions surface
 /// long before the SAT solver starts learning clauses.
 pub fn encode_function(env: &Env, f: &Function) -> Result<EncodedFn, EncodeError> {
+    let _sp = alive2_obs::span_labeled(alive2_obs::Phase::Encode, &f.name);
     // Signature must match the environment (built from the source).
     if f.params.len() != env.args.len() {
         unsupported::<()>("source/target parameter counts differ")?;
@@ -499,6 +500,9 @@ pub fn encode_function(env: &Env, f: &Function) -> Result<EncodedFn, EncodeError
             if ctx.over_budget() {
                 return Err(EncodeError::OutOfMemory);
             }
+            alive2_obs::stats::record_insts_encoded(1);
+            let _inst_sp = alive2_obs::trace::detail()
+                .then(|| alive2_obs::span_labeled(alive2_obs::Phase::Inst, &inst.to_string()));
             guard = enc.encode_inst(&func, &cfg_an, bi, guard, inst)?;
         }
     }
@@ -1395,6 +1399,7 @@ impl<'e> FnEncoder<'e> {
         let key = format!("__uf_{name}");
         let fid = self.uf_cache(&key, args, ret_w);
         let t = ctx.apply(fid, args);
+        alive2_obs::stats::record_approx();
         self.overapprox.push(t);
         t
     }
@@ -1774,6 +1779,7 @@ impl<'e> FnEncoder<'e> {
             );
             self.mem.havoc_shared(guard, hv);
             let probe = ctx.apply(hv, &[self.mem.null(ctx)]);
+            alive2_obs::stats::record_approx();
             self.overapprox.push(probe);
         }
 
@@ -1781,6 +1787,7 @@ impl<'e> FnEncoder<'e> {
             // Unknown intrinsics are over-approximations (§3.8); plain
             // function calls are handled exactly by the §6 call relation.
             if is_intrinsic(callee) {
+                alive2_obs::stats::record_approx();
                 self.overapprox.push(v);
             }
             self.def(

@@ -153,6 +153,11 @@ pub fn solve_exists_forall_with_seeds(
     }
 
     for _iter in 0..config.max_iterations {
+        // Span-close point for the per-job deadline: each iteration opens
+        // under a fresh deadline check, so a deadline hit surfaces as a
+        // Timeout at an iteration boundary rather than mid-solve.
+        let _sp = alive2_obs::span(alive2_obs::Phase::Cegqi);
+        alive2_obs::stats::record_cegqi_iter();
         if deadline_exceeded(&start) {
             return EfResult::Timeout;
         }

@@ -100,6 +100,17 @@ impl<'a> Solver<'a> {
     /// it only assigns variables whose CNF encoding was actually created
     /// (i.e. variables that appear in the formula after simplification).
     pub fn check(&self, budget: Budget) -> SmtResult {
+        let _sp = alive2_obs::span(alive2_obs::Phase::Query);
+        let result = self.check_inner(budget);
+        match &result {
+            SmtResult::Sat(_) => alive2_obs::stats::record_smt_sat(),
+            SmtResult::Unsat => alive2_obs::stats::record_smt_unsat(),
+            SmtResult::Timeout | SmtResult::OutOfMemory => alive2_obs::stats::record_smt_unknown(),
+        }
+        result
+    }
+
+    fn check_inner(&self, budget: Budget) -> SmtResult {
         // Fast path: syntactically trivial.
         let conj = self.ctx.and_many(&self.assertions);
         if let Some(b) = self.ctx.as_bool_lit(conj) {

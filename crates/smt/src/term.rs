@@ -174,6 +174,10 @@ struct Inner {
     mem_budget: Option<usize>,
     /// Latched budget-exceeded flag.
     over: bool,
+    /// Hash-cons lookups resolved to an existing node.
+    hc_hits: u64,
+    /// Hash-cons lookups that allocated a new node.
+    hc_misses: u64,
 }
 
 impl Inner {
@@ -244,6 +248,8 @@ impl Ctx {
                 mem_bytes: 0,
                 mem_budget: None,
                 over: false,
+                hc_hits: 0,
+                hc_misses: 0,
             }),
         }
     }
@@ -279,6 +285,18 @@ impl Ctx {
         self.inner.borrow().over
     }
 
+    /// Hash-cons lookups resolved to an existing node.
+    pub fn hc_hits(&self) -> u64 {
+        self.inner.borrow().hc_hits
+    }
+
+    /// Hash-cons lookups that allocated a new node. Note that the
+    /// simplifying smart constructors often rewrite before interning, so
+    /// `hc_hits + hc_misses` can exceed calls to the public constructors.
+    pub fn hc_misses(&self) -> u64 {
+        self.inner.borrow().hc_misses
+    }
+
     fn intern(&self, op: Op, args: &[TermId], sort: Sort) -> TermId {
         let node = Node {
             op,
@@ -287,8 +305,10 @@ impl Ctx {
         };
         let mut inner = self.inner.borrow_mut();
         if let Some(&id) = inner.dedup.get(&node) {
+            inner.hc_hits += 1;
             return id;
         }
+        inner.hc_misses += 1;
         let id = TermId(inner.nodes.len() as u32);
         let bytes = Inner::node_bytes(&node);
         inner.dedup.insert(node.clone(), id);

@@ -6,7 +6,8 @@
 //! ```text
 //! cargo run --example alive_tv -- src.ll tgt.ll [--unroll N] [--timeout MS] \
 //!     [--jobs N] [--deadline-ms MS] [--mem-budget-mb MB] \
-//!     [--journal PATH] [--resume PATH] [--inject-panic MARKER]
+//!     [--journal PATH] [--resume PATH] [--inject-panic MARKER] \
+//!     [--stats] [--trace FILE] [--trace-detail]
 //! ```
 //!
 //! With no arguments, runs on a built-in demo pair.
@@ -19,12 +20,14 @@
 
 use alive2::core::engine::{Counts, ValidationEngine};
 use alive2::core::journal::{Journal, ResumeLog};
+use alive2::core::obs;
 use alive2::core::report::verdict_line;
 use alive2::core::validator::Verdict;
 use alive2::ir::parser::parse_module;
 use alive2::sema::config::EncodeConfig;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
 
 const DEMO_SRC: &str = r#"
 define i8 @twice(i8 %x) {
@@ -61,9 +64,14 @@ fn main() -> ExitCode {
     let mut cfg = EncodeConfig::default();
     let mut engine = ValidationEngine::default();
     let mut files: Vec<String> = Vec::new();
+    let mut stats = false;
+    let mut trace: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--stats" => stats = true,
+            "--trace" => trace = Some(it.next().expect("--trace needs a path")),
+            "--trace-detail" => obs::trace::set_detail(true),
             "--unroll" => {
                 cfg.unroll_factor = it
                     .next()
@@ -143,6 +151,11 @@ fn main() -> ExitCode {
         }
     };
 
+    obs::trace::set_enabled(trace.is_some());
+    // Tracing needs timestamps anyway, so --trace implies phase timing.
+    obs::set_timing(stats || trace.is_some());
+    let started = Instant::now();
+
     let src = match parse_module(&src_text) {
         Ok(m) => m,
         Err(e) => {
@@ -159,12 +172,16 @@ fn main() -> ExitCode {
     };
 
     let mut counts = Counts::default();
-    for (name, verdict) in engine.validate_modules(&src, &tgt, &cfg) {
-        println!("----------------------------------------\n@{name}:");
+    for outcome in engine.validate_modules_outcomes(&src, &tgt, &cfg) {
+        println!(
+            "----------------------------------------\n@{}:",
+            outcome.name
+        );
         counts.pairs += 1;
         counts.diff += 1;
-        counts.record(&verdict);
-        match verdict {
+        counts.record(&outcome.verdict);
+        counts.stats.add_job(&outcome.stats);
+        match outcome.verdict {
             Verdict::Incorrect(cex) => {
                 for line in cex.to_string().lines() {
                     println!("  {line}");
@@ -173,17 +190,38 @@ fn main() -> ExitCode {
             other => println!("  {}", verdict_line(&other)),
         }
     }
+    // Microsecond wall precision: the 5% busy-vs-wall CI bound is tighter
+    // than millisecond rounding on a fast run.
+    let wall_us = started.elapsed().as_micros() as u64;
+    counts.millis = wall_us / 1_000;
     println!("----------------------------------------");
+    if stats {
+        print!("{}", obs::report::render_phase_table(wall_us));
+        print!("{}", obs::report::render_counters(&counts.stats));
+    }
+    if let Some(path) = &trace {
+        match obs::trace::write_chrome(path) {
+            Ok(n) => eprintln!("trace: wrote {n} events to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write trace `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // The summary JSON stays the LAST stdout line (ci.sh tails it).
     println!(
         "{{\"name\":\"alive_tv\",\"pairs\":{},\"correct\":{},\"incorrect\":{},\
-         \"timeout\":{},\"oom\":{},\"unsupported\":{},\"crash\":{}}}",
+         \"timeout\":{},\"oom\":{},\"unsupported\":{},\"crash\":{},\
+         \"stats\":{},\"phases\":{}}}",
         counts.pairs,
         counts.correct,
         counts.incorrect,
         counts.timeout,
         counts.oom,
         counts.unsupported,
-        counts.crash
+        counts.crash,
+        counts.stats.to_json_obj(),
+        obs::report::phases_json_obj(wall_us)
     );
     // Contained faults (crash/oom) do not fail the run; genuine refinement
     // violations do.

@@ -5,9 +5,16 @@
 # The figure harnesses accept --jobs N (worker threads, default: all
 # cores) and --deadline-ms MS (per-job wall-clock cap); the micro timer
 # emits one JSON line per bench ({"bench":...,"median_ns":...,...}).
+#
+# Pass --stats to also print each harness's per-phase timing breakdown
+# and counter totals (and fill the summary JSON's stats/phases objects).
 set -e
 cd "$(dirname "$0")"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
+STATS=""
+for arg in "$@"; do
+  [ "$arg" = "--stats" ] && STATS="--stats"
+done
 {
   echo "==================================================================="
   echo "In-tree micro-benchmarks (alive2-bench --bin micro)"
@@ -19,9 +26,9 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
     echo "Harness: $bin (--jobs $JOBS)"
     echo "==================================================================="
     if [ "$bin" = fig7_apps ]; then
-      cargo run --release -q -p alive2-bench --bin "$bin" -- --scale 0.25 --jobs "$JOBS" 2>&1 || true
+      cargo run --release -q -p alive2-bench --bin "$bin" -- --scale 0.25 --jobs "$JOBS" $STATS 2>&1 || true
     else
-      cargo run --release -q -p alive2-bench --bin "$bin" -- --jobs "$JOBS" 2>&1 || true
+      cargo run --release -q -p alive2-bench --bin "$bin" -- --jobs "$JOBS" $STATS 2>&1 || true
     fi
   done
 } | tee bench_output.txt
