@@ -7,7 +7,9 @@ set -ex
 cd "$(dirname "$0")"
 cargo fmt --check
 cargo build --release --offline --workspace
-cargo test -q --offline --workspace
+# CI always runs the long property/pipeline corpus sweeps; plain
+# `cargo test` runs the fast subset (see DESIGN.md, "Test tiers").
+ALIVE2_FULL_CORPUS=1 cargo test -q --offline --workspace
 
 # ---- fault-containment smoke (see DESIGN.md, "Fault containment") ----
 # A tiny corpus where one job is made to panic (--inject-panic) and one
@@ -67,8 +69,41 @@ B=$(grep -c '"ph":"B"' "$SMOKE/trace.json")
 E=$(grep -c '"ph":"E"' "$SMOKE/trace.json")
 test "$B" -gt 0
 test "$B" -eq "$E"
+# Busy-vs-wall sanity. The old 5% two-sided bound was flaky: scheduler
+# noise on a loaded box can leave the driver waiting well over 5% of a
+# ~100ms run. Keep the direction that is a real invariant (at --jobs 1
+# the phase spans cannot sum to more than wall, modulo rounding) and a
+# loose floor that only catches timing being disarmed entirely.
 tail -n 1 "$SMOKE/obs.out" | sed 's/.*"phases"://' | tr ',{}' '\n\n\n' | awk -F: '
   /"(parse|opt|encode|solve|journal|teardown)_us"/ { sum += $2 }
   /"wall_us"/ { wall = $2 }
-  END { if (wall == 0 || sum < 0.95 * wall || sum > 1.05 * wall) {
-          printf "phase sum %d vs wall %d outside 5%%\n", sum, wall; exit 1 } }'
+  END { if (wall == 0 || sum < 0.25 * wall || sum > 1.02 * wall) {
+          printf "phase sum %d vs wall %d outside [25%%, 102%%]\n", sum, wall; exit 1 } }'
+
+# The deterministic counters (query/split/iteration/encode totals — not
+# the scheduling-dependent query-cache traffic or timings) must agree
+# between the earlier --jobs 4 and --jobs 1 runs.
+counters() {
+  tail -n 1 "$1" | grep -o '"\(queries\|sat\|unsat\|unknown\|cegqi\|insts\|approx\)":[0-9]*'
+}
+counters "$SMOKE/par.out" > "$SMOKE/par.cnt"
+counters "$SMOKE/seq.out" > "$SMOKE/seq.cnt"
+cmp "$SMOKE/par.cnt" "$SMOKE/seq.cnt"
+
+# ---- query-cache smoke (see DESIGN.md, "Query caching") ----
+# Cold run populates the on-disk tier; the warm rerun must reach the
+# identical verdicts while issuing at least 50% fewer live SAT solves.
+"$TV" tests/fixtures/faults_src.ll tests/fixtures/faults_tgt.ll \
+    --unroll 8 --mem-budget-mb 2 --inject-panic doomed --jobs 4 \
+    --cache "$SMOKE/qc" > "$SMOKE/cold.out" 2> "$SMOKE/cold.err"
+"$TV" tests/fixtures/faults_src.ll tests/fixtures/faults_tgt.ll \
+    --unroll 8 --mem-budget-mb 2 --inject-panic doomed --jobs 4 \
+    --cache "$SMOKE/qc" > "$SMOKE/warm.out" 2> "$SMOKE/warm.err"
+verdicts "$SMOKE/cold.out" > "$SMOKE/cold.sum"
+verdicts "$SMOKE/warm.out" > "$SMOKE/warm.sum"
+cmp "$SMOKE/par.sum" "$SMOKE/cold.sum"
+cmp "$SMOKE/cold.sum" "$SMOKE/warm.sum"
+COLD=$(tail -n 1 "$SMOKE/cold.out" | grep -o '"sat_solves":[0-9]*' | cut -d: -f2)
+WARM=$(tail -n 1 "$SMOKE/warm.out" | grep -o '"sat_solves":[0-9]*' | cut -d: -f2)
+test "$COLD" -gt 0
+test $((WARM * 2)) -le "$COLD"

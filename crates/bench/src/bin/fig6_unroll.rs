@@ -5,8 +5,8 @@
 //! Run with `cargo run --release -p alive2-bench --bin fig6_unroll`.
 
 use alive2_bench::{
-    config_from_args, engine_from_args, finish_obs, obs_from_args, print_summary_json,
-    validate_module_pipeline, validate_pairs, Counts,
+    cache_from_args, config_from_args, engine_from_args, finish_obs, obs_from_args,
+    print_summary_json, validate_module_pipeline, validate_pairs, Counts,
 };
 use alive2_ir::parser::parse_module;
 use alive2_opt::bugs::BugSet;
@@ -45,6 +45,7 @@ exit:
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let obs = obs_from_args(&args);
+    cache_from_args(&args);
     let engine = engine_from_args(&args);
     let factors = [1u32, 2, 4, 8, 16, 32];
     println!("Figure 6: effect of the unroll factor (corpus + known-bug suite)\n");

@@ -7,8 +7,8 @@
 //! `--deadline-ms MS` to cap each function pair's wall-clock time.
 
 use alive2_bench::{
-    config_from_args, engine_from_args, finish_obs, flag_value, obs_from_args, print_fig7_header,
-    print_fig7_row, print_summary_json, validate_module_pipeline, Counts,
+    cache_from_args, config_from_args, engine_from_args, finish_obs, flag_value, obs_from_args,
+    print_fig7_header, print_fig7_row, print_summary_json, validate_module_pipeline, Counts,
 };
 use alive2_opt::bugs::{BugId, BugSet};
 use alive2_sema::config::EncodeConfig;
@@ -18,6 +18,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale: f64 = flag_value(&args, "--scale").unwrap_or(1.0);
     let obs = obs_from_args(&args);
+    cache_from_args(&args);
     let engine = engine_from_args(&args);
     // §8.4 found real miscompilations in the wild (the select→and/or
     // canonicalization); seed the matching bug so the experiment

@@ -4,8 +4,8 @@
 //! Run with `cargo run --release -p alive2-bench --bin fig8_timeout`.
 
 use alive2_bench::{
-    config_from_args, engine_from_args, finish_obs, obs_from_args, print_summary_json,
-    validate_module_pipeline, validate_pairs, Counts,
+    cache_from_args, config_from_args, engine_from_args, finish_obs, obs_from_args,
+    print_summary_json, validate_module_pipeline, validate_pairs, Counts,
 };
 use alive2_ir::parser::parse_module;
 use alive2_opt::bugs::BugSet;
@@ -15,6 +15,7 @@ use alive2_testgen::{appgen, corpus::corpus, known_bugs::known_bugs};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let obs = obs_from_args(&args);
+    cache_from_args(&args);
     let engine = engine_from_args(&args);
     // The paper sweeps 1 s … 5 min against Z3 on 8 cores; our workload and
     // solver are smaller, so the sweep is scaled down proportionally.

@@ -5,7 +5,8 @@
 //! Accepts the shared `--jobs N` / `--deadline-ms MS` flags.
 
 use alive2_bench::{
-    config_from_args, engine_from_args, finish_obs, obs_from_args, print_summary_json, Counts,
+    cache_from_args, config_from_args, engine_from_args, finish_obs, obs_from_args,
+    print_summary_json, Counts,
 };
 use alive2_core::engine::Job;
 use alive2_ir::module::Module;
@@ -16,6 +17,7 @@ use alive2_testgen::known_bugs::{known_bugs, Expectation};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let obs = obs_from_args(&args);
+    cache_from_args(&args);
     let started = std::time::Instant::now();
     let engine = engine_from_args(&args);
     let cfg = config_from_args(&args, EncodeConfig::default());

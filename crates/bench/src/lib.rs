@@ -96,6 +96,29 @@ pub fn obs_from_args(args: &[String]) -> ObsConfig {
     ObsConfig { stats, trace }
 }
 
+/// Arms the persistent query-cache tier from the shared CLI convention:
+/// `--cache DIR` loads `DIR/cache.jsonl` into the in-process query cache
+/// and appends every new canonical-CNF result to it, so a rerun replays
+/// solved queries instead of solving them live. Call once, before any
+/// validation work runs. Returns the number of entries loaded (`None`
+/// when the flag is absent).
+///
+/// Exits with a diagnostic if the directory cannot be created or read —
+/// a silently disabled cache would invalidate a warm-run benchmark.
+pub fn cache_from_args(args: &[String]) -> Option<usize> {
+    let dir = flag_value::<String>(args, "--cache")?;
+    match alive2_smt::cache::global().attach_dir(std::path::Path::new(&dir)) {
+        Ok(loaded) => {
+            eprintln!("cache: loaded {loaded} entries from {dir}/cache.jsonl");
+            Some(loaded)
+        }
+        Err(e) => {
+            eprintln!("error: cannot attach query cache `{dir}`: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Emits the post-run observability artifacts: the `--stats` report on
 /// stdout and the `--trace` Chrome JSON file. Call after the run
 /// completes and *before* [`print_summary_json`], so the summary stays

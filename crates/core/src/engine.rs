@@ -727,4 +727,25 @@ mod tests {
         let (_, seq_counts) = ValidationEngine::sequential().run_counts(&jobs);
         assert!(counts.same_verdicts(&seq_counts));
     }
+
+    #[test]
+    fn counters_are_deterministic_across_worker_counts() {
+        // The query cache is shared process-wide, so whichever worker
+        // solves a shared formula first takes the miss — but every
+        // *deterministic* counter (queries, smt splits, cegqi iterations,
+        // instructions encoded) must be identical at --jobs 1 and
+        // --jobs 4, and so must the verdicts. Cached replay is
+        // bit-identical to a live solve, which is what makes this hold.
+        let (src, tgt) = modules();
+        let jobs = jobs_of(&src, &tgt, EncodeConfig::default());
+        let (_, c1) = ValidationEngine::sequential().run_counts(&jobs);
+        let (_, c4) = ValidationEngine::new(4).run_counts(&jobs);
+        assert!(c1.same_verdicts(&c4), "{c1:?} vs {c4:?}");
+        assert!(
+            c1.stats.same_counters(&c4.stats),
+            "{:?} vs {:?}",
+            c1.stats,
+            c4.stats
+        );
+    }
 }

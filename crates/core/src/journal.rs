@@ -237,6 +237,10 @@ mod tests {
                 phase: Phase::Done,
                 smt_unsat: 6,
                 cegqi_iters: 3,
+                sat_solves: 4,
+                cache_hits: 5,
+                cache_misses: 4,
+                cache_reval: 1,
                 terms: 1234,
                 hc_hits: 99,
                 mem_bytes: 4096,
@@ -256,6 +260,10 @@ mod tests {
         assert_eq!(o.stats.phase, Phase::Done);
         assert_eq!(o.stats.smt_unsat, 6);
         assert_eq!(o.stats.cegqi_iters, 3);
+        assert_eq!(o.stats.sat_solves, 4);
+        assert_eq!(o.stats.cache_hits, 5);
+        assert_eq!(o.stats.cache_misses, 4);
+        assert_eq!(o.stats.cache_reval, 1);
         assert_eq!(o.stats.terms, 1234);
         assert_eq!(o.stats.hc_hits, 99);
         assert_eq!(o.stats.mem_bytes, 4096);

@@ -766,14 +766,21 @@ pub(crate) fn model_args(env: &Env, model: &Model) -> Vec<(String, String)> {
             } else {
                 format!("%{}.{i}", a.name)
             };
-            let isundef = model.eval_bool(ctx, v.isundef);
-            let ispoison = model.eval_bool(ctx, v.ispoison);
-            let desc = if ispoison {
+            // `try_eval` distinguishes values the model actually pins down
+            // from don't-cares; defaulting the latter to zero used to
+            // fabricate all-zero "counterexamples" for arguments the
+            // solver never constrained.
+            let isundef = model.try_eval(ctx, v.isundef).map(|x| x.as_bool());
+            let ispoison = model.try_eval(ctx, v.ispoison).map(|x| x.as_bool());
+            let desc = if ispoison == Some(true) {
                 "poison".to_string()
-            } else if isundef {
+            } else if isundef == Some(true) {
                 "undef".to_string()
             } else {
-                format!("{}", model.eval_bv(ctx, v.base))
+                match model.try_eval(ctx, v.base) {
+                    Some(val) => format!("{}", val.as_bv()),
+                    None => "any".to_string(),
+                }
             };
             out.push((name, desc));
         }
@@ -857,6 +864,22 @@ mod tests {
             // is UB too, Fig. 3's udiv-ub rule).
             let x = cex.args.iter().find(|(n, _)| n == "%x").unwrap();
             assert!(x.1 == "0" || x.1 == "poison", "x = {}", x.1);
+        }
+    }
+
+    #[test]
+    fn unconstrained_args_render_as_any_not_zero() {
+        // %y is never used, so the solver never materializes its bits.
+        // The old renderer zero-defaulted don't-cares and printed a
+        // fabricated "%y = 0"; a counterexample must say "any" for
+        // arguments the model leaves unconstrained.
+        let src = "define i8 @f(i8 %x, i8 %y) {\nentry:\n  %r = add i8 %x, 1\n  ret i8 %r\n}";
+        let tgt = "define i8 @f(i8 %x, i8 %y) {\nentry:\n  %r = add i8 %x, 3\n  ret i8 %r\n}";
+        let v = check(src, tgt);
+        assert!(v.is_incorrect(), "{v:?}");
+        if let Verdict::Incorrect(cex) = &v {
+            let y = cex.args.iter().find(|(n, _)| n == "%y").unwrap();
+            assert_eq!(y.1, "any", "unused arg must be a don't-care: {cex:?}");
         }
     }
 

@@ -74,6 +74,16 @@ pub fn render_counters(t: &StatsTotals) -> String {
         t.smt_unknown
     ));
     out.push_str(&format!("  cegqi iterations {}\n", t.cegqi_iters));
+    let probes = t.cache_hits + t.cache_misses;
+    let hit_rate = if probes == 0 {
+        0.0
+    } else {
+        100.0 * t.cache_hits as f64 / probes as f64
+    };
+    out.push_str(&format!(
+        "  query cache: hits {} ({:.1}%), misses {}, revalidation misses {}; live SAT solves {}\n",
+        t.cache_hits, hit_rate, t.cache_misses, t.cache_reval, t.sat_solves
+    ));
     out.push_str(&format!(
         "  instructions encoded {}, approximations {}\n",
         t.insts_encoded, t.approx
@@ -126,5 +136,7 @@ mod tests {
         let counters = render_counters(&StatsTotals::default());
         assert!(counters.contains("smt checks"));
         assert!(counters.contains("hash-cons"));
+        assert!(counters.contains("query cache"));
+        assert!(counters.contains("live SAT solves"));
     }
 }

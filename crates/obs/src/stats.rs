@@ -28,6 +28,10 @@ struct Block {
     cegqi_iters: u64,
     insts_encoded: u64,
     approx: u64,
+    sat_solves: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_reval: u64,
     encode_ns: u64,
     solve_ns: u64,
 }
@@ -41,6 +45,10 @@ thread_local! {
             cegqi_iters: 0,
             insts_encoded: 0,
             approx: 0,
+            sat_solves: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_reval: 0,
             encode_ns: 0,
             solve_ns: 0,
         })
@@ -83,6 +91,27 @@ pub fn record_insts_encoded(n: u64) {
 /// One §3.8 over-approximation was applied.
 pub fn record_approx() {
     bump(|b| b.approx += 1);
+}
+
+/// One live SAT solve ran (a query that was not answered from the cache).
+pub fn record_sat_solve() {
+    bump(|b| b.sat_solves += 1);
+}
+
+/// One SMT check was answered from the query cache.
+pub fn record_cache_hit() {
+    bump(|b| b.cache_hits += 1);
+}
+
+/// One SMT check missed the query cache and solved live.
+pub fn record_cache_miss() {
+    bump(|b| b.cache_misses += 1);
+}
+
+/// One cached `Sat` model failed re-validation and fell back to a live
+/// solve (counted in addition to the miss-path live solve).
+pub fn record_cache_reval() {
+    bump(|b| b.cache_reval += 1);
 }
 
 /// Span-close hook: folds an accumulating span's duration into the
@@ -134,6 +163,15 @@ pub struct JobStats {
     pub insts_encoded: u32,
     /// §3.8 over-approximations applied while encoding.
     pub approx: u32,
+    /// Live SAT solves (checks not answered from the query cache).
+    pub sat_solves: u32,
+    /// SMT checks answered from the query cache / missed it. These are
+    /// *scheduling-dependent* with a shared cross-job cache (whichever
+    /// job runs a formula first takes the miss), unlike the smt_* splits.
+    pub cache_hits: u32,
+    pub cache_misses: u32,
+    /// Cached `Sat` models that failed re-validation (fell back to live).
+    pub cache_reval: u32,
     /// Term-DAG nodes live in the job's context at completion.
     pub terms: u32,
     /// Hash-cons lookups that hit an existing node / allocated a new one.
@@ -160,6 +198,10 @@ impl Default for JobStats {
             cegqi_iters: 0,
             insts_encoded: 0,
             approx: 0,
+            sat_solves: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_reval: 0,
             terms: 0,
             hc_hits: 0,
             hc_misses: 0,
@@ -184,6 +226,10 @@ impl JobStats {
         self.cegqi_iters = d(now.cegqi_iters, snap.0.cegqi_iters) as u32;
         self.insts_encoded = d(now.insts_encoded, snap.0.insts_encoded) as u32;
         self.approx = d(now.approx, snap.0.approx) as u32;
+        self.sat_solves = d(now.sat_solves, snap.0.sat_solves) as u32;
+        self.cache_hits = d(now.cache_hits, snap.0.cache_hits) as u32;
+        self.cache_misses = d(now.cache_misses, snap.0.cache_misses) as u32;
+        self.cache_reval = d(now.cache_reval, snap.0.cache_reval) as u32;
         self.encode_us = d(now.encode_ns, snap.0.encode_ns) / 1_000;
         self.solve_us = d(now.solve_ns, snap.0.solve_ns) / 1_000;
     }
@@ -192,7 +238,8 @@ impl JobStats {
     pub fn to_json_obj(&self) -> String {
         format!(
             "{{\"phase\":\"{}\",\"queries\":{},\"millis\":{},\"sat\":{},\"unsat\":{},\
-             \"unknown\":{},\"cegqi\":{},\"insts\":{},\"approx\":{},\"terms\":{},\
+             \"unknown\":{},\"cegqi\":{},\"insts\":{},\"approx\":{},\"sat_solves\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_reval\":{},\"terms\":{},\
              \"hc_hits\":{},\"hc_misses\":{},\"mem_bytes\":{},\"encode_us\":{},\
              \"solve_us\":{},\"queue_ms\":{}}}",
             self.phase.as_str(),
@@ -204,6 +251,10 @@ impl JobStats {
             self.cegqi_iters,
             self.insts_encoded,
             self.approx,
+            self.sat_solves,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_reval,
             self.terms,
             self.hc_hits,
             self.hc_misses,
@@ -231,6 +282,10 @@ impl JobStats {
             cegqi_iters: v.num("cegqi") as u32,
             insts_encoded: v.num("insts") as u32,
             approx: v.num("approx") as u32,
+            sat_solves: v.num("sat_solves") as u32,
+            cache_hits: v.num("cache_hits") as u32,
+            cache_misses: v.num("cache_misses") as u32,
+            cache_reval: v.num("cache_reval") as u32,
             terms: v.num("terms") as u32,
             hc_hits: v.num("hc_hits"),
             hc_misses: v.num("hc_misses"),
@@ -257,6 +312,12 @@ pub struct StatsTotals {
     pub cegqi_iters: u64,
     pub insts_encoded: u64,
     pub approx: u64,
+    /// Live SAT solves / query-cache traffic. Scheduling-dependent with a
+    /// shared cross-job cache, so excluded from `same_counters`.
+    pub sat_solves: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_reval: u64,
     pub terms: u64,
     pub hc_hits: u64,
     pub hc_misses: u64,
@@ -278,6 +339,10 @@ impl StatsTotals {
         self.cegqi_iters += s.cegqi_iters as u64;
         self.insts_encoded += s.insts_encoded as u64;
         self.approx += s.approx as u64;
+        self.sat_solves += s.sat_solves as u64;
+        self.cache_hits += s.cache_hits as u64;
+        self.cache_misses += s.cache_misses as u64;
+        self.cache_reval += s.cache_reval as u64;
         self.terms += s.terms as u64;
         self.hc_hits += s.hc_hits;
         self.hc_misses += s.hc_misses;
@@ -297,6 +362,10 @@ impl StatsTotals {
         self.cegqi_iters += other.cegqi_iters;
         self.insts_encoded += other.insts_encoded;
         self.approx += other.approx;
+        self.sat_solves += other.sat_solves;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_reval += other.cache_reval;
         self.terms += other.terms;
         self.hc_hits += other.hc_hits;
         self.hc_misses += other.hc_misses;
@@ -307,7 +376,9 @@ impl StatsTotals {
     }
 
     /// True when every *deterministic* counter matches `other` — the time
-    /// and queue fields (scheduling-dependent) are excluded. This is the
+    /// and queue fields, plus the query-cache traffic (`sat_solves`,
+    /// `cache_*`: whichever job solves a shared formula first takes the
+    /// miss, so these depend on scheduling), are excluded. This is the
     /// invariant `--jobs N` preserves against `--jobs 1`, and a resumed
     /// run against an uninterrupted one.
     pub fn same_counters(&self, other: &StatsTotals) -> bool {
@@ -339,9 +410,10 @@ impl StatsTotals {
     pub fn to_json_obj(&self) -> String {
         format!(
             "{{\"jobs\":{},\"queries\":{},\"sat\":{},\"unsat\":{},\"unknown\":{},\
-             \"cegqi\":{},\"insts\":{},\"approx\":{},\"terms\":{},\"hc_hits\":{},\
-             \"hc_misses\":{},\"mem_peak_bytes\":{},\"encode_us\":{},\"solve_us\":{},\
-             \"queue_ms\":{}}}",
+             \"cegqi\":{},\"insts\":{},\"approx\":{},\"sat_solves\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_reval\":{},\"terms\":{},\
+             \"hc_hits\":{},\"hc_misses\":{},\"mem_peak_bytes\":{},\"encode_us\":{},\
+             \"solve_us\":{},\"queue_ms\":{}}}",
             self.jobs,
             self.queries,
             self.smt_sat,
@@ -350,6 +422,10 @@ impl StatsTotals {
             self.cegqi_iters,
             self.insts_encoded,
             self.approx,
+            self.sat_solves,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_reval,
             self.terms,
             self.hc_hits,
             self.hc_misses,
@@ -371,6 +447,10 @@ impl StatsTotals {
             cegqi_iters: v.num("cegqi"),
             insts_encoded: v.num("insts"),
             approx: v.num("approx"),
+            sat_solves: v.num("sat_solves"),
+            cache_hits: v.num("cache_hits"),
+            cache_misses: v.num("cache_misses"),
+            cache_reval: v.num("cache_reval"),
             terms: v.num("terms"),
             hc_hits: v.num("hc_hits"),
             hc_misses: v.num("hc_misses"),
@@ -419,6 +499,10 @@ mod tests {
             cegqi_iters: 3,
             insts_encoded: 19,
             approx: 2,
+            sat_solves: 4,
+            cache_hits: 6,
+            cache_misses: 4,
+            cache_reval: 1,
             terms: 1234,
             hc_hits: 999,
             hc_misses: 321,
@@ -433,6 +517,10 @@ mod tests {
         assert_eq!(back.millis, 42);
         assert_eq!(back.phase, Phase::Solve);
         assert_eq!(back.smt_unsat, 5);
+        assert_eq!(back.sat_solves, 4);
+        assert_eq!(back.cache_hits, 6);
+        assert_eq!(back.cache_misses, 4);
+        assert_eq!(back.cache_reval, 1);
         assert_eq!(back.terms, 1234);
         assert_eq!(back.hc_hits, 999);
         assert_eq!(back.mem_bytes, 65536);
@@ -456,6 +544,12 @@ mod tests {
 
         let mut b = a;
         b.queue_ms = 777; // scheduling-dependent: ignored by same_counters
+        assert!(a.same_counters(&b));
+        // Cache traffic is scheduling-dependent too (cross-job dedup).
+        b.cache_hits = 5;
+        b.cache_misses = 2;
+        b.sat_solves = 2;
+        b.cache_reval = 1;
         assert!(a.same_counters(&b));
         b.queries += 1;
         assert!(!a.same_counters(&b));

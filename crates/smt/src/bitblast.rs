@@ -5,18 +5,23 @@
 //! memoized per term, so shared sub-DAGs are encoded once.
 
 use crate::bv::BitVec;
-use crate::sat::{Lit, SatSolver};
+use crate::sat::{Cnf, Lit};
 use crate::term::{Ctx, Op, TermId, VarId};
 use std::collections::HashMap;
 
-/// Bit-blasts terms from a [`Ctx`] into an owned [`SatSolver`].
+/// Bit-blasts terms from a [`Ctx`] into an owned [`Cnf`].
+///
+/// The blaster emits raw clauses rather than feeding a solver directly,
+/// so the exact formula survives for preprocessing, canonicalization,
+/// and fingerprinting by the query cache (see `cache`). Run the result
+/// with `bb.cnf.to_solver()`.
 ///
 /// Uninterpreted function applications must be eliminated (Ackermannized)
 /// before blasting; encountering one is a bug and panics.
 pub struct BitBlaster<'a> {
     ctx: &'a Ctx,
     /// The CNF receiver.
-    pub sat: SatSolver,
+    pub cnf: Cnf,
     bool_memo: HashMap<TermId, Lit>,
     bv_memo: HashMap<TermId, Vec<Lit>>,
     var_bool: HashMap<VarId, Lit>,
@@ -26,20 +31,25 @@ pub struct BitBlaster<'a> {
 
 impl<'a> std::fmt::Debug for BitBlaster<'a> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "BitBlaster {{ sat: {:?} }}", self.sat)
+        write!(
+            f,
+            "BitBlaster {{ vars: {}, clauses: {} }}",
+            self.cnf.num_vars(),
+            self.cnf.clauses().len()
+        )
     }
 }
 
 impl<'a> BitBlaster<'a> {
     /// Creates a blaster for the given context.
     pub fn new(ctx: &'a Ctx) -> Self {
-        let mut sat = SatSolver::new();
-        let t = sat.new_var();
+        let mut cnf = Cnf::new();
+        let t = cnf.new_var();
         let true_lit = Lit::new(t, true);
-        sat.add_clause(&[true_lit]);
+        cnf.add_clause(&[true_lit]);
         BitBlaster {
             ctx,
-            sat,
+            cnf,
             bool_memo: HashMap::new(),
             bv_memo: HashMap::new(),
             var_bool: HashMap::new(),
@@ -54,13 +64,13 @@ impl<'a> BitBlaster<'a> {
     }
 
     fn fresh(&mut self) -> Lit {
-        Lit::new(self.sat.new_var(), true)
+        Lit::new(self.cnf.new_var(), true)
     }
 
     /// Asserts that a boolean term holds.
     pub fn assert_term(&mut self, t: TermId) {
         let l = self.blast_bool(t);
-        self.sat.add_clause(&[l]);
+        self.cnf.add_clause(&[l]);
     }
 
     /// The SAT literal of a boolean variable, if it was blasted.
@@ -71,36 +81,6 @@ impl<'a> BitBlaster<'a> {
     /// The SAT literals (LSB first) of a bit-vector variable, if blasted.
     pub fn bv_var_lits(&self, v: VarId) -> Option<&[Lit]> {
         self.var_bits.get(&v).map(|v| v.as_slice())
-    }
-
-    /// Reads a boolean variable from the solver's satisfying assignment.
-    /// Unconstrained (never blasted) variables default to `false`.
-    pub fn model_bool(&self, v: VarId) -> bool {
-        match self.var_bool.get(&v) {
-            Some(l) => self.lit_model(*l),
-            None => false,
-        }
-    }
-
-    /// Reads a bit-vector variable from the satisfying assignment.
-    /// Unconstrained variables default to zero.
-    pub fn model_bv(&self, v: VarId, width: u32) -> BitVec {
-        match self.var_bits.get(&v) {
-            Some(bits) => {
-                let bools: Vec<bool> = bits.iter().map(|&l| self.lit_model(l)).collect();
-                BitVec::from_bits(&bools)
-            }
-            None => BitVec::zero(width),
-        }
-    }
-
-    fn lit_model(&self, l: Lit) -> bool {
-        let v = self.sat.value(l.var()).unwrap_or(false);
-        if l.is_positive() {
-            v
-        } else {
-            !v
-        }
     }
 
     fn const_lit(&self, b: bool) -> Lit {
@@ -130,9 +110,9 @@ impl<'a> BitBlaster<'a> {
             return self.true_lit.negate();
         }
         let o = self.fresh();
-        self.sat.add_clause(&[o.negate(), a]);
-        self.sat.add_clause(&[o.negate(), b]);
-        self.sat.add_clause(&[o, a.negate(), b.negate()]);
+        self.cnf.add_clause(&[o.negate(), a]);
+        self.cnf.add_clause(&[o.negate(), b]);
+        self.cnf.add_clause(&[o, a.negate(), b.negate()]);
         o
     }
 
@@ -160,10 +140,10 @@ impl<'a> BitBlaster<'a> {
             return self.true_lit;
         }
         let o = self.fresh();
-        self.sat.add_clause(&[o.negate(), a, b]);
-        self.sat.add_clause(&[o.negate(), a.negate(), b.negate()]);
-        self.sat.add_clause(&[o, a, b.negate()]);
-        self.sat.add_clause(&[o, a.negate(), b]);
+        self.cnf.add_clause(&[o.negate(), a, b]);
+        self.cnf.add_clause(&[o.negate(), a.negate(), b.negate()]);
+        self.cnf.add_clause(&[o, a, b.negate()]);
+        self.cnf.add_clause(&[o, a.negate(), b]);
         o
     }
 
@@ -178,10 +158,10 @@ impl<'a> BitBlaster<'a> {
             return t;
         }
         let o = self.fresh();
-        self.sat.add_clause(&[c.negate(), t.negate(), o]);
-        self.sat.add_clause(&[c.negate(), t, o.negate()]);
-        self.sat.add_clause(&[c, e.negate(), o]);
-        self.sat.add_clause(&[c, e, o.negate()]);
+        self.cnf.add_clause(&[c.negate(), t.negate(), o]);
+        self.cnf.add_clause(&[c.negate(), t, o.negate()]);
+        self.cnf.add_clause(&[c, e.negate(), o]);
+        self.cnf.add_clause(&[c, e, o.negate()]);
         o
     }
 
@@ -634,7 +614,7 @@ mod tests {
                 let neq = ctx.ne(t, lit);
                 bb.assert_term(neq);
                 assert_eq!(
-                    bb.sat.solve(Budget::unlimited()),
+                    bb.cnf.to_solver().solve(Budget::unlimited()),
                     SatOutcome::Unsat,
                     "op({a},{b}) != {expect:?}"
                 );
@@ -673,11 +653,12 @@ mod tests {
             bb2.assert_term(ax);
             bb2.assert_term(ay);
             let bits = bb2.blast_bv(t2);
-            assert_eq!(bb2.sat.solve(Budget::unlimited()), SatOutcome::Sat);
+            let mut sat = bb2.cnf.to_solver();
+            assert_eq!(sat.solve(Budget::unlimited()), SatOutcome::Sat);
             let got: Vec<bool> = bits
                 .iter()
                 .map(|&l| {
-                    let v = bb2.sat.value(l.var()).unwrap_or(false);
+                    let v = sat.value(l.var()).unwrap_or(false);
                     if l.is_positive() {
                         v
                     } else {
@@ -747,7 +728,7 @@ mod tests {
                     let want = if expect { t } else { ctx.not(t) };
                     bb.assert_term(want);
                     assert_eq!(
-                        bb.sat.solve(Budget::unlimited()),
+                        bb.cnf.to_solver().solve(Budget::unlimited()),
                         SatOutcome::Sat,
                         "cmp({a},{b})"
                     );
@@ -775,19 +756,20 @@ mod tests {
         bb.assert_term(e1);
         let zb = bb.blast_bv(z);
         let sb = bb.blast_bv(s);
-        assert_eq!(bb.sat.solve(Budget::unlimited()), SatOutcome::Sat);
-        let read = |bits: &[Lit], bb: &BitBlaster| -> u64 {
+        let mut sat = bb.cnf.to_solver();
+        assert_eq!(sat.solve(Budget::unlimited()), SatOutcome::Sat);
+        let read = |bits: &[Lit], sat: &crate::sat::SatSolver| -> u64 {
             bits.iter()
                 .enumerate()
                 .map(|(i, &l)| {
-                    let v = bb.sat.value(l.var()).unwrap_or(false);
+                    let v = sat.value(l.var()).unwrap_or(false);
                     let v = if l.is_positive() { v } else { !v };
                     (v as u64) << i
                 })
                 .sum()
         };
-        assert_eq!(read(&zb, &bb), 0b0000_1010);
-        assert_eq!(read(&sb, &bb), 0b1111_1010);
+        assert_eq!(read(&zb, &sat), 0b0000_1010);
+        assert_eq!(read(&sb, &sat), 0b1111_1010);
     }
 
     #[test]
@@ -799,7 +781,10 @@ mod tests {
         let contra = ctx.and(a, na);
         let mut bb = BitBlaster::new(&ctx);
         bb.assert_term(contra);
-        assert_eq!(bb.sat.solve(Budget::unlimited()), SatOutcome::Unsat);
+        assert_eq!(
+            bb.cnf.to_solver().solve(Budget::unlimited()),
+            SatOutcome::Unsat
+        );
         // De Morgan validity: !(a&&b) == (!a || !b)
         let ctx = Ctx::new();
         let a = ctx.var("a", Sort::Bool);
@@ -809,6 +794,9 @@ mod tests {
         let neq = ctx.ne(lhs, rhs);
         let mut bb = BitBlaster::new(&ctx);
         bb.assert_term(neq);
-        assert_eq!(bb.sat.solve(Budget::unlimited()), SatOutcome::Unsat);
+        assert_eq!(
+            bb.cnf.to_solver().solve(Budget::unlimited()),
+            SatOutcome::Unsat
+        );
     }
 }

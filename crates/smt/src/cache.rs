@@ -1,0 +1,646 @@
+//! The two-tier SMT query result cache and the CNF preprocessing pass.
+//!
+//! The validator's runtime is dominated by repeated SAT queries: the CEGQI
+//! loop re-discharges near-identical formulas every iteration, and corpus
+//! runs re-solve the same query for every function that triggers the same
+//! rewrite (§8 of the paper reports hours spent in the solver). This module
+//! deduplicates that work:
+//!
+//! 1. [`preprocess`] shrinks the bit-blasted CNF with level-0 unit
+//!    propagation, tautology and duplicate-clause removal, and in-clause
+//!    literal dedup — cheap, deterministic, and solver-independent.
+//! 2. [`canonicalize`] renumbers variables by first occurrence and sorts
+//!    clauses, so formulas that differ only in variable allocation order
+//!    (e.g. the same rewrite blasted in two different term contexts)
+//!    collapse to one canonical form.
+//! 3. [`CanonCnf::fingerprint`] hashes the canonical form to 128 bits
+//!    (two FNV-1a-style lanes over the clause stream) — the cache key.
+//! 4. [`QueryCache`] maps fingerprints to outcomes: tier 1 is an
+//!    in-process sharded map shared by every job and CEGQI iteration of
+//!    the run; tier 2 is an optional JSON-lines file (`--cache DIR`) so
+//!    repeated corpus runs skip queries solved in earlier invocations.
+//!
+//! # Soundness rules
+//!
+//! - `Timeout`/`OutOfMemory` are **never** cached: a budget verdict is a
+//!   property of the run, not of the formula (the caller's budget may
+//!   dominate the one that gave up).
+//! - `Sat` entries store the satisfying assignment over *canonical*
+//!   variables. The solver layer replays it through the original
+//!   variables and re-validates the model against the assertions with
+//!   `Model::eval` before reuse, falling back to a live solve on
+//!   mismatch — a corrupted or colliding entry degrades to a miss, never
+//!   to a wrong verdict.
+//! - `Unsat` needs no model; a fingerprint collision is guarded by also
+//!   matching the canonical variable/clause counts.
+//!
+//! Determinism: the solver layer always solves the *canonical* CNF, so a
+//! live solve is a pure function of the canonical formula and a cache
+//! replay is bit-identical to the solve it memoized. Verdicts therefore
+//! do not depend on cache state or job scheduling.
+
+use crate::sat::{Cnf, Lit, SatSolver, SatVar};
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+
+/// The result of [`preprocess`]: the residual clause list plus the
+/// level-0 forced assignment.
+#[derive(Clone, Debug)]
+pub struct PreCnf {
+    /// Variable count of the *original* formula.
+    pub num_vars: u32,
+    /// Residual clauses (each length ≥ 2, over unassigned variables).
+    pub clauses: Vec<Vec<Lit>>,
+    /// Level-0 forced values, indexed by original variable number.
+    /// `None` = not forced (still free in the residual formula, or
+    /// eliminated entirely — a don't-care).
+    pub assigned: Vec<Option<bool>>,
+    /// True if unit propagation derived a contradiction: the formula is
+    /// unsatisfiable without any search.
+    pub conflict: bool,
+}
+
+/// Simplifies a CNF at level 0: in-clause literal dedup, tautology
+/// removal, unit propagation to fixpoint (absorbing unit clauses into
+/// [`PreCnf::assigned`]), and duplicate-clause removal.
+pub fn preprocess(cnf: &Cnf) -> PreCnf {
+    let n = cnf.num_vars() as usize;
+    let mut assigned: Vec<Option<bool>> = vec![None; n];
+    let mut conflict = false;
+
+    // In-clause dedup + tautology removal. Sorting also puts the two
+    // polarities of a variable next to each other.
+    let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(cnf.clauses().len());
+    for c in cnf.clauses() {
+        let mut c2 = c.clone();
+        c2.sort();
+        c2.dedup();
+        if c2.windows(2).any(|w| w[0].var() == w[1].var()) {
+            continue; // x ∨ ¬x ∨ … is a tautology
+        }
+        clauses.push(c2);
+    }
+
+    // Unit propagation to fixpoint: drop satisfied clauses, strip false
+    // literals, absorb fresh units into the assignment.
+    loop {
+        let mut new_assign = false;
+        let mut next: Vec<Vec<Lit>> = Vec::with_capacity(clauses.len());
+        'clause: for c in clauses.drain(..) {
+            let mut out: Vec<Lit> = Vec::with_capacity(c.len());
+            for &l in &c {
+                match assigned[l.var().0 as usize] {
+                    Some(b) if b == l.is_positive() => continue 'clause, // satisfied
+                    Some(_) => {}                                        // false literal
+                    None => out.push(l),
+                }
+            }
+            match out.len() {
+                0 => {
+                    conflict = true;
+                    break;
+                }
+                1 => {
+                    let l = out[0];
+                    match &mut assigned[l.var().0 as usize] {
+                        slot @ None => {
+                            *slot = Some(l.is_positive());
+                            new_assign = true;
+                        }
+                        Some(b) if *b != l.is_positive() => {
+                            conflict = true;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                _ => next.push(out),
+            }
+        }
+        clauses = next;
+        if conflict || !new_assign {
+            break;
+        }
+    }
+    if conflict {
+        clauses.clear();
+    }
+
+    // Duplicate-clause removal (first occurrence wins, order preserved).
+    let mut seen: HashSet<Vec<Lit>> = HashSet::with_capacity(clauses.len());
+    clauses.retain(|c| seen.insert(c.clone()));
+
+    PreCnf {
+        num_vars: cnf.num_vars(),
+        clauses,
+        assigned,
+        conflict,
+    }
+}
+
+/// A canonical CNF: variables renumbered by first occurrence, literals
+/// sorted within each clause, clauses sorted and deduplicated.
+#[derive(Clone, Debug)]
+pub struct CanonCnf {
+    /// Number of canonical variables (only variables that occur).
+    pub num_vars: u32,
+    /// The canonical clause list.
+    pub clauses: Vec<Vec<Lit>>,
+    /// Original variable → canonical variable.
+    pub var_map: HashMap<SatVar, u32>,
+}
+
+/// Canonicalizes the residual formula of a [`PreCnf`].
+pub fn canonicalize(pre: &PreCnf) -> CanonCnf {
+    let mut var_map: HashMap<SatVar, u32> = HashMap::new();
+    let mut n: u32 = 0;
+    let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(pre.clauses.len());
+    for c in &pre.clauses {
+        let mut c2: Vec<Lit> = c
+            .iter()
+            .map(|&l| {
+                let cv = *var_map.entry(l.var()).or_insert_with(|| {
+                    let v = n;
+                    n += 1;
+                    v
+                });
+                Lit::new(SatVar(cv), l.is_positive())
+            })
+            .collect();
+        c2.sort();
+        clauses.push(c2);
+    }
+    clauses.sort();
+    clauses.dedup();
+    CanonCnf {
+        num_vars: n,
+        clauses,
+        var_map,
+    }
+}
+
+/// A 128-bit fingerprint of a canonical CNF.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fingerprint(pub u64, pub u64);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}-{:016x}", self.0, self.1)
+    }
+}
+
+impl Fingerprint {
+    /// Parses the `Display` form back.
+    pub fn parse(s: &str) -> Option<Fingerprint> {
+        let (a, b) = s.split_once('-')?;
+        Some(Fingerprint(
+            u64::from_str_radix(a, 16).ok()?,
+            u64::from_str_radix(b, 16).ok()?,
+        ))
+    }
+}
+
+/// Two independent FNV-1a-style lanes over a word stream. 64 bits alone
+/// invites birthday collisions over a long-lived disk cache; two lanes
+/// with different offsets and a rotation in the second make an accidental
+/// double collision astronomically unlikely (and the entry's var/clause
+/// counts are still checked on every hit).
+struct Fnv2 {
+    a: u64,
+    b: u64,
+}
+
+impl Fnv2 {
+    const PRIME: u64 = 0x100000001b3;
+
+    fn new() -> Fnv2 {
+        Fnv2 {
+            a: 0xcbf29ce484222325,
+            b: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(Self::PRIME);
+            self.b = (self.b ^ u64::from(byte))
+                .wrapping_mul(Self::PRIME)
+                .rotate_left(23);
+        }
+    }
+
+    fn finish(self) -> Fingerprint {
+        Fingerprint(self.a, self.b)
+    }
+}
+
+impl CanonCnf {
+    /// The cache key: a 128-bit hash of the canonical clause stream.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = Fnv2::new();
+        h.word(u64::from(self.num_vars));
+        h.word(self.clauses.len() as u64);
+        for c in &self.clauses {
+            for &l in c {
+                // (var << 1) | sign — stable across representation changes.
+                h.word(u64::from(l.var().0) << 1 | u64::from(!l.is_positive()));
+            }
+            h.word(u64::MAX); // clause separator
+        }
+        h.finish()
+    }
+
+    /// Builds a fresh solver holding the canonical formula.
+    pub fn to_solver(&self) -> SatSolver {
+        let mut s = SatSolver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+}
+
+/// A cacheable outcome. Budget verdicts (`Timeout`/`OutOfMemory`) are
+/// deliberately unrepresentable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CachedOutcome {
+    /// The canonical formula is unsatisfiable.
+    Unsat,
+    /// Satisfiable, with the solver's assignment over canonical
+    /// variables (`None` = the search never touched the variable).
+    Sat(Vec<Option<bool>>),
+}
+
+struct CacheEntry {
+    vars: u32,
+    clauses: u32,
+    outcome: CachedOutcome,
+}
+
+const SHARDS: usize = 16;
+
+/// Don't persist satisfying assignments beyond this many variables: the
+/// entry would be bigger than the solve is worth.
+const MAX_CACHED_MODEL_VARS: u32 = 1 << 20;
+
+/// The two-tier query cache. Cheap to share: all methods take `&self`.
+pub struct QueryCache {
+    shards: Vec<Mutex<HashMap<Fingerprint, CacheEntry>>>,
+    disk: Mutex<Option<std::fs::File>>,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QueryCache {{ entries: {} }}", self.len())
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A worker that panicked mid-insert leaves at worst a complete entry
+    // or none (HashMap::insert is not observable half-done after unwind
+    // at these key/value types' clone points) — poisoning is ignored.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl QueryCache {
+    /// An empty, memory-only cache.
+    pub fn new() -> Self {
+        QueryCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            disk: Mutex::new(None),
+        }
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &Mutex<HashMap<Fingerprint, CacheEntry>> {
+        &self.shards[(fp.0 as usize) % SHARDS]
+    }
+
+    /// Total number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// True if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a fingerprint. `vars`/`clauses` are the canonical counts
+    /// of the formula being looked up; an entry that disagrees is treated
+    /// as a collision and ignored.
+    pub fn lookup(&self, fp: Fingerprint, vars: u32, clauses: u32) -> Option<CachedOutcome> {
+        let shard = lock(self.shard(fp));
+        let e = shard.get(&fp)?;
+        if e.vars != vars || e.clauses != clauses {
+            return None;
+        }
+        Some(e.outcome.clone())
+    }
+
+    /// Stores an outcome (first write wins) and appends it to the disk
+    /// tier if one is attached. Oversized `Sat` models are not cached.
+    pub fn store(&self, fp: Fingerprint, vars: u32, clauses: u32, outcome: CachedOutcome) {
+        if matches!(outcome, CachedOutcome::Sat(_)) && vars > MAX_CACHED_MODEL_VARS {
+            return;
+        }
+        let fresh = {
+            let mut shard = lock(self.shard(fp));
+            match shard.entry(fp) {
+                std::collections::hash_map::Entry::Occupied(_) => false,
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(CacheEntry {
+                        vars,
+                        clauses,
+                        outcome: outcome.clone(),
+                    });
+                    true
+                }
+            }
+        };
+        if !fresh {
+            return;
+        }
+        let mut disk = lock(&self.disk);
+        if let Some(f) = disk.as_mut() {
+            let line = Self::disk_line(fp, vars, clauses, &outcome);
+            // One write per line: concurrent appenders interleave whole
+            // lines, and a torn tail is skipped on load (journal-style).
+            let _ = f.write_all(line.as_bytes()).and_then(|_| f.flush());
+        }
+    }
+
+    fn disk_line(fp: Fingerprint, vars: u32, clauses: u32, outcome: &CachedOutcome) -> String {
+        match outcome {
+            CachedOutcome::Unsat => format!(
+                "{{\"fp\":\"{fp}\",\"vars\":{vars},\"clauses\":{clauses},\"result\":\"unsat\"}}\n"
+            ),
+            CachedOutcome::Sat(bits) => {
+                let s: String = bits
+                    .iter()
+                    .map(|b| match b {
+                        Some(true) => '1',
+                        Some(false) => '0',
+                        None => 'x',
+                    })
+                    .collect();
+                format!(
+                    "{{\"fp\":\"{fp}\",\"vars\":{vars},\"clauses\":{clauses},\
+                     \"result\":\"sat\",\"bits\":\"{s}\"}}\n"
+                )
+            }
+        }
+    }
+
+    /// Attaches the persistent tier: loads `DIR/cache.jsonl` (tolerating
+    /// missing files and torn lines) into memory and opens it for append.
+    /// Returns the number of entries loaded.
+    pub fn attach_dir(&self, dir: &Path) -> std::io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("cache.jsonl");
+        let mut loaded = 0usize;
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            for line in text.lines() {
+                if self.load_line(line) {
+                    loaded += 1;
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        *lock(&self.disk) = Some(file);
+        Ok(loaded)
+    }
+
+    /// Parses one disk line into the in-memory tier. Returns false on a
+    /// torn or malformed line (skipped, never fatal).
+    fn load_line(&self, line: &str) -> bool {
+        let Some(v) = alive2_obs::json::JsonValue::parse(line) else {
+            return false;
+        };
+        let Some(fp) = v
+            .get("fp")
+            .and_then(|f| f.as_str())
+            .and_then(Fingerprint::parse)
+        else {
+            return false;
+        };
+        let vars = v.num("vars") as u32;
+        let clauses = v.num("clauses") as u32;
+        let outcome = match v.get("result").and_then(|r| r.as_str()) {
+            Some("unsat") => CachedOutcome::Unsat,
+            Some("sat") => {
+                let Some(bits) = v.get("bits").and_then(|b| b.as_str()) else {
+                    return false;
+                };
+                if bits.len() != vars as usize {
+                    return false;
+                }
+                let decoded: Option<Vec<Option<bool>>> = bits
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Some(Some(false)),
+                        '1' => Some(Some(true)),
+                        'x' => Some(None),
+                        _ => None,
+                    })
+                    .collect();
+                match decoded {
+                    Some(d) => CachedOutcome::Sat(d),
+                    None => return false,
+                }
+            }
+            _ => return false,
+        };
+        let mut shard = lock(self.shard(fp));
+        shard.entry(fp).or_insert(CacheEntry {
+            vars,
+            clauses,
+            outcome,
+        });
+        true
+    }
+}
+
+static GLOBAL: OnceLock<QueryCache> = OnceLock::new();
+
+/// The process-wide tier-1 cache, shared by every solver of every job.
+pub fn global() -> &'static QueryCache {
+    GLOBAL.get_or_init(QueryCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, pos: bool) -> Lit {
+        Lit::new(SatVar(v), pos)
+    }
+
+    fn cnf_of(num_vars: u32, clauses: &[&[Lit]]) -> Cnf {
+        let mut cnf = Cnf::new();
+        for _ in 0..num_vars {
+            cnf.new_var();
+        }
+        for c in clauses {
+            cnf.add_clause(c);
+        }
+        cnf
+    }
+
+    #[test]
+    fn preprocess_propagates_units_and_drops_noise() {
+        // x0; ¬x0 ∨ x1; x1 ∨ x1 ∨ x2 (dup lit); x3 ∨ ¬x3 (tautology);
+        // duplicate of clause 2.
+        let cnf = cnf_of(
+            4,
+            &[
+                &[lit(0, true)],
+                &[lit(0, false), lit(1, true)],
+                &[lit(1, true), lit(1, true), lit(2, true)],
+                &[lit(3, true), lit(3, false)],
+                &[lit(2, true), lit(1, true)],
+            ],
+        );
+        let pre = preprocess(&cnf);
+        assert!(!pre.conflict);
+        assert_eq!(pre.assigned[0], Some(true));
+        assert_eq!(pre.assigned[1], Some(true)); // via unit propagation
+        assert_eq!(pre.assigned[2], None);
+        assert_eq!(pre.assigned[3], None); // eliminated: don't-care
+        assert!(pre.clauses.is_empty()); // everything satisfied or absorbed
+    }
+
+    #[test]
+    fn preprocess_detects_conflict() {
+        let cnf = cnf_of(
+            2,
+            &[
+                &[lit(0, true)],
+                &[lit(0, false), lit(1, true)],
+                &[lit(1, false)],
+            ],
+        );
+        let pre = preprocess(&cnf);
+        assert!(pre.conflict);
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_renaming_and_reorder() {
+        // (a ∨ b)(¬a ∨ c) under two different variable numberings (the
+        // same structure blasted in two different term contexts — the
+        // cross-job case the cache targets) must produce one fingerprint.
+        let c1 = cnf_of(
+            5,
+            &[
+                &[lit(1, true), lit(3, true)],
+                &[lit(1, false), lit(4, true)],
+            ],
+        );
+        let c2 = cnf_of(
+            9,
+            &[
+                &[lit(2, true), lit(5, true)],
+                &[lit(2, false), lit(8, true)],
+            ],
+        );
+        let f1 = canonicalize(&preprocess(&c1)).fingerprint();
+        let f2 = canonicalize(&preprocess(&c2)).fingerprint();
+        assert_eq!(f1, f2);
+
+        // A genuinely different formula gets a different fingerprint.
+        let c3 = cnf_of(
+            5,
+            &[&[lit(1, true), lit(3, true)], &[lit(1, true), lit(4, true)]],
+        );
+        let f3 = canonicalize(&preprocess(&c3)).fingerprint();
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn canonical_solver_round_trip() {
+        // (a ∨ b)(¬a)(¬b ∨ c): satisfiable, forces a=false then b, c.
+        let cnf = cnf_of(
+            3,
+            &[
+                &[lit(0, true), lit(1, true)],
+                &[lit(0, false)],
+                &[lit(1, false), lit(2, true)],
+            ],
+        );
+        let pre = preprocess(&cnf);
+        assert!(!pre.conflict);
+        // Unit prop already forces everything: a=F, b=T, c=T.
+        assert_eq!(pre.assigned, vec![Some(false), Some(true), Some(true)]);
+        assert!(pre.clauses.is_empty());
+    }
+
+    #[test]
+    fn cache_store_lookup_and_collision_guard() {
+        let cache = QueryCache::new();
+        let fp = Fingerprint(42, 99);
+        assert!(cache.lookup(fp, 3, 2).is_none());
+        cache.store(fp, 3, 2, CachedOutcome::Unsat);
+        assert_eq!(cache.lookup(fp, 3, 2), Some(CachedOutcome::Unsat));
+        // Same fingerprint, different shape: treated as a collision.
+        assert!(cache.lookup(fp, 4, 2).is_none());
+        // First write wins.
+        cache.store(fp, 3, 2, CachedOutcome::Sat(vec![Some(true); 3]));
+        assert_eq!(cache.lookup(fp, 3, 2), Some(CachedOutcome::Unsat));
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_tolerates_torn_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "alive2-cache-test-{}-{:x}",
+            std::process::id(),
+            &dir_tag as *const _ as usize
+        ));
+        fn dir_tag() {}
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let c1 = QueryCache::new();
+        assert_eq!(c1.attach_dir(&dir).unwrap(), 0);
+        c1.store(Fingerprint(1, 2), 4, 3, CachedOutcome::Unsat);
+        c1.store(
+            Fingerprint(3, 4),
+            2,
+            1,
+            CachedOutcome::Sat(vec![Some(true), None]),
+        );
+        drop(c1);
+
+        // Append a torn line, then reload into a fresh cache.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("cache.jsonl"))
+                .unwrap();
+            f.write_all(b"{\"fp\":\"00000").unwrap();
+        }
+        let c2 = QueryCache::new();
+        assert_eq!(c2.attach_dir(&dir).unwrap(), 2);
+        assert_eq!(
+            c2.lookup(Fingerprint(1, 2), 4, 3),
+            Some(CachedOutcome::Unsat)
+        );
+        assert_eq!(
+            c2.lookup(Fingerprint(3, 4), 2, 1),
+            Some(CachedOutcome::Sat(vec![Some(true), None]))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

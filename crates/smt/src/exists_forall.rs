@@ -290,4 +290,37 @@ mod tests {
             other => panic!("must not claim sat: {other:?}"),
         }
     }
+
+    #[test]
+    fn repeated_ef_queries_hit_the_query_cache() {
+        // CEGQI and blasting are deterministic, so a rerun of the same ∃∀
+        // problem issues byte-identical queries: every one must replay from
+        // the cache with zero live SAT solves.
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        // ∃x. ∀y. y*x == y ∧ (y & 0xD1) ule y — holds with x = 1. The
+        // multiplier forces real SAT search (trivial unit-propagation-only
+        // queries bypass the cache), and the distinctive constant keeps the
+        // fingerprints disjoint from every other test in this process.
+        let c = ctx.bv_lit_u64(8, 0xD1);
+        let phi = ctx.and(ctx.eq(ctx.bv_mul(y, x), y), ctx.bv_ule(ctx.bv_and(y, c), y));
+        let run = || {
+            let snap = alive2_obs::counters_snapshot();
+            let r = solve_exists_forall(&ctx, &[y], phi, EfConfig::default());
+            let mut d = alive2_obs::JobStats::default();
+            d.absorb_since(&snap);
+            (r, d)
+        };
+        let (r1, d1) = run();
+        let (r2, d2) = run();
+        assert!(r1.is_sat() && r2.is_sat());
+        // At least one query was non-trivial (tiny queries can already be
+        // cached by unrelated tests sharing the same canonical CNF, so we
+        // can't insist the first run *misses*).
+        assert!(d1.sat_solves + d1.cache_hits > 0, "{d1:?}");
+        assert_eq!(d2.sat_solves, 0, "warm rerun must not solve live: {d2:?}");
+        assert!(d2.cache_hits > 0, "{d2:?}");
+        assert_eq!(d2.cache_misses, 0, "{d2:?}");
+    }
 }

@@ -30,6 +30,7 @@
 pub mod ackermann;
 pub mod bitblast;
 pub mod bv;
+pub mod cache;
 pub mod exists_forall;
 pub mod model;
 pub mod sat;

@@ -186,6 +186,105 @@ impl Model {
         val
     }
 
+    /// Evaluates a term under this model *without* zero-defaulting:
+    /// returns `None` when the result genuinely depends on a variable the
+    /// model does not assign (a don't-care). This is the provenance-aware
+    /// companion to [`Model::eval`] — counterexample printers use it to
+    /// report unassigned inputs as `any` instead of a fabricated zero.
+    ///
+    /// Short-circuits are honored: `false ∧ x`, `true ∨ x`, and friends
+    /// are definite even when the other side is not. `Ite` with an
+    /// indefinite condition is definite only when both branches agree.
+    /// Uninterpreted applications are always indefinite.
+    pub fn try_eval(&self, ctx: &Ctx, t: TermId) -> Option<Value> {
+        let mut memo = HashMap::new();
+        self.try_eval_rec(ctx, t, &mut memo)
+    }
+
+    fn try_eval_rec(
+        &self,
+        ctx: &Ctx,
+        t: TermId,
+        memo: &mut HashMap<TermId, Option<Value>>,
+    ) -> Option<Value> {
+        if let Some(v) = memo.get(&t) {
+            return v.clone();
+        }
+        let op = ctx.op(t);
+        let args = ctx.args(t);
+        let val: Option<Value> = match op {
+            // Leaves are definite except unassigned variables.
+            Op::True | Op::False | Op::BvLit(_) => Some(self.eval(ctx, t)),
+            Op::Var(v) => self.values.get(&v).cloned(),
+            // Boolean connectives with definite short-circuit sides.
+            Op::And => {
+                let a = self.try_eval_rec(ctx, args[0], memo);
+                let b = self.try_eval_rec(ctx, args[1], memo);
+                match (&a, &b) {
+                    (Some(x), _) if !x.as_bool() => Some(Value::Bool(false)),
+                    (_, Some(y)) if !y.as_bool() => Some(Value::Bool(false)),
+                    (Some(_), Some(_)) => Some(Value::Bool(true)),
+                    _ => None,
+                }
+            }
+            Op::Or => {
+                let a = self.try_eval_rec(ctx, args[0], memo);
+                let b = self.try_eval_rec(ctx, args[1], memo);
+                match (&a, &b) {
+                    (Some(x), _) if x.as_bool() => Some(Value::Bool(true)),
+                    (_, Some(y)) if y.as_bool() => Some(Value::Bool(true)),
+                    (Some(_), Some(_)) => Some(Value::Bool(false)),
+                    _ => None,
+                }
+            }
+            Op::Implies => {
+                let a = self.try_eval_rec(ctx, args[0], memo);
+                let b = self.try_eval_rec(ctx, args[1], memo);
+                match (&a, &b) {
+                    (Some(x), _) if !x.as_bool() => Some(Value::Bool(true)),
+                    (_, Some(y)) if y.as_bool() => Some(Value::Bool(true)),
+                    (Some(_), Some(_)) => Some(Value::Bool(false)),
+                    _ => None,
+                }
+            }
+            Op::Ite => {
+                let c = self.try_eval_rec(ctx, args[0], memo);
+                let x = self.try_eval_rec(ctx, args[1], memo);
+                let y = self.try_eval_rec(ctx, args[2], memo);
+                match c {
+                    Some(cv) => {
+                        if cv.as_bool() {
+                            x
+                        } else {
+                            y
+                        }
+                    }
+                    None => match (x, y) {
+                        (Some(xv), Some(yv)) if xv == yv => Some(xv),
+                        _ => None,
+                    },
+                }
+            }
+            Op::Apply(_) => None,
+            // Everything else is strict: definite iff all arguments are.
+            _ => {
+                let mut ok = true;
+                for &a in args.iter() {
+                    if self.try_eval_rec(ctx, a, memo).is_none() {
+                        ok = false;
+                    }
+                }
+                if ok {
+                    Some(self.eval(ctx, t))
+                } else {
+                    None
+                }
+            }
+        };
+        memo.insert(t, val.clone());
+        val
+    }
+
     /// Converts the model's binding for a variable term into a literal term
     /// (for substitution back into formulas).
     pub fn value_term(&self, ctx: &Ctx, var_term: TermId) -> TermId {
@@ -242,6 +341,32 @@ mod tests {
         assert_eq!(m.eval_bv(&ctx, t).to_u64(), 1);
         m.set(ctx.as_var(x).unwrap(), Value::Bv(BitVec::from_u64(8, 200)));
         assert_eq!(m.eval_bv(&ctx, t).to_u64(), 2);
+    }
+
+    #[test]
+    fn try_eval_distinguishes_dont_cares_from_zeros() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let c = ctx.var("c", Sort::Bool);
+        let mut m = Model::new();
+        m.set(ctx.as_var(x).unwrap(), Value::Bv(BitVec::from_u64(8, 7)));
+
+        // Assigned: definite. Unassigned: a don't-care, not zero.
+        assert_eq!(m.try_eval(&ctx, x), Some(Value::Bv(BitVec::from_u64(8, 7))));
+        assert_eq!(m.try_eval(&ctx, y), None);
+        assert_eq!(m.try_eval(&ctx, c), None);
+        // eval still zero-defaults (CEGQI instantiation depends on it).
+        assert_eq!(m.eval_bv(&ctx, y).to_u64(), 0);
+
+        // Strict ops propagate indefiniteness; short-circuits don't.
+        assert_eq!(m.try_eval(&ctx, ctx.bv_add(x, y)), None);
+        let fy = ctx.eq(y, y); // folds to true: definite without y
+        assert_eq!(m.try_eval(&ctx, fy), Some(Value::Bool(true)));
+        let anded = ctx.and(ctx.fals(), c);
+        assert_eq!(m.try_eval(&ctx, anded), Some(Value::Bool(false)));
+        let ored = ctx.or(ctx.tru(), c);
+        assert_eq!(m.try_eval(&ctx, ored), Some(Value::Bool(true)));
     }
 
     #[test]

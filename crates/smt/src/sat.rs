@@ -118,6 +118,60 @@ impl Budget {
     }
 }
 
+/// A plain CNF formula: a variable count and a list of clauses.
+///
+/// [`SatSolver::add_clause`] simplifies eagerly (level-0 subsumption,
+/// satisfied-clause dropping), which is lossy: the original clause list
+/// cannot be recovered from a solver. The bit-blaster therefore emits
+/// into a `Cnf` first, so the query cache can preprocess, canonicalize,
+/// and fingerprint the exact formula before any solver ever sees it.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty formula.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> SatVar {
+        let v = SatVar(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Appends a clause verbatim (no simplification).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// The clause list.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Builds a fresh [`SatSolver`] holding this formula.
+    pub fn to_solver(&self) -> SatSolver {
+        let mut s = SatSolver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+}
+
 #[derive(Clone)]
 struct Clause {
     lits: Vec<Lit>,
@@ -284,6 +338,15 @@ impl SatSolver {
             LBool::False => Some(false),
             LBool::Undef => None,
         }
+    }
+
+    /// The full assignment vector after a `Sat` outcome, indexed by
+    /// variable number. Variables the search never touched stay `None`:
+    /// any value satisfies the formula for them (don't-cares).
+    pub fn assignment(&self) -> Vec<Option<bool>> {
+        (0..self.num_vars())
+            .map(|i| self.value(SatVar(i as u32)))
+            .collect()
     }
 
     /// Adds a clause. Returns `false` if the solver is already in an

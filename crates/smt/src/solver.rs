@@ -3,8 +3,9 @@
 
 use crate::ackermann::ackermannize;
 use crate::bitblast::BitBlaster;
+use crate::cache::{self, CachedOutcome};
 use crate::model::{Model, Value};
-use crate::sat::{Budget, SatOutcome};
+use crate::sat::{Budget, Lit, SatOutcome, SatVar};
 use crate::term::{Ctx, Sort, TermId};
 
 /// The outcome of an SMT check.
@@ -111,7 +112,10 @@ impl<'a> Solver<'a> {
     }
 
     fn check_inner(&self, budget: Budget) -> SmtResult {
-        // Fast path: syntactically trivial.
+        // Fast path: syntactically trivial. The empty model means "every
+        // variable is a don't-care" — provenance the counterexample
+        // printer surfaces via `Model::try_eval` (it renders them as
+        // `any` rather than the fabricated zeros of `eval`).
         let conj = self.ctx.and_many(&self.assertions);
         if let Some(b) = self.ctx.as_bool_lit(conj) {
             return if b {
@@ -122,40 +126,118 @@ impl<'a> Solver<'a> {
         }
         let ack = ackermannize(self.ctx, &[conj]);
         let mut bb = BitBlaster::new(self.ctx);
-        for &t in ack.assertions.iter().chain(&ack.constraints) {
+        // Roots include the Ackermann result variables (mapped back to
+        // applications by callers that care).
+        let roots: Vec<TermId> = ack
+            .assertions
+            .iter()
+            .chain(&ack.constraints)
+            .copied()
+            .collect();
+        for &t in &roots {
             bb.assert_term(t);
         }
-        match bb.sat.solve(budget) {
-            SatOutcome::Unsat => SmtResult::Unsat,
-            SatOutcome::TimedOut => SmtResult::Timeout,
-            SatOutcome::OutOfMemory => SmtResult::OutOfMemory,
-            SatOutcome::Sat => {
-                let mut model = Model::new();
-                // Collect free vars of the blasted assertions, including the
-                // Ackermann result variables (mapped back to applications by
-                // callers that care).
-                let roots: Vec<TermId> = ack
-                    .assertions
-                    .iter()
-                    .chain(&ack.constraints)
-                    .copied()
-                    .collect();
-                for vt in self.ctx.free_vars_many(&roots) {
-                    let v = self.ctx.as_var(vt).expect("free var is a Var term");
-                    match self.ctx.sort(vt) {
-                        Sort::Bool => {
-                            if bb.bool_var_lit(v).is_some() {
-                                model.set(v, Value::Bool(bb.model_bool(v)));
-                            }
-                        }
-                        Sort::BitVec(w) => {
-                            if bb.bv_var_lits(v).is_some() {
-                                model.set(v, Value::Bv(bb.model_bv(v, w)));
-                            }
+
+        // Preprocess, canonicalize, and always solve the *canonical*
+        // formula: the solve result is then a pure function of the
+        // canonical CNF, so a cache replay is bit-identical to the live
+        // solve it memoized and verdicts cannot depend on cache state.
+        let pre = cache::preprocess(&bb.cnf);
+        if pre.conflict {
+            return SmtResult::Unsat;
+        }
+        let canon = cache::canonicalize(&pre);
+
+        // Projects an assignment over canonical variables back through
+        // the blaster onto the term-level free variables. Distinguishes
+        // three cases per SAT variable: forced at level 0 (preprocess),
+        // assigned by the search (canonical map), or eliminated/never
+        // materialized — a genuine don't-care, left out of the model.
+        let build_model = |bits: &[Option<bool>]| -> Model {
+            let sat_val = |sv: SatVar| -> Option<bool> {
+                pre.assigned[sv.0 as usize].or_else(|| {
+                    canon
+                        .var_map
+                        .get(&sv)
+                        .and_then(|&cv| bits.get(cv as usize).copied().flatten())
+                })
+            };
+            let lit_val = |l: Lit| -> Option<bool> {
+                sat_val(l.var()).map(|b| if l.is_positive() { b } else { !b })
+            };
+            let mut model = Model::new();
+            for vt in self.ctx.free_vars_many(&roots) {
+                let v = self.ctx.as_var(vt).expect("free var is a Var term");
+                match self.ctx.sort(vt) {
+                    Sort::Bool => {
+                        if let Some(b) = bb.bool_var_lit(v).and_then(lit_val) {
+                            model.set(v, Value::Bool(b));
                         }
                     }
+                    Sort::BitVec(_) => {
+                        let Some(lits) = bb.bv_var_lits(v) else {
+                            continue;
+                        };
+                        let vals: Vec<Option<bool>> = lits.iter().map(|&l| lit_val(l)).collect();
+                        if vals.iter().all(Option::is_none) {
+                            continue; // wholly unconstrained: don't-care
+                        }
+                        // Partially constrained: the free bits really can
+                        // be anything, so zero them (re-validation below
+                        // checks exactly this zero-completion).
+                        let bools: Vec<bool> = vals.iter().map(|b| b.unwrap_or(false)).collect();
+                        model.set(v, Value::Bv(crate::bv::BitVec::from_bits(&bools)));
+                    }
                 }
-                SmtResult::Sat(model)
+            }
+            model
+        };
+
+        if canon.clauses.is_empty() {
+            // Level-0 propagation satisfied every clause; no search (and
+            // no cache traffic — this is as cheap as a hit) needed.
+            return SmtResult::Sat(build_model(&[]));
+        }
+
+        let fp = canon.fingerprint();
+        let vars = canon.num_vars;
+        let nclauses = canon.clauses.len() as u32;
+        let qcache = cache::global();
+        match qcache.lookup(fp, vars, nclauses) {
+            Some(CachedOutcome::Unsat) => {
+                alive2_obs::stats::record_cache_hit();
+                return SmtResult::Unsat;
+            }
+            Some(CachedOutcome::Sat(bits)) => {
+                // Soundness backstop: replay the cached assignment and
+                // re-validate it against the actual assertions before
+                // trusting it. A stale, corrupted, or colliding entry
+                // degrades to a live solve, never to a wrong verdict.
+                let model = build_model(&bits);
+                if roots.iter().all(|&t| model.eval(self.ctx, t).as_bool()) {
+                    alive2_obs::stats::record_cache_hit();
+                    return SmtResult::Sat(model);
+                }
+                alive2_obs::stats::record_cache_reval();
+            }
+            None => {}
+        }
+        alive2_obs::stats::record_cache_miss();
+        alive2_obs::stats::record_sat_solve();
+        let mut sat = canon.to_solver();
+        match sat.solve(budget) {
+            // Budget verdicts are a property of this run, not of the
+            // formula: never cached.
+            SatOutcome::TimedOut => SmtResult::Timeout,
+            SatOutcome::OutOfMemory => SmtResult::OutOfMemory,
+            SatOutcome::Unsat => {
+                qcache.store(fp, vars, nclauses, CachedOutcome::Unsat);
+                SmtResult::Unsat
+            }
+            SatOutcome::Sat => {
+                let bits = sat.assignment();
+                qcache.store(fp, vars, nclauses, CachedOutcome::Sat(bits.clone()));
+                SmtResult::Sat(build_model(&bits))
             }
         }
     }
@@ -253,6 +335,99 @@ mod tests {
         let mut s2 = Solver::new(&ctx);
         s2.assert(ctx.fals());
         assert!(s2.check(Budget::unlimited()).is_unsat());
+    }
+
+    /// Runs one check and returns it with the counter deltas it caused
+    /// (thread-local, so parallel tests don't interfere).
+    fn probe(s: &Solver, budget: Budget) -> (SmtResult, alive2_obs::JobStats) {
+        let snap = alive2_obs::counters_snapshot();
+        let r = s.check(budget);
+        let mut d = alive2_obs::JobStats::default();
+        d.absorb_since(&snap);
+        (r, d)
+    }
+
+    #[test]
+    fn timeout_results_are_not_cached() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        // x² = 0xB7 is unsat (odd squares are 1 mod 8, 0xB7 is 7 mod 8)
+        // but refuting a multiplier circuit needs real search, so a
+        // zero-conflict budget deterministically times out at the first
+        // conflict. Distinctive constants: no other test in this process
+        // shares the fingerprint, so the shared global cache stays
+        // predictable here.
+        let mut s = Solver::new(&ctx);
+        s.assert(ctx.eq(ctx.bv_mul(x, x), ctx.bv_lit_u64(8, 0xB7)));
+        let starved = Budget {
+            max_conflicts: 0,
+            ..Budget::unlimited()
+        };
+
+        let (r1, d1) = probe(&s, starved);
+        assert!(matches!(r1, SmtResult::Timeout), "{r1:?}");
+        assert_eq!(d1.cache_misses, 1);
+        // A second identical check must miss again: budget verdicts are a
+        // property of the run, never cached.
+        let (r2, d2) = probe(&s, starved);
+        assert!(matches!(r2, SmtResult::Timeout), "{r2:?}");
+        assert_eq!((d2.cache_hits, d2.cache_misses), (0, 1));
+        // Solve for real: a live solve, and the outcome is now cached.
+        let (r3, d3) = probe(&s, Budget::unlimited());
+        assert!(matches!(r3, SmtResult::Unsat), "{r3:?}");
+        assert_eq!((d3.sat_solves, d3.cache_hits), (1, 0));
+        // The cached answer replays without search — even under the same
+        // starved budget that timed out before.
+        let (r4, d4) = probe(&s, starved);
+        assert!(matches!(r4, SmtResult::Unsat), "{r4:?}");
+        assert_eq!((d4.sat_solves, d4.cache_hits), (0, 1));
+    }
+
+    #[test]
+    fn cached_sat_replay_matches_live_model() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let mut s = Solver::new(&ctx);
+        s.assert(ctx.eq(ctx.bv_add(x, y), ctx.bv_lit_u64(8, 0xC3)));
+        s.assert(ctx.bv_ult(x, ctx.bv_lit_u64(8, 0x1D)));
+        let (r1, d1) = probe(&s, Budget::unlimited());
+        let (r2, d2) = probe(&s, Budget::unlimited());
+        assert_eq!(d2.sat_solves, 0, "second check must replay: {d2:?}");
+        assert_eq!(d2.cache_hits, 1);
+        let (m1, m2) = (r1.model().unwrap(), r2.model().unwrap());
+        // Bit-identical replay: the cached model is exactly the live one.
+        assert_eq!(m1.eval_bv(&ctx, x), m2.eval_bv(&ctx, x));
+        assert_eq!(m1.eval_bv(&ctx, y), m2.eval_bv(&ctx, y));
+        let _ = d1;
+    }
+
+    #[test]
+    fn unit_propagation_solves_equalities_without_search() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let mut s = Solver::new(&ctx);
+        s.assert(ctx.eq(x, ctx.bv_lit_u64(8, 0xA7)));
+        let (r, d) = probe(&s, Budget::unlimited());
+        let m = r.model().expect("sat");
+        assert_eq!(m.eval_bv(&ctx, x).to_u64(), 0xA7);
+        assert_eq!(d.sat_solves, 0, "level-0 propagation needs no search");
+    }
+
+    #[test]
+    fn trivially_true_model_reports_vars_as_dont_cares() {
+        // The fast path returns an *empty* model. The bug this guards
+        // against: `eval` silently zero-defaults, fabricating an all-zero
+        // "counterexample"; `try_eval` must expose the don't-care.
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let tauto = ctx.eq(ctx.bv_and(x, x), x); // folds to true
+        let mut s = Solver::new(&ctx);
+        s.assert(tauto);
+        let r = s.check(Budget::unlimited());
+        let m = r.model().expect("sat");
+        assert!(m.is_empty());
+        assert_eq!(m.try_eval(&ctx, x), None, "x is a don't-care, not zero");
     }
 
     #[test]

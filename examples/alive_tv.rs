@@ -7,7 +7,7 @@
 //! cargo run --example alive_tv -- src.ll tgt.ll [--unroll N] [--timeout MS] \
 //!     [--jobs N] [--deadline-ms MS] [--mem-budget-mb MB] \
 //!     [--journal PATH] [--resume PATH] [--inject-panic MARKER] \
-//!     [--stats] [--trace FILE] [--trace-detail]
+//!     [--cache DIR] [--stats] [--trace FILE] [--trace-detail]
 //! ```
 //!
 //! With no arguments, runs on a built-in demo pair.
@@ -124,6 +124,18 @@ fn main() -> ExitCode {
             "--inject-panic" => {
                 engine = engine
                     .with_fault_marker(Some(it.next().expect("--inject-panic needs a marker")));
+            }
+            "--cache" => {
+                let dir = it.next().expect("--cache needs a directory");
+                match alive2::smt::cache::global().attach_dir(std::path::Path::new(&dir)) {
+                    Ok(loaded) => {
+                        eprintln!("cache: loaded {loaded} entries from {dir}/cache.jsonl");
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot attach query cache `{dir}`: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             other => files.push(other.to_string()),
         }

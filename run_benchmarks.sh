@@ -8,13 +8,42 @@
 #
 # Pass --stats to also print each harness's per-phase timing breakdown
 # and counter totals (and fill the summary JSON's stats/phases objects).
+#
+# Pass --cache to measure the persistent query cache instead: the
+# known_bugs harness runs twice against a fresh cache directory (cold,
+# then warm) and BENCH_pr5.json records per-run live SAT solves,
+# cache traffic, and wall time.
 set -e
 cd "$(dirname "$0")"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
 STATS=""
+CACHE=""
 for arg in "$@"; do
   [ "$arg" = "--stats" ] && STATS="--stats"
+  [ "$arg" = "--cache" ] && CACHE=1
 done
+
+if [ -n "$CACHE" ]; then
+  CDIR=$(mktemp -d)
+  trap 'rm -rf "$CDIR"' EXIT
+  cargo build --release -q -p alive2-bench --bin known_bugs
+  run_pass() { # $1 = label
+    start_ms=$(date +%s%3N)
+    out=$(cargo run --release -q -p alive2-bench --bin known_bugs -- \
+          --jobs "$JOBS" --cache "$CDIR" 2>/dev/null \
+          | grep '"name":"known_bugs"' | tail -n 1)
+    end_ms=$(date +%s%3N)
+    printf '"%s":{"wall_ms":%s,"sat_solves":%s,"cache_hits":%s,"cache_misses":%s,"summary":%s}' \
+      "$1" "$((end_ms - start_ms))" \
+      "$(printf '%s' "$out" | grep -o '"sat_solves":[0-9]*' | cut -d: -f2)" \
+      "$(printf '%s' "$out" | grep -o '"cache_hits":[0-9]*' | cut -d: -f2)" \
+      "$(printf '%s' "$out" | grep -o '"cache_misses":[0-9]*' | cut -d: -f2)" \
+      "$out"
+  }
+  { printf '{'; run_pass cold; printf ','; run_pass warm; printf '}\n'; } > BENCH_pr5.json
+  cat BENCH_pr5.json
+  exit 0
+fi
 {
   echo "==================================================================="
   echo "In-tree micro-benchmarks (alive2-bench --bin micro)"

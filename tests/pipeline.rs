@@ -13,6 +13,13 @@ use alive2_opt::pass::PassManager;
 use alive2_sema::config::EncodeConfig;
 use alive2_testgen::corpus::{corpus, Family};
 
+/// True when `ALIVE2_FULL_CORPUS=1`: sweep the whole unit-test corpus
+/// (CI always does; see ci.sh). The default subset keeps `cargo test`
+/// interactive while still crossing every pass at least once.
+fn full_corpus() -> bool {
+    std::env::var("ALIVE2_FULL_CORPUS").map(|v| v == "1") == Ok(true)
+}
+
 /// Runs the pipeline over one module and validates every changed pass.
 fn validate_case(text: &str, bugs: BugSet, cfg: &EncodeConfig) -> Vec<(&'static str, Verdict)> {
     let module = parse_module(text).unwrap();
@@ -32,7 +39,9 @@ fn validate_case(text: &str, bugs: BugSet, cfg: &EncodeConfig) -> Vec<(&'static 
 fn clean_pipeline_never_miscompiles_the_corpus() {
     let cfg = EncodeConfig::default();
     let mut validated = 0;
-    for case in corpus() {
+    // Fast mode samples every third case; the full sweep covers them all.
+    let stride = if full_corpus() { 1 } else { 3 };
+    for case in corpus().into_iter().step_by(stride) {
         for (pass, v) in validate_case(case.text, BugSet::none(), &cfg) {
             assert!(
                 !v.is_incorrect(),
@@ -44,8 +53,9 @@ fn clean_pipeline_never_miscompiles_the_corpus() {
             }
         }
     }
+    let floor = if full_corpus() { 20 } else { 6 };
     assert!(
-        validated >= 20,
+        validated >= floor,
         "expected the pipeline to change and validate many cases, got {validated}"
     );
 }
@@ -74,6 +84,11 @@ fn seeded_bugs_are_caught_on_their_trigger_cases() {
                     caught = true;
                 }
             }
+            // One triggering case proves the bug is caught; the remaining
+            // family cases only add wall time outside the full sweep.
+            if caught && !full_corpus() {
+                break;
+            }
         }
         assert!(caught, "seeded bug {bug:?} was never caught");
     }
@@ -85,7 +100,7 @@ fn seeded_bugs_are_caught_on_their_trigger_cases() {
 /// path.
 fn generated_pair() -> (alive2_ir::module::Module, alive2_ir::module::Module) {
     let mut profile = alive2_testgen::appgen::profiles()[0];
-    profile.functions = 6;
+    profile.functions = if full_corpus() { 6 } else { 3 };
     profile.unsupported_density = 0.0;
     let src = alive2_testgen::appgen::generate(&profile);
     let mut tgt = src.clone();

@@ -19,10 +19,24 @@ use alive2::testgen::rng::Rng64;
 /// explicit cases in every generator-seeded property below.
 const REGRESSION_SEEDS: [u64; 3] = [0, 1548306937187382123, 4716925595663273561];
 
+/// True when `ALIVE2_FULL_CORPUS=1`: run the full sweep (CI always does;
+/// see ci.sh). The default is a fast subset — same pinned regressions,
+/// fewer random cases — so a local `cargo test` stays interactive.
+fn full_corpus() -> bool {
+    std::env::var("ALIVE2_FULL_CORPUS").map(|v| v == "1") == Ok(true)
+}
+
 /// The generator seeds for a property: the pinned regressions first, then
 /// `cases` deterministic pseudo-random seeds derived from the property
-/// name (so properties don't all sample the same stream).
+/// name (so properties don't all sample the same stream). Outside
+/// `ALIVE2_FULL_CORPUS=1` the random tail is quartered; the regression
+/// seeds are never dropped.
 fn seeds(property: &str, cases: usize) -> Vec<u64> {
+    let cases = if full_corpus() {
+        cases
+    } else {
+        cases.div_ceil(4)
+    };
     let tag = property
         .bytes()
         .fold(0xa1ec_5eedu64, |h, b| h.wrapping_mul(0x100_0193) ^ b as u64);
@@ -310,9 +324,15 @@ fn clean_optimizer_never_flags_incorrect() {
 fn unrolled_loop_computes_the_same_sum() {
     use alive2::sema::unroll::unroll_loops;
     // The whole (n, factor) grid is small; test it exhaustively instead of
-    // sampling like the proptest version did.
-    for n in 0u32..4 {
-        for factor in 4u32..8 {
+    // sampling like the proptest version did. The fast subset keeps the
+    // corners (n = 0 and the largest bound-fitting n).
+    let (ns, factors) = if full_corpus() {
+        (0u32..4, 4u32..8)
+    } else {
+        (0u32..2, 4u32..6)
+    };
+    for n in ns {
+        for factor in factors.clone() {
             // sum(n) for n < factor fits in the bound; compare against the
             // closed form via the encoder's concrete evaluation path by
             // validating against a constant-returning target.
