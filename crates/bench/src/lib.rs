@@ -60,12 +60,16 @@ pub fn engine_from_args(args: &[String]) -> ValidationEngine {
         .with_fault_marker(fault_marker)
 }
 
-/// Builds an [`EncodeConfig`] from the shared CLI convention, currently
-/// just `--mem-budget-mb MB` (global term-allocation budget per job;
-/// exceeding it yields `Verdict::OutOfMemory` instead of swapping).
+/// Builds an [`EncodeConfig`] from the shared CLI convention:
+/// `--mem-budget-mb MB` (global term-allocation budget per job; exceeding
+/// it yields `Verdict::OutOfMemory` instead of swapping) and
+/// `--no-incremental` (rebuild a fresh CEGQI candidate solver per
+/// iteration instead of reusing one live incremental solver — same
+/// verdicts, useful for triage and A/B timing).
 pub fn config_from_args(args: &[String], base: EncodeConfig) -> EncodeConfig {
     EncodeConfig {
         mem_budget_mb: flag_value(args, "--mem-budget-mb").or(base.mem_budget_mb),
+        incremental: base.incremental && !args.iter().any(|a| a == "--no-incremental"),
         ..base
     }
 }
@@ -365,6 +369,21 @@ mod tests {
         let base = EncodeConfig::with_mem_budget_mb(8);
         let kept = config_from_args(&[], base);
         assert_eq!(kept.mem_budget_mb, Some(8));
+    }
+
+    #[test]
+    fn config_from_args_parses_no_incremental() {
+        let cfg = config_from_args(&[], EncodeConfig::default());
+        assert!(cfg.incremental, "incremental is the default");
+        let args = vec!["--no-incremental".to_string()];
+        let cfg = config_from_args(&args, EncodeConfig::default());
+        assert!(!cfg.incremental);
+        // A base that already disabled it stays disabled.
+        let base = EncodeConfig {
+            incremental: false,
+            ..EncodeConfig::default()
+        };
+        assert!(!config_from_args(&[], base).incremental);
     }
 
     #[test]

@@ -552,6 +552,7 @@ fn check_refinement(
         .with_deadline(deadline),
         max_iterations: cfg.max_ef_iterations,
         max_millis: cfg.solver_timeout_ms.saturating_mul(4),
+        incremental: cfg.incremental,
     };
 
     // Query 1 (§5.3): is the precondition satisfiable at all?

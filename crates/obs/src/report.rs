@@ -73,7 +73,10 @@ pub fn render_counters(t: &StatsTotals) -> String {
         t.smt_unsat,
         t.smt_unknown
     ));
-    out.push_str(&format!("  cegqi iterations {}\n", t.cegqi_iters));
+    out.push_str(&format!(
+        "  cegqi iterations {} (iteration cap exhausted {})\n",
+        t.cegqi_iters, t.cegqi_iter_exhausted
+    ));
     let probes = t.cache_hits + t.cache_misses;
     let hit_rate = if probes == 0 {
         0.0
@@ -83,6 +86,10 @@ pub fn render_counters(t: &StatsTotals) -> String {
     out.push_str(&format!(
         "  query cache: hits {} ({:.1}%), misses {}, revalidation misses {}; live SAT solves {}\n",
         t.cache_hits, hit_rate, t.cache_misses, t.cache_reval, t.sat_solves
+    ));
+    out.push_str(&format!(
+        "  incremental solver: checks {}, clauses reused {}, learnts kept {}, assumption cores {}\n",
+        t.incremental_solves, t.clauses_reused, t.learnts_kept, t.assumption_cores
     ));
     out.push_str(&format!(
         "  instructions encoded {}, approximations {}\n",

@@ -32,6 +32,11 @@ struct Block {
     cache_hits: u64,
     cache_misses: u64,
     cache_reval: u64,
+    incremental_solves: u64,
+    clauses_reused: u64,
+    learnts_kept: u64,
+    assumption_cores: u64,
+    cegqi_iter_exhausted: u64,
     encode_ns: u64,
     solve_ns: u64,
 }
@@ -49,6 +54,11 @@ thread_local! {
             cache_hits: 0,
             cache_misses: 0,
             cache_reval: 0,
+            incremental_solves: 0,
+            clauses_reused: 0,
+            learnts_kept: 0,
+            assumption_cores: 0,
+            cegqi_iter_exhausted: 0,
             encode_ns: 0,
             solve_ns: 0,
         })
@@ -114,6 +124,36 @@ pub fn record_cache_reval() {
     bump(|b| b.cache_reval += 1);
 }
 
+/// One check was dispatched on a live incremental solver (as opposed to
+/// a fresh one-shot solve of a canonical CNF, which `sat_solves` counts).
+pub fn record_incremental_solve() {
+    bump(|b| b.incremental_solves += 1);
+}
+
+/// `n` clauses already resident in a warm incremental solver were reused
+/// by a check instead of being re-blasted and re-loaded.
+pub fn record_clauses_reused(n: u64) {
+    bump(|b| b.clauses_reused += n);
+}
+
+/// `n` learned clauses were still alive in a warm solver at the start of
+/// an incremental check (the warm-start payload).
+pub fn record_learnts_kept(n: u64) {
+    bump(|b| b.learnts_kept += n);
+}
+
+/// One incremental check came back unsat-under-assumptions with a
+/// non-trivial failed-assumption core.
+pub fn record_assumption_core() {
+    bump(|b| b.assumption_cores += 1);
+}
+
+/// One CEGQI loop gave up by exhausting its iteration cap (reported as a
+/// timeout verdict, but distinct from a wall-clock timeout).
+pub fn record_cegqi_iter_exhausted() {
+    bump(|b| b.cegqi_iter_exhausted += 1);
+}
+
 /// Span-close hook: folds an accumulating span's duration into the
 /// thread's per-job encode/solve time (only those two are job-attributed).
 pub(crate) fn add_phase_ns(phase: Phase, ns: u64) {
@@ -172,6 +212,17 @@ pub struct JobStats {
     pub cache_misses: u32,
     /// Cached `Sat` models that failed re-validation (fell back to live).
     pub cache_reval: u32,
+    /// Checks dispatched on a live incremental solver (not counted in
+    /// `sat_solves`, which stays "fresh one-shot canonical-CNF solves").
+    pub incremental_solves: u32,
+    /// Clauses already resident in a warm solver when a check reused it.
+    pub clauses_reused: u64,
+    /// Learned clauses alive at the start of warm incremental checks.
+    pub learnts_kept: u64,
+    /// Incremental checks that failed with a non-trivial assumption core.
+    pub assumption_cores: u32,
+    /// CEGQI loops that exhausted their iteration cap (vs. wall clock).
+    pub cegqi_iter_exhausted: u32,
     /// Term-DAG nodes live in the job's context at completion.
     pub terms: u32,
     /// Hash-cons lookups that hit an existing node / allocated a new one.
@@ -202,6 +253,11 @@ impl Default for JobStats {
             cache_hits: 0,
             cache_misses: 0,
             cache_reval: 0,
+            incremental_solves: 0,
+            clauses_reused: 0,
+            learnts_kept: 0,
+            assumption_cores: 0,
+            cegqi_iter_exhausted: 0,
             terms: 0,
             hc_hits: 0,
             hc_misses: 0,
@@ -230,6 +286,11 @@ impl JobStats {
         self.cache_hits = d(now.cache_hits, snap.0.cache_hits) as u32;
         self.cache_misses = d(now.cache_misses, snap.0.cache_misses) as u32;
         self.cache_reval = d(now.cache_reval, snap.0.cache_reval) as u32;
+        self.incremental_solves = d(now.incremental_solves, snap.0.incremental_solves) as u32;
+        self.clauses_reused = d(now.clauses_reused, snap.0.clauses_reused);
+        self.learnts_kept = d(now.learnts_kept, snap.0.learnts_kept);
+        self.assumption_cores = d(now.assumption_cores, snap.0.assumption_cores) as u32;
+        self.cegqi_iter_exhausted = d(now.cegqi_iter_exhausted, snap.0.cegqi_iter_exhausted) as u32;
         self.encode_us = d(now.encode_ns, snap.0.encode_ns) / 1_000;
         self.solve_us = d(now.solve_ns, snap.0.solve_ns) / 1_000;
     }
@@ -239,7 +300,9 @@ impl JobStats {
         format!(
             "{{\"phase\":\"{}\",\"queries\":{},\"millis\":{},\"sat\":{},\"unsat\":{},\
              \"unknown\":{},\"cegqi\":{},\"insts\":{},\"approx\":{},\"sat_solves\":{},\
-             \"cache_hits\":{},\"cache_misses\":{},\"cache_reval\":{},\"terms\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_reval\":{},\
+             \"incremental_solves\":{},\"clauses_reused\":{},\"learnts_kept\":{},\
+             \"assumption_cores\":{},\"cegqi_iter_exhausted\":{},\"terms\":{},\
              \"hc_hits\":{},\"hc_misses\":{},\"mem_bytes\":{},\"encode_us\":{},\
              \"solve_us\":{},\"queue_ms\":{}}}",
             self.phase.as_str(),
@@ -255,6 +318,11 @@ impl JobStats {
             self.cache_hits,
             self.cache_misses,
             self.cache_reval,
+            self.incremental_solves,
+            self.clauses_reused,
+            self.learnts_kept,
+            self.assumption_cores,
+            self.cegqi_iter_exhausted,
             self.terms,
             self.hc_hits,
             self.hc_misses,
@@ -286,6 +354,11 @@ impl JobStats {
             cache_hits: v.num("cache_hits") as u32,
             cache_misses: v.num("cache_misses") as u32,
             cache_reval: v.num("cache_reval") as u32,
+            incremental_solves: v.num("incremental_solves") as u32,
+            clauses_reused: v.num("clauses_reused"),
+            learnts_kept: v.num("learnts_kept"),
+            assumption_cores: v.num("assumption_cores") as u32,
+            cegqi_iter_exhausted: v.num("cegqi_iter_exhausted") as u32,
             terms: v.num("terms") as u32,
             hc_hits: v.num("hc_hits"),
             hc_misses: v.num("hc_misses"),
@@ -318,6 +391,15 @@ pub struct StatsTotals {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_reval: u64,
+    /// Incremental-solver activity. Deterministic per job (a live solver
+    /// is private to its job, never shared), so these *are* compared by
+    /// `same_counters`.
+    pub incremental_solves: u64,
+    pub clauses_reused: u64,
+    pub learnts_kept: u64,
+    pub assumption_cores: u64,
+    /// CEGQI loops ended by the iteration cap (vs. wall-clock timeout).
+    pub cegqi_iter_exhausted: u64,
     pub terms: u64,
     pub hc_hits: u64,
     pub hc_misses: u64,
@@ -343,6 +425,11 @@ impl StatsTotals {
         self.cache_hits += s.cache_hits as u64;
         self.cache_misses += s.cache_misses as u64;
         self.cache_reval += s.cache_reval as u64;
+        self.incremental_solves += s.incremental_solves as u64;
+        self.clauses_reused += s.clauses_reused;
+        self.learnts_kept += s.learnts_kept;
+        self.assumption_cores += s.assumption_cores as u64;
+        self.cegqi_iter_exhausted += s.cegqi_iter_exhausted as u64;
         self.terms += s.terms as u64;
         self.hc_hits += s.hc_hits;
         self.hc_misses += s.hc_misses;
@@ -366,6 +453,11 @@ impl StatsTotals {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_reval += other.cache_reval;
+        self.incremental_solves += other.incremental_solves;
+        self.clauses_reused += other.clauses_reused;
+        self.learnts_kept += other.learnts_kept;
+        self.assumption_cores += other.assumption_cores;
+        self.cegqi_iter_exhausted += other.cegqi_iter_exhausted;
         self.terms += other.terms;
         self.hc_hits += other.hc_hits;
         self.hc_misses += other.hc_misses;
@@ -390,6 +482,11 @@ impl StatsTotals {
             && self.cegqi_iters == other.cegqi_iters
             && self.insts_encoded == other.insts_encoded
             && self.approx == other.approx
+            && self.incremental_solves == other.incremental_solves
+            && self.clauses_reused == other.clauses_reused
+            && self.learnts_kept == other.learnts_kept
+            && self.assumption_cores == other.assumption_cores
+            && self.cegqi_iter_exhausted == other.cegqi_iter_exhausted
             && self.terms == other.terms
             && self.hc_hits == other.hc_hits
             && self.hc_misses == other.hc_misses
@@ -411,7 +508,9 @@ impl StatsTotals {
         format!(
             "{{\"jobs\":{},\"queries\":{},\"sat\":{},\"unsat\":{},\"unknown\":{},\
              \"cegqi\":{},\"insts\":{},\"approx\":{},\"sat_solves\":{},\
-             \"cache_hits\":{},\"cache_misses\":{},\"cache_reval\":{},\"terms\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_reval\":{},\
+             \"incremental_solves\":{},\"clauses_reused\":{},\"learnts_kept\":{},\
+             \"assumption_cores\":{},\"cegqi_iter_exhausted\":{},\"terms\":{},\
              \"hc_hits\":{},\"hc_misses\":{},\"mem_peak_bytes\":{},\"encode_us\":{},\
              \"solve_us\":{},\"queue_ms\":{}}}",
             self.jobs,
@@ -426,6 +525,11 @@ impl StatsTotals {
             self.cache_hits,
             self.cache_misses,
             self.cache_reval,
+            self.incremental_solves,
+            self.clauses_reused,
+            self.learnts_kept,
+            self.assumption_cores,
+            self.cegqi_iter_exhausted,
             self.terms,
             self.hc_hits,
             self.hc_misses,
@@ -451,6 +555,11 @@ impl StatsTotals {
             cache_hits: v.num("cache_hits"),
             cache_misses: v.num("cache_misses"),
             cache_reval: v.num("cache_reval"),
+            incremental_solves: v.num("incremental_solves"),
+            clauses_reused: v.num("clauses_reused"),
+            learnts_kept: v.num("learnts_kept"),
+            assumption_cores: v.num("assumption_cores"),
+            cegqi_iter_exhausted: v.num("cegqi_iter_exhausted"),
             terms: v.num("terms"),
             hc_hits: v.num("hc_hits"),
             hc_misses: v.num("hc_misses"),
@@ -503,6 +612,11 @@ mod tests {
             cache_hits: 6,
             cache_misses: 4,
             cache_reval: 1,
+            incremental_solves: 9,
+            clauses_reused: 1500,
+            learnts_kept: 80,
+            assumption_cores: 2,
+            cegqi_iter_exhausted: 1,
             terms: 1234,
             hc_hits: 999,
             hc_misses: 321,
@@ -521,6 +635,11 @@ mod tests {
         assert_eq!(back.cache_hits, 6);
         assert_eq!(back.cache_misses, 4);
         assert_eq!(back.cache_reval, 1);
+        assert_eq!(back.incremental_solves, 9);
+        assert_eq!(back.clauses_reused, 1500);
+        assert_eq!(back.learnts_kept, 80);
+        assert_eq!(back.assumption_cores, 2);
+        assert_eq!(back.cegqi_iter_exhausted, 1);
         assert_eq!(back.terms, 1234);
         assert_eq!(back.hc_hits, 999);
         assert_eq!(back.mem_bytes, 65536);

@@ -20,44 +20,69 @@ pub struct Ackermannized {
     pub app_vars: Vec<(TermId, TermId)>,
 }
 
-/// Rewrites `assertions` so they contain no `Apply` nodes.
-pub fn ackermannize(ctx: &Ctx, assertions: &[TermId]) -> Ackermannized {
-    let mut memo: HashMap<TermId, TermId> = HashMap::new();
-    // (func, rewritten args) -> replacement var
-    let mut table: HashMap<(FuncId, Vec<TermId>), TermId> = HashMap::new();
-    // per func: list of (rewritten args, var)
-    let mut by_func: HashMap<FuncId, Vec<(Vec<TermId>, TermId)>> = HashMap::new();
-    let mut app_vars = Vec::new();
+/// Stateful Ackermannization for incremental solving: the application
+/// table persists across [`rewrite`](Self::rewrite) calls, so assertions
+/// pushed one at a time share replacement variables with everything
+/// rewritten before, and only the consistency constraints pairing *new*
+/// applications against old ones are emitted — each exactly once.
+#[derive(Debug, Default)]
+pub struct Ackermannizer {
+    memo: HashMap<TermId, TermId>,
+    /// (func, rewritten args) -> replacement var
+    table: HashMap<(FuncId, Vec<TermId>), TermId>,
+    /// per func: list of (rewritten args, var)
+    by_func: HashMap<FuncId, Vec<(Vec<TermId>, TermId)>>,
+    app_vars: Vec<(TermId, TermId)>,
+}
 
-    fn rewrite(
-        ctx: &Ctx,
-        t: TermId,
-        memo: &mut HashMap<TermId, TermId>,
-        table: &mut HashMap<(FuncId, Vec<TermId>), TermId>,
-        by_func: &mut HashMap<FuncId, Vec<(Vec<TermId>, TermId)>>,
-        app_vars: &mut Vec<(TermId, TermId)>,
-    ) -> TermId {
-        if let Some(&r) = memo.get(&t) {
+impl Ackermannizer {
+    /// Creates an empty rewriter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map from each original application term to its replacement
+    /// variable, across every `rewrite` so far.
+    pub fn app_vars(&self) -> &[(TermId, TermId)] {
+        &self.app_vars
+    }
+
+    /// Rewrites `t` to contain no `Apply` nodes. Functional-consistency
+    /// constraints for newly seen applications (paired against every
+    /// previously seen application of the same function) are appended to
+    /// `constraints`.
+    pub fn rewrite(&mut self, ctx: &Ctx, t: TermId, constraints: &mut Vec<TermId>) -> TermId {
+        if let Some(&r) = self.memo.get(&t) {
             return r;
         }
         let op = ctx.op(t);
         let args = ctx.args(t);
         let new_args: Vec<TermId> = args
             .iter()
-            .map(|&a| rewrite(ctx, a, memo, table, by_func, app_vars))
+            .map(|&a| self.rewrite(ctx, a, constraints))
             .collect();
         let r = match op {
             Op::Apply(f) => {
                 let key = (f, new_args.clone());
-                if let Some(&v) = table.get(&key) {
+                if let Some(&v) = self.table.get(&key) {
                     v
                 } else {
-                    let idx = by_func.get(&f).map_or(0, |v| v.len());
-                    let name = format!("{}!{}", ctx.func_name(f), idx);
+                    let prior = self.by_func.entry(f).or_default();
+                    let name = format!("{}!{}", ctx.func_name(f), prior.len());
                     let v = ctx.var(&name, ctx.func_ret_sort(f));
-                    table.insert(key, v);
-                    by_func.entry(f).or_default().push((new_args, v));
-                    app_vars.push((t, v));
+                    for (args_i, var_i) in prior.iter() {
+                        let eqs: Vec<TermId> = args_i
+                            .iter()
+                            .zip(&new_args)
+                            .map(|(&a, &b)| ctx.eq(a, b))
+                            .collect();
+                        let all_eq = ctx.and_many(&eqs);
+                        let res_eq = ctx.eq(*var_i, v);
+                        constraints.push(ctx.implies(all_eq, res_eq));
+                    }
+                    prior.push((new_args, v));
+                    self.table.insert(key, v);
+                    self.app_vars.push((t, v));
                     v
                 }
             }
@@ -70,37 +95,23 @@ pub fn ackermannize(ctx: &Ctx, assertions: &[TermId]) -> Ackermannized {
                 }
             }
         };
-        memo.insert(t, r);
+        self.memo.insert(t, r);
         r
     }
+}
 
+/// Rewrites `assertions` so they contain no `Apply` nodes.
+pub fn ackermannize(ctx: &Ctx, assertions: &[TermId]) -> Ackermannized {
+    let mut ack = Ackermannizer::new();
+    let mut constraints = Vec::new();
     let rewritten: Vec<TermId> = assertions
         .iter()
-        .map(|&t| rewrite(ctx, t, &mut memo, &mut table, &mut by_func, &mut app_vars))
+        .map(|&t| ack.rewrite(ctx, t, &mut constraints))
         .collect();
-
-    let mut constraints = Vec::new();
-    for apps in by_func.values() {
-        for i in 0..apps.len() {
-            for j in (i + 1)..apps.len() {
-                let (args_i, var_i) = &apps[i];
-                let (args_j, var_j) = &apps[j];
-                let eqs: Vec<TermId> = args_i
-                    .iter()
-                    .zip(args_j)
-                    .map(|(&a, &b)| ctx.eq(a, b))
-                    .collect();
-                let all_eq = ctx.and_many(&eqs);
-                let res_eq = ctx.eq(*var_i, *var_j);
-                constraints.push(ctx.implies(all_eq, res_eq));
-            }
-        }
-    }
-
     Ackermannized {
         assertions: rewritten,
         constraints,
-        app_vars,
+        app_vars: ack.app_vars,
     }
 }
 

@@ -12,7 +12,7 @@
 
 use crate::model::Model;
 use crate::sat::Budget;
-use crate::solver::{SmtResult, Solver};
+use crate::solver::{Activation, IncrementalSolver, SmtResult, Solver};
 use crate::term::{Ctx, TermId};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -52,6 +52,14 @@ pub struct EfConfig {
     pub max_iterations: u32,
     /// Overall wall-clock limit in milliseconds for the whole loop.
     pub max_millis: u64,
+    /// Keep one candidate solver alive across iterations (default). Each
+    /// counterexample instantiation becomes an activation-literal-guarded
+    /// clause group on a persistent [`IncrementalSolver`], so iteration
+    /// `k+1` starts from iteration `k`'s learned clauses and variable
+    /// order instead of a cold solver. `false` rebuilds a fresh one-shot
+    /// solver per iteration (the `--no-incremental` escape hatch); both
+    /// modes return the same verdicts, though possibly different models.
+    pub incremental: bool,
 }
 
 impl Default for EfConfig {
@@ -60,6 +68,7 @@ impl Default for EfConfig {
             budget: Budget::unlimited(),
             max_iterations: 64,
             max_millis: u64::MAX,
+            incremental: true,
         }
     }
 }
@@ -98,15 +107,20 @@ pub fn solve_exists_forall_with_seeds(
     let deadline_exceeded = |start: &Instant| {
         start.elapsed().as_millis() as u64 >= config.max_millis || config.budget.deadline_passed()
     };
-    let budget_left = |start: &Instant| -> Budget {
+    // `None` once the loop's wall-clock cap is spent: the caller should
+    // report Timeout immediately rather than launch a solve with a phantom
+    // sliver of budget.
+    let budget_left = |start: &Instant| -> Option<Budget> {
         let mut b = config.budget;
         if config.max_millis != u64::MAX {
             let used = start.elapsed().as_millis() as u64;
-            b.max_millis = b
-                .max_millis
-                .min(config.max_millis.saturating_sub(used).max(1));
+            let left = config.max_millis.saturating_sub(used);
+            if left == 0 {
+                return None;
+            }
+            b.max_millis = b.max_millis.min(left);
         }
-        b
+        Some(b)
     };
 
     for u in universals {
@@ -121,9 +135,12 @@ pub fn solve_exists_forall_with_seeds(
         if ctx.over_budget() {
             return EfResult::OutOfMemory;
         }
+        let Some(b) = budget_left(&start) else {
+            return EfResult::Timeout;
+        };
         let mut s = Solver::new(ctx);
         s.assert(phi);
-        return match s.check(budget_left(&start)) {
+        return match s.check(b) {
             SmtResult::Sat(m) => EfResult::Sat(m),
             SmtResult::Unsat => EfResult::Unsat,
             SmtResult::Timeout => EfResult::Timeout,
@@ -152,6 +169,33 @@ pub fn solve_exists_forall_with_seeds(
         instantiations.push(zero);
     }
 
+    // The existential variables are a property of φ alone — computed once,
+    // not per iteration.
+    let exist_vars: Vec<TermId> = ctx
+        .free_vars(phi)
+        .into_iter()
+        .filter(|v| !universals.contains(v))
+        .collect();
+
+    // Candidate solver for the default incremental mode: one solver alive
+    // across the whole loop. Each instantiation of φ is pushed exactly once
+    // as an activation-guarded group, and every check activates all groups
+    // pushed so far — the solver keeps its learned clauses, activities and
+    // phases warm from one candidate step to the next. (The groups are
+    // individually retractable by dropping their activation from a check;
+    // this loop only ever grows the set.)
+    let mut cand_inc: Option<IncrementalSolver> = config.incremental.then(|| {
+        let mut s = IncrementalSolver::new(ctx);
+        // Zero-biased candidate models: saved phases would hand back a
+        // near-copy of the previous (refuted) candidate, and CEGQI on wide
+        // bit-vectors then crawls through refinements one value at a time.
+        // Regular, mostly-zero candidates converge like the one-shot path.
+        s.set_zero_phase(true);
+        s
+    });
+    let mut groups: Vec<Activation> = Vec::new();
+    let mut pushed = 0usize;
+
     for _iter in 0..config.max_iterations {
         // Span-close point for the per-job deadline: each iteration opens
         // under a fresh deadline check, so a deadline hit surfaces as a
@@ -167,31 +211,45 @@ pub fn solve_exists_forall_with_seeds(
         if ctx.over_budget() {
             return EfResult::OutOfMemory;
         }
+        let Some(b) = budget_left(&start) else {
+            return EfResult::Timeout;
+        };
         // Candidate step: find X satisfying φ under every instantiation.
-        let mut cand = Solver::new(ctx);
-        for inst in &instantiations {
-            cand.assert(ctx.substitute(phi, inst));
-        }
-        let x_model = match cand.check(budget_left(&start)) {
+        let outcome = if let Some(cand) = cand_inc.as_mut() {
+            while pushed < instantiations.len() {
+                let g = cand.new_group();
+                cand.assert_in(g, ctx.substitute(phi, &instantiations[pushed]));
+                groups.push(g);
+                pushed += 1;
+            }
+            cand.check(&groups, b)
+        } else {
+            let mut cand = Solver::new(ctx);
+            for inst in &instantiations {
+                cand.assert(ctx.substitute(phi, inst));
+            }
+            cand.check(b)
+        };
+        let x_model = match outcome {
             SmtResult::Sat(m) => m,
             SmtResult::Unsat => return EfResult::Unsat,
             SmtResult::Timeout => return EfResult::Timeout,
             SmtResult::OutOfMemory => return EfResult::OutOfMemory,
         };
         // Verification step: fix X := x*, search for a counter-instantiation.
+        // Always a one-shot solve: verification queries recur across reruns
+        // of the same job, so they stay eligible for the shared query cache.
         let mut x_subst: HashMap<TermId, TermId> = HashMap::new();
-        let exist_vars: Vec<TermId> = ctx
-            .free_vars(phi)
-            .into_iter()
-            .filter(|v| !universals.contains(v))
-            .collect();
         for &xv in &exist_vars {
             x_subst.insert(xv, x_model.value_term(ctx, xv));
         }
         let phi_x = ctx.substitute(phi, &x_subst);
+        let Some(b) = budget_left(&start) else {
+            return EfResult::Timeout;
+        };
         let mut verify = Solver::new(ctx);
         verify.assert(ctx.not(phi_x));
-        match verify.check(budget_left(&start)) {
+        match verify.check(b) {
             SmtResult::Unsat => return EfResult::Sat(x_model),
             SmtResult::Sat(y_model) => {
                 let mut inst = HashMap::new();
@@ -204,6 +262,9 @@ pub fn solve_exists_forall_with_seeds(
             SmtResult::OutOfMemory => return EfResult::OutOfMemory,
         }
     }
+    // Distinguish "ran out of iterations" from a wall-clock timeout: both
+    // surface as Timeout, but only this path bumps the exhaustion counter.
+    alive2_obs::stats::record_cegqi_iter_exhausted();
     EfResult::Timeout
 }
 
@@ -322,5 +383,101 @@ mod tests {
         assert_eq!(d2.sat_solves, 0, "warm rerun must not solve live: {d2:?}");
         assert!(d2.cache_hits > 0, "{d2:?}");
         assert_eq!(d2.cache_misses, 0, "{d2:?}");
+    }
+
+    #[test]
+    fn incremental_and_fresh_modes_agree_on_verdicts() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(6));
+        let y = ctx.var("y", Sort::BitVec(6));
+        let z = ctx.var("z", Sort::BitVec(6));
+        // A mixed bag: valid identities (sat), impossible demands (unsat).
+        let problems: Vec<(TermId, Vec<TermId>)> = vec![
+            (ctx.eq(ctx.bv_and(x, y), y), vec![y]), // sat: x = ~0
+            (ctx.eq(x, y), vec![y]),                // unsat
+            (ctx.eq(ctx.bv_sub(ctx.bv_add(y, x), x), y), vec![y]), // sat: any x
+            (ctx.bv_ult(y, x), vec![y]),            // unsat: y = ~0
+            (ctx.bv_ule(ctx.bv_and(y, z), ctx.bv_or(y, x)), vec![y, z]), // sat
+        ];
+        for (i, (phi, unis)) in problems.iter().enumerate() {
+            let inc = solve_exists_forall(&ctx, unis, *phi, EfConfig::default());
+            let fresh = solve_exists_forall(
+                &ctx,
+                unis,
+                *phi,
+                EfConfig {
+                    incremental: false,
+                    ..EfConfig::default()
+                },
+            );
+            assert_eq!(
+                inc.is_sat(),
+                fresh.is_sat(),
+                "problem {i}: incremental={inc:?} fresh={fresh:?}"
+            );
+            assert_eq!(inc.is_unsat(), fresh.is_unsat(), "problem {i}");
+        }
+    }
+
+    #[test]
+    fn incremental_mode_reuses_live_solver_fresh_mode_does_not() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        // ∃x. ∀y. (y & x) ule (y ^ 0x35) — needs a few refinement rounds,
+        // so the incremental path gets to reuse its candidate solver.
+        let phi = ctx.bv_ule(ctx.bv_and(y, x), ctx.bv_xor(y, ctx.bv_lit_u64(8, 0x35)));
+        let run = |incremental: bool| {
+            let snap = alive2_obs::counters_snapshot();
+            let r = solve_exists_forall(
+                &ctx,
+                &[y],
+                phi,
+                EfConfig {
+                    incremental,
+                    ..EfConfig::default()
+                },
+            );
+            let mut d = alive2_obs::JobStats::default();
+            d.absorb_since(&snap);
+            (r, d)
+        };
+        let (r_inc, d_inc) = run(true);
+        let (r_fresh, d_fresh) = run(false);
+        assert_eq!(r_inc.is_sat(), r_fresh.is_sat());
+        assert!(
+            d_inc.incremental_solves > 0,
+            "default path must check on a live solver: {d_inc:?}"
+        );
+        assert_eq!(
+            d_fresh.incremental_solves, 0,
+            "--no-incremental must stay one-shot: {d_fresh:?}"
+        );
+        // Past iteration 1 every check inherits the previous clause db.
+        if d_inc.incremental_solves > 1 {
+            assert!(d_inc.clauses_reused > 0, "{d_inc:?}");
+        }
+    }
+
+    #[test]
+    fn iteration_cap_exhaustion_is_counted() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let phi = ctx.ne(x, y); // unsat, but needs > 1 iteration to see
+        let config = EfConfig {
+            max_iterations: 1,
+            ..EfConfig::default()
+        };
+        let snap = alive2_obs::counters_snapshot();
+        let r = solve_exists_forall(&ctx, &[y], phi, config);
+        let mut d = alive2_obs::JobStats::default();
+        d.absorb_since(&snap);
+        match r {
+            // If the cap bites, the exhaustion counter must say so.
+            EfResult::Timeout => assert_eq!(d.cegqi_iter_exhausted, 1, "{d:?}"),
+            EfResult::Unsat => assert_eq!(d.cegqi_iter_exhausted, 0, "{d:?}"),
+            other => panic!("must not claim sat: {other:?}"),
+        }
     }
 }

@@ -178,6 +178,11 @@ struct Clause {
     learnt: bool,
     deleted: bool,
     activity: f64,
+    /// Literal-block distance (glue): the number of distinct decision
+    /// levels in the clause when it was learned. Low-LBD clauses encode
+    /// tight cross-level dependencies and are kept through database
+    /// reductions (Glucose's heuristic); original clauses carry 0.
+    lbd: u32,
 }
 
 type ClauseRef = usize;
@@ -235,6 +240,11 @@ pub struct SatSolver {
     ok: bool,
     learned_lits: usize,
     stats: SatStats,
+    /// Failed-assumption core from the most recent
+    /// [`solve_assuming`](Self::solve_assuming) that returned `Unsat`
+    /// because of its assumptions. Empty when the formula itself is
+    /// unsatisfiable (no assumptions needed).
+    failed: Vec<Lit>,
 }
 
 impl Default for SatSolver {
@@ -276,6 +286,7 @@ impl SatSolver {
             ok: true,
             learned_lits: 0,
             stats: SatStats::default(),
+            failed: Vec::new(),
         }
     }
 
@@ -287,6 +298,36 @@ impl SatSolver {
     /// Number of clauses (including learned, excluding deleted).
     pub fn num_clauses(&self) -> usize {
         self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Number of live learned clauses currently in the database.
+    pub fn num_learnts(&self) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .count()
+    }
+
+    /// The failed-assumption core of the most recent
+    /// [`solve_assuming`](Self::solve_assuming) call that returned
+    /// `Unsat` *because of its assumptions*: a subset of the assumption
+    /// literals whose conjunction already contradicts the clause
+    /// database. Empty when the formula is unsatisfiable on its own.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
+    /// Resets every saved phase to the all-false default, biasing the
+    /// next solve toward minimal (mostly-zero) models. Learned clauses,
+    /// activities and the clause database are untouched. Callers that
+    /// consume models structurally — CEGQI's candidate step, where
+    /// regular candidates converge in far fewer refinements than
+    /// arbitrary ones — want this between incremental solves; plain
+    /// sat/unsat consumers should keep the saved phases.
+    pub fn reset_phases(&mut self) {
+        for p in &mut self.phase {
+            *p = false;
+        }
     }
 
     /// Statistics from the most recent solve.
@@ -352,12 +393,15 @@ impl SatSolver {
     /// Adds a clause. Returns `false` if the solver is already in an
     /// unsatisfiable state.
     ///
-    /// Tautologies are dropped and duplicate literals removed.
+    /// Tautologies are dropped and duplicate literals removed. May be
+    /// called between `solve` calls: any leftover search assignment is
+    /// unwound to level 0 first (which discards the previous model — the
+    /// incremental layer extracts models before pushing new clauses).
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
         if !self.ok {
             return false;
         }
-        debug_assert_eq!(self.decision_level(), 0);
+        self.backtrack(0);
         let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
         let mut sorted = lits.to_vec();
         sorted.sort();
@@ -386,13 +430,13 @@ impl SatSolver {
                 self.ok
             }
             _ => {
-                self.attach_clause(c, false);
+                self.attach_clause(c, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len();
         if learnt {
@@ -405,6 +449,7 @@ impl SatSolver {
             learnt,
             deleted: false,
             activity: 0.0,
+            lbd,
         });
         self.watches[w0.negate().code()].push(Watcher {
             clause: cref,
@@ -715,15 +760,20 @@ impl SatSolver {
         (minimized, back_level)
     }
 
+    /// Glue-aware learned-clause reduction: binary and low-LBD ("glue")
+    /// clauses are kept unconditionally, the rest are ranked worst-first
+    /// by (high LBD, low activity) and the worst half deleted. Keeping
+    /// glue clauses is what lets a long-lived incremental solver retain
+    /// the valuable part of its database across many `solve` calls.
     fn reduce_db(&mut self) {
         let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len())
             .filter(|&i| self.clauses[i].learnt && !self.clauses[i].deleted)
             .collect();
         learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap()
+            let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap())
         });
         let locked: std::collections::HashSet<ClauseRef> =
             self.reason.iter().flatten().copied().collect();
@@ -733,7 +783,8 @@ impl SatSolver {
             if removed >= target {
                 break;
             }
-            if locked.contains(&cref) || self.clauses[cref].lits.len() <= 2 {
+            let c = &self.clauses[cref];
+            if locked.contains(&cref) || c.lits.len() <= 2 || c.lbd <= 2 {
                 continue;
             }
             self.clauses[cref].deleted = true;
@@ -743,6 +794,281 @@ impl SatSolver {
         for ws in &mut self.watches {
             ws.retain(|w| !self.clauses[w.clause].deleted);
         }
+    }
+
+    /// Literal-block distance of a clause under the current assignment:
+    /// the number of distinct decision levels among its literals.
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().0 as usize])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn delete_clause(&mut self, ci: ClauseRef) {
+        if self.clauses[ci].learnt {
+            self.learned_lits -= self.clauses[ci].lits.len();
+        }
+        self.clauses[ci].deleted = true;
+    }
+
+    /// Rebuilds every watch list from scratch. Only valid at level 0
+    /// with all clause literals unassigned (the inprocessing invariant:
+    /// satisfied clauses deleted, false literals stripped).
+    fn rebuild_watches(&mut self) {
+        for ws in &mut self.watches {
+            ws.clear();
+        }
+        for ci in 0..self.clauses.len() {
+            if self.clauses[ci].deleted {
+                continue;
+            }
+            debug_assert!(self.clauses[ci].lits.len() >= 2);
+            let w0 = self.clauses[ci].lits[0];
+            let w1 = self.clauses[ci].lits[1];
+            self.watches[w0.negate().code()].push(Watcher {
+                clause: ci,
+                blocker: w1,
+            });
+            self.watches[w1.negate().code()].push(Watcher {
+                clause: ci,
+                blocker: w0,
+            });
+        }
+    }
+
+    /// One pass of level-0 clause simplification: drops satisfied
+    /// clauses, strips false literals, and returns any clauses reduced
+    /// to units (deleted here, to be re-enqueued by the caller).
+    /// Returns `None` if a clause became empty (formula unsat).
+    fn strip_level0(&mut self) -> Option<Vec<Lit>> {
+        let mut units = Vec::new();
+        for ci in 0..self.clauses.len() {
+            if self.clauses[ci].deleted {
+                continue;
+            }
+            let mut satisfied = false;
+            let mut kept: Vec<Lit> = Vec::with_capacity(self.clauses[ci].lits.len());
+            for k in 0..self.clauses[ci].lits.len() {
+                let l = self.clauses[ci].lits[k];
+                match self.lit_value(l) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::False => {}
+                    LBool::Undef => kept.push(l),
+                }
+            }
+            if satisfied {
+                self.delete_clause(ci);
+                continue;
+            }
+            match kept.len() {
+                0 => return None,
+                1 => {
+                    units.push(kept[0]);
+                    self.delete_clause(ci);
+                }
+                _ => {
+                    if kept.len() < self.clauses[ci].lits.len() {
+                        if self.clauses[ci].learnt {
+                            self.learned_lits -= self.clauses[ci].lits.len() - kept.len();
+                        }
+                        self.clauses[ci].lits = kept;
+                    }
+                }
+            }
+        }
+        Some(units)
+    }
+
+    /// Checks whether (sorted) `c` subsumes (sorted) `d` exactly
+    /// (`Some(None)`), subsumes it modulo one flipped literal — the
+    /// self-subsuming-resolution case, returning the literal to remove
+    /// from `d` (`Some(Some(l))`) — or neither (`None`).
+    fn subsumes(c: &[Lit], d: &[Lit]) -> Option<Option<Lit>> {
+        let mut flip: Option<Lit> = None;
+        let mut j = 0;
+        for &lc in c {
+            let vc = lc.var();
+            loop {
+                if j >= d.len() {
+                    return None;
+                }
+                let ld = d[j];
+                if ld.var() == vc {
+                    if ld != lc {
+                        if flip.is_some() {
+                            return None;
+                        }
+                        flip = Some(ld);
+                    }
+                    j += 1;
+                    break;
+                } else if ld.var().0 < vc.0 {
+                    j += 1;
+                } else {
+                    return None;
+                }
+            }
+        }
+        Some(flip)
+    }
+
+    /// Bounded subsumption and self-subsuming resolution over the live
+    /// clause database. Clause literals must be sorted (the caller sorts
+    /// once). Returns clauses strengthened down to units. `work` caps
+    /// the total literal comparisons so a huge database cannot stall an
+    /// incremental check.
+    fn subsume_bounded(&mut self, work: &mut i64) -> Vec<Lit> {
+        let mut units = Vec::new();
+        let nlits = 2 * self.num_vars();
+        let mut occ: Vec<Vec<ClauseRef>> = vec![Vec::new(); nlits];
+        let mut live: Vec<ClauseRef> = Vec::new();
+        for ci in 0..self.clauses.len() {
+            if self.clauses[ci].deleted {
+                continue;
+            }
+            live.push(ci);
+            for &l in &self.clauses[ci].lits {
+                occ[l.code()].push(ci);
+            }
+        }
+        // Small clauses first: they subsume the most.
+        live.sort_by_key(|&ci| self.clauses[ci].lits.len());
+        for &ci in &live {
+            if *work <= 0 {
+                break;
+            }
+            if self.clauses[ci].deleted || self.clauses[ci].lits.len() > 8 {
+                continue;
+            }
+            let c = self.clauses[ci].lits.clone();
+            // Candidates must share a variable with C; scanning every
+            // occurrence list of C's literals (both polarities) covers
+            // subsumption and the one-flip strengthening case.
+            for &lc in &c {
+                for code in [lc.code(), lc.negate().code()] {
+                    for di in 0..occ[code].len() {
+                        let dj = occ[code][di];
+                        if dj == ci || self.clauses[dj].deleted {
+                            continue;
+                        }
+                        if self.clauses[dj].lits.len() < c.len() {
+                            continue;
+                        }
+                        *work -= self.clauses[dj].lits.len() as i64;
+                        match Self::subsumes(&c, &self.clauses[dj].lits) {
+                            Some(None) => {
+                                // C ⊆ D: drop D. If a learnt clause
+                                // subsumes an original one, promote it —
+                                // reduce_db must never delete the only
+                                // clause standing in for an original.
+                                if !self.clauses[dj].learnt && self.clauses[ci].learnt {
+                                    self.clauses[ci].learnt = false;
+                                    self.learned_lits -= self.clauses[ci].lits.len();
+                                }
+                                self.delete_clause(dj);
+                            }
+                            Some(Some(flip)) => {
+                                // Self-subsuming resolution: D loses the
+                                // flipped literal.
+                                if self.clauses[dj].learnt {
+                                    self.learned_lits -= 1;
+                                }
+                                self.clauses[dj].lits.retain(|&l| l != flip);
+                                if self.clauses[dj].lits.len() == 1 {
+                                    units.push(self.clauses[dj].lits[0]);
+                                    self.delete_clause(dj);
+                                }
+                            }
+                            None => {}
+                        }
+                        if *work <= 0 {
+                            return units;
+                        }
+                    }
+                }
+            }
+        }
+        units
+    }
+
+    /// Bounded inprocessing at level 0: unit propagation to fixpoint,
+    /// satisfied-clause removal, false-literal stripping, then bounded
+    /// subsumption and self-subsuming resolution. Safe to call between
+    /// `solve` calls on a long-lived solver; all watch lists are rebuilt.
+    ///
+    /// Returns `false` if simplification proves the formula unsatisfiable
+    /// (the solver is then permanently `Unsat`).
+    pub fn simplify(&mut self) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.backtrack(0);
+        // Level-0 reasons are never consulted again (conflict analysis
+        // stops above level 0); clearing them unlocks their clauses.
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var();
+            self.reason[v.0 as usize] = None;
+        }
+        let mut work: i64 = 2_000_000;
+        // A strengthening round can create units, which enable more
+        // stripping; iterate a few bounded rounds to a near-fixpoint.
+        for round in 0..4 {
+            if self.propagate().is_some() {
+                self.ok = false;
+                return false;
+            }
+            let Some(units) = self.strip_level0() else {
+                self.ok = false;
+                return false;
+            };
+            if !units.is_empty() {
+                for l in units {
+                    match self.lit_value(l) {
+                        LBool::Undef => self.enqueue(l, None),
+                        LBool::False => {
+                            self.ok = false;
+                            return false;
+                        }
+                        LBool::True => {}
+                    }
+                }
+                self.rebuild_watches();
+                continue; // propagate the new units before subsuming
+            }
+            if round > 0 || work <= 0 {
+                break; // subsumption already ran and found no new units
+            }
+            for ci in 0..self.clauses.len() {
+                if !self.clauses[ci].deleted {
+                    self.clauses[ci].lits.sort_unstable();
+                }
+            }
+            let sub_units = self.subsume_bounded(&mut work);
+            self.rebuild_watches();
+            if sub_units.is_empty() {
+                break;
+            }
+            for l in sub_units {
+                match self.lit_value(l) {
+                    LBool::Undef => self.enqueue(l, None),
+                    LBool::False => {
+                        self.ok = false;
+                        return false;
+                    }
+                    LBool::True => {}
+                }
+            }
+        }
+        self.rebuild_watches();
+        self.qhead = 0; // re-propagate from scratch on the next solve
+        true
     }
 
     /// The Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8…
@@ -762,15 +1088,85 @@ impl SatSolver {
         1 << seq
     }
 
+    /// Final-conflict analysis (MiniSat's `analyzeFinal`): `p` is an
+    /// assumption literal found `False` while replaying assumptions.
+    /// Walks the trail top-down from the implied literals, expanding
+    /// reasons and collecting the decisions (all of which are assumption
+    /// replays at that point) that force `¬p`. Returns the failed core:
+    /// a subset of the assumption literals, including `p` itself.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.decision_level() == 0 {
+            return core;
+        }
+        let mut marked = vec![p.var()];
+        self.seen[p.var().0 as usize] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i];
+            let xv = x.var().0 as usize;
+            if !self.seen[xv] {
+                continue;
+            }
+            match self.reason[xv] {
+                // A decision above level 0 during assumption replay is an
+                // assumption literal, as it was assigned.
+                None => core.push(x),
+                Some(cref) => {
+                    // lits[0] is the propagated literal; the rest are its
+                    // antecedents.
+                    for k in 1..self.clauses[cref].lits.len() {
+                        let q = self.clauses[cref].lits[k];
+                        let qv = q.var().0 as usize;
+                        if !self.seen[qv] && self.level[qv] > 0 {
+                            self.seen[qv] = true;
+                            marked.push(q.var());
+                        }
+                    }
+                }
+            }
+        }
+        for v in marked {
+            self.seen[v.0 as usize] = false;
+        }
+        core
+    }
+
     /// Solves the current formula under the given budget.
+    ///
+    /// The solver is *incremental*: learned clauses, variable activities,
+    /// and saved phases persist across calls, and more clauses may be
+    /// added between calls. Each call starts by unwinding to level 0, so
+    /// warm state is reused but never unsoundly.
     pub fn solve(&mut self, budget: Budget) -> SatOutcome {
+        self.solve_assuming(&[], budget)
+    }
+
+    /// Solves under the given *assumption literals*: the formula is
+    /// checked with every assumption temporarily forced true. Assumptions
+    /// are replayed as pseudo-decisions at levels `1..=n`, below any
+    /// search decisions — "level 0's edge" — so conflict-driven learning
+    /// never burns them into the clause database and they are fully
+    /// retracted when the call returns.
+    ///
+    /// On `Unsat` caused by the assumptions, [`failed_assumptions`]
+    /// holds a failed core (a subset of `assumptions`) and the solver
+    /// stays usable: `ok` is not poisoned, and later calls with other
+    /// assumptions may well be `Sat`. On `Unsat` with an empty core the
+    /// formula itself is unsatisfiable.
+    ///
+    /// [`failed_assumptions`]: Self::failed_assumptions
+    pub fn solve_assuming(&mut self, assumptions: &[Lit], budget: Budget) -> SatOutcome {
         self.stats = SatStats::default();
+        self.failed.clear();
         if !self.ok {
             return SatOutcome::Unsat;
         }
         if budget.deadline_passed() {
             return SatOutcome::TimedOut;
         }
+        // Unwind any assignment left by a previous call (a model, or the
+        // previous call's assumptions).
+        self.backtrack(0);
         let start = Instant::now();
         let mut restart_num = 1u64;
         let mut conflicts_until_restart = 32 * Self::luby(restart_num);
@@ -787,7 +1183,8 @@ impl SatSolver {
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], None);
                 } else {
-                    let cref = self.attach_clause(learnt.clone(), true);
+                    let lbd = self.compute_lbd(&learnt);
+                    let cref = self.attach_clause(learnt.clone(), true, lbd);
                     self.bump_clause(cref);
                     self.enqueue(learnt[0], Some(cref));
                 }
@@ -824,6 +1221,35 @@ impl SatSolver {
                 if learnt_count > max_learnts {
                     self.reduce_db();
                     max_learnts = max_learnts + max_learnts / 10;
+                }
+                // Replay assumptions as the bottom-most pseudo-decisions
+                // (levels 1..=n). Restarts unwind them; this re-pushes
+                // whatever is missing before any real branching happens.
+                let mut propagate_pending = false;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.lit_value(p) {
+                        LBool::True => {
+                            // Already satisfied: open an empty level so
+                            // level index and assumption index stay in
+                            // sync for analyze_final.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.failed = self.analyze_final(p);
+                            self.backtrack(0);
+                            return SatOutcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(p, None);
+                            propagate_pending = true;
+                            break;
+                        }
+                    }
+                }
+                if propagate_pending {
+                    continue;
                 }
                 match self.pick_branch() {
                     None => return SatOutcome::Sat,
@@ -999,6 +1425,198 @@ mod tests {
         let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
         for (i, &e) in expect.iter().enumerate() {
             assert_eq!(SatSolver::luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn assumptions_restrict_without_committing() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::new(a, true), Lit::new(b, true)]);
+        // Assuming ¬a forces b.
+        let out = s.solve_assuming(&[Lit::new(a, false)], Budget::unlimited());
+        assert_eq!(out, SatOutcome::Sat);
+        assert_eq!(s.value(a), Some(false));
+        assert_eq!(s.value(b), Some(true));
+        // The assumption was not learned: a alone is still free.
+        let out = s.solve_assuming(&[Lit::new(a, true)], Budget::unlimited());
+        assert_eq!(out, SatOutcome::Sat);
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn failed_core_contains_only_assumption_literals() {
+        // x1 ∧ (x1 → x2) with assumptions {x3, ¬x2, x4}: core must name
+        // ¬x2 and nothing outside the assumption set.
+        let mut s = SatSolver::new();
+        let x1 = s.new_var();
+        let x2 = s.new_var();
+        let x3 = s.new_var();
+        let x4 = s.new_var();
+        s.add_clause(&[Lit::new(x1, true)]);
+        s.add_clause(&[Lit::new(x1, false), Lit::new(x2, true)]);
+        let assumptions = [Lit::new(x3, true), Lit::new(x2, false), Lit::new(x4, true)];
+        let out = s.solve_assuming(&assumptions, Budget::unlimited());
+        assert_eq!(out, SatOutcome::Unsat);
+        let core = s.failed_assumptions().to_vec();
+        assert!(!core.is_empty());
+        for l in &core {
+            assert!(
+                assumptions.contains(l),
+                "core literal {l:?} is not an assumption"
+            );
+        }
+        assert!(core.contains(&Lit::new(x2, false)));
+        // The solver survives assumption-unsat: without assumptions the
+        // formula is satisfiable.
+        assert_eq!(s.solve(Budget::unlimited()), SatOutcome::Sat);
+        assert_eq!(s.value(x2), Some(true));
+    }
+
+    #[test]
+    fn empty_core_means_formula_itself_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::new(a, true)]);
+        s.add_clause(&[Lit::new(a, false)]);
+        let out = s.solve_assuming(&[Lit::new(b, true)], Budget::unlimited());
+        assert_eq!(out, SatOutcome::Unsat);
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn clauses_addable_between_solves() {
+        // Grow the formula across solve calls; learned state persists but
+        // answers track the full clause set.
+        let mut s = SatSolver::new();
+        let mut vars = Vec::new();
+        let cls: [&[i32]; 3] = [&[1, 2], &[-1, 3], &[-2, 3]];
+        for c in cls {
+            let ls: Vec<Lit> = c.iter().map(|&i| lit(&mut s, &mut vars, i)).collect();
+            s.add_clause(&ls);
+        }
+        assert_eq!(s.solve(Budget::unlimited()), SatOutcome::Sat);
+        assert_eq!(s.value(vars[2]), Some(true)); // 3 is forced by 1∨2
+        let neg3: Vec<Lit> = vec![lit(&mut s, &mut vars, -3)];
+        s.add_clause(&neg3);
+        assert_eq!(s.solve(Budget::unlimited()), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn simplify_removes_subsumed_and_keeps_answers() {
+        let mut s = SatSolver::new();
+        let mut vars = Vec::new();
+        // (1 2) subsumes (1 2 3); resolving (1 2) with (−1 2) strengthens
+        // to the unit (2), which then forces 4 through (−2 4).
+        let cls: [&[i32]; 4] = [&[1, 2, 3], &[1, 2], &[-1, 2], &[-2, 4]];
+        for c in cls {
+            let ls: Vec<Lit> = c.iter().map(|&i| lit(&mut s, &mut vars, i)).collect();
+            s.add_clause(&ls);
+        }
+        let before = s.num_clauses();
+        assert!(s.simplify());
+        assert!(s.num_clauses() < before, "subsumed clause not removed");
+        assert_eq!(s.solve(Budget::unlimited()), SatOutcome::Sat);
+        // 2 is forced (by resolution of (1 2) and (−1 2)), hence 4.
+        assert_eq!(s.value(vars[1]), Some(true));
+        assert_eq!(s.value(vars[3]), Some(true));
+    }
+
+    #[test]
+    fn simplify_then_solve_agrees_with_brute_force() {
+        let mut state = 0x9E3779B9u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..40 {
+            let n = 6;
+            let m = 4 + (round % 16);
+            let mut cls: Vec<Vec<i32>> = Vec::new();
+            for _ in 0..m {
+                let len = 1 + (rng() % 3) as usize;
+                let mut c = Vec::new();
+                for _ in 0..=len {
+                    let v = (rng() % n + 1) as i32;
+                    let s = if rng() % 2 == 0 { 1 } else { -1 };
+                    c.push(v * s);
+                }
+                cls.push(c);
+            }
+            let mut brute_sat = false;
+            'assign: for bits in 0..(1u32 << n) {
+                for c in &cls {
+                    let ok = c.iter().any(|&l| {
+                        let v = l.unsigned_abs() - 1;
+                        let val = bits >> v & 1 == 1;
+                        if l > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    });
+                    if !ok {
+                        continue 'assign;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            let mut s = SatSolver::new();
+            let mut vars = Vec::new();
+            for c in &cls {
+                let ls: Vec<Lit> = c.iter().map(|&i| lit(&mut s, &mut vars, i)).collect();
+                s.add_clause(&ls);
+            }
+            s.simplify();
+            let got = s.solve(Budget::unlimited());
+            let expect = if brute_sat {
+                SatOutcome::Sat
+            } else {
+                SatOutcome::Unsat
+            };
+            assert_eq!(got, expect, "round {round}: {cls:?}");
+        }
+    }
+
+    #[test]
+    fn warm_solver_agrees_with_fresh_on_growing_formula() {
+        // Incremental parity: push clauses in batches into one long-lived
+        // solver and compare each verdict against a from-scratch solver.
+        let mut state = 0x2545F491u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 8;
+        let mut all: Vec<Vec<i32>> = Vec::new();
+        let mut warm = SatSolver::new();
+        let mut warm_vars = Vec::new();
+        for batch in 0..12 {
+            for _ in 0..3 {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (rng() % n + 1) as i32;
+                    let s = if rng() % 2 == 0 { 1 } else { -1 };
+                    c.push(v * s);
+                }
+                let ls: Vec<Lit> = c
+                    .iter()
+                    .map(|&i| lit(&mut warm, &mut warm_vars, i))
+                    .collect();
+                warm.add_clause(&ls);
+                all.push(c);
+            }
+            let refs: Vec<&[i32]> = all.iter().map(|c| c.as_slice()).collect();
+            let fresh = solve_dimacs(&refs);
+            let got = warm.solve(Budget::unlimited());
+            assert_eq!(got, fresh, "batch {batch} diverged: {all:?}");
         }
     }
 }

@@ -1,11 +1,23 @@
 //! The user-facing SMT solver: assert terms, check satisfiability under a
 //! resource budget, and extract models.
+//!
+//! Two entry points share the term-to-CNF pipeline:
+//!
+//! * [`Solver`] — the one-shot path. Each check rebuilds, preprocesses,
+//!   and canonicalizes the CNF, so its results are a pure function of the
+//!   canonical formula and are *eligible for the query cache*.
+//! * [`IncrementalSolver`] — a persistent push-assertion /
+//!   check-under-assumptions solver that keeps its bit-blaster, clause
+//!   database, learned clauses, and variable activities alive across
+//!   checks. Its results depend on solver history (warm state, activation
+//!   literals), not on a canonical formula, so it *never touches the
+//!   query cache* — it trades cache eligibility for clause reuse.
 
-use crate::ackermann::ackermannize;
+use crate::ackermann::{ackermannize, Ackermannizer};
 use crate::bitblast::BitBlaster;
 use crate::cache::{self, CachedOutcome};
 use crate::model::{Model, Value};
-use crate::sat::{Budget, Lit, SatOutcome, SatVar};
+use crate::sat::{Budget, Lit, SatOutcome, SatSolver, SatVar};
 use crate::term::{Ctx, Sort, TermId};
 
 /// The outcome of an SMT check.
@@ -243,6 +255,279 @@ impl<'a> Solver<'a> {
     }
 }
 
+/// An activation literal guarding a retractable clause group of an
+/// [`IncrementalSolver`]. A group's clauses only bind while its
+/// activation is passed to [`IncrementalSolver::check`]; leaving it out
+/// retracts the whole group without touching the clause database.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Activation(Lit);
+
+/// A persistent SMT solver: assertions are pushed once and stay loaded;
+/// each [`check`](Self::check) reuses the live CDCL solver — clause
+/// database, learned clauses, VSIDS activities, saved phases — warm.
+///
+/// New assertions are bit-blasted *incrementally*: the blaster's
+/// term→literal map is stable, so a pushed assertion only appends the
+/// clauses for structure not already encoded (`clauses_reused` counts
+/// what a check inherited instead of rebuilding).
+///
+/// # Cache eligibility (the PR 5 canonical-CNF cache)
+///
+/// Incremental checks never consult or populate the query cache. The
+/// cache's contract is that a stored result is a pure function of a
+/// canonical CNF; an incremental verdict is a function of the solver's
+/// history — which groups are active, what was learned under earlier
+/// assumptions — and the live clause list is never canonicalized. Use
+/// the one-shot [`Solver`] when a query is likely shared across jobs or
+/// reruns; use this solver for query *sequences* that grow monotonically
+/// (the CEGQI candidate loop), where warm-state reuse beats cross-job
+/// deduplication.
+///
+/// # Examples
+///
+/// ```
+/// use alive2_smt::solver::IncrementalSolver;
+/// use alive2_smt::term::{Ctx, Sort};
+/// use alive2_smt::sat::Budget;
+///
+/// let ctx = Ctx::new();
+/// let x = ctx.var("x", Sort::BitVec(8));
+/// let mut s = IncrementalSolver::new(&ctx);
+/// s.assert(ctx.bv_ult(x, ctx.bv_lit_u64(8, 5)));
+/// let g = s.new_group();
+/// s.assert_in(g, ctx.bv_ult(ctx.bv_lit_u64(8, 2), x));
+/// assert!(s.check(&[g], Budget::unlimited()).is_sat()); // 2 < x < 5
+/// assert!(s.check(&[], Budget::unlimited()).is_sat()); // group retracted
+/// ```
+#[derive(Debug)]
+pub struct IncrementalSolver<'a> {
+    ctx: &'a Ctx,
+    bb: BitBlaster<'a>,
+    sat: SatSolver,
+    ack: Ackermannizer,
+    /// Prefix of `bb.cnf` already loaded into `sat`.
+    synced_vars: u32,
+    synced_clauses: usize,
+    /// Every rewritten assertion root (permanent and grouped) plus the
+    /// Ackermann consistency constraints — the model projection domain.
+    roots: Vec<TermId>,
+    /// A pushed assertion folded to `false`: permanently unsat.
+    falsified: bool,
+    checks: u64,
+    /// Clause count at the last inprocessing pass (drives the "database
+    /// grew enough to re-simplify" heuristic).
+    simplified_at: usize,
+    /// Reset saved phases to the zero default before each check (see
+    /// [`set_zero_phase`](Self::set_zero_phase)).
+    zero_phase: bool,
+}
+
+impl<'a> IncrementalSolver<'a> {
+    /// Creates an empty persistent solver over the given context.
+    pub fn new(ctx: &'a Ctx) -> Self {
+        IncrementalSolver {
+            ctx,
+            bb: BitBlaster::new(ctx),
+            sat: SatSolver::new(),
+            ack: Ackermannizer::new(),
+            synced_vars: 0,
+            synced_clauses: 0,
+            roots: Vec::new(),
+            falsified: false,
+            checks: 0,
+            simplified_at: 0,
+            zero_phase: false,
+        }
+    }
+
+    /// When enabled, every check starts from the all-false phase default
+    /// instead of the phases saved by the previous solve, biasing models
+    /// toward mostly-zero assignments while keeping learned clauses and
+    /// variable activities warm. Model-*shape* sensitive loops (CEGQI's
+    /// candidate step) converge much faster on such regular models; pure
+    /// sat/unsat clients should leave this off and keep full phase reuse.
+    pub fn set_zero_phase(&mut self, on: bool) {
+        self.zero_phase = on;
+    }
+
+    /// Ackermannizes `t` incrementally and blasts it to a single literal.
+    /// Consistency constraints pairing new applications against all
+    /// previously pushed ones are asserted permanently (sound even for
+    /// grouped assertions: the constraints are implications over shared
+    /// application variables).
+    fn blast_rewritten(&mut self, t: TermId) -> Option<Lit> {
+        let mut constraints = Vec::new();
+        let r = self.ack.rewrite(self.ctx, t, &mut constraints);
+        for c in constraints {
+            self.roots.push(c);
+            let l = self.bb.blast_bool(c);
+            self.bb.cnf.add_clause(&[l]);
+        }
+        match self.ctx.as_bool_lit(r) {
+            Some(true) => None,
+            Some(false) => {
+                self.falsified = true;
+                None
+            }
+            None => {
+                self.roots.push(r);
+                Some(self.bb.blast_bool(r))
+            }
+        }
+    }
+
+    /// Pushes a permanent assertion (must be boolean-sorted). There is no
+    /// pop: retraction is modeled with [`new_group`](Self::new_group) /
+    /// [`assert_in`](Self::assert_in).
+    pub fn assert(&mut self, t: TermId) {
+        assert!(self.ctx.sort(t).is_bool(), "assertions must be boolean");
+        if let Some(l) = self.blast_rewritten(t) {
+            self.bb.cnf.add_clause(&[l]);
+        }
+    }
+
+    /// Allocates a fresh activation literal for a retractable clause group.
+    pub fn new_group(&mut self) -> Activation {
+        Activation(Lit::new(self.bb.cnf.new_var(), true))
+    }
+
+    /// Pushes an assertion guarded by group `g`: it binds only in checks
+    /// whose activation set includes `g` (encoded as `¬g ∨ t`).
+    pub fn assert_in(&mut self, g: Activation, t: TermId) {
+        assert!(self.ctx.sort(t).is_bool(), "assertions must be boolean");
+        match self.blast_rewritten(t) {
+            Some(l) => self.bb.cnf.add_clause(&[g.0.negate(), l]),
+            None if self.falsified => {
+                // The body folded to `false`: the group is unsatisfiable
+                // whenever active, but the solver as a whole is not.
+                self.falsified = false;
+                self.bb.cnf.add_clause(&[g.0.negate()]);
+            }
+            None => {}
+        }
+    }
+
+    /// Loads the not-yet-synced suffix of the blasted CNF into the live
+    /// solver. Returns the number of clauses that were already resident
+    /// (the reuse payload of this check).
+    fn sync(&mut self) -> usize {
+        let reused = self.synced_clauses;
+        while self.synced_vars < self.bb.cnf.num_vars() {
+            self.sat.new_var();
+            self.synced_vars += 1;
+        }
+        let clauses = self.bb.cnf.clauses();
+        while self.synced_clauses < clauses.len() {
+            self.sat.add_clause(&clauses[self.synced_clauses]);
+            self.synced_clauses += 1;
+        }
+        reused
+    }
+
+    /// Checks satisfiability of the permanent assertions plus the groups
+    /// in `active`, reusing all warm solver state. Activation literals
+    /// are passed to the SAT core as *assumptions* (decided at level 0's
+    /// edge), so nothing about the activation set is ever learned into
+    /// the clause database.
+    ///
+    /// On unsat caused by the activation set,
+    /// [`failed_groups`](Self::failed_groups) names a failed core.
+    pub fn check(&mut self, active: &[Activation], budget: Budget) -> SmtResult {
+        let _sp = alive2_obs::span(alive2_obs::Phase::Query);
+        let result = self.check_live(active, budget);
+        match &result {
+            SmtResult::Sat(_) => alive2_obs::stats::record_smt_sat(),
+            SmtResult::Unsat => alive2_obs::stats::record_smt_unsat(),
+            SmtResult::Timeout | SmtResult::OutOfMemory => alive2_obs::stats::record_smt_unknown(),
+        }
+        result
+    }
+
+    fn check_live(&mut self, active: &[Activation], budget: Budget) -> SmtResult {
+        if self.falsified {
+            return SmtResult::Unsat;
+        }
+        let reused = self.sync();
+        alive2_obs::stats::record_incremental_solve();
+        alive2_obs::stats::record_clauses_reused(reused as u64);
+        alive2_obs::stats::record_learnts_kept(self.sat.num_learnts() as u64);
+        self.checks += 1;
+        // Bounded inprocessing once the database has grown by ≥25% since
+        // the last pass — keeps long-lived solvers from drowning in
+        // subsumed clauses without paying the sweep on every check.
+        let live = self.sat.num_clauses();
+        if self.checks > 1 && live > self.simplified_at + self.simplified_at / 4 {
+            self.sat.simplify();
+            self.simplified_at = self.sat.num_clauses();
+        } else if self.checks == 1 {
+            self.simplified_at = live;
+        }
+        if self.zero_phase {
+            self.sat.reset_phases();
+        }
+        let assumptions: Vec<Lit> = active.iter().map(|a| a.0).collect();
+        match self.sat.solve_assuming(&assumptions, budget) {
+            SatOutcome::TimedOut => SmtResult::Timeout,
+            SatOutcome::OutOfMemory => SmtResult::OutOfMemory,
+            SatOutcome::Unsat => {
+                if !self.sat.failed_assumptions().is_empty() {
+                    alive2_obs::stats::record_assumption_core();
+                }
+                SmtResult::Unsat
+            }
+            SatOutcome::Sat => SmtResult::Sat(self.build_model()),
+        }
+    }
+
+    /// The failed-assumption core of the most recent unsat check, mapped
+    /// back to activation handles: a subset of that check's `active` set
+    /// that is already jointly unsatisfiable with the permanent clauses.
+    /// Empty when the permanent assertions are unsat on their own.
+    pub fn failed_groups(&self) -> Vec<Activation> {
+        self.sat
+            .failed_assumptions()
+            .iter()
+            .map(|&l| Activation(l))
+            .collect()
+    }
+
+    /// Projects the SAT assignment back onto term-level free variables.
+    /// Unlike the one-shot path there is no preprocessing or
+    /// canonicalization layer: blaster literals map straight to solver
+    /// variables. Variables never materialized by the blaster are
+    /// genuine don't-cares and stay absent.
+    fn build_model(&self) -> Model {
+        let lit_val = |l: Lit| -> Option<bool> {
+            self.sat
+                .value(l.var())
+                .map(|b| if l.is_positive() { b } else { !b })
+        };
+        let mut model = Model::new();
+        for vt in self.ctx.free_vars_many(&self.roots) {
+            let v = self.ctx.as_var(vt).expect("free var is a Var term");
+            match self.ctx.sort(vt) {
+                Sort::Bool => {
+                    if let Some(b) = self.bb.bool_var_lit(v).and_then(lit_val) {
+                        model.set(v, Value::Bool(b));
+                    }
+                }
+                Sort::BitVec(_) => {
+                    let Some(lits) = self.bb.bv_var_lits(v) else {
+                        continue;
+                    };
+                    let vals: Vec<Option<bool>> = lits.iter().map(|&l| lit_val(l)).collect();
+                    if vals.iter().all(Option::is_none) {
+                        continue;
+                    }
+                    let bools: Vec<bool> = vals.iter().map(|b| b.unwrap_or(false)).collect();
+                    model.set(v, Value::Bv(crate::bv::BitVec::from_bits(&bools)));
+                }
+            }
+        }
+        model
+    }
+}
+
 /// Convenience: checks whether `t` is valid (true in all models) under the
 /// budget. Returns `Some(true)` if valid, `Some(false)` if a countermodel
 /// exists, `None` on resource exhaustion.
@@ -445,5 +730,147 @@ mod tests {
             }
             other => panic!("expected sat, got {other:?}"),
         }
+    }
+
+    /// Runs one incremental check and returns it with the counter deltas.
+    fn probe_inc(
+        s: &mut IncrementalSolver,
+        active: &[Activation],
+        budget: Budget,
+    ) -> (SmtResult, alive2_obs::JobStats) {
+        let snap = alive2_obs::counters_snapshot();
+        let r = s.check(active, budget);
+        let mut d = alive2_obs::JobStats::default();
+        d.absorb_since(&snap);
+        (r, d)
+    }
+
+    #[test]
+    fn incremental_grows_and_agrees_with_one_shot() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let mut inc = IncrementalSolver::new(&ctx);
+        let asserts = [
+            ctx.eq(ctx.bv_add(x, y), ctx.bv_lit_u64(8, 10)),
+            ctx.bv_ult(x, ctx.bv_lit_u64(8, 3)),
+            ctx.bv_ult(ctx.bv_lit_u64(8, 5), y),
+        ];
+        let mut so_far = Vec::new();
+        for a in asserts {
+            inc.assert(a);
+            so_far.push(a);
+            let mut fresh = Solver::new(&ctx);
+            for &t in &so_far {
+                fresh.assert(t);
+            }
+            let inc_r = inc.check(&[], Budget::unlimited());
+            let fresh_r = fresh.check(Budget::unlimited());
+            assert_eq!(inc_r.is_sat(), fresh_r.is_sat(), "diverged at {so_far:?}");
+            if let Some(m) = inc_r.model() {
+                // The incremental model must actually satisfy the asserts.
+                let xv = m.eval_bv(&ctx, x).to_u64();
+                let yv = m.eval_bv(&ctx, y).to_u64();
+                assert_eq!((xv + yv) & 0xff, 10);
+            }
+        }
+        // Adding y < 8 squeezes x+y to at most 2+7 = 9 < 10: unsat.
+        inc.assert(ctx.bv_ult(y, ctx.bv_lit_u64(8, 8)));
+        let r = inc.check(&[], Budget::unlimited());
+        assert!(r.is_unsat(), "x<3 ∧ 5<y<8 ∧ x+y=10 must be unsat: {r:?}");
+    }
+
+    #[test]
+    fn activation_groups_retract() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let mut s = IncrementalSolver::new(&ctx);
+        s.assert(ctx.bv_ult(x, ctx.bv_lit_u64(8, 10)));
+        let g1 = s.new_group();
+        s.assert_in(g1, ctx.bv_ult(ctx.bv_lit_u64(8, 20), x)); // x > 20
+        let g2 = s.new_group();
+        s.assert_in(g2, ctx.eq(x, ctx.bv_lit_u64(8, 5)));
+        // g1 conflicts with the permanent bound; g2 doesn't.
+        assert!(s.check(&[g1], Budget::unlimited()).is_unsat());
+        let core = s.failed_groups();
+        assert_eq!(core, vec![g1]);
+        assert!(s.check(&[g2], Budget::unlimited()).is_sat());
+        assert!(s.check(&[g1, g2], Budget::unlimited()).is_unsat());
+        // Dropping every group retracts all guarded constraints.
+        let r = s.check(&[], Budget::unlimited());
+        let m = r.model().expect("sat with groups retracted");
+        assert!(m.eval_bv(&ctx, x).to_u64() < 10);
+    }
+
+    #[test]
+    fn incremental_counters_and_cache_bypass() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let mut s = IncrementalSolver::new(&ctx);
+        s.assert(ctx.bv_ult(x, ctx.bv_lit_u64(8, 100)));
+        let (r1, d1) = probe_inc(&mut s, &[], Budget::unlimited());
+        assert!(r1.is_sat());
+        assert_eq!(d1.incremental_solves, 1);
+        assert_eq!(d1.clauses_reused, 0, "first check has nothing to reuse");
+        assert_eq!(
+            (d1.sat_solves, d1.cache_hits, d1.cache_misses),
+            (0, 0, 0),
+            "incremental checks must bypass the query cache: {d1:?}"
+        );
+        s.assert(ctx.bv_ult(ctx.bv_lit_u64(8, 50), x));
+        let (r2, d2) = probe_inc(&mut s, &[], Budget::unlimited());
+        assert!(r2.is_sat());
+        assert_eq!(d2.incremental_solves, 1);
+        assert!(d2.clauses_reused > 0, "second check reuses the db: {d2:?}");
+        assert_eq!((d2.cache_hits, d2.cache_misses), (0, 0));
+    }
+
+    #[test]
+    fn incremental_assumption_core_counter() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let mut s = IncrementalSolver::new(&ctx);
+        let g = s.new_group();
+        s.assert_in(g, ctx.bv_ult(x, ctx.bv_lit_u64(8, 4)));
+        s.assert_in(g, ctx.bv_ult(ctx.bv_lit_u64(8, 4), x));
+        let (r, d) = probe_inc(&mut s, &[g], Budget::unlimited());
+        assert!(r.is_unsat());
+        assert_eq!(d.assumption_cores, 1);
+        assert_eq!(s.failed_groups(), vec![g]);
+    }
+
+    #[test]
+    fn incremental_uf_consistency_across_pushes() {
+        // Ackermann constraints must pair applications pushed in
+        // *different* assert calls.
+        let ctx = Ctx::new();
+        let f = ctx.func("f", &[Sort::BitVec(8)], Sort::BitVec(8));
+        let x = ctx.var("x", Sort::BitVec(8));
+        let y = ctx.var("y", Sort::BitVec(8));
+        let mut s = IncrementalSolver::new(&ctx);
+        s.assert(ctx.eq(ctx.apply(f, &[x]), ctx.bv_lit_u64(8, 1)));
+        assert!(s.check(&[], Budget::unlimited()).is_sat());
+        s.assert(ctx.eq(ctx.apply(f, &[y]), ctx.bv_lit_u64(8, 2)));
+        assert!(s.check(&[], Budget::unlimited()).is_sat());
+        s.assert(ctx.eq(x, y)); // forces f(x) = f(y), i.e. 1 = 2
+        assert!(s.check(&[], Budget::unlimited()).is_unsat());
+    }
+
+    #[test]
+    fn incremental_handles_constant_folds() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let mut s = IncrementalSolver::new(&ctx);
+        s.assert(ctx.tru()); // folds away
+        assert!(s.check(&[], Budget::unlimited()).is_sat());
+        let g = s.new_group();
+        s.assert_in(g, ctx.fals()); // group is inconsistent when active
+        assert!(s.check(&[g], Budget::unlimited()).is_unsat());
+        assert!(s.check(&[], Budget::unlimited()).is_sat());
+        s.assert(ctx.eq(x, x)); // another fold-to-true
+        assert!(s.check(&[], Budget::unlimited()).is_sat());
+        s.assert(ctx.fals()); // permanently unsat
+        assert!(s.check(&[], Budget::unlimited()).is_unsat());
+        assert!(s.check(&[g], Budget::unlimited()).is_unsat());
     }
 }

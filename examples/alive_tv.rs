@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --example alive_tv -- src.ll tgt.ll [--unroll N] [--timeout MS] \
-//!     [--jobs N] [--deadline-ms MS] [--mem-budget-mb MB] \
+//!     [--jobs N] [--deadline-ms MS] [--mem-budget-mb MB] [--no-incremental] \
 //!     [--journal PATH] [--resume PATH] [--inject-panic MARKER] \
 //!     [--cache DIR] [--stats] [--trace FILE] [--trace-detail]
 //! ```
@@ -91,6 +91,7 @@ fn main() -> ExitCode {
                         .expect("--mem-budget-mb needs a size in MiB"),
                 );
             }
+            "--no-incremental" => cfg.incremental = false,
             "--jobs" => {
                 engine = engine.with_workers(
                     it.next()

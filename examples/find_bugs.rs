@@ -3,7 +3,8 @@
 //! validation after each pass, and prints the violations grouped by the
 //! paper's taxonomy categories.
 //!
-//! Run with `cargo run --example find_bugs` (add `--release` for speed).
+//! Run with `cargo run --example find_bugs` (add `--release` for speed;
+//! `--no-incremental` disables the persistent CEGQI candidate solver).
 
 use alive2::core::validator::{validate_pair, Verdict};
 use alive2::ir::parser::parse_module;
@@ -14,7 +15,10 @@ use alive2::testgen::corpus::corpus;
 use std::collections::HashMap;
 
 fn main() {
-    let cfg = EncodeConfig::default();
+    let cfg = EncodeConfig {
+        incremental: !std::env::args().any(|a| a == "--no-incremental"),
+        ..EncodeConfig::default()
+    };
     let mut found: HashMap<&'static str, Vec<String>> = HashMap::new();
 
     // Enable each bug in isolation so a violation is attributable.

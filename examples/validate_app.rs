@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release --example validate_app -- [bzip2|gzip|oggenc|ph7|sqlite3] \
-//!     [--jobs N] [--deadline-ms MS]
+//!     [--jobs N] [--deadline-ms MS] [--no-incremental]
 //! ```
 
 use alive2::core::engine::{Job, ValidationEngine};
@@ -30,6 +30,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--jobs" | "--deadline-ms" => i += 2,
+            "--no-incremental" => i += 1,
             other => {
                 which = other.to_string();
                 i += 1;
@@ -51,7 +52,10 @@ fn main() {
     );
     let module = generate(&profile);
     let pm = PassManager::default_pipeline(BugSet::none());
-    let cfg = EncodeConfig::default();
+    let cfg = EncodeConfig {
+        incremental: !args.iter().any(|a| a == "--no-incremental"),
+        ..EncodeConfig::default()
+    };
 
     // Cheap sequential phase: optimize and snapshot every changed pass.
     let start = Instant::now();

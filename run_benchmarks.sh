@@ -12,7 +12,10 @@
 # Pass --cache to measure the persistent query cache instead: the
 # known_bugs harness runs twice against a fresh cache directory (cold,
 # then warm) and BENCH_pr5.json records per-run live SAT solves,
-# cache traffic, and wall time.
+# cache traffic, and wall time. The same mode then measures incremental
+# solving into BENCH_pr6.json: a cold incremental run, a warm incremental
+# rerun, and a cold --no-incremental baseline, each with one-shot and
+# live-solver solve counts and wall time.
 set -e
 cd "$(dirname "$0")"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
@@ -27,21 +30,40 @@ if [ -n "$CACHE" ]; then
   CDIR=$(mktemp -d)
   trap 'rm -rf "$CDIR"' EXIT
   cargo build --release -q -p alive2-bench --bin known_bugs
-  run_pass() { # $1 = label
+  run_pass() { # $1 = label, $2... = extra known_bugs flags
+    label="$1"; shift
     start_ms=$(date +%s%3N)
     out=$(cargo run --release -q -p alive2-bench --bin known_bugs -- \
-          --jobs "$JOBS" --cache "$CDIR" 2>/dev/null \
+          --jobs "$JOBS" "$@" 2>/dev/null \
           | grep '"name":"known_bugs"' | tail -n 1)
     end_ms=$(date +%s%3N)
-    printf '"%s":{"wall_ms":%s,"sat_solves":%s,"cache_hits":%s,"cache_misses":%s,"summary":%s}' \
-      "$1" "$((end_ms - start_ms))" \
+    printf '"%s":{"wall_ms":%s,"sat_solves":%s,"incremental_solves":%s,"cache_hits":%s,"cache_misses":%s,"summary":%s}' \
+      "$label" "$((end_ms - start_ms))" \
       "$(printf '%s' "$out" | grep -o '"sat_solves":[0-9]*' | cut -d: -f2)" \
+      "$(printf '%s' "$out" | grep -o '"incremental_solves":[0-9]*' | cut -d: -f2)" \
       "$(printf '%s' "$out" | grep -o '"cache_hits":[0-9]*' | cut -d: -f2)" \
       "$(printf '%s' "$out" | grep -o '"cache_misses":[0-9]*' | cut -d: -f2)" \
       "$out"
   }
-  { printf '{'; run_pass cold; printf ','; run_pass warm; printf '}\n'; } > BENCH_pr5.json
+  # BENCH_pr5: the query-cache experiment, unchanged — but run one-shot
+  # (--no-incremental) so its cold/warm sat_solves keep their original
+  # "every query solves fresh" meaning.
+  { printf '{'; run_pass cold --cache "$CDIR" --no-incremental
+    printf ','; run_pass warm --cache "$CDIR" --no-incremental
+    printf '}\n'; } > BENCH_pr5.json
   cat BENCH_pr5.json
+  # BENCH_pr6: the incremental-solving experiment. `cold` runs the
+  # persistent candidate solver against a fresh cache; `warm` reruns on
+  # the populated cache; `fresh_cold` is the --no-incremental baseline on
+  # its own fresh cache (cold-vs-cold comparison with `cold`).
+  IDIR=$(mktemp -d)
+  FDIR=$(mktemp -d)
+  trap 'rm -rf "$CDIR" "$IDIR" "$FDIR"' EXIT
+  { printf '{'; run_pass cold --cache "$IDIR"
+    printf ','; run_pass warm --cache "$IDIR"
+    printf ','; run_pass fresh_cold --cache "$FDIR" --no-incremental
+    printf '}\n'; } > BENCH_pr6.json
+  cat BENCH_pr6.json
   exit 0
 fi
 {
