@@ -147,3 +147,35 @@ KB_INC=$(kbsum "$SMOKE/kb_inc.out" | grep -o '"sat_solves":[0-9]*' | cut -d: -f2
 KB_LIVE=$(kbsum "$SMOKE/kb_inc.out" | grep -o '"incremental_solves":[0-9]*' | cut -d: -f2)
 test "$KB_INC" -lt 102
 test "$KB_LIVE" -gt 0
+
+# ---- process-supervision smoke (see DESIGN.md, "Process supervision") --
+# Clean parity first: a --procs 2 run shards the corpus across worker
+# processes and must reproduce the single-process verdict columns exactly,
+# with zero supervision events.
+"$KB" --jobs 4 --procs 2 > "$SMOKE/kb_sup.out" 2>&1
+kbsum "$SMOKE/kb_sup.out" | sed 's/,"stats":.*$/}/' > "$SMOKE/kb_sup.sum"
+cmp "$SMOKE/kb_inc.sum" "$SMOKE/kb_sup.sum"
+kbsum "$SMOKE/kb_sup.out" | grep -q '"pairs_quarantined":0'
+kbsum "$SMOKE/kb_sup.out" | grep -q '"worker_restarts":0'
+grep -q '29 detected / 7 missed' "$SMOKE/kb_sup.out"
+
+# The acceptance scenario: one pair aborts its worker process outright
+# (--inject-abort: past what catch_unwind can contain) and one pair hangs
+# it (--inject-hang: a non-cooperative spin only the watchdog's SIGKILL
+# ends). The supervised run must still complete, exit 0, and quarantine
+# exactly the two poisoned pairs — Crash for the abort, Timeout for the
+# watchdog kill. Both injected pairs carry Missed expectations, so the
+# 29 detected / 7 missed tally is preserved; `set -e` enforces exit 0.
+# The 20 s watchdog is deliberately generous: at --shard-size 1 only the
+# hung pair ever reaches it (costing one 20 s wait), while an innocent
+# pair would need 20 s of wall for a sub-second job — headroom against a
+# loaded CI box, where a tight watchdog quarantines bystanders.
+"$KB" --jobs 4 --procs 2 --shard-size 1 --shard-retries 0 --watchdog-ms 20000 \
+    --inject-abort trip-count-65536 --inject-hang infinite-loop-store-removed \
+    > "$SMOKE/kb_fault.out" 2>&1
+kbsum "$SMOKE/kb_fault.out" | grep -q '"incorrect":29'
+kbsum "$SMOKE/kb_fault.out" | grep -q '"crash":1'
+kbsum "$SMOKE/kb_fault.out" | grep -q '"timeout":1'
+kbsum "$SMOKE/kb_fault.out" | grep -q '"pairs_quarantined":2'
+kbsum "$SMOKE/kb_fault.out" | grep -q '"watchdog_kills":1'
+grep -q '29 detected / 7 missed' "$SMOKE/kb_fault.out"

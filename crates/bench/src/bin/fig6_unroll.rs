@@ -3,6 +3,9 @@
 //! unit-test corpus plus the known-bug suite.
 //!
 //! Run with `cargo run --release -p alive2-bench --bin fig6_unroll`.
+//! Accepts the shared `--jobs N` / `--deadline-ms MS` / `--procs N`
+//! flags (supervised worker children replay earlier unroll factors from
+//! the merged journal, so `--procs` composes with the multi-run loop).
 
 use alive2_bench::{
     cache_from_args, config_from_args, engine_from_args, finish_obs, obs_from_args,

@@ -3,8 +3,10 @@
 //!
 //! Run with `cargo run --release -p alive2-bench --bin fig7_apps`.
 //! Pass `--scale F` (e.g. 0.25) to shrink the generated apps, `--jobs N`
-//! to set the validation worker count (default: all cores), and
-//! `--deadline-ms MS` to cap each function pair's wall-clock time.
+//! to set the validation worker count (default: all cores),
+//! `--deadline-ms MS` to cap each function pair's wall-clock time, and
+//! `--procs N` to shard each app's validation across supervised worker
+//! processes (crash/hang quarantine instead of a sunk run).
 
 use alive2_bench::{
     cache_from_args, config_from_args, engine_from_args, finish_obs, flag_value, obs_from_args,

@@ -2,6 +2,8 @@
 //! results and the running time.
 //!
 //! Run with `cargo run --release -p alive2-bench --bin fig8_timeout`.
+//! Accepts the shared `--jobs N` / `--deadline-ms MS` / `--procs N`
+//! flags (each timeout step's runs are supervised independently).
 
 use alive2_bench::{
     cache_from_args, config_from_args, engine_from_args, finish_obs, obs_from_args,

@@ -2,7 +2,10 @@
 //! report which are detected and which are (soundly) missed, with reasons.
 //!
 //! Run with `cargo run --release -p alive2-bench --bin known_bugs`.
-//! Accepts the shared `--jobs N` / `--deadline-ms MS` flags.
+//! Accepts the shared `--jobs N` / `--deadline-ms MS` flags, plus
+//! `--procs N` to shard the suite across supervised worker processes
+//! (with `--inject-abort` / `--inject-hang` exercising the quarantine
+//! and watchdog paths deterministically).
 
 use alive2_bench::{
     cache_from_args, config_from_args, engine_from_args, finish_obs, obs_from_args,
@@ -78,6 +81,7 @@ fn main() {
         counts.record(&o.verdict);
         counts.stats.add_job(&o.stats);
     }
+    engine.fold_supervision_into(&mut counts.stats);
     counts.millis = started.elapsed().as_millis() as u64;
     finish_obs(&obs, &counts);
     print_summary_json("known_bugs", &counts);

@@ -3,7 +3,8 @@
 //! refinement violations per category.
 //!
 //! Run with `cargo run --release -p alive2-bench --bin table_bugs`.
-//! Accepts the shared `--jobs N` / `--deadline-ms MS` flags.
+//! Accepts the shared `--jobs N` / `--deadline-ms MS` flags, plus
+//! `--procs N` to shard validation across supervised worker processes.
 
 use alive2_bench::{
     cache_from_args, config_from_args, engine_from_args, finish_obs, obs_from_args,
@@ -117,6 +118,7 @@ fn main() {
             *per_category.entry(c.category).or_default() += 1;
         }
     }
+    engine.fold_supervision_into(&mut counts.stats);
     counts.millis = started.elapsed().as_millis() as u64;
     finish_obs(&obs, &counts);
     print_summary_json("table_bugs", &counts);

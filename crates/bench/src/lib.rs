@@ -10,118 +10,23 @@
 pub mod timer;
 
 use alive2_core::engine::{Job, ValidationEngine};
-use alive2_core::journal::{Journal, ResumeLog};
 use alive2_core::validator::Verdict;
 use alive2_ir::function::Function;
 use alive2_ir::module::Module;
 use alive2_opt::bugs::BugSet;
 use alive2_opt::pass::PassManager;
 use alive2_sema::config::EncodeConfig;
-use std::sync::Arc;
 use std::time::Instant;
 
 pub use alive2_core::engine::Counts;
 
-/// Builds a [`ValidationEngine`] from the shared CLI convention:
-/// `--jobs N` (worker threads, default `available_parallelism()`),
-/// `--deadline-ms MS` (per-job wall-clock cap, default none),
-/// `--journal PATH` (append one JSON line per completed outcome),
-/// `--resume PATH` (skip jobs already recorded in a journal), and
-/// `--inject-panic MARKER` / `ALIVE2_INJECT_PANIC` (fault injection for
-/// containment smoke tests — jobs whose name contains the marker panic).
-///
-/// Exits with a diagnostic if `--journal` or `--resume` name an unusable
-/// path; fault containment is about surviving *job* failures, not about
-/// silently dropping the operator's journal.
-pub fn engine_from_args(args: &[String]) -> ValidationEngine {
-    let jobs = flag_value(args, "--jobs").unwrap_or_else(|| ValidationEngine::default().workers);
-    let deadline_ms = flag_value(args, "--deadline-ms");
-    let journal = flag_value::<String>(args, "--journal").map(|path| {
-        Arc::new(Journal::append(&path).unwrap_or_else(|e| {
-            eprintln!("error: cannot open journal `{path}`: {e}");
-            std::process::exit(2);
-        }))
-    });
-    let resume = flag_value::<String>(args, "--resume").map(|path| {
-        Arc::new(ResumeLog::load(&path).unwrap_or_else(|e| {
-            eprintln!("error: cannot read resume journal `{path}`: {e}");
-            std::process::exit(2);
-        }))
-    });
-    let fault_marker = flag_value::<String>(args, "--inject-panic").or_else(|| {
-        std::env::var("ALIVE2_INJECT_PANIC")
-            .ok()
-            .filter(|s| !s.is_empty())
-    });
-    ValidationEngine::new(jobs)
-        .with_deadline_ms(deadline_ms)
-        .with_journal(journal)
-        .with_resume(resume)
-        .with_fault_marker(fault_marker)
-}
-
-/// Builds an [`EncodeConfig`] from the shared CLI convention:
-/// `--mem-budget-mb MB` (global term-allocation budget per job; exceeding
-/// it yields `Verdict::OutOfMemory` instead of swapping) and
-/// `--no-incremental` (rebuild a fresh CEGQI candidate solver per
-/// iteration instead of reusing one live incremental solver — same
-/// verdicts, useful for triage and A/B timing).
-pub fn config_from_args(args: &[String], base: EncodeConfig) -> EncodeConfig {
-    EncodeConfig {
-        mem_budget_mb: flag_value(args, "--mem-budget-mb").or(base.mem_budget_mb),
-        incremental: base.incremental && !args.iter().any(|a| a == "--no-incremental"),
-        ..base
-    }
-}
-
-/// Observability settings shared by every driver:
-/// `--stats` (per-phase breakdown + counter totals on stdout),
-/// `--trace FILE` (Chrome tracing JSON, load via `chrome://tracing` or
-/// Perfetto), `--trace-detail` (adds per-instruction encode spans to the
-/// trace — high volume, off by default).
-#[derive(Clone, Debug, Default)]
-pub struct ObsConfig {
-    /// Print the phase/counter report after the run.
-    pub stats: bool,
-    /// Destination for Chrome tracing JSON, if requested.
-    pub trace: Option<String>,
-}
-
-/// Parses the observability flags and arms the global span/trace state
-/// accordingly. Call once, before any validation work runs.
-pub fn obs_from_args(args: &[String]) -> ObsConfig {
-    let stats = args.iter().any(|a| a == "--stats");
-    let trace = flag_value::<String>(args, "--trace");
-    let detail = args.iter().any(|a| a == "--trace-detail");
-    alive2_core::obs::trace::set_enabled(trace.is_some());
-    alive2_core::obs::trace::set_detail(detail);
-    // Tracing needs timestamps anyway, so --trace implies phase timing.
-    alive2_core::obs::set_timing(stats || trace.is_some());
-    ObsConfig { stats, trace }
-}
-
-/// Arms the persistent query-cache tier from the shared CLI convention:
-/// `--cache DIR` loads `DIR/cache.jsonl` into the in-process query cache
-/// and appends every new canonical-CNF result to it, so a rerun replays
-/// solved queries instead of solving them live. Call once, before any
-/// validation work runs. Returns the number of entries loaded (`None`
-/// when the flag is absent).
-///
-/// Exits with a diagnostic if the directory cannot be created or read —
-/// a silently disabled cache would invalidate a warm-run benchmark.
-pub fn cache_from_args(args: &[String]) -> Option<usize> {
-    let dir = flag_value::<String>(args, "--cache")?;
-    match alive2_smt::cache::global().attach_dir(std::path::Path::new(&dir)) {
-        Ok(loaded) => {
-            eprintln!("cache: loaded {loaded} entries from {dir}/cache.jsonl");
-            Some(loaded)
-        }
-        Err(e) => {
-            eprintln!("error: cannot attach query cache `{dir}`: {e}");
-            std::process::exit(2);
-        }
-    }
-}
+// The CLI convention (engine/config/obs/cache construction from argv)
+// moved to `alive2_core::cli` so the process supervisor can rebuild the
+// same engine on both sides of the fork; re-exported here so the bench
+// bins and external users keep their import paths.
+pub use alive2_core::cli::{
+    cache_from_args, config_from_args, engine_from_args, flag_value, obs_from_args, ObsConfig,
+};
 
 /// Emits the post-run observability artifacts: the `--stats` report on
 /// stdout and the `--trace` Chrome JSON file. Call after the run
@@ -174,14 +79,6 @@ pub fn print_summary_json(name: &str, c: &Counts) {
         c.stats.to_json_obj(),
         alive2_core::obs::report::phases_json_obj(c.millis * 1_000)
     );
-}
-
-/// Parses `--flag VALUE` from an argument list.
-pub fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
 }
 
 /// Runs the default pipeline (with `bugs` seeded) over every function of a
@@ -262,6 +159,7 @@ pub fn validate_pairs(
     for o in &outcomes {
         counts.stats.add_job(&o.stats);
     }
+    engine.fold_supervision_into(&mut counts.stats);
     let mut merged: Vec<Option<Verdict>> = vec![None; slot];
     for (i, v) in resolved {
         merged[i] = Some(v);

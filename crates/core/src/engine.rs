@@ -31,6 +31,7 @@
 //!   from that file lets an interrupted run resume instead of restart.
 
 use crate::journal::{Journal, ResumeLog};
+use crate::supervisor::{SuperviseSpec, SupervisionStats, WorkerShard};
 use crate::validator::{validate_pair_with_deadline, ValidateStats, Verdict};
 use alive2_ir::function::Function;
 use alive2_ir::module::Module;
@@ -149,16 +150,37 @@ pub struct ValidationEngine {
     /// contains this marker panics deliberately instead of validating.
     /// Wired to `--inject-panic` / `ALIVE2_INJECT_PANIC` by the drivers.
     pub fault_marker: Option<String>,
+    /// Fault-injection hook for the *process* firewall: any job whose
+    /// name contains this marker calls `std::process::abort()` — which
+    /// `catch_unwind` cannot contain, so only `--procs` supervision
+    /// survives it. Wired to `--inject-abort` / `ALIVE2_INJECT_ABORT`.
+    pub abort_marker: Option<String>,
+    /// Fault-injection hook for the watchdog: any job whose name contains
+    /// this marker enters an uncancellable busy loop (no deadline checks,
+    /// no unwinding), so only a supervising parent's SIGKILL ends it.
+    /// Wired to `--inject-hang` / `ALIVE2_INJECT_HANG`.
+    pub hang_marker: Option<String>,
     /// Optional outcome journal, appended to (and flushed) as each job
     /// completes — before its verdict is counted.
-    journal: Option<Arc<Journal>>,
+    pub(crate) journal: Option<Arc<Journal>>,
     /// Optional log of a previous run's outcomes: journaled jobs are
     /// skipped and their recorded verdicts returned instead.
-    resume: Option<Arc<ResumeLog>>,
+    pub(crate) resume: Option<Arc<ResumeLog>>,
     /// Ordinal of the next [`ValidationEngine::run`] invocation — the
     /// `run` component of journal/resume keys. Shared across clones so a
     /// driver that copies the engine keeps a single key space.
     run_seq: Arc<AtomicU32>,
+    /// `--procs N`: supervise runs across N child worker processes (see
+    /// [`crate::supervisor`]). `None` or `procs <= 1` runs in-process.
+    supervise: Option<Arc<SuperviseSpec>>,
+    /// Set in child processes (`--worker-shard RUN:START:END`): when the
+    /// current run matches, execute only that shard and exit; earlier
+    /// runs fall through to the local path, replayed via `--resume`.
+    worker_shard: Option<WorkerShard>,
+    /// Run-level supervision counters (worker restarts, shard retries),
+    /// shared across clones and drained by `run_counts` /
+    /// [`ValidationEngine::fold_supervision_into`].
+    pub(crate) sup_stats: Arc<SupervisionStats>,
 }
 
 impl Default for ValidationEngine {
@@ -169,9 +191,14 @@ impl Default for ValidationEngine {
                 .unwrap_or(1),
             deadline_ms: None,
             fault_marker: None,
+            abort_marker: None,
+            hang_marker: None,
             journal: None,
             resume: None,
             run_seq: Arc::new(AtomicU32::new(0)),
+            supervise: None,
+            worker_shard: None,
+            sup_stats: Arc::new(SupervisionStats::default()),
         }
     }
 }
@@ -227,6 +254,48 @@ impl ValidationEngine {
         }
     }
 
+    /// Sets the abort-injection marker (see [`ValidationEngine::abort_marker`]).
+    pub fn with_abort_marker(self, abort_marker: Option<String>) -> Self {
+        ValidationEngine {
+            abort_marker,
+            ..self
+        }
+    }
+
+    /// Sets the hang-injection marker (see [`ValidationEngine::hang_marker`]).
+    pub fn with_hang_marker(self, hang_marker: Option<String>) -> Self {
+        ValidationEngine {
+            hang_marker,
+            ..self
+        }
+    }
+
+    /// Enables process-level supervision: jobs are sharded across child
+    /// worker processes per `spec` (when `spec.procs > 1`). Ignored in
+    /// worker children (`with_worker_shard` wins).
+    pub fn with_supervise(self, supervise: Option<Arc<SuperviseSpec>>) -> Self {
+        ValidationEngine { supervise, ..self }
+    }
+
+    /// Marks this engine as a worker child with the given shard
+    /// assignment (the hidden `--worker-shard` mode).
+    pub fn with_worker_shard(self, worker_shard: Option<WorkerShard>) -> Self {
+        ValidationEngine {
+            worker_shard,
+            ..self
+        }
+    }
+
+    /// Drains the run-level supervision counters (worker restarts, shard
+    /// retries) accumulated since the last drain into `totals`.
+    /// `run_counts` calls this automatically; drivers that aggregate
+    /// outcomes manually call it once before reporting. Draining keeps
+    /// multi-run drivers from double-counting.
+    pub fn fold_supervision_into(&self, totals: &mut StatsTotals) {
+        totals.worker_restarts += self.sup_stats.worker_restarts.swap(0, Ordering::Relaxed);
+        totals.shards_retried += self.sup_stats.shards_retried.swap(0, Ordering::Relaxed);
+    }
+
     /// Renders a `catch_unwind` payload for a [`Verdict::Crash`].
     fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         if let Some(s) = payload.downcast_ref::<&'static str>() {
@@ -242,7 +311,7 @@ impl ValidationEngine {
     /// validation stack is contained to this job and reported as
     /// [`Verdict::Crash`] with the panic payload and job name captured.
     /// `run_started` anchors the job's queue-wait measurement.
-    fn run_one(&self, job: &Job, run_started: Instant) -> Outcome {
+    pub(crate) fn run_one(&self, job: &Job, run_started: Instant) -> Outcome {
         let queue_ms = run_started.elapsed().as_millis() as u64;
         // Job phase starts at Queued; the validator advances it. If the
         // job panics, the unwound guards do NOT reset it, so the crash
@@ -258,6 +327,26 @@ impl ValidationEngine {
                         "injected fault: job `{}` matches marker `{marker}`",
                         job.name
                     );
+                }
+            }
+            // Process-level fault injections, beyond what catch_unwind
+            // can contain: abort() takes the whole process down; the
+            // busy loop never checks a deadline and never unwinds. Both
+            // exist to exercise the supervisor deterministically.
+            if let Some(marker) = self.abort_marker.as_deref() {
+                if !marker.is_empty() && job.name.contains(marker) {
+                    eprintln!(
+                        "injected abort: job `{}` matches marker `{marker}`",
+                        job.name
+                    );
+                    std::process::abort();
+                }
+            }
+            if let Some(marker) = self.hang_marker.as_deref() {
+                if !marker.is_empty() && job.name.contains(marker) {
+                    loop {
+                        std::hint::spin_loop();
+                    }
                 }
             }
             let deadline = self
@@ -302,8 +391,33 @@ impl ValidationEngine {
     /// does. A panicking job yields a [`Verdict::Crash`] outcome and the
     /// pool moves on to the next job — `--jobs N` and `--jobs 1` still
     /// report identical verdicts.
+    ///
+    /// Three execution modes share this entry point:
+    /// - worker child (`--worker-shard` naming the current run): execute
+    ///   only the assigned shard, stream/journal it, and exit — see
+    ///   [`crate::supervisor`]. A shard for a *later* run falls through
+    ///   to the local path, where `--resume` replays earlier runs from
+    ///   the parent's merged journal nearly for free;
+    /// - supervising parent (`--procs N` with `N > 1`): shard across
+    ///   child processes with watchdog/retry/quarantine;
+    /// - plain local (everything else): the in-process thread pool.
     pub fn run(&self, jobs: &[Job]) -> Vec<Outcome> {
         let run_id = self.run_seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(shard) = self.worker_shard {
+            if shard.run == run_id {
+                crate::supervisor::run_worker_shard(self, run_id, jobs, shard);
+            }
+        } else if let Some(spec) = &self.supervise {
+            if spec.procs > 1 && !jobs.is_empty() {
+                return crate::supervisor::run_supervised(self, spec, run_id, jobs);
+            }
+        }
+        self.run_local(run_id, jobs)
+    }
+
+    /// The in-process execution path: resume resolution, the thread pool,
+    /// journaling, and the dead-worker retry pass.
+    pub(crate) fn run_local(&self, run_id: u32, jobs: &[Job]) -> Vec<Outcome> {
         let run_started = Instant::now();
         let mut slots: Vec<Option<Outcome>> = vec![None; jobs.len()];
 
@@ -405,6 +519,7 @@ impl ValidationEngine {
             counts.record(&o.verdict);
             counts.stats.add_job(&o.stats);
         }
+        self.fold_supervision_into(&mut counts.stats);
         counts.millis = start.elapsed().as_millis() as u64;
         (outcomes, counts)
     }

@@ -41,8 +41,11 @@ use std::sync::Mutex;
 
 // ---- verdict (de)serialization ------------------------------------------
 
-/// Renders one outcome as a self-contained JSON line.
-fn entry_line(run: u32, idx: usize, o: &Outcome) -> String {
+/// Renders one outcome as a self-contained JSON line — the exact text a
+/// [`Journal`] appends. Public because the process supervisor streams
+/// these lines over worker stdout pipes and re-parses them in the parent
+/// (see [`crate::supervisor`]).
+pub fn entry_line(run: u32, idx: usize, o: &Outcome) -> String {
     let mut detail = String::new();
     let mut args: Vec<String> = Vec::new();
     match &o.verdict {
@@ -67,6 +70,13 @@ fn entry_line(run: u32, idx: usize, o: &Outcome) -> String {
         args_json.join(","),
         o.stats.to_json_obj(),
     )
+}
+
+/// Parses one journal line back into `(run, idx, Outcome)`. Returns
+/// `None` for malformed (torn) lines and for non-outcome journal lines
+/// (e.g. the supervisor's run-level summary records).
+pub fn parse_entry(line: &str) -> Option<(u32, usize, Outcome)> {
+    entry_outcome(&JsonParser::new(line.trim()).object()?)
 }
 
 /// Rebuilds an [`Outcome`] from one parsed journal line.
@@ -134,16 +144,29 @@ fn entry_outcome(v: &JsonValue) -> Option<(u32, usize, Outcome)> {
 pub struct Journal {
     path: PathBuf,
     file: Mutex<File>,
+    /// `--journal-sync`: fsync each record so it survives power loss /
+    /// OS crash, not just process death. Costs one `fdatasync` per line.
+    sync: bool,
 }
 
 impl Journal {
     /// Opens (creating if needed) a journal for appending.
     pub fn append(path: impl AsRef<Path>) -> io::Result<Journal> {
+        Self::append_with_sync(path, false)
+    }
+
+    /// Like [`Journal::append`], with fsync-on-record when `sync` is set
+    /// (the `--journal-sync` flag). `flush` alone hands the line to the
+    /// OS — enough to survive the *process* dying (SIGKILL, abort), which
+    /// is the supervisor's failure model; `sync` additionally survives
+    /// the machine dying.
+    pub fn append_with_sync(path: impl AsRef<Path>, sync: bool) -> io::Result<Journal> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Journal {
             path,
             file: Mutex::new(file),
+            sync,
         })
     }
 
@@ -156,10 +179,21 @@ impl Journal {
     /// are reported to stderr but never fail the run: losing resumability
     /// must not lose the run itself.
     pub fn record(&self, run: u32, idx: usize, outcome: &Outcome) {
-        let mut line = entry_line(run, idx, outcome);
-        line.push('\n');
+        self.record_line(&entry_line(run, idx, outcome));
+    }
+
+    /// Appends one pre-rendered journal line (without trailing newline).
+    /// Used by the supervisor to merge worker-streamed outcome lines and
+    /// to append its run-level supervision summary record.
+    pub fn record_line(&self, line: &str) {
+        let mut text = line.to_string();
+        text.push('\n');
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        if let Err(e) = file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
+        let res = file
+            .write_all(text.as_bytes())
+            .and_then(|()| file.flush())
+            .and_then(|()| if self.sync { file.sync_data() } else { Ok(()) });
+        if let Err(e) = res {
             eprintln!(
                 "warning: journal write to {} failed: {e}",
                 self.path.display()
@@ -169,15 +203,27 @@ impl Journal {
 }
 
 /// Previously journaled outcomes, ready for `--resume`: lookups are keyed
-/// by `(run, idx)` and verified against the job name.
+/// by `(run, idx, name)`.
+///
+/// The full three-part key matters for *merged* multi-shard logs: a
+/// supervised run concatenates per-shard journals (plus the parent's own
+/// merge stream) into one file, so the same `(run, idx)` can legitimately
+/// appear several times — a shard's own record, the parent's re-record of
+/// the streamed line, a retried shard's second attempt. Duplicates under
+/// the same name dedupe last-writer-wins (later lines win, matching append
+/// order); an entry under a *different* name keys separately, so a stale
+/// line can never clobber or satisfy a lookup for the real job. Torn lines
+/// — a worker killed mid-write can tear a line in the *middle* of a merged
+/// log, not just at the end — are skipped individually without poisoning
+/// the lines around them.
 #[derive(Debug, Default)]
 pub struct ResumeLog {
-    entries: HashMap<(u32, usize), Outcome>,
+    entries: HashMap<(u32, usize, String), Outcome>,
 }
 
 impl ResumeLog {
-    /// Loads a journal file. Malformed lines — including the torn final
-    /// line of a killed run — are skipped, not errors.
+    /// Loads a journal file. Malformed lines — including torn lines from
+    /// a killed run — are skipped, not errors.
     pub fn load(path: impl AsRef<Path>) -> io::Result<ResumeLog> {
         let mut text = String::new();
         File::open(path)?.read_to_string(&mut text)?;
@@ -194,7 +240,7 @@ impl ResumeLog {
             }
             if let Some(v) = JsonParser::new(line).object() {
                 if let Some((run, idx, outcome)) = entry_outcome(&v) {
-                    entries.insert((run, idx), outcome);
+                    entries.insert((run, idx, outcome.name.clone()), outcome);
                 }
             }
         }
@@ -211,13 +257,10 @@ impl ResumeLog {
         self.entries.is_empty()
     }
 
-    /// The journaled outcome for job `idx` of run `run`, if present and
-    /// recorded under the same job name (stale entries are ignored).
+    /// The journaled outcome for job `idx` of run `run`, if recorded under
+    /// the same job name (stale entries under other names are ignored).
     pub fn lookup(&self, run: u32, idx: usize, name: &str) -> Option<Outcome> {
-        self.entries
-            .get(&(run, idx))
-            .filter(|o| o.name == name)
-            .cloned()
+        self.entries.get(&(run, idx, name.to_string())).cloned()
     }
 }
 
@@ -333,5 +376,79 @@ mod tests {
         assert!(log.lookup(1, 2, "g").is_none(), "stale name must not hit");
         assert!(log.lookup(0, 2, "f").is_none());
         assert!(log.lookup(1, 3, "f").is_none());
+    }
+
+    #[test]
+    fn merged_log_dedupes_by_run_idx_name_last_writer_wins() {
+        // A supervised run writes the same (run, idx, name) several times:
+        // the shard's record, the parent's merge of the streamed line, a
+        // retried attempt. Last line must win.
+        let first = entry_line(0, 4, &outcome("dup", Verdict::Timeout));
+        let second = entry_line(0, 4, &outcome("dup", Verdict::Correct));
+        let log = ResumeLog::parse(&format!("{first}\n{second}"));
+        assert_eq!(log.len(), 1, "duplicates dedupe");
+        match log.lookup(0, 4, "dup").expect("present").verdict {
+            Verdict::Correct => {}
+            other => panic!("expected last writer to win, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_line_mid_merged_log_does_not_poison_neighbours() {
+        // Concatenated shard journals can tear in the *middle*: a worker
+        // SIGKILLed mid-write leaves a partial line, then the next shard's
+        // log follows. Every intact line must still load.
+        let a = entry_line(0, 0, &outcome("a", Verdict::Correct));
+        let b = entry_line(0, 1, &outcome("b", Verdict::Timeout));
+        let torn = &a[..a.len() / 3];
+        let c = entry_line(0, 2, &outcome("c", Verdict::Correct));
+        let log = ResumeLog::parse(&format!("{a}\n{b}\n{torn}\n{c}"));
+        assert_eq!(log.len(), 3);
+        assert!(log.lookup(0, 0, "a").is_some());
+        assert!(log.lookup(0, 1, "b").is_some());
+        assert!(log.lookup(0, 2, "c").is_some());
+    }
+
+    #[test]
+    fn stale_name_keys_separately_and_cannot_clobber() {
+        // Two different drivers sharing a journal can collide on (run, idx)
+        // with different job names; both entries must survive.
+        let old = entry_line(0, 7, &outcome("old-job", Verdict::Timeout));
+        let new = entry_line(0, 7, &outcome("new-job", Verdict::Correct));
+        let log = ResumeLog::parse(&format!("{old}\n{new}"));
+        assert_eq!(log.len(), 2, "different names key separately");
+        assert!(matches!(
+            log.lookup(0, 7, "old-job").expect("kept").verdict,
+            Verdict::Timeout
+        ));
+        assert!(matches!(
+            log.lookup(0, 7, "new-job").expect("kept").verdict,
+            Verdict::Correct
+        ));
+    }
+
+    #[test]
+    fn supervision_summary_lines_are_ignored_by_resume() {
+        let good = entry_line(0, 0, &outcome("a", Verdict::Correct));
+        let summary = "{\"run\":0,\"supervision\":{\"worker_restarts\":2,\"shards_retried\":1}}";
+        let log = ResumeLog::parse(&format!("{good}\n{summary}"));
+        assert_eq!(log.len(), 1);
+        assert!(parse_entry(summary).is_none());
+        assert!(parse_entry(&good).is_some());
+    }
+
+    #[test]
+    fn sync_journal_records_and_reloads() {
+        let path = std::env::temp_dir().join(format!("alive2-journal-sync-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = Journal::append_with_sync(&path, true).expect("open");
+            j.record(0, 0, &outcome("synced", Verdict::Correct));
+            j.record_line("{\"run\":0,\"supervision\":{\"worker_restarts\":0}}");
+        }
+        let log = ResumeLog::load(&path).expect("reload");
+        assert_eq!(log.len(), 1);
+        assert!(log.lookup(0, 0, "synced").is_some());
+        let _ = std::fs::remove_file(&path);
     }
 }

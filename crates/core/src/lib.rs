@@ -21,6 +21,7 @@
 //! # Ok::<(), alive2_ir::parser::ParseError>(())
 //! ```
 
+pub mod cli;
 pub mod engine;
 pub mod journal;
 /// The observability substrate (spans, counters, trace emission),
@@ -28,9 +29,11 @@ pub mod journal;
 pub use alive2_obs as obs;
 pub mod refine;
 pub mod report;
+pub mod supervisor;
 pub mod validator;
 
 pub use engine::{Counts, Job, Outcome, ValidationEngine};
 pub use journal::{Journal, ResumeLog};
 pub use report::{CounterExample, QueryKind};
+pub use supervisor::{SuperviseSpec, SupervisionStats, WorkerShard};
 pub use validator::{validate_modules, validate_pair, Verdict};

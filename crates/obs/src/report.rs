@@ -108,6 +108,10 @@ pub fn render_counters(t: &StatsTotals) -> String {
         t.solve_us as f64 / 1_000.0,
         t.queue_ms
     ));
+    out.push_str(&format!(
+        "  supervision: pairs quarantined {} (watchdog kills {}), worker restarts {}, shards retried {}\n",
+        t.pairs_quarantined, t.watchdog_kills, t.worker_restarts, t.shards_retried
+    ));
     out
 }
 
@@ -145,5 +149,7 @@ mod tests {
         assert!(counters.contains("hash-cons"));
         assert!(counters.contains("query cache"));
         assert!(counters.contains("live SAT solves"));
+        assert!(counters.contains("pairs quarantined"));
+        assert!(counters.contains("worker restarts"));
     }
 }

@@ -235,6 +235,13 @@ pub struct JobStats {
     pub solve_us: u64,
     /// Milliseconds between run start and this job's pickup.
     pub queue_ms: u64,
+    /// 1 when the pair was quarantined by the process supervisor (its
+    /// worker process kept dying or hanging on it), else 0. Quarantined
+    /// pairs carry a synthesized Crash/Timeout verdict.
+    pub quarantined: u32,
+    /// 1 when the quarantine was caused by the per-shard watchdog
+    /// SIGKILLing a hung worker (the pair's verdict is Timeout), else 0.
+    pub watchdog_kill: u32,
 }
 
 impl Default for JobStats {
@@ -265,6 +272,8 @@ impl Default for JobStats {
             encode_us: 0,
             solve_us: 0,
             queue_ms: 0,
+            quarantined: 0,
+            watchdog_kill: 0,
         }
     }
 }
@@ -304,7 +313,7 @@ impl JobStats {
              \"incremental_solves\":{},\"clauses_reused\":{},\"learnts_kept\":{},\
              \"assumption_cores\":{},\"cegqi_iter_exhausted\":{},\"terms\":{},\
              \"hc_hits\":{},\"hc_misses\":{},\"mem_bytes\":{},\"encode_us\":{},\
-             \"solve_us\":{},\"queue_ms\":{}}}",
+             \"solve_us\":{},\"queue_ms\":{},\"quarantined\":{},\"watchdog_kill\":{}}}",
             self.phase.as_str(),
             self.queries,
             self.millis,
@@ -330,6 +339,8 @@ impl JobStats {
             self.encode_us,
             self.solve_us,
             self.queue_ms,
+            self.quarantined,
+            self.watchdog_kill,
         )
     }
 
@@ -366,6 +377,8 @@ impl JobStats {
             encode_us: v.num("encode_us"),
             solve_us: v.num("solve_us"),
             queue_ms: v.num("queue_ms"),
+            quarantined: v.num("quarantined") as u32,
+            watchdog_kill: v.num("watchdog_kill") as u32,
         }
     }
 }
@@ -408,6 +421,20 @@ pub struct StatsTotals {
     pub encode_us: u64,
     pub solve_us: u64,
     pub queue_ms: u64,
+    /// Process-supervision counters (`--procs N`). The first two are
+    /// per-pair (summed from journaled [`JobStats`], so `--resume`
+    /// reconstructs them); the last two are run-level events folded in by
+    /// the supervising engine. All are scheduling/fault-dependent and
+    /// excluded from `same_counters`.
+    ///
+    /// Pairs quarantined by the supervisor (worker kept dying on them).
+    pub pairs_quarantined: u64,
+    /// Quarantined pairs whose worker was SIGKILLed by the watchdog.
+    pub watchdog_kills: u64,
+    /// Replacement worker processes spawned after an abnormal child exit.
+    pub worker_restarts: u64,
+    /// Shard retry events (backoff requeues and crash bisections).
+    pub shards_retried: u64,
 }
 
 impl StatsTotals {
@@ -437,6 +464,8 @@ impl StatsTotals {
         self.encode_us += s.encode_us;
         self.solve_us += s.solve_us;
         self.queue_ms += s.queue_ms;
+        self.pairs_quarantined += s.quarantined as u64;
+        self.watchdog_kills += s.watchdog_kill as u64;
     }
 
     /// Merges another total (multi-run drivers).
@@ -465,14 +494,21 @@ impl StatsTotals {
         self.encode_us += other.encode_us;
         self.solve_us += other.solve_us;
         self.queue_ms += other.queue_ms;
+        self.pairs_quarantined += other.pairs_quarantined;
+        self.watchdog_kills += other.watchdog_kills;
+        self.worker_restarts += other.worker_restarts;
+        self.shards_retried += other.shards_retried;
     }
 
     /// True when every *deterministic* counter matches `other` — the time
-    /// and queue fields, plus the query-cache traffic (`sat_solves`,
+    /// and queue fields, the query-cache traffic (`sat_solves`,
     /// `cache_*`: whichever job solves a shared formula first takes the
-    /// miss, so these depend on scheduling), are excluded. This is the
-    /// invariant `--jobs N` preserves against `--jobs 1`, and a resumed
-    /// run against an uninterrupted one.
+    /// miss, so these depend on scheduling), and the supervision counters
+    /// (`pairs_quarantined`/`watchdog_kills`/`worker_restarts`/
+    /// `shards_retried`: fault-dependent by construction) are excluded.
+    /// This is the invariant `--jobs N` preserves against `--jobs 1`,
+    /// `--procs N` against `--procs 1`, and a resumed run against an
+    /// uninterrupted one.
     pub fn same_counters(&self, other: &StatsTotals) -> bool {
         self.jobs == other.jobs
             && self.queries == other.queries
@@ -512,7 +548,8 @@ impl StatsTotals {
              \"incremental_solves\":{},\"clauses_reused\":{},\"learnts_kept\":{},\
              \"assumption_cores\":{},\"cegqi_iter_exhausted\":{},\"terms\":{},\
              \"hc_hits\":{},\"hc_misses\":{},\"mem_peak_bytes\":{},\"encode_us\":{},\
-             \"solve_us\":{},\"queue_ms\":{}}}",
+             \"solve_us\":{},\"queue_ms\":{},\"pairs_quarantined\":{},\
+             \"watchdog_kills\":{},\"worker_restarts\":{},\"shards_retried\":{}}}",
             self.jobs,
             self.queries,
             self.smt_sat,
@@ -537,6 +574,10 @@ impl StatsTotals {
             self.encode_us,
             self.solve_us,
             self.queue_ms,
+            self.pairs_quarantined,
+            self.watchdog_kills,
+            self.worker_restarts,
+            self.shards_retried,
         )
     }
 
@@ -567,6 +608,10 @@ impl StatsTotals {
             encode_us: v.num("encode_us"),
             solve_us: v.num("solve_us"),
             queue_ms: v.num("queue_ms"),
+            pairs_quarantined: v.num("pairs_quarantined"),
+            watchdog_kills: v.num("watchdog_kills"),
+            worker_restarts: v.num("worker_restarts"),
+            shards_retried: v.num("shards_retried"),
         }
     }
 }
@@ -624,6 +669,8 @@ mod tests {
             encode_us: 1500,
             solve_us: 2500,
             queue_ms: 4,
+            quarantined: 1,
+            watchdog_kill: 1,
         };
         let v = JsonValue::parse(&s.to_json_obj()).expect("valid JSON");
         let back = JobStats::from_json(&v);
@@ -644,6 +691,43 @@ mod tests {
         assert_eq!(back.hc_hits, 999);
         assert_eq!(back.mem_bytes, 65536);
         assert_eq!(back.queue_ms, 4);
+        assert_eq!(back.quarantined, 1);
+        assert_eq!(back.watchdog_kill, 1);
+    }
+
+    #[test]
+    fn supervision_counters_aggregate_but_do_not_break_parity() {
+        let mut a = StatsTotals::default();
+        a.add_job(&JobStats {
+            quarantined: 1,
+            watchdog_kill: 1,
+            ..JobStats::default()
+        });
+        a.add_job(&JobStats {
+            quarantined: 1,
+            ..JobStats::default()
+        });
+        assert_eq!(a.pairs_quarantined, 2);
+        assert_eq!(a.watchdog_kills, 1);
+
+        // A faultless procs-1 run has zero supervision counters; parity
+        // against a supervised run with quarantines must still hold on
+        // the deterministic counters.
+        let clean = StatsTotals {
+            jobs: a.jobs,
+            ..StatsTotals::default()
+        };
+        let mut b = a;
+        b.worker_restarts = 3;
+        b.shards_retried = 5;
+        assert!(clean.same_counters(&b));
+
+        let v = JsonValue::parse(&b.to_json_obj()).unwrap();
+        let back = StatsTotals::from_json(&v);
+        assert_eq!(back.pairs_quarantined, 2);
+        assert_eq!(back.watchdog_kills, 1);
+        assert_eq!(back.worker_restarts, 3);
+        assert_eq!(back.shards_retried, 5);
     }
 
     #[test]

@@ -1171,6 +1171,7 @@ impl SatSolver {
         let mut restart_num = 1u64;
         let mut conflicts_until_restart = 32 * Self::luby(restart_num);
         let mut max_learnts = (self.clauses.len() / 3).max(1000);
+        let mut decisions = 0u64;
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
@@ -1250,6 +1251,20 @@ impl SatSolver {
                 }
                 if propagate_pending {
                     continue;
+                }
+                // Conflict-gated checks alone leave a blind spot: a hot
+                // conflict-light search (mass propagation over a nearly
+                // satisfiable formula) would never observe its wall-clock
+                // budget. Re-check it every 512 decisions so even such a
+                // solve cooperatively reports Timeout instead of relying
+                // on an external watchdog.
+                decisions += 1;
+                if decisions % 512 == 0
+                    && (start.elapsed().as_millis() as u64 >= budget.max_millis
+                        || budget.deadline_passed())
+                {
+                    self.backtrack(0);
+                    return SatOutcome::TimedOut;
                 }
                 match self.pick_branch() {
                     None => return SatOutcome::Sat,
@@ -1418,6 +1433,26 @@ mod tests {
             ..Budget::unlimited()
         });
         assert_eq!(out, SatOutcome::TimedOut);
+    }
+
+    #[test]
+    fn conflict_free_search_still_observes_time_budget() {
+        // 2000 free variables and no clauses: the search makes 2000
+        // decisions and zero conflicts, so the conflict-gated budget
+        // check never fires. The decision-gated check must still observe
+        // an exhausted wall-clock budget (max_millis 0 is exhausted from
+        // the first instant) instead of running to Sat.
+        let mut s = SatSolver::new();
+        for _ in 0..2000 {
+            s.new_var();
+        }
+        let out = s.solve(Budget {
+            max_millis: 0,
+            ..Budget::unlimited()
+        });
+        assert_eq!(out, SatOutcome::TimedOut);
+        // With a real budget the same formula is trivially Sat.
+        assert_eq!(s.solve(Budget::unlimited()), SatOutcome::Sat);
     }
 
     #[test]

@@ -5,242 +5,18 @@
 //!
 //! ```text
 //! cargo run --example alive_tv -- src.ll tgt.ll [--unroll N] [--timeout MS] \
-//!     [--jobs N] [--deadline-ms MS] [--mem-budget-mb MB] [--no-incremental] \
-//!     [--journal PATH] [--resume PATH] [--inject-panic MARKER] \
+//!     [--jobs N] [--procs N] [--deadline-ms MS] [--mem-budget-mb MB] \
+//!     [--no-incremental] [--journal PATH] [--journal-sync] [--resume PATH] \
+//!     [--inject-panic MARKER] [--inject-abort MARKER] [--inject-hang MARKER] \
 //!     [--cache DIR] [--stats] [--trace FILE] [--trace-detail]
 //! ```
 //!
-//! With no arguments, runs on a built-in demo pair.
-//!
-//! Fault containment: a validator panic or a blown memory budget is
-//! reported per function (CRASH / OOM) and the run continues. The exit
-//! code reflects *refinement failures only* — crashes and OOMs leave it
-//! at 0 so one bad function cannot abort a corpus sweep. The final line
-//! is a machine-readable JSON summary including the crash/oom columns.
+//! With no arguments, runs on a built-in demo pair. The driver itself
+//! lives in [`alive2::cli`], shared with the `alive2_tv` binary so the
+//! process-supervision tests can spawn it by path.
 
-use alive2::core::engine::{Counts, ValidationEngine};
-use alive2::core::journal::{Journal, ResumeLog};
-use alive2::core::obs;
-use alive2::core::report::verdict_line;
-use alive2::core::validator::Verdict;
-use alive2::ir::parser::parse_module;
-use alive2::sema::config::EncodeConfig;
 use std::process::ExitCode;
-use std::sync::Arc;
-use std::time::Instant;
-
-const DEMO_SRC: &str = r#"
-define i8 @twice(i8 %x) {
-entry:
-  %r = mul i8 %x, 2
-  ret i8 %r
-}
-
-define i32 @clamp(i32 %x) {
-entry:
-  %c = icmp slt i32 %x, 0
-  %r = select i1 %c, i32 0, i32 %x
-  ret i32 %r
-}
-"#;
-
-const DEMO_TGT: &str = r#"
-define i8 @twice(i8 %x) {
-entry:
-  %r = shl i8 %x, 1
-  ret i8 %r
-}
-
-define i32 @clamp(i32 %x) {
-entry:
-  %c = icmp sgt i32 %x, 0
-  %r = select i1 %c, i32 %x, i32 0
-  ret i32 %r
-}
-"#;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = EncodeConfig::default();
-    let mut engine = ValidationEngine::default();
-    let mut files: Vec<String> = Vec::new();
-    let mut stats = false;
-    let mut trace: Option<String> = None;
-    let mut it = args.into_iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--stats" => stats = true,
-            "--trace" => trace = Some(it.next().expect("--trace needs a path")),
-            "--trace-detail" => obs::trace::set_detail(true),
-            "--unroll" => {
-                cfg.unroll_factor = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--unroll needs a number");
-            }
-            "--timeout" => {
-                cfg.solver_timeout_ms = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--timeout needs milliseconds");
-            }
-            "--mem-budget-mb" => {
-                cfg.mem_budget_mb = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--mem-budget-mb needs a size in MiB"),
-                );
-            }
-            "--no-incremental" => cfg.incremental = false,
-            "--jobs" => {
-                engine = engine.with_workers(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--jobs needs a worker count"),
-                );
-            }
-            "--deadline-ms" => {
-                engine = engine.with_deadline_ms(Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--deadline-ms needs milliseconds"),
-                ));
-            }
-            "--journal" => {
-                let path = it.next().expect("--journal needs a path");
-                let journal = Journal::append(&path).unwrap_or_else(|e| {
-                    eprintln!("error: cannot open journal `{path}`: {e}");
-                    std::process::exit(2);
-                });
-                engine = engine.with_journal(Some(Arc::new(journal)));
-            }
-            "--resume" => {
-                let path = it.next().expect("--resume needs a path");
-                let resume = ResumeLog::load(&path).unwrap_or_else(|e| {
-                    eprintln!("error: cannot read resume journal `{path}`: {e}");
-                    std::process::exit(2);
-                });
-                engine = engine.with_resume(Some(Arc::new(resume)));
-            }
-            "--inject-panic" => {
-                engine = engine
-                    .with_fault_marker(Some(it.next().expect("--inject-panic needs a marker")));
-            }
-            "--cache" => {
-                let dir = it.next().expect("--cache needs a directory");
-                match alive2::smt::cache::global().attach_dir(std::path::Path::new(&dir)) {
-                    Ok(loaded) => {
-                        eprintln!("cache: loaded {loaded} entries from {dir}/cache.jsonl");
-                    }
-                    Err(e) => {
-                        eprintln!("error: cannot attach query cache `{dir}`: {e}");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            other => files.push(other.to_string()),
-        }
-    }
-    if engine.fault_marker.is_none() {
-        engine = engine.with_fault_marker(
-            std::env::var("ALIVE2_INJECT_PANIC")
-                .ok()
-                .filter(|s| !s.is_empty()),
-        );
-    }
-
-    let (src_text, tgt_text) = match files.as_slice() {
-        [] => {
-            println!("(no files given; running the built-in demo pair)\n");
-            (DEMO_SRC.to_string(), DEMO_TGT.to_string())
-        }
-        [s, t] => (
-            std::fs::read_to_string(s).expect("cannot read source file"),
-            std::fs::read_to_string(t).expect("cannot read target file"),
-        ),
-        _ => {
-            eprintln!("usage: alive_tv <src.ll> <tgt.ll> [--unroll N] [--timeout MS]");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    obs::trace::set_enabled(trace.is_some());
-    // Tracing needs timestamps anyway, so --trace implies phase timing.
-    obs::set_timing(stats || trace.is_some());
-    let started = Instant::now();
-
-    let src = match parse_module(&src_text) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("source: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let tgt = match parse_module(&tgt_text) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("target: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let mut counts = Counts::default();
-    for outcome in engine.validate_modules_outcomes(&src, &tgt, &cfg) {
-        println!(
-            "----------------------------------------\n@{}:",
-            outcome.name
-        );
-        counts.pairs += 1;
-        counts.diff += 1;
-        counts.record(&outcome.verdict);
-        counts.stats.add_job(&outcome.stats);
-        match outcome.verdict {
-            Verdict::Incorrect(cex) => {
-                for line in cex.to_string().lines() {
-                    println!("  {line}");
-                }
-            }
-            other => println!("  {}", verdict_line(&other)),
-        }
-    }
-    // Microsecond wall precision: the 5% busy-vs-wall CI bound is tighter
-    // than millisecond rounding on a fast run.
-    let wall_us = started.elapsed().as_micros() as u64;
-    counts.millis = wall_us / 1_000;
-    println!("----------------------------------------");
-    if stats {
-        print!("{}", obs::report::render_phase_table(wall_us));
-        print!("{}", obs::report::render_counters(&counts.stats));
-    }
-    if let Some(path) = &trace {
-        match obs::trace::write_chrome(path) {
-            Ok(n) => eprintln!("trace: wrote {n} events to {path}"),
-            Err(e) => {
-                eprintln!("error: cannot write trace `{path}`: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    // The summary JSON stays the LAST stdout line (ci.sh tails it).
-    println!(
-        "{{\"name\":\"alive_tv\",\"pairs\":{},\"correct\":{},\"incorrect\":{},\
-         \"timeout\":{},\"oom\":{},\"unsupported\":{},\"crash\":{},\
-         \"stats\":{},\"phases\":{}}}",
-        counts.pairs,
-        counts.correct,
-        counts.incorrect,
-        counts.timeout,
-        counts.oom,
-        counts.unsupported,
-        counts.crash,
-        counts.stats.to_json_obj(),
-        obs::report::phases_json_obj(wall_us)
-    );
-    // Contained faults (crash/oom) do not fail the run; genuine refinement
-    // violations do.
-    if counts.incorrect > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    alive2::cli::alive_tv_main()
 }

@@ -3,25 +3,43 @@
 //! validation after each pass, and prints the violations grouped by the
 //! paper's taxonomy categories.
 //!
-//! Run with `cargo run --example find_bugs` (add `--release` for speed;
-//! `--no-incremental` disables the persistent CEGQI candidate solver).
+//! Run with `cargo run --example find_bugs` (add `--release` for speed).
+//! Validation fans out on the shared engine, so the standard flags apply:
+//! `--jobs N`, `--procs N` (supervised worker processes),
+//! `--deadline-ms MS`, `--no-incremental`, `--journal`/`--resume`.
 
-use alive2::core::validator::{validate_pair, Verdict};
+use alive2::core::cli::{cache_from_args, config_from_args, engine_from_args, obs_from_args};
+use alive2::core::engine::Job;
+use alive2::core::validator::Verdict;
+use alive2::ir::function::Function;
+use alive2::ir::module::Module;
 use alive2::ir::parser::parse_module;
 use alive2::opt::bugs::{BugCategory, BugId, BugSet};
 use alive2::opt::pass::PassManager;
-use alive2::sema::config::EncodeConfig;
 use alive2::testgen::corpus::corpus;
 use std::collections::HashMap;
 
-fn main() {
-    let cfg = EncodeConfig {
-        incremental: !std::env::args().any(|a| a == "--no-incremental"),
-        ..EncodeConfig::default()
-    };
-    let mut found: HashMap<&'static str, Vec<String>> = HashMap::new();
+/// One before/after snapshot with the metadata needed to attribute a
+/// violation back to its seeded bug, corpus case, and pass.
+struct Candidate {
+    bug: BugId,
+    case_name: &'static str,
+    pass: String,
+    module: Module,
+    before: Function,
+    after: Function,
+}
 
-    // Enable each bug in isolation so a violation is attributable.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    obs_from_args(&args);
+    cache_from_args(&args);
+    let engine = engine_from_args(&args);
+    let cfg = config_from_args(&args, alive2::sema::config::EncodeConfig::default());
+
+    // Cheap sequential phase: enable each bug in isolation (so a
+    // violation is attributable) and snapshot every changed pass.
+    let mut candidates: Vec<Candidate> = Vec::new();
     for bug in BugId::all() {
         let pm = PassManager::default_pipeline(BugSet::only(bug));
         for case in corpus() {
@@ -29,14 +47,39 @@ fn main() {
             for func in &module.functions {
                 let mut f = func.clone();
                 for (pass, before, after) in pm.run_with_snapshots(&mut f) {
-                    if let Verdict::Incorrect(cex) = validate_pair(&module, &before, &after, &cfg) {
-                        found
-                            .entry(case.name)
-                            .or_default()
-                            .push(format!("{bug:?} via {pass}: {}", cex.query));
-                    }
+                    candidates.push(Candidate {
+                        bug,
+                        case_name: case.name,
+                        pass: pass.to_string(),
+                        module: module.clone(),
+                        before,
+                        after,
+                    });
                 }
             }
+        }
+    }
+
+    // Expensive phase: one engine work list for the whole hunt.
+    let jobs: Vec<Job> = candidates
+        .iter()
+        .map(|c| Job {
+            name: format!("{}/{:?}/{}", c.case_name, c.bug, c.pass),
+            module: &c.module,
+            src: &c.before,
+            tgt: &c.after,
+            cfg,
+        })
+        .collect();
+    let outcomes = engine.run(&jobs);
+
+    let mut found: HashMap<&'static str, Vec<String>> = HashMap::new();
+    for (c, o) in candidates.iter().zip(&outcomes) {
+        if let Verdict::Incorrect(cex) = &o.verdict {
+            found
+                .entry(c.case_name)
+                .or_default()
+                .push(format!("{:?} via {}: {}", c.bug, c.pass, cex.query));
         }
     }
 

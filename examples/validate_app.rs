@@ -6,45 +6,38 @@
 //!
 //! ```text
 //! cargo run --release --example validate_app -- [bzip2|gzip|oggenc|ph7|sqlite3] \
-//!     [--jobs N] [--deadline-ms MS] [--no-incremental]
+//!     [--jobs N] [--procs N] [--deadline-ms MS] [--no-incremental] \
+//!     [--journal PATH] [--resume PATH] [--stats]
 //! ```
+//!
+//! Flags follow the shared convention in [`alive2::core::cli`]; with
+//! `--procs N` the validation phase is sharded across supervised worker
+//! processes (this example re-invokes itself in worker-shard mode).
 
-use alive2::core::engine::{Job, ValidationEngine};
+use alive2::core::cli::{
+    cache_from_args, config_from_args, engine_from_args, obs_from_args, positional_args,
+};
+use alive2::core::engine::Job;
 use alive2::opt::bugs::BugSet;
 use alive2::opt::pass::PassManager;
 use alive2::sema::config::EncodeConfig;
 use alive2::testgen::appgen::{generate, profiles};
 use std::time::Instant;
 
-fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mut which = "gzip".to_string();
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--jobs" | "--deadline-ms" => i += 2,
-            "--no-incremental" => i += 1,
-            other => {
-                which = other.to_string();
-                i += 1;
-            }
-        }
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    obs_from_args(&args);
+    cache_from_args(&args);
+    let engine = engine_from_args(&args);
+    let cfg = config_from_args(&args, EncodeConfig::default());
+    let which = positional_args(&args, &[])
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "gzip".to_string());
     let Some(profile) = profiles().into_iter().find(|p| p.name == which) else {
         eprintln!("unknown app `{which}`; choose one of bzip2, gzip, oggenc, ph7, sqlite3");
         std::process::exit(1);
     };
-    let workers =
-        flag_value(&args, "--jobs").unwrap_or_else(|| ValidationEngine::default().workers);
-    let engine =
-        ValidationEngine::new(workers).with_deadline_ms(flag_value(&args, "--deadline-ms"));
 
     println!(
         "generating synthetic `{}` ({} functions)… validating on {} worker(s)",
@@ -52,10 +45,6 @@ fn main() {
     );
     let module = generate(&profile);
     let pm = PassManager::default_pipeline(BugSet::none());
-    let cfg = EncodeConfig {
-        incremental: !args.iter().any(|a| a == "--no-incremental"),
-        ..EncodeConfig::default()
-    };
 
     // Cheap sequential phase: optimize and snapshot every changed pass.
     let start = Instant::now();

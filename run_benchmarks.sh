@@ -64,6 +64,27 @@ if [ -n "$CACHE" ]; then
     printf ','; run_pass fresh_cold --cache "$FDIR" --no-incremental
     printf '}\n'; } > BENCH_pr6.json
   cat BENCH_pr6.json
+  # BENCH_pr7: the process-supervision experiment. The same corpus run
+  # single-process and sharded across 4 supervised worker processes
+  # (--procs 4), with throughput (pairs/sec over the 36-pair corpus) and
+  # a verdict-parity flag — the correctness anchor: on a clean run,
+  # supervision must not change a single verdict.
+  R1=$(run_pass procs1)
+  R4=$(run_pass procs4 --procs 4)
+  pairsec() { # $1 = one run_pass record
+    wall=$(printf '%s' "$1" | grep -o '"wall_ms":[0-9]*' | head -n 1 | cut -d: -f2)
+    pairs=$(printf '%s' "$1" | grep -o '"pairs":[0-9]*' | head -n 1 | cut -d: -f2)
+    awk "BEGIN { printf \"%.2f\", $wall ? $pairs * 1000 / $wall : 0 }"
+  }
+  sup_verdicts() { printf '%s' "$1" | sed 's/.*"summary"://; s/,"stats":.*$/}/'; }
+  if [ "$(sup_verdicts "$R1")" = "$(sup_verdicts "$R4")" ]; then
+    PARITY=true
+  else
+    PARITY=false
+  fi
+  printf '{%s,%s,"pairs_per_sec":{"procs1":%s,"procs4":%s},"verdict_parity":%s}\n' \
+    "$R1" "$R4" "$(pairsec "$R1")" "$(pairsec "$R4")" "$PARITY" > BENCH_pr7.json
+  cat BENCH_pr7.json
   exit 0
 fi
 {

@@ -1,0 +1,167 @@
+//! The `alive-tv` driver (§8.1), shared by the `alive2_tv` binary and
+//! the `alive_tv` example.
+//!
+//! Takes two LLVM IR files and checks refinement between each function
+//! present in both, printing Alive2-style reports. With no files, runs on
+//! a built-in demo pair. Parsing goes through [`alive2_core::cli`], so
+//! every shared flag works here — including `--procs N` process
+//! supervision (this driver is also what `tests/supervise.rs` spawns as
+//! both parent and worker child).
+//!
+//! Fault containment: a validator panic or a blown memory budget is
+//! reported per function (CRASH / OOM) and the run continues; under
+//! `--procs`, aborts and hangs are quarantined the same way. The exit
+//! code reflects *refinement failures only* — crashes, OOMs, and
+//! quarantined pairs leave it at 0 so one bad function cannot abort a
+//! corpus sweep. The final stdout line is a machine-readable JSON summary
+//! including the crash/oom columns and supervision counters.
+
+use alive2_core::cli as core_cli;
+use alive2_core::engine::Counts;
+use alive2_core::obs;
+use alive2_core::report::verdict_line;
+use alive2_core::validator::Verdict;
+use alive2_ir::parser::parse_module;
+use alive2_sema::config::EncodeConfig;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const DEMO_SRC: &str = r#"
+define i8 @twice(i8 %x) {
+entry:
+  %r = mul i8 %x, 2
+  ret i8 %r
+}
+
+define i32 @clamp(i32 %x) {
+entry:
+  %c = icmp slt i32 %x, 0
+  %r = select i1 %c, i32 0, i32 %x
+  ret i32 %r
+}
+"#;
+
+const DEMO_TGT: &str = r#"
+define i8 @twice(i8 %x) {
+entry:
+  %r = shl i8 %x, 1
+  ret i8 %r
+}
+
+define i32 @clamp(i32 %x) {
+entry:
+  %c = icmp sgt i32 %x, 0
+  %r = select i1 %c, i32 %x, i32 0
+  ret i32 %r
+}
+"#;
+
+/// Runs the `alive-tv` workflow over `std::env::args`.
+pub fn alive_tv_main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let obs_cfg = core_cli::obs_from_args(&args);
+    core_cli::cache_from_args(&args);
+    let engine = core_cli::engine_from_args(&args);
+    let mut cfg = core_cli::config_from_args(&args, EncodeConfig::default());
+    if let Some(unroll) = core_cli::flag_value(&args, "--unroll") {
+        cfg.unroll_factor = unroll;
+    }
+    if let Some(timeout) = core_cli::flag_value(&args, "--timeout") {
+        cfg.solver_timeout_ms = timeout;
+    }
+    let files = core_cli::positional_args(&args, &["--unroll", "--timeout"]);
+
+    let (src_text, tgt_text) = match files.as_slice() {
+        [] => {
+            println!("(no files given; running the built-in demo pair)\n");
+            (DEMO_SRC.to_string(), DEMO_TGT.to_string())
+        }
+        [s, t] => (
+            std::fs::read_to_string(s).expect("cannot read source file"),
+            std::fs::read_to_string(t).expect("cannot read target file"),
+        ),
+        _ => {
+            eprintln!("usage: alive_tv <src.ll> <tgt.ll> [--unroll N] [--timeout MS] [--procs N]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let started = Instant::now();
+    let src = match parse_module(&src_text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("source: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tgt = match parse_module(&tgt_text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("target: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut counts = Counts::default();
+    // Worker children (`--worker-shard`) exit inside this call after
+    // streaming their shard; everything below is parent-only.
+    for outcome in engine.validate_modules_outcomes(&src, &tgt, &cfg) {
+        println!(
+            "----------------------------------------\n@{}:",
+            outcome.name
+        );
+        counts.pairs += 1;
+        counts.diff += 1;
+        counts.record(&outcome.verdict);
+        counts.stats.add_job(&outcome.stats);
+        match outcome.verdict {
+            Verdict::Incorrect(cex) => {
+                for line in cex.to_string().lines() {
+                    println!("  {line}");
+                }
+            }
+            other => println!("  {}", verdict_line(&other)),
+        }
+    }
+    engine.fold_supervision_into(&mut counts.stats);
+    // Microsecond wall precision: the 5% busy-vs-wall CI bound is tighter
+    // than millisecond rounding on a fast run.
+    let wall_us = started.elapsed().as_micros() as u64;
+    counts.millis = wall_us / 1_000;
+    println!("----------------------------------------");
+    if obs_cfg.stats {
+        print!("{}", obs::report::render_phase_table(wall_us));
+        print!("{}", obs::report::render_counters(&counts.stats));
+    }
+    if let Some(path) = &obs_cfg.trace {
+        match obs::trace::write_chrome(path) {
+            Ok(n) => eprintln!("trace: wrote {n} events to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write trace `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // The summary JSON stays the LAST stdout line (ci.sh tails it).
+    println!(
+        "{{\"name\":\"alive_tv\",\"pairs\":{},\"correct\":{},\"incorrect\":{},\
+         \"timeout\":{},\"oom\":{},\"unsupported\":{},\"crash\":{},\
+         \"stats\":{},\"phases\":{}}}",
+        counts.pairs,
+        counts.correct,
+        counts.incorrect,
+        counts.timeout,
+        counts.oom,
+        counts.unsupported,
+        counts.crash,
+        counts.stats.to_json_obj(),
+        obs::report::phases_json_obj(wall_us)
+    );
+    // Contained faults (crash/oom, incl. quarantined pairs) do not fail
+    // the run; genuine refinement violations do.
+    if counts.incorrect > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -10,6 +10,8 @@
 //! - [`opt`]: the mini optimizer under test, with seedable historic bugs.
 //! - [`testgen`]: unit-test corpus and synthetic application generator.
 
+pub mod cli;
+
 pub use alive2_core as core;
 pub use alive2_ir as ir;
 pub use alive2_opt as opt;
