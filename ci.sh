@@ -179,3 +179,21 @@ kbsum "$SMOKE/kb_fault.out" | grep -q '"timeout":1'
 kbsum "$SMOKE/kb_fault.out" | grep -q '"pairs_quarantined":2'
 kbsum "$SMOKE/kb_fault.out" | grep -q '"watchdog_kills":1'
 grep -q '29 detected / 7 missed' "$SMOKE/kb_fault.out"
+
+# ---- term-rewriting smoke (see DESIGN.md, "Term rewriting") ----
+# The default known-bugs run above (kb_inc) already has the rewriter on:
+# it must have discharged obligations by algebra alone and cut live
+# one-shot solves strictly below the 28 the corpus needed before the
+# pass existed (the BENCH_pr6 cold count). A --no-rewrite run must land
+# on the identical verdict columns (the 29/7 split) with every rewrite
+# meter at zero.
+KB_DISCHARGED=$(kbsum "$SMOKE/kb_inc.out" | grep -o '"rewrite_discharged":[0-9]*' | cut -d: -f2)
+test "$KB_DISCHARGED" -gt 0
+test "$KB_INC" -lt 28
+"$KB" --jobs 4 --no-rewrite > "$SMOKE/kb_norw.out" 2>&1
+kbsum "$SMOKE/kb_norw.out" | sed 's/,"stats":.*$/}/' > "$SMOKE/kb_norw.sum"
+cmp "$SMOKE/kb_inc.sum" "$SMOKE/kb_norw.sum"
+kbsum "$SMOKE/kb_norw.out" | grep -q '"rewrite_discharged":0'
+kbsum "$SMOKE/kb_norw.out" | grep -q '"rewrite_steps":0'
+kbsum "$SMOKE/kb_norw.out" | grep -q '"rewrite_residue":0'
+grep -q '29 detected / 7 missed' "$SMOKE/kb_norw.out"

@@ -285,6 +285,20 @@ mod tests {
     }
 
     #[test]
+    fn config_from_args_parses_no_rewrite() {
+        let cfg = config_from_args(&[], EncodeConfig::default());
+        assert!(cfg.rewrite, "rewriting is the default");
+        let args = vec!["--no-rewrite".to_string()];
+        let cfg = config_from_args(&args, EncodeConfig::default());
+        assert!(!cfg.rewrite);
+        let base = EncodeConfig {
+            rewrite: false,
+            ..EncodeConfig::default()
+        };
+        assert!(!config_from_args(&[], base).rewrite);
+    }
+
+    #[test]
     fn injected_fault_flows_through_driver() {
         let m = parse_module(
             "define i32 @f(i32 %x) {\nentry:\n  %a = add i32 %x, 0\n  ret i32 %a\n}\n\

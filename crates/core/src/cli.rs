@@ -90,6 +90,7 @@ pub fn positional_args(args: &[String], extra_valued: &[&str]) -> Vec<String> {
         "--stats",
         "--trace-detail",
         "--no-incremental",
+        "--no-rewrite",
         "--journal-sync",
     ];
     let mut out = Vec::new();
@@ -197,11 +198,15 @@ pub fn engine_from_args(args: &[String]) -> ValidationEngine {
 /// it yields `Verdict::OutOfMemory` instead of swapping) and
 /// `--no-incremental` (rebuild a fresh CEGQI candidate solver per
 /// iteration instead of reusing one live incremental solver — same
-/// verdicts, useful for triage and A/B timing).
+/// verdicts, useful for triage and A/B timing) and `--no-rewrite` (skip
+/// the term-level rewrite saturation pass and send every refinement
+/// obligation straight to the bit-blaster — same verdicts, useful for
+/// triage and A/B timing).
 pub fn config_from_args(args: &[String], base: EncodeConfig) -> EncodeConfig {
     EncodeConfig {
         mem_budget_mb: flag_value(args, "--mem-budget-mb").or(base.mem_budget_mb),
         incremental: base.incremental && !args.iter().any(|a| a == "--no-incremental"),
+        rewrite: base.rewrite && !args.iter().any(|a| a == "--no-rewrite"),
         ..base
     }
 }
@@ -366,5 +371,7 @@ mod tests {
         assert!(
             !config_from_args(&argv(&["--no-incremental"]), EncodeConfig::default()).incremental
         );
+        assert!(config_from_args(&[], EncodeConfig::default()).rewrite);
+        assert!(!config_from_args(&argv(&["--no-rewrite"]), EncodeConfig::default()).rewrite);
     }
 }

@@ -553,6 +553,7 @@ fn check_refinement(
         max_iterations: cfg.max_ef_iterations,
         max_millis: cfg.solver_timeout_ms.saturating_mul(4),
         incremental: cfg.incremental,
+        rewrite: cfg.rewrite,
     };
 
     // Query 1 (§5.3): is the precondition satisfiable at all?
@@ -562,6 +563,7 @@ fn check_refinement(
     }
     {
         let mut s = Solver::new(ctx);
+        s.set_rewrite(cfg.rewrite);
         s.assert(pre);
         match s.check(ef.budget) {
             SmtResult::Unsat => return Verdict::PreconditionFalse,

@@ -678,9 +678,11 @@ impl InstOp {
             InstOp::ExtractValue {
                 agg_ty, indices, ..
             } => {
+                // A walk that leaves the aggregate has no type; `None`
+                // surfaces as a verifier error rather than a panic.
                 let mut t = agg_ty;
                 for &i in indices {
-                    t = t.field_type(i);
+                    t = t.try_field_type(i)?;
                 }
                 Some(t.clone())
             }

@@ -36,6 +36,15 @@ impl std::error::Error for ParseError {}
 
 type Result<T> = std::result::Result<T, ParseError>;
 
+/// Largest accepted `iN` width — LLVM's own `IntegerType` cap (2^23).
+const MAX_INT_BITS: u32 = 1 << 23;
+/// Vector-lane and array-length bounds. Each lane/element is encoded
+/// individually downstream, so hostile counts (`<4294967297 x i8>`) must
+/// fail at parse time instead of truncating through `as u32` or eating
+/// the encoder's memory budget.
+const MAX_VEC_LANES: i128 = 1 << 16;
+const MAX_ARRAY_LEN: i128 = 1 << 24;
+
 #[derive(Clone, Debug, PartialEq)]
 enum Tok {
     Ident(String),
@@ -701,7 +710,9 @@ fn parse_define(lx: &mut Lexer) -> Result<Function> {
             let label = match lx.next() {
                 Tok::Ident(s) => s,
                 Tok::Int(v) => v.to_string(),
-                _ => unreachable!(),
+                // `is_label` peeked Ident/Int, but untrusted input earns an
+                // error over an unreachable! if peek and next ever disagree.
+                other => return lx.err(format!("expected label, found {other:?}")),
             };
             lx.expect(Tok::Colon)?;
             blocks.push(Block::new(label));
@@ -759,25 +770,39 @@ fn parse_type(lx: &mut Lexer) -> Result<Type> {
                 if w == 0 {
                     return lx.err("integer width must be positive");
                 }
+                // LLVM caps IntegerType at 2^23 bits; a hostile `i999999999`
+                // must fail here, not allocate megabytes per literal later.
+                if w > MAX_INT_BITS {
+                    return lx.err(format!("integer width {w} exceeds {MAX_INT_BITS}"));
+                }
                 Type::Int(w)
             }
             _ => return lx.err(format!("unknown type `{s}`")),
         },
         Tok::Lt => {
             lx.next();
-            let n = lx.int()? as u32;
+            let n = lx.int()?;
+            // Validated before the u32 narrowing: `<4294967297 x i8>` must
+            // be an error, not silently truncate to a 1-lane vector, and
+            // LLVM requires at least one lane.
+            if !(1..=MAX_VEC_LANES).contains(&n) {
+                return lx.err(format!("bad vector lane count `{n}`"));
+            }
             lx.expect_ident("x")?;
             let elem = parse_type(lx)?;
             lx.expect(Tok::Gt)?;
-            Type::vec(n, elem)
+            Type::vec(n as u32, elem)
         }
         Tok::LBracket => {
             lx.next();
-            let n = lx.int()? as u32;
+            let n = lx.int()?;
+            if !(0..=MAX_ARRAY_LEN).contains(&n) {
+                return lx.err(format!("bad array length `{n}`"));
+            }
             lx.expect_ident("x")?;
             let elem = parse_type(lx)?;
             lx.expect(Tok::RBracket)?;
-            Type::array(n, elem)
+            Type::array(n as u32, elem)
         }
         Tok::LBrace => {
             lx.next();
@@ -1092,6 +1117,22 @@ fn parse_instruction(lx: &mut Lexer, counter: &mut usize) -> Result<Instruction>
     Ok(Instruction { result, op })
 }
 
+/// Rejects extractvalue/insertvalue index paths that leave the aggregate:
+/// downstream type computation assumes every step lands on a field.
+fn check_index_path(lx: &Lexer, agg_ty: &Type, indices: &[u32]) -> Result<()> {
+    if indices.is_empty() {
+        return lx.err("aggregate operation needs at least one index");
+    }
+    let mut t = agg_ty;
+    for &i in indices {
+        t = match t.try_field_type(i) {
+            Some(t) => t,
+            None => return lx.err(format!("aggregate index {i} out of bounds for `{t}`")),
+        };
+    }
+    Ok(())
+}
+
 fn parse_inst_op(lx: &mut Lexer, mnemonic: &str) -> Result<InstOp> {
     if let Some(kind) = bin_kind(mnemonic) {
         lx.next();
@@ -1375,7 +1416,12 @@ fn parse_inst_op(lx: &mut Lexer, mnemonic: &str) -> Result<InstOp> {
                 Constant::Aggregate(_, elems) => {
                     for e in elems {
                         match e {
-                            Constant::Int(v) => mask.push(Some(v.to_u64() as u32)),
+                            // Mask elements beyond u32 saturate to an
+                            // always-out-of-bounds lane (poison at encode)
+                            // rather than wrapping into a valid index.
+                            Constant::Int(v) => {
+                                mask.push(Some(u32::try_from(v.to_u64()).unwrap_or(u32::MAX)))
+                            }
                             Constant::Undef(_) | Constant::Poison(_) => mask.push(None),
                             other => return lx.err(format!("bad shuffle mask element {other}")),
                         }
@@ -1401,8 +1447,16 @@ fn parse_inst_op(lx: &mut Lexer, mnemonic: &str) -> Result<InstOp> {
             let agg = parse_operand(lx, &agg_ty)?;
             let mut indices = Vec::new();
             while lx.accept(&Tok::Comma) {
-                indices.push(lx.int()? as u32);
+                let i = lx.int()?;
+                // `extractvalue {i8} %x, -1` must be a parse error, not
+                // index 4294967295 after wrapping.
+                let i = u32::try_from(i).map_err(|_| ParseError {
+                    message: format!("bad aggregate index `{i}`"),
+                    line: lx.line(),
+                })?;
+                indices.push(i);
             }
+            check_index_path(lx, &agg_ty, &indices)?;
             Ok(InstOp::ExtractValue {
                 agg_ty,
                 agg,
@@ -1418,8 +1472,16 @@ fn parse_inst_op(lx: &mut Lexer, mnemonic: &str) -> Result<InstOp> {
             let elem = parse_operand(lx, &elem_ty)?;
             let mut indices = Vec::new();
             while lx.accept(&Tok::Comma) {
-                indices.push(lx.int()? as u32);
+                let i = lx.int()?;
+                // `extractvalue {i8} %x, -1` must be a parse error, not
+                // index 4294967295 after wrapping.
+                let i = u32::try_from(i).map_err(|_| ParseError {
+                    message: format!("bad aggregate index `{i}`"),
+                    line: lx.line(),
+                })?;
+                indices.push(i);
             }
+            check_index_path(lx, &agg_ty, &indices)?;
             Ok(InstOp::InsertValue {
                 agg_ty,
                 agg,
@@ -1683,6 +1745,50 @@ define i32 @f() mustprogress {
         )
         .unwrap_err();
         assert!(err.message.contains("volatile"));
+    }
+
+    /// Hostile type shapes from the mutation fuzzer: every one must be a
+    /// parse error, never a silent truncation or a panic downstream.
+    #[test]
+    fn hostile_type_shapes_are_errors() {
+        for (src, msg) in [
+            // zero / negative / u32-wrapping vector lane counts
+            (
+                "define <0 x i8> @f() {\n  ret <0 x i8> zeroinitializer\n}",
+                "lane",
+            ),
+            (
+                "define <-3 x i8> @f() {\n  ret <-3 x i8> zeroinitializer\n}",
+                "lane",
+            ),
+            (
+                "define <4294967297 x i8> @f() {\n  ret <4294967297 x i8> zeroinitializer\n}",
+                "lane",
+            ),
+            // absurd integer widths (LLVM caps at 2^23)
+            ("define i999999999 @f() {\n  ret i999999999 0\n}", "width"),
+            (
+                "define i99999999999999999999 @f() {\n  ret i99999999999999999999 0\n}",
+                "integer",
+            ),
+            // negative array length
+            ("define void @f([-1 x i8] %a) {\n  ret void\n}", "array"),
+            // negative aggregate index must not wrap to 4294967295
+            (
+                "define i8 @f({i8, i8} %s) {\n  %x = extractvalue {i8, i8} %s, -1\n  ret i8 %x\n}",
+                "index",
+            ),
+        ] {
+            let err = parse_module(src).unwrap_err();
+            assert!(
+                err.message.contains(msg),
+                "`{src}` gave `{}`, expected a message mentioning `{msg}`",
+                err.message
+            );
+        }
+        // In-range shapes still parse.
+        assert!(parse_module("define <4 x i8> @f(<4 x i8> %v) {\n  ret <4 x i8> %v\n}").is_ok());
+        assert!(parse_module("define void @f([0 x i8] %a) {\n  ret void\n}").is_ok());
     }
 
     #[test]

@@ -217,14 +217,28 @@ impl Type {
     /// Panics if the index is out of range or the type is scalar.
     pub fn field_type(&self, index: u32) -> &Type {
         match self {
-            Type::Vector(n, t) | Type::Array(n, t) => {
+            Type::Vector(n, _) | Type::Array(n, _) => {
                 assert!(index < *n, "aggregate index {index} out of range");
-                t
             }
-            Type::Struct(ts) => ts
-                .get(index as usize)
-                .unwrap_or_else(|| panic!("struct index {index} out of range")),
+            Type::Struct(ts) => {
+                assert!(
+                    (index as usize) < ts.len(),
+                    "struct index {index} out of range"
+                );
+            }
             other => panic!("cannot index into {other}"),
+        }
+        self.try_field_type(index).unwrap()
+    }
+
+    /// Non-panicking [`Type::field_type`]: `None` when the index is out
+    /// of range or the type has no fields. The parser uses this to turn
+    /// hostile index paths into parse errors instead of panics.
+    pub fn try_field_type(&self, index: u32) -> Option<&Type> {
+        match self {
+            Type::Vector(n, t) | Type::Array(n, t) => (index < *n).then_some(&**t),
+            Type::Struct(ts) => ts.get(index as usize),
+            _ => None,
         }
     }
 

@@ -92,6 +92,10 @@ pub fn render_counters(t: &StatsTotals) -> String {
         t.incremental_solves, t.clauses_reused, t.learnts_kept, t.assumption_cores
     ));
     out.push_str(&format!(
+        "  term rewriting: discharged {}, residue {}, rule steps {}\n",
+        t.rewrite_discharged, t.rewrite_residue, t.rewrite_steps
+    ));
+    out.push_str(&format!(
         "  instructions encoded {}, approximations {}\n",
         t.insts_encoded, t.approx
     ));
@@ -151,5 +155,6 @@ mod tests {
         assert!(counters.contains("live SAT solves"));
         assert!(counters.contains("pairs quarantined"));
         assert!(counters.contains("worker restarts"));
+        assert!(counters.contains("term rewriting"));
     }
 }

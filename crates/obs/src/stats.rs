@@ -37,6 +37,9 @@ struct Block {
     learnts_kept: u64,
     assumption_cores: u64,
     cegqi_iter_exhausted: u64,
+    rewrite_discharged: u64,
+    rewrite_steps: u64,
+    rewrite_residue: u64,
     encode_ns: u64,
     solve_ns: u64,
 }
@@ -59,6 +62,9 @@ thread_local! {
             learnts_kept: 0,
             assumption_cores: 0,
             cegqi_iter_exhausted: 0,
+            rewrite_discharged: 0,
+            rewrite_steps: 0,
+            rewrite_residue: 0,
             encode_ns: 0,
             solve_ns: 0,
         })
@@ -154,6 +160,23 @@ pub fn record_cegqi_iter_exhausted() {
     bump(|b| b.cegqi_iter_exhausted += 1);
 }
 
+/// One refinement obligation was rewritten to a boolean literal by the
+/// term-level saturation pass — no CNF was built and no solver ran.
+pub fn record_rewrite_discharged() {
+    bump(|b| b.rewrite_discharged += 1);
+}
+
+/// `n` rewrite rules fired while simplifying obligations.
+pub fn record_rewrite_steps(n: u64) {
+    bump(|b| b.rewrite_steps += n);
+}
+
+/// One rewritten obligation did not reach a literal and fell through to
+/// bit-blasting (the rewrite pass's residue).
+pub fn record_rewrite_residue() {
+    bump(|b| b.rewrite_residue += 1);
+}
+
 /// Span-close hook: folds an accumulating span's duration into the
 /// thread's per-job encode/solve time (only those two are job-attributed).
 pub(crate) fn add_phase_ns(phase: Phase, ns: u64) {
@@ -223,6 +246,12 @@ pub struct JobStats {
     pub assumption_cores: u32,
     /// CEGQI loops that exhausted their iteration cap (vs. wall clock).
     pub cegqi_iter_exhausted: u32,
+    /// Obligations the term-rewrite pass reduced to a literal (no solve).
+    pub rewrite_discharged: u32,
+    /// Rewrite rules fired while simplifying this job's obligations.
+    pub rewrite_steps: u64,
+    /// Rewritten obligations that still needed bit-blasting.
+    pub rewrite_residue: u32,
     /// Term-DAG nodes live in the job's context at completion.
     pub terms: u32,
     /// Hash-cons lookups that hit an existing node / allocated a new one.
@@ -265,6 +294,9 @@ impl Default for JobStats {
             learnts_kept: 0,
             assumption_cores: 0,
             cegqi_iter_exhausted: 0,
+            rewrite_discharged: 0,
+            rewrite_steps: 0,
+            rewrite_residue: 0,
             terms: 0,
             hc_hits: 0,
             hc_misses: 0,
@@ -300,6 +332,9 @@ impl JobStats {
         self.learnts_kept = d(now.learnts_kept, snap.0.learnts_kept);
         self.assumption_cores = d(now.assumption_cores, snap.0.assumption_cores) as u32;
         self.cegqi_iter_exhausted = d(now.cegqi_iter_exhausted, snap.0.cegqi_iter_exhausted) as u32;
+        self.rewrite_discharged = d(now.rewrite_discharged, snap.0.rewrite_discharged) as u32;
+        self.rewrite_steps = d(now.rewrite_steps, snap.0.rewrite_steps);
+        self.rewrite_residue = d(now.rewrite_residue, snap.0.rewrite_residue) as u32;
         self.encode_us = d(now.encode_ns, snap.0.encode_ns) / 1_000;
         self.solve_us = d(now.solve_ns, snap.0.solve_ns) / 1_000;
     }
@@ -311,7 +346,9 @@ impl JobStats {
              \"unknown\":{},\"cegqi\":{},\"insts\":{},\"approx\":{},\"sat_solves\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_reval\":{},\
              \"incremental_solves\":{},\"clauses_reused\":{},\"learnts_kept\":{},\
-             \"assumption_cores\":{},\"cegqi_iter_exhausted\":{},\"terms\":{},\
+             \"assumption_cores\":{},\"cegqi_iter_exhausted\":{},\
+             \"rewrite_discharged\":{},\"rewrite_steps\":{},\"rewrite_residue\":{},\
+             \"terms\":{},\
              \"hc_hits\":{},\"hc_misses\":{},\"mem_bytes\":{},\"encode_us\":{},\
              \"solve_us\":{},\"queue_ms\":{},\"quarantined\":{},\"watchdog_kill\":{}}}",
             self.phase.as_str(),
@@ -332,6 +369,9 @@ impl JobStats {
             self.learnts_kept,
             self.assumption_cores,
             self.cegqi_iter_exhausted,
+            self.rewrite_discharged,
+            self.rewrite_steps,
+            self.rewrite_residue,
             self.terms,
             self.hc_hits,
             self.hc_misses,
@@ -370,6 +410,9 @@ impl JobStats {
             learnts_kept: v.num("learnts_kept"),
             assumption_cores: v.num("assumption_cores") as u32,
             cegqi_iter_exhausted: v.num("cegqi_iter_exhausted") as u32,
+            rewrite_discharged: v.num("rewrite_discharged") as u32,
+            rewrite_steps: v.num("rewrite_steps"),
+            rewrite_residue: v.num("rewrite_residue") as u32,
             terms: v.num("terms") as u32,
             hc_hits: v.num("hc_hits"),
             hc_misses: v.num("hc_misses"),
@@ -413,6 +456,12 @@ pub struct StatsTotals {
     pub assumption_cores: u64,
     /// CEGQI loops ended by the iteration cap (vs. wall-clock timeout).
     pub cegqi_iter_exhausted: u64,
+    /// Term-rewrite activity. The pass runs before the query cache and
+    /// inside per-job contexts, so these are deterministic per job and
+    /// *are* compared by `same_counters`.
+    pub rewrite_discharged: u64,
+    pub rewrite_steps: u64,
+    pub rewrite_residue: u64,
     pub terms: u64,
     pub hc_hits: u64,
     pub hc_misses: u64,
@@ -457,6 +506,9 @@ impl StatsTotals {
         self.learnts_kept += s.learnts_kept;
         self.assumption_cores += s.assumption_cores as u64;
         self.cegqi_iter_exhausted += s.cegqi_iter_exhausted as u64;
+        self.rewrite_discharged += s.rewrite_discharged as u64;
+        self.rewrite_steps += s.rewrite_steps;
+        self.rewrite_residue += s.rewrite_residue as u64;
         self.terms += s.terms as u64;
         self.hc_hits += s.hc_hits;
         self.hc_misses += s.hc_misses;
@@ -487,6 +539,9 @@ impl StatsTotals {
         self.learnts_kept += other.learnts_kept;
         self.assumption_cores += other.assumption_cores;
         self.cegqi_iter_exhausted += other.cegqi_iter_exhausted;
+        self.rewrite_discharged += other.rewrite_discharged;
+        self.rewrite_steps += other.rewrite_steps;
+        self.rewrite_residue += other.rewrite_residue;
         self.terms += other.terms;
         self.hc_hits += other.hc_hits;
         self.hc_misses += other.hc_misses;
@@ -523,6 +578,9 @@ impl StatsTotals {
             && self.learnts_kept == other.learnts_kept
             && self.assumption_cores == other.assumption_cores
             && self.cegqi_iter_exhausted == other.cegqi_iter_exhausted
+            && self.rewrite_discharged == other.rewrite_discharged
+            && self.rewrite_steps == other.rewrite_steps
+            && self.rewrite_residue == other.rewrite_residue
             && self.terms == other.terms
             && self.hc_hits == other.hc_hits
             && self.hc_misses == other.hc_misses
@@ -546,7 +604,9 @@ impl StatsTotals {
              \"cegqi\":{},\"insts\":{},\"approx\":{},\"sat_solves\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_reval\":{},\
              \"incremental_solves\":{},\"clauses_reused\":{},\"learnts_kept\":{},\
-             \"assumption_cores\":{},\"cegqi_iter_exhausted\":{},\"terms\":{},\
+             \"assumption_cores\":{},\"cegqi_iter_exhausted\":{},\
+             \"rewrite_discharged\":{},\"rewrite_steps\":{},\"rewrite_residue\":{},\
+             \"terms\":{},\
              \"hc_hits\":{},\"hc_misses\":{},\"mem_peak_bytes\":{},\"encode_us\":{},\
              \"solve_us\":{},\"queue_ms\":{},\"pairs_quarantined\":{},\
              \"watchdog_kills\":{},\"worker_restarts\":{},\"shards_retried\":{}}}",
@@ -567,6 +627,9 @@ impl StatsTotals {
             self.learnts_kept,
             self.assumption_cores,
             self.cegqi_iter_exhausted,
+            self.rewrite_discharged,
+            self.rewrite_steps,
+            self.rewrite_residue,
             self.terms,
             self.hc_hits,
             self.hc_misses,
@@ -601,6 +664,9 @@ impl StatsTotals {
             learnts_kept: v.num("learnts_kept"),
             assumption_cores: v.num("assumption_cores"),
             cegqi_iter_exhausted: v.num("cegqi_iter_exhausted"),
+            rewrite_discharged: v.num("rewrite_discharged"),
+            rewrite_steps: v.num("rewrite_steps"),
+            rewrite_residue: v.num("rewrite_residue"),
             terms: v.num("terms"),
             hc_hits: v.num("hc_hits"),
             hc_misses: v.num("hc_misses"),
@@ -662,6 +728,9 @@ mod tests {
             learnts_kept: 80,
             assumption_cores: 2,
             cegqi_iter_exhausted: 1,
+            rewrite_discharged: 11,
+            rewrite_steps: 230,
+            rewrite_residue: 5,
             terms: 1234,
             hc_hits: 999,
             hc_misses: 321,
@@ -687,6 +756,9 @@ mod tests {
         assert_eq!(back.learnts_kept, 80);
         assert_eq!(back.assumption_cores, 2);
         assert_eq!(back.cegqi_iter_exhausted, 1);
+        assert_eq!(back.rewrite_discharged, 11);
+        assert_eq!(back.rewrite_steps, 230);
+        assert_eq!(back.rewrite_residue, 5);
         assert_eq!(back.terms, 1234);
         assert_eq!(back.hc_hits, 999);
         assert_eq!(back.mem_bytes, 65536);

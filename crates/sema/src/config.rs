@@ -36,6 +36,12 @@ pub struct EncodeConfig {
     /// `false` is the `--no-incremental` escape hatch: every candidate
     /// step rebuilds a one-shot solver. Verdicts are identical either way.
     pub incremental: bool,
+    /// Run the term-level rewrite saturation pass on every refinement
+    /// obligation before bit-blasting, discharging algebraically provable
+    /// queries with zero CNF. `false` is the `--no-rewrite` escape hatch:
+    /// every query goes straight to the bit-blaster. Verdicts are
+    /// identical either way.
+    pub rewrite: bool,
 }
 
 impl Default for EncodeConfig {
@@ -50,6 +56,7 @@ impl Default for EncodeConfig {
             max_undef_instantiations: 8,
             mem_budget_mb: None,
             incremental: true,
+            rewrite: true,
         }
     }
 }

@@ -1028,8 +1028,16 @@ impl<'e> FnEncoder<'e> {
             } => {
                 let a = self.operand(agg, agg_ty)?;
                 let mut cur = &a;
+                // Checked walk: hostile indices (out of bounds, or deeper
+                // than the aggregate nests) are malformed IR, not a panic.
                 for &i in indices {
-                    cur = &cur.as_aggregate()[i as usize];
+                    let SymValue::Aggregate(elems) = cur else {
+                        return unsupported("extractvalue index into non-aggregate");
+                    };
+                    let Some(next) = elems.get(i as usize) else {
+                        return unsupported("extractvalue index out of bounds");
+                    };
+                    cur = next;
                 }
                 let v = cur.clone();
                 self.def(&inst.result, v);
@@ -1044,17 +1052,25 @@ impl<'e> FnEncoder<'e> {
             } => {
                 let a = self.operand(agg, agg_ty)?;
                 let e = self.operand(elem, elem_ty)?;
-                fn set(v: &SymValue, path: &[u32], e: &SymValue) -> SymValue {
+                // Checked rebuild: `None` marks a hostile path (index out
+                // of bounds or into a non-aggregate).
+                fn set(v: &SymValue, path: &[u32], e: &SymValue) -> Option<SymValue> {
                     match path {
-                        [] => e.clone(),
+                        [] => Some(e.clone()),
                         [i, rest @ ..] => {
-                            let mut elems = v.as_aggregate().to_vec();
-                            elems[*i as usize] = set(&elems[*i as usize], rest, e);
-                            SymValue::Aggregate(elems)
+                            let SymValue::Aggregate(elems) = v else {
+                                return None;
+                            };
+                            let mut elems = elems.to_vec();
+                            let slot = elems.get(*i as usize)?.clone();
+                            elems[*i as usize] = set(&slot, rest, e)?;
+                            Some(SymValue::Aggregate(elems))
                         }
                     }
                 }
-                let v = set(&a, indices, &e);
+                let Some(v) = set(&a, indices, &e) else {
+                    return unsupported("insertvalue index out of bounds");
+                };
                 self.def(&inst.result, v);
                 Ok(guard)
             }

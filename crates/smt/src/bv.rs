@@ -197,14 +197,11 @@ impl BitVec {
         self.words[0]
     }
 
-    /// The value as an `i64`, sign-extended from `width`.
+    /// The value as an `i64`, sign-extended from `width`. Widths above 64
+    /// truncate to the low word (a lossy conversion either way).
     pub fn to_i64(&self) -> i64 {
         if self.width >= 64 {
-            if self.sign_bit() && self.width > 64 {
-                self.words[0] as i64
-            } else {
-                self.words[0] as i64
-            }
+            self.words[0] as i64
         } else if self.sign_bit() {
             (self.words[0] | !((1u64 << self.width) - 1)) as i64
         } else {
@@ -385,9 +382,9 @@ impl BitVec {
         (quot, rem)
     }
 
-    /// Signed division truncating toward zero; by-zero yields SMT-LIB's
-    /// totalization (`-1` if dividend non-negative is not used; we follow
-    /// bvsdiv: `x sdiv 0 = x<0 ? 1 : -1`).
+    /// Signed division truncating toward zero; by-zero follows SMT-LIB's
+    /// `bvsdiv` totalization: `x sdiv 0 = x < 0 ? 1 : -1`. `INT_MIN sdiv -1`
+    /// wraps back to `INT_MIN` (the `neg()` calls below are modular).
     pub fn sdiv(&self, rhs: &Self) -> Self {
         if rhs.is_zero() {
             return if self.sign_bit() {
@@ -825,5 +822,133 @@ mod tests {
         // INT_MIN sdiv -1 wraps to INT_MIN (SMT-LIB semantics).
         let m = BitVec::min_signed(8);
         assert_eq!(m.sdiv(&BitVec::all_ones(8)), m);
+        // INT_MIN srem -1 is 0 (the one srem case where neg() wraps).
+        assert_eq!(m.srem(&BitVec::all_ones(8)), BitVec::zero(8));
+    }
+
+    /// Exhaustive differential check of every binary operation against a
+    /// `u128`/`i128` reference at width 4 (256 operand pairs). This is the
+    /// oracle the rewrite rules inherit their identities from, so any
+    /// divergence here is a soundness bug twice over.
+    #[test]
+    fn exhaustive_width4_vs_i128_reference() {
+        const W: u32 = 4;
+        const M: u128 = (1 << W) - 1;
+        let signed = |v: u64| -> i128 {
+            let v = v as i128;
+            if v >= 1 << (W - 1) {
+                v - (1 << W)
+            } else {
+                v
+            }
+        };
+        for a in 0..=M as u64 {
+            for b in 0..=M as u64 {
+                let x = BitVec::from_u64(W, a);
+                let y = BitVec::from_u64(W, b);
+                let (sa, sb) = (signed(a), signed(b));
+                let chk = |got: &BitVec, want: u128, op: &str| {
+                    assert_eq!(
+                        got.to_u64() as u128,
+                        want & M,
+                        "{a} {op} {b} (signed {sa} {op} {sb})"
+                    );
+                };
+                chk(&x.add(&y), (a + b) as u128, "add");
+                chk(&x.sub(&y), (a as u128).wrapping_sub(b as u128), "sub");
+                chk(&x.mul(&y), (a * b) as u128, "mul");
+                chk(&x.and(&y), (a & b) as u128, "and");
+                chk(&x.or(&y), (a | b) as u128, "or");
+                chk(&x.xor(&y), (a ^ b) as u128, "xor");
+                chk(&x.not(), !(a as u128), "not");
+                chk(&x.neg(), (a as u128).wrapping_neg(), "neg");
+                // SMT-LIB total division semantics.
+                let udiv = if b == 0 { M } else { (a / b) as u128 };
+                let urem = if b == 0 { a as u128 } else { (a % b) as u128 };
+                chk(&x.udiv(&y), udiv, "udiv");
+                chk(&x.urem(&y), urem, "urem");
+                let sdiv = if sb == 0 {
+                    if sa < 0 {
+                        1
+                    } else {
+                        -1
+                    }
+                } else {
+                    sa / sb // i128 can't overflow; wrap is applied by & M
+                };
+                let srem = if sb == 0 { sa } else { sa % sb };
+                chk(&x.sdiv(&y), sdiv as u128, "sdiv");
+                chk(&x.srem(&y), srem as u128, "srem");
+                // Shifts: amounts >= width saturate.
+                let shl = if b >= W as u64 { 0 } else { (a as u128) << b };
+                let lshr = if b >= W as u64 { 0 } else { (a >> b) as u128 };
+                let ashr = if b >= W as u64 {
+                    if sa < 0 {
+                        M
+                    } else {
+                        0
+                    }
+                } else {
+                    (sa >> b) as u128
+                };
+                chk(&x.shl(&y), shl, "shl");
+                chk(&x.lshr(&y), lshr, "lshr");
+                chk(&x.ashr(&y), ashr, "ashr");
+                // Comparisons.
+                assert_eq!(x.ult(&y), a < b, "{a} ult {b}");
+                assert_eq!(x.ule(&y), a <= b, "{a} ule {b}");
+                assert_eq!(x.slt(&y), sa < sb, "{sa} slt {sb}");
+                assert_eq!(x.sle(&y), sa <= sb, "{sa} sle {sb}");
+                // Overflow predicates.
+                assert_eq!(x.uadd_overflows(&y), a + b > M as u64, "{a}+{b} uov");
+                let sadd = sa + sb;
+                assert_eq!(
+                    x.sadd_overflows(&y),
+                    !(-(1 << (W - 1))..1 << (W - 1)).contains(&sadd),
+                    "{sa}+{sb} sov"
+                );
+                assert_eq!(x.usub_overflows(&y), a < b, "{a}-{b} uov");
+                let ssub = sa - sb;
+                assert_eq!(
+                    x.ssub_overflows(&y),
+                    !(-(1 << (W - 1))..1 << (W - 1)).contains(&ssub),
+                    "{sa}-{sb} sov"
+                );
+                assert_eq!(x.umul_overflows(&y), a * b > M as u64, "{a}*{b} uov");
+                let smul = sa * sb;
+                assert_eq!(
+                    x.smul_overflows(&y),
+                    !(-(1 << (W - 1))..1 << (W - 1)).contains(&smul),
+                    "{sa}*{sb} sov"
+                );
+            }
+        }
+    }
+
+    /// Shift amounts crossing the 64-bit word boundary: a shift amount
+    /// that is huge (non-zero high words) must saturate, not be read mod
+    /// 2^64 from the low word.
+    #[test]
+    fn wide_shift_amounts_saturate() {
+        let x = BitVec::from_words(128, &[0x1234, 0x5678]);
+        // amount with only a high word set: >= width, so saturates.
+        let huge = BitVec::from_words(128, &[0, 1]);
+        assert!(x.shl(&huge).is_zero());
+        assert!(x.lshr(&huge).is_zero());
+        assert!(x.ashr(&huge).is_zero()); // sign bit clear
+        let neg = BitVec::all_ones(128);
+        assert_eq!(neg.ashr(&huge), neg); // sign bit set: fills with ones
+                                          // amount exactly = width.
+        let w = BitVec::from_u64(128, 128);
+        assert!(x.shl(&w).is_zero());
+        // amount = width - 1 still shifts (only bit 0 survives).
+        let w1 = BitVec::from_u64(128, 127);
+        let odd = BitVec::from_words(128, &[0x1235, 0x5678]);
+        assert_eq!(odd.shl(&w1), {
+            let mut v = BitVec::zero(128);
+            v.set_bit(127, true);
+            v
+        });
+        assert!(x.shl(&w1).is_zero()); // bit 0 of x is clear
     }
 }

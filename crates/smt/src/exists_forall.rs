@@ -60,6 +60,12 @@ pub struct EfConfig {
     /// solver per iteration (the `--no-incremental` escape hatch); both
     /// modes return the same verdicts, though possibly different models.
     pub incremental: bool,
+    /// Run the term-rewriting pass on φ and on every solver query before
+    /// bit-blasting (default). Obligations that rewrite to a literal are
+    /// discharged with zero CNF; `false` is the `--no-rewrite` escape
+    /// hatch. Verdicts are identical either way (the pass is pure
+    /// simplification), though models may differ in don't-care bits.
+    pub rewrite: bool,
 }
 
 impl Default for EfConfig {
@@ -69,6 +75,7 @@ impl Default for EfConfig {
             max_iterations: 64,
             max_millis: u64::MAX,
             incremental: true,
+            rewrite: true,
         }
     }
 }
@@ -130,6 +137,34 @@ pub fn solve_exists_forall_with_seeds(
         );
     }
 
+    // Rewrite φ once up front: a literal here settles the whole ∃∀ query
+    // (∀Y.true is true, and a false body admits no witness) with no CNF,
+    // no CEGQI loop, and no cache traffic. When residue remains, the loop
+    // keeps the ORIGINAL φ: CEGQI's convergence rides on the shape of the
+    // formula it substitutes into (zero-biased candidate models, slice-free
+    // counterexamples), and a structurally normalized φ makes the loop
+    // crawl through refinements one value at a time. The per-solve rewrite
+    // inside `Solver`/`IncrementalSolver` still simplifies every query the
+    // loop issues, so the residue case loses nothing.
+    let phi = if config.rewrite && ctx.as_bool_lit(phi).is_none() {
+        let r = crate::rewrite::simplify(ctx, phi);
+        if ctx.as_bool_lit(r).is_some() {
+            alive2_obs::stats::record_rewrite_discharged();
+            r
+        } else {
+            phi
+        }
+    } else {
+        phi
+    };
+    if let Some(b) = ctx.as_bool_lit(phi) {
+        return if b {
+            EfResult::Sat(Model::new())
+        } else {
+            EfResult::Unsat
+        };
+    }
+
     // No universals: plain SAT.
     if universals.is_empty() {
         if ctx.over_budget() {
@@ -139,6 +174,7 @@ pub fn solve_exists_forall_with_seeds(
             return EfResult::Timeout;
         };
         let mut s = Solver::new(ctx);
+        s.set_rewrite(config.rewrite);
         s.assert(phi);
         return match s.check(b) {
             SmtResult::Sat(m) => EfResult::Sat(m),
@@ -186,6 +222,12 @@ pub fn solve_exists_forall_with_seeds(
     // this loop only ever grows the set.)
     let mut cand_inc: Option<IncrementalSolver> = config.incremental.then(|| {
         let mut s = IncrementalSolver::new(ctx);
+        // No rewriting on candidate queries: they are fully instantiated,
+        // so the smart constructors already fold them, and restructuring
+        // the CNF defeats the zero-phase bias below — the loop then crawls
+        // through near-miss candidates one value at a time (observed on
+        // the undef-duplication known bugs).
+        s.set_rewrite(false);
         // Zero-biased candidate models: saved phases would hand back a
         // near-copy of the previous (refuted) candidate, and CEGQI on wide
         // bit-vectors then crawls through refinements one value at a time.
@@ -225,6 +267,8 @@ pub fn solve_exists_forall_with_seeds(
             cand.check(&groups, b)
         } else {
             let mut cand = Solver::new(ctx);
+            // Same reasoning as the incremental candidate: no rewriting.
+            cand.set_rewrite(false);
             for inst in &instantiations {
                 cand.assert(ctx.substitute(phi, inst));
             }
@@ -248,6 +292,7 @@ pub fn solve_exists_forall_with_seeds(
             return EfResult::Timeout;
         };
         let mut verify = Solver::new(ctx);
+        verify.set_rewrite(config.rewrite);
         verify.assert(ctx.not(phi_x));
         match verify.check(b) {
             SmtResult::Unsat => return EfResult::Sat(x_model),

@@ -11,6 +11,8 @@
 //! - [`sat`]: a CDCL SAT solver with conflict/time/memory budgets;
 //! - [`solver`]: the assert/check/model facade;
 //! - [`model`]: models and a concrete evaluator;
+//! - [`rewrite`]: saturation-style term simplification that discharges
+//!   many obligations before any CNF exists;
 //! - [`exists_forall`]: CEGQI for the ∃∀ refinement queries of §5.
 //!
 //! # Examples
@@ -33,6 +35,7 @@ pub mod bv;
 pub mod cache;
 pub mod exists_forall;
 pub mod model;
+pub mod rewrite;
 pub mod sat;
 pub mod solver;
 pub mod term;

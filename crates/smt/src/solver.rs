@@ -81,6 +81,7 @@ impl SmtResult {
 pub struct Solver<'a> {
     ctx: &'a Ctx,
     assertions: Vec<TermId>,
+    rewrite: bool,
 }
 
 impl<'a> Solver<'a> {
@@ -89,7 +90,16 @@ impl<'a> Solver<'a> {
         Solver {
             ctx,
             assertions: Vec::new(),
+            rewrite: true,
         }
+    }
+
+    /// Enables/disables the term-rewriting pass that runs ahead of
+    /// bit-blasting (default on; the `--no-rewrite` escape hatch). The
+    /// pass is applied *before* CNF construction, so cache fingerprints
+    /// are computed on the simplified formula.
+    pub fn set_rewrite(&mut self, on: bool) {
+        self.rewrite = on;
     }
 
     /// Adds an assertion (must be boolean-sorted).
@@ -128,13 +138,29 @@ impl<'a> Solver<'a> {
         // variable is a don't-care" — provenance the counterexample
         // printer surfaces via `Model::try_eval` (it renders them as
         // `any` rather than the fabricated zeros of `eval`).
-        let conj = self.ctx.and_many(&self.assertions);
+        let mut conj = self.ctx.and_many(&self.assertions);
         if let Some(b) = self.ctx.as_bool_lit(conj) {
             return if b {
                 SmtResult::Sat(Model::new())
             } else {
                 SmtResult::Unsat
             };
+        }
+        // Term-level rewriting: try to discharge the whole obligation by
+        // algebra before any CNF exists. The residue (if any) is what gets
+        // blasted, so downstream cache keys see the simplified formula.
+        if self.rewrite {
+            let r = crate::rewrite::simplify(self.ctx, conj);
+            if let Some(b) = self.ctx.as_bool_lit(r) {
+                alive2_obs::stats::record_rewrite_discharged();
+                return if b {
+                    SmtResult::Sat(Model::new())
+                } else {
+                    SmtResult::Unsat
+                };
+            }
+            alive2_obs::stats::record_rewrite_residue();
+            conj = r;
         }
         let ack = ackermannize(self.ctx, &[conj]);
         let mut bb = BitBlaster::new(self.ctx);
@@ -320,6 +346,8 @@ pub struct IncrementalSolver<'a> {
     /// Reset saved phases to the zero default before each check (see
     /// [`set_zero_phase`](Self::set_zero_phase)).
     zero_phase: bool,
+    /// Apply the term-rewriting pass to each pushed assertion.
+    rewrite: bool,
 }
 
 impl<'a> IncrementalSolver<'a> {
@@ -337,7 +365,14 @@ impl<'a> IncrementalSolver<'a> {
             checks: 0,
             simplified_at: 0,
             zero_phase: false,
+            rewrite: true,
         }
+    }
+
+    /// Enables/disables the term-rewriting pass applied to each pushed
+    /// assertion (default on; the `--no-rewrite` escape hatch).
+    pub fn set_rewrite(&mut self, on: bool) {
+        self.rewrite = on;
     }
 
     /// When enabled, every check starts from the all-false phase default
@@ -356,6 +391,17 @@ impl<'a> IncrementalSolver<'a> {
     /// grouped assertions: the constraints are implications over shared
     /// application variables).
     fn blast_rewritten(&mut self, t: TermId) -> Option<Lit> {
+        let t = if self.rewrite && self.ctx.as_bool_lit(t).is_none() {
+            let r = crate::rewrite::simplify(self.ctx, t);
+            if self.ctx.as_bool_lit(r).is_some() {
+                alive2_obs::stats::record_rewrite_discharged();
+            } else {
+                alive2_obs::stats::record_rewrite_residue();
+            }
+            r
+        } else {
+            t
+        };
         let mut constraints = Vec::new();
         let r = self.ack.rewrite(self.ctx, t, &mut constraints);
         for c in constraints {

@@ -671,8 +671,20 @@ impl Ctx {
         self.intern(Op::BvNeg, &[a], sort)
     }
 
+    /// Asserts both operands share one bit-vector sort *before* any
+    /// identity short-circuit fires: a `bv_add(x, wider_zero)` must trip
+    /// this, not silently return `x` at the wrong width.
+    fn assert_same_width(&self, a: TermId, b: TermId) {
+        assert_eq!(
+            self.sort(a),
+            self.sort(b),
+            "bit-vector operand width mismatch"
+        );
+    }
+
     /// Bitwise and, with zero/ones identities.
     pub fn bv_and(&self, a: TermId, b: TermId) -> TermId {
+        self.assert_same_width(a, b);
         for (x, y) in [(a, b), (b, a)] {
             if let Some(v) = self.as_bv_lit(x) {
                 if v.is_zero() {
@@ -692,6 +704,7 @@ impl Ctx {
 
     /// Bitwise or, with zero/ones identities.
     pub fn bv_or(&self, a: TermId, b: TermId) -> TermId {
+        self.assert_same_width(a, b);
         for (x, y) in [(a, b), (b, a)] {
             if let Some(v) = self.as_bv_lit(x) {
                 if v.is_zero() {
@@ -711,6 +724,7 @@ impl Ctx {
 
     /// Bitwise xor, with zero identity.
     pub fn bv_xor(&self, a: TermId, b: TermId) -> TermId {
+        self.assert_same_width(a, b);
         for (x, y) in [(a, b), (b, a)] {
             if let Some(v) = self.as_bv_lit(x) {
                 if v.is_zero() {
@@ -728,6 +742,7 @@ impl Ctx {
 
     /// Wrapping addition, with zero identity.
     pub fn bv_add(&self, a: TermId, b: TermId) -> TermId {
+        self.assert_same_width(a, b);
         for (x, y) in [(a, b), (b, a)] {
             if let Some(v) = self.as_bv_lit(x) {
                 if v.is_zero() {
@@ -741,6 +756,7 @@ impl Ctx {
 
     /// Wrapping subtraction.
     pub fn bv_sub(&self, a: TermId, b: TermId) -> TermId {
+        self.assert_same_width(a, b);
         if let Some(v) = self.as_bv_lit(b) {
             if v.is_zero() {
                 return a;
@@ -755,6 +771,7 @@ impl Ctx {
 
     /// Wrapping multiplication, with 0/1 identities.
     pub fn bv_mul(&self, a: TermId, b: TermId) -> TermId {
+        self.assert_same_width(a, b);
         for (x, y) in [(a, b), (b, a)] {
             if let Some(v) = self.as_bv_lit(x) {
                 if v.is_zero() {
@@ -791,6 +808,7 @@ impl Ctx {
 
     /// Logical shift left.
     pub fn bv_shl(&self, a: TermId, b: TermId) -> TermId {
+        self.assert_same_width(a, b);
         if let Some(v) = self.as_bv_lit(b) {
             if v.is_zero() {
                 return a;
@@ -801,6 +819,7 @@ impl Ctx {
 
     /// Logical shift right.
     pub fn bv_lshr(&self, a: TermId, b: TermId) -> TermId {
+        self.assert_same_width(a, b);
         if let Some(v) = self.as_bv_lit(b) {
             if v.is_zero() {
                 return a;
@@ -811,6 +830,7 @@ impl Ctx {
 
     /// Arithmetic shift right.
     pub fn bv_ashr(&self, a: TermId, b: TermId) -> TermId {
+        self.assert_same_width(a, b);
         if let Some(v) = self.as_bv_lit(b) {
             if v.is_zero() {
                 return a;
@@ -1215,6 +1235,89 @@ mod tests {
         assert_eq!(ctx.and(t, f), f);
         assert_eq!(ctx.or(t, f), t);
         assert_eq!(ctx.implies(f, t), t);
+    }
+
+    /// The smart constructors' literal folds must agree with [`BitVec`]
+    /// for every operand pair at width 4, including the identity
+    /// short-circuit paths (zero shift, zero add, one mul) that return
+    /// before reaching `bv_binop`'s shared fold.
+    #[test]
+    fn ctor_folds_match_bitvec_exhaustively() {
+        let ctx = Ctx::new();
+        const W: u32 = 4;
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let (x, y) = (BitVec::from_u64(W, a), BitVec::from_u64(W, b));
+                let (ta, tb) = (ctx.bv_lit(x.clone()), ctx.bv_lit(y.clone()));
+                let ops: [(&str, TermId, BitVec); 12] = [
+                    ("add", ctx.bv_add(ta, tb), x.add(&y)),
+                    ("sub", ctx.bv_sub(ta, tb), x.sub(&y)),
+                    ("mul", ctx.bv_mul(ta, tb), x.mul(&y)),
+                    ("and", ctx.bv_and(ta, tb), x.and(&y)),
+                    ("or", ctx.bv_or(ta, tb), x.or(&y)),
+                    ("xor", ctx.bv_xor(ta, tb), x.xor(&y)),
+                    ("udiv", ctx.bv_udiv(ta, tb), x.udiv(&y)),
+                    ("urem", ctx.bv_urem(ta, tb), x.urem(&y)),
+                    ("sdiv", ctx.bv_sdiv(ta, tb), x.sdiv(&y)),
+                    ("srem", ctx.bv_srem(ta, tb), x.srem(&y)),
+                    ("shl", ctx.bv_shl(ta, tb), x.shl(&y)),
+                    ("lshr", ctx.bv_lshr(ta, tb), x.lshr(&y)),
+                ];
+                for (name, t, want) in ops {
+                    assert_eq!(ctx.as_bv_lit(t), Some(want), "{a} {name} {b}");
+                }
+                assert_eq!(ctx.as_bv_lit(ctx.bv_ashr(ta, tb)), Some(x.ashr(&y)));
+                assert_eq!(ctx.as_bool_lit(ctx.bv_ult(ta, tb)), Some(x.ult(&y)));
+                assert_eq!(ctx.as_bool_lit(ctx.bv_sle(ta, tb)), Some(x.sle(&y)));
+            }
+        }
+    }
+
+    /// The SMT-LIB division corner cases must fold, not just behave, at
+    /// the constructor level (the rewriter re-derives them as rules).
+    #[test]
+    fn division_corner_folds() {
+        let ctx = Ctx::new();
+        let min = ctx.bv_lit(BitVec::min_signed(8));
+        let m1 = ctx.bv_lit(BitVec::all_ones(8));
+        let zero = ctx.bv_lit_u64(8, 0);
+        // INT_MIN sdiv -1 wraps to INT_MIN; srem is 0.
+        assert_eq!(ctx.bv_sdiv(min, m1), min);
+        assert_eq!(ctx.bv_srem(min, m1), zero);
+        // by-zero totalization.
+        let x = ctx.bv_lit_u64(8, 42);
+        assert_eq!(ctx.bv_udiv(x, zero), m1);
+        assert_eq!(ctx.bv_urem(x, zero), x);
+        assert_eq!(ctx.bv_sdiv(x, zero), m1);
+        assert_eq!(ctx.bv_srem(x, zero), x);
+        let neg = ctx.bv_lit(BitVec::from_i64(8, -42));
+        assert_eq!(ctx.bv_sdiv(neg, zero), ctx.bv_lit_u64(8, 1));
+        // oversized shift amounts fold to zero / sign-fill.
+        let big = ctx.bv_lit_u64(8, 200);
+        assert_eq!(ctx.bv_shl(x, big), zero);
+        assert_eq!(ctx.bv_lshr(x, big), zero);
+        assert_eq!(ctx.bv_ashr(min, big), m1);
+        assert_eq!(ctx.bv_ashr(x, big), zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_width_zero_identity_panics() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let z16 = ctx.bv_lit_u64(16, 0);
+        // Must trip the width assertion, not silently return `x` via the
+        // zero-identity short-circuit.
+        ctx.bv_add(x, z16);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_width_shift_panics() {
+        let ctx = Ctx::new();
+        let x = ctx.var("x", Sort::BitVec(8));
+        let z16 = ctx.bv_lit_u64(16, 0);
+        ctx.bv_shl(x, z16);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! ```text
 //! cargo run --example alive_tv -- src.ll tgt.ll [--unroll N] [--timeout MS] \
 //!     [--jobs N] [--procs N] [--deadline-ms MS] [--mem-budget-mb MB] \
-//!     [--no-incremental] [--journal PATH] [--journal-sync] [--resume PATH] \
+//!     [--no-incremental] [--no-rewrite] [--journal PATH] [--journal-sync] \
+//!     [--resume PATH] \
 //!     [--inject-panic MARKER] [--inject-abort MARKER] [--inject-hang MARKER] \
 //!     [--cache DIR] [--stats] [--trace FILE] [--trace-detail]
 //! ```

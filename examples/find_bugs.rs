@@ -6,7 +6,7 @@
 //! Run with `cargo run --example find_bugs` (add `--release` for speed).
 //! Validation fans out on the shared engine, so the standard flags apply:
 //! `--jobs N`, `--procs N` (supervised worker processes),
-//! `--deadline-ms MS`, `--no-incremental`, `--journal`/`--resume`.
+//! `--deadline-ms MS`, `--no-incremental`, `--no-rewrite`, `--journal`/`--resume`.
 
 use alive2::core::cli::{cache_from_args, config_from_args, engine_from_args, obs_from_args};
 use alive2::core::engine::Job;

@@ -15,7 +15,10 @@
 # cache traffic, and wall time. The same mode then measures incremental
 # solving into BENCH_pr6.json: a cold incremental run, a warm incremental
 # rerun, and a cold --no-incremental baseline, each with one-shot and
-# live-solver solve counts and wall time.
+# live-solver solve counts and wall time. BENCH_pr8.json then measures
+# term rewriting: a cold default run vs. a cold --no-rewrite baseline,
+# with discharge counts, solve counts, wall time, and a verdict-parity
+# flag.
 set -e
 cd "$(dirname "$0")"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
@@ -37,12 +40,14 @@ if [ -n "$CACHE" ]; then
           --jobs "$JOBS" "$@" 2>/dev/null \
           | grep '"name":"known_bugs"' | tail -n 1)
     end_ms=$(date +%s%3N)
-    printf '"%s":{"wall_ms":%s,"sat_solves":%s,"incremental_solves":%s,"cache_hits":%s,"cache_misses":%s,"summary":%s}' \
+    printf '"%s":{"wall_ms":%s,"sat_solves":%s,"incremental_solves":%s,"cache_hits":%s,"cache_misses":%s,"rewrite_discharged":%s,"rewrite_residue":%s,"summary":%s}' \
       "$label" "$((end_ms - start_ms))" \
       "$(printf '%s' "$out" | grep -o '"sat_solves":[0-9]*' | cut -d: -f2)" \
       "$(printf '%s' "$out" | grep -o '"incremental_solves":[0-9]*' | cut -d: -f2)" \
       "$(printf '%s' "$out" | grep -o '"cache_hits":[0-9]*' | cut -d: -f2)" \
       "$(printf '%s' "$out" | grep -o '"cache_misses":[0-9]*' | cut -d: -f2)" \
+      "$(printf '%s' "$out" | grep -o '"rewrite_discharged":[0-9]*' | cut -d: -f2)" \
+      "$(printf '%s' "$out" | grep -o '"rewrite_residue":[0-9]*' | cut -d: -f2)" \
       "$out"
   }
   # BENCH_pr5: the query-cache experiment, unchanged — but run one-shot
@@ -85,6 +90,23 @@ if [ -n "$CACHE" ]; then
   printf '{%s,%s,"pairs_per_sec":{"procs1":%s,"procs4":%s},"verdict_parity":%s}\n' \
     "$R1" "$R4" "$(pairsec "$R1")" "$(pairsec "$R4")" "$PARITY" > BENCH_pr7.json
   cat BENCH_pr7.json
+  # BENCH_pr8: the term-rewriting experiment. `rewrite_cold` runs the
+  # default (rewriter on) against a fresh cache; `norewrite_cold` is the
+  # --no-rewrite baseline on its own fresh cache (cold-vs-cold), with a
+  # verdict-parity flag — rewriting must change solve counts, never
+  # verdicts.
+  RWDIR=$(mktemp -d)
+  NRDIR=$(mktemp -d)
+  trap 'rm -rf "$CDIR" "$IDIR" "$FDIR" "$RWDIR" "$NRDIR"' EXIT
+  RW=$(run_pass rewrite_cold --cache "$RWDIR")
+  NR=$(run_pass norewrite_cold --cache "$NRDIR" --no-rewrite)
+  if [ "$(sup_verdicts "$RW")" = "$(sup_verdicts "$NR")" ]; then
+    RWPARITY=true
+  else
+    RWPARITY=false
+  fi
+  printf '{%s,%s,"verdict_parity":%s}\n' "$RW" "$NR" "$RWPARITY" > BENCH_pr8.json
+  cat BENCH_pr8.json
   exit 0
 fi
 {

@@ -165,3 +165,56 @@ fn killed_then_resumed_run_reports_identical_counts() {
 
     let _ = std::fs::remove_file(&path);
 }
+
+/// A hostile index path must degrade, never crash. The parser rejects
+/// textual out-of-bounds aggregate indices outright; a module built by
+/// other means (a frontend, a mutation harness) can still carry one, and
+/// encoding must answer `Unsupported`, not panic into `Crash`.
+#[test]
+fn out_of_bounds_aggregate_index_is_unsupported_not_crash() {
+    use alive2::core::validator::validate_modules;
+    use alive2::ir::instruction::InstOp;
+
+    let corrupt = |text: &str| {
+        let mut m = parse_module(text).unwrap();
+        for inst in &mut m.functions[0].blocks[0].insts {
+            match &mut inst.op {
+                InstOp::ExtractValue { indices, .. } | InstOp::InsertValue { indices, .. } => {
+                    indices[0] = 99;
+                }
+                _ => {}
+            }
+        }
+        m
+    };
+
+    let src = corrupt(
+        "define i8 @f({i8, i8} %s) {\nentry:\n  %x = extractvalue {i8, i8} %s, 0\n  ret i8 %x\n}",
+    );
+    let tgt = parse_module(
+        "define i8 @f({i8, i8} %s) {\nentry:\n  %x = extractvalue {i8, i8} %s, 0\n  ret i8 %x\n}",
+    )
+    .unwrap();
+    let results = validate_modules(&src, &tgt, &EncodeConfig::default());
+    assert!(
+        matches!(&results[0].1, Verdict::Unsupported(_)),
+        "{:?}",
+        results[0].1
+    );
+
+    // Same shape through insertvalue. The target stays well-formed: a
+    // byte-identical pair would be skipped without ever encoding.
+    let src = corrupt(
+        "define {i8, i8} @f({i8, i8} %s) {\nentry:\n  %x = insertvalue {i8, i8} %s, i8 1, 0\n  ret {i8, i8} %x\n}",
+    );
+    let tgt = parse_module(
+        "define {i8, i8} @f({i8, i8} %s) {\nentry:\n  %x = insertvalue {i8, i8} %s, i8 1, 0\n  ret {i8, i8} %x\n}",
+    )
+    .unwrap();
+    let results = validate_modules(&src, &tgt, &EncodeConfig::default());
+    assert!(
+        matches!(&results[0].1, Verdict::Unsupported(_)),
+        "{:?}",
+        results[0].1
+    );
+}

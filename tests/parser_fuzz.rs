@@ -163,6 +163,20 @@ fn hostile_fragments_fail_cleanly() {
         "define i999999999 @f() {\nentry:\n  ret i999999999 0\n}",
         "define i32 @f() {\nentry:\n  %v = extractelement <4 x i32> zeroinitializer, i64 9\n  ret i32 %v\n}",
         "@g = global i32 3405691582, align 4\ndefine i32 @f() {\nentry:\n  ret i32 0\n}",
+        // Oversized or negative shape parameters: must be rejected before
+        // they are narrowed to u32 (no wrap-around, no capacity panic).
+        "define <4294967297 x i8> @f() {\nentry:\n  ret <4294967297 x i8> zeroinitializer\n}",
+        "define <-3 x i8> @f() {\nentry:\n  ret <-3 x i8> zeroinitializer\n}",
+        "define [-1 x i8] @f() {\nentry:\n  ret [-1 x i8] zeroinitializer\n}",
+        "define [99999999999999999999 x i8] @f() {\nentry:\n  ret i8 0\n}",
+        "define i99999999999999999999 @f() {\nentry:\n  ret i8 0\n}",
+        // Aggregate indices outside i32, negative, or past the end.
+        "define i8 @f({i8, i8} %s) {\nentry:\n  %x = extractvalue {i8, i8} %s, -1\n  ret i8 %x\n}",
+        "define i8 @f({i8, i8} %s) {\nentry:\n  %x = extractvalue {i8, i8} %s, 99\n  ret i8 %x\n}",
+        "define i8 @f({i8, i8} %s) {\nentry:\n  %x = extractvalue {i8, i8} %s, 4294967296\n  ret i8 %x\n}",
+        "define {i8, i8} @f({i8, i8} %s) {\nentry:\n  %x = insertvalue {i8, i8} %s, i8 1, 99\n  ret {i8, i8} %x\n}",
+        // Shuffle mask entries beyond any lane count.
+        "define <2 x i8> @f(<2 x i8> %v) {\nentry:\n  %s = shufflevector <2 x i8> %v, <2 x i8> %v, <2 x i32> <i32 99999999999, i32 0>\n  ret <2 x i8> %s\n}",
     ];
     for (i, text) in cases.iter().enumerate() {
         assert_no_panic(i as u64, 0, text);
