@@ -197,3 +197,43 @@ kbsum "$SMOKE/kb_norw.out" | grep -q '"rewrite_discharged":0'
 kbsum "$SMOKE/kb_norw.out" | grep -q '"rewrite_steps":0'
 kbsum "$SMOKE/kb_norw.out" | grep -q '"rewrite_residue":0'
 grep -q '29 detected / 7 missed' "$SMOKE/kb_norw.out"
+
+# ---- profiling smoke (see DESIGN.md, "Profiling & regression triage") --
+# A --stats --profile run must emit the histogram and top-K report
+# sections plus a JSON-lines profile file whose records agree with the
+# summary counters: exactly sat_solves + incremental_solves records carry
+# "solved":1 (the comma anchors the per-query flag, not the trailer's
+# aggregate), and the last line is the rule-fires trailer.
+"$KB" --jobs 4 --stats --profile "$SMOKE/kb.profile.jsonl" \
+    > "$SMOKE/kb_prof.out" 2> "$SMOKE/kb_prof.err"
+grep -q 'query histograms' "$SMOKE/kb_prof.out"
+grep -q 'slowest queries' "$SMOKE/kb_prof.out"
+grep -q 'rule fires' "$SMOKE/kb_prof.out"
+grep -q 'trace dropped 0 events' "$SMOKE/kb_prof.out"
+grep -q 'profile: wrote' "$SMOKE/kb_prof.err"
+grep -q '29 detected / 7 missed' "$SMOKE/kb_prof.out"
+# Structural JSON-lines check: every line is a single-line object.
+PROF_LINES=$(wc -l < "$SMOKE/kb.profile.jsonl")
+test "$PROF_LINES" -gt 1
+test "$(grep -c '^{' "$SMOKE/kb.profile.jsonl")" -eq "$PROF_LINES"
+test "$(grep -c '}$' "$SMOKE/kb.profile.jsonl")" -eq "$PROF_LINES"
+tail -n 1 "$SMOKE/kb.profile.jsonl" | grep -q '"rule_fires"'
+KB_SOLVED=$(grep -c '"solved":1,' "$SMOKE/kb.profile.jsonl")
+KB_SAT=$(kbsum "$SMOKE/kb_prof.out" | grep -o '"sat_solves":[0-9]*' | cut -d: -f2)
+KB_INCS=$(kbsum "$SMOKE/kb_prof.out" | grep -o '"incremental_solves":[0-9]*' | cut -d: -f2)
+test "$KB_SOLVED" -eq $((KB_SAT + KB_INCS))
+
+# ---- regression-triage gate (alive2-report self-diff) ------------------
+# Comparing a benchmark artifact against itself must be clean (exit 0);
+# a perturbed copy with a flipped verdict column must trip the gate
+# (exit 1) even with --min-wall-ms silencing perf noise.
+cargo build --release --offline -q -p alive2-bench --bin alive2-report
+REPORT=target/release/alive2-report
+"$REPORT" BENCH_pr8.json BENCH_pr8.json > "$SMOKE/report_self.out"
+grep -q 'no regressions' "$SMOKE/report_self.out"
+sed 's/"incorrect":29/"incorrect":28/; s/"correct":5/"correct":6/' \
+    BENCH_pr8.json > "$SMOKE/bench_flip.json"
+if "$REPORT" BENCH_pr8.json "$SMOKE/bench_flip.json" > "$SMOKE/report_flip.out"; then
+  echo "alive2-report failed to flag a verdict flip"; exit 1
+fi
+grep -q 'VERDICT FLIP' "$SMOKE/report_flip.out"

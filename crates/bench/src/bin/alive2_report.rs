@@ -1,0 +1,467 @@
+//! `alive2-report` — cross-run regression triage.
+//!
+//! Loads two runs — either `BENCH_pr*.json` snapshots from
+//! `run_benchmarks.sh` or outcome journals (`--journal` JSON-lines) —
+//! and diffs them: wall-clock, live SAT solves, verdict flips, and
+//! latency-percentile shifts, each against a configurable threshold.
+//! Exits non-zero when a regression trips, so CI can gate on it.
+//!
+//! ```text
+//! alive2-report OLD NEW [--max-wall-regress-pct N]   (default 25)
+//!                       [--max-solves-regress-pct N] (default 20)
+//!                       [--max-p99-regress-pct N]    (default: report only)
+//!                       [--min-wall-ms N]            (default 100)
+//!                       [--allow-verdict-flips]
+//! ```
+//!
+//! Comparison model: each file is normalized into labeled rows. A BENCH
+//! file contributes one row per benchmark pass (its top-level keys); a
+//! journal contributes one verdict row per job plus one aggregate perf
+//! row. Perf metrics diff over the label intersection; verdict columns
+//! additionally diff *across* label sets grouped by workload name, so
+//! two BENCH files from different PRs (different pass labels, same
+//! corpus) still get verdict-parity checking.
+
+use alive2_core::journal::ResumeLog;
+use alive2_obs::hist::Hist;
+use alive2_obs::json::JsonValue;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Thresholds and switches parsed from argv.
+struct Gate {
+    max_wall_pct: u64,
+    max_solves_pct: u64,
+    /// `None`: percentile shifts are reported but never gate.
+    max_p99_pct: Option<u64>,
+    /// Rows with an old wall below this are too noisy to gate on.
+    min_wall_ms: u64,
+    allow_flips: bool,
+}
+
+impl Default for Gate {
+    fn default() -> Self {
+        Gate {
+            max_wall_pct: 25,
+            max_solves_pct: 20,
+            max_p99_pct: None,
+            min_wall_ms: 100,
+            allow_flips: false,
+        }
+    }
+}
+
+/// One perf row: the gated metrics of a labeled run segment.
+#[derive(Clone, Debug, Default)]
+struct PerfRow {
+    wall_ms: u64,
+    live_solves: u64,
+    h_latency: Hist,
+}
+
+/// A normalized run: verdict signatures by row key, perf rows by label,
+/// and verdict signatures grouped by workload name (for cross-label
+/// parity between files with disjoint label sets).
+#[derive(Clone, Debug, Default)]
+struct Run {
+    verdicts: BTreeMap<String, String>,
+    perf: BTreeMap<String, PerfRow>,
+    by_name: BTreeMap<String, Vec<String>>,
+}
+
+/// The verdict-column signature of a summary object.
+fn verdict_sig(summary: &JsonValue) -> String {
+    format!(
+        "correct={},incorrect={},timeout={},oom={},unsupported={},crash={}",
+        summary.num("correct"),
+        summary.num("incorrect"),
+        summary.num("timeout"),
+        summary.num("oom"),
+        summary.num("unsupported"),
+        summary.num("crash"),
+    )
+}
+
+fn hist_of(stats: &JsonValue, which: &str) -> Hist {
+    stats
+        .get("hist")
+        .and_then(|h| h.get(which))
+        .map(Hist::from_json)
+        .unwrap_or_default()
+}
+
+/// Normalizes one BENCH snapshot: every top-level object with a
+/// `summary` sub-object is a pass row.
+fn load_bench(v: &JsonValue) -> Run {
+    let mut run = Run::default();
+    let JsonValue::Obj(fields) = v else {
+        return run;
+    };
+    for (label, rec) in fields {
+        let Some(summary) = rec.get("summary") else {
+            continue;
+        };
+        let stats = summary.get("stats");
+        let live = match (rec.get("sat_solves"), rec.get("incremental_solves")) {
+            (Some(s), i) => s.as_num().unwrap_or(0) + i.and_then(JsonValue::as_num).unwrap_or(0),
+            _ => stats.map_or(0, |s| s.num("sat_solves") + s.num("incremental_solves")),
+        };
+        let sig = verdict_sig(summary);
+        let name = summary
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?")
+            .to_string();
+        run.perf.insert(
+            label.clone(),
+            PerfRow {
+                wall_ms: rec.num("wall_ms"),
+                live_solves: live,
+                h_latency: stats.map_or_else(Hist::default, |s| hist_of(s, "latency_us")),
+            },
+        );
+        run.verdicts.insert(label.clone(), sig.clone());
+        run.by_name.entry(name).or_default().push(sig);
+    }
+    for sigs in run.by_name.values_mut() {
+        sigs.sort();
+        sigs.dedup();
+    }
+    run
+}
+
+/// Normalizes a journal: one verdict row per job (keyed `run/idx/name`
+/// collapsing to the newest record, which `ResumeLog` already does) and
+/// one aggregate perf row labeled `journal`.
+fn load_journal(log: &ResumeLog) -> Run {
+    let mut run = Run::default();
+    let mut agg = PerfRow::default();
+    for ((_, _, name), outcome) in log.entries() {
+        run.verdicts
+            .insert(name.clone(), outcome.verdict.kind().to_string());
+        agg.wall_ms += outcome.stats.millis;
+        agg.live_solves +=
+            u64::from(outcome.stats.sat_solves) + u64::from(outcome.stats.incremental_solves);
+        agg.h_latency.merge(&outcome.stats.h_latency_us);
+    }
+    run.perf.insert("journal".into(), agg);
+    run
+}
+
+/// The workspace JSON codec parses only strings, non-negative integers,
+/// arrays, and objects — but BENCH files carry `"verdict_parity":true`
+/// and derived-rate floats (`"pairs_per_sec":12.23`). Rewrite bools to
+/// 1/0 and truncate fractional parts (outside strings) before parsing;
+/// nothing gated on lives in those fields.
+fn debool(text: &str) -> String {
+    let text = text.replace(":true", ":1").replace(":false", ":0");
+    let mut out = String::with_capacity(text.len());
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '.' if out.chars().last().is_some_and(|p| p.is_ascii_digit()) => {
+                while chars.peek().is_some_and(char::is_ascii_digit) {
+                    chars.next();
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Loads either run format, sniffing journals by their first parseable
+/// line carrying the `(run, idx)` journal key.
+fn load(path: &str) -> Result<Run, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+    let looks_journal = JsonValue::parse(&debool(first))
+        .map(|v| v.get("run").is_some() && v.get("idx").is_some())
+        .unwrap_or(false);
+    if looks_journal {
+        let log =
+            ResumeLog::load(path).map_err(|e| format!("cannot load journal `{path}`: {e}"))?;
+        return Ok(load_journal(&log));
+    }
+    let v = JsonValue::parse(&debool(text.trim()))
+        .ok_or_else(|| format!("`{path}` is neither a journal nor a BENCH JSON object"))?;
+    let run = load_bench(&v);
+    if run.perf.is_empty() {
+        return Err(format!("`{path}` contains no benchmark pass records"));
+    }
+    Ok(run)
+}
+
+fn pct_change(old: u64, new: u64) -> i64 {
+    if old == 0 {
+        if new == 0 {
+            0
+        } else {
+            i64::MAX
+        }
+    } else {
+        ((new as i128 - old as i128) * 100 / old as i128) as i64
+    }
+}
+
+/// Runs the diff, printing one line per finding. Returns the number of
+/// gating regressions.
+fn diff(old: &Run, new: &Run, gate: &Gate) -> u64 {
+    let mut regressions = 0u64;
+    let flip = |what: &String, was: &str, now: &str| -> u64 {
+        println!("VERDICT FLIP  {what}: {was} -> {now}");
+        u64::from(!gate.allow_flips)
+    };
+
+    // Verdict flips over the row-key intersection.
+    let mut compared = 0usize;
+    for (key, was) in &old.verdicts {
+        let Some(now) = new.verdicts.get(key) else {
+            continue;
+        };
+        compared += 1;
+        if was != now {
+            regressions += flip(key, was, now);
+        }
+    }
+    // Disjoint label sets (e.g. BENCH files from different PRs): fall
+    // back to verdict parity grouped by workload name.
+    if compared == 0 {
+        for (name, old_sigs) in &old.by_name {
+            let Some(new_sigs) = new.by_name.get(name) else {
+                continue;
+            };
+            compared += 1;
+            if old_sigs != new_sigs {
+                regressions += flip(name, &old_sigs.join(" | "), &new_sigs.join(" | "));
+            } else {
+                println!("verdict parity  {name}: {}", old_sigs.join(" | "));
+            }
+        }
+    }
+    if compared == 0 {
+        println!("note: no comparable verdict rows between the two runs");
+    }
+
+    // Perf over the label intersection.
+    for (label, o) in &old.perf {
+        let Some(n) = new.perf.get(label) else {
+            continue;
+        };
+        let wall = pct_change(o.wall_ms, n.wall_ms);
+        let solves = pct_change(o.live_solves, n.live_solves);
+        println!(
+            "perf  {label}: wall {} -> {} ms ({wall:+}%), live solves {} -> {} ({solves:+}%)",
+            o.wall_ms, n.wall_ms, o.live_solves, n.live_solves
+        );
+        if o.wall_ms >= gate.min_wall_ms && wall > gate.max_wall_pct as i64 {
+            println!(
+                "REGRESSION    {label}: wall +{wall}% > {}%",
+                gate.max_wall_pct
+            );
+            regressions += 1;
+        }
+        if solves > gate.max_solves_pct as i64 {
+            println!(
+                "REGRESSION    {label}: live solves +{solves}% > {}%",
+                gate.max_solves_pct
+            );
+            regressions += 1;
+        }
+        if !o.h_latency.is_empty() && !n.h_latency.is_empty() {
+            let (op50, np50) = (o.h_latency.percentile(50), n.h_latency.percentile(50));
+            let (op99, np99) = (o.h_latency.percentile(99), n.h_latency.percentile(99));
+            let shift99 = pct_change(op99, np99);
+            println!(
+                "perf  {label}: query latency p50 {op50} -> {np50} us, p99 {op99} -> {np99} us ({shift99:+}%)"
+            );
+            if let Some(cap) = gate.max_p99_pct {
+                if shift99 > cap as i64 {
+                    println!("REGRESSION    {label}: latency p99 +{shift99}% > {cap}%");
+                    regressions += 1;
+                }
+            }
+        }
+    }
+    regressions
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: alive2-report OLD NEW [--max-wall-regress-pct N] [--max-solves-regress-pct N]\n\
+         \x20                          [--max-p99-regress-pct N] [--min-wall-ms N] [--allow-verdict-flips]\n\
+         OLD/NEW: BENCH_pr*.json snapshots or outcome journals (JSON-lines)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut gate = Gate::default();
+    if let Some(v) = alive2_core::cli::flag_value(&args, "--max-wall-regress-pct") {
+        gate.max_wall_pct = v;
+    }
+    if let Some(v) = alive2_core::cli::flag_value(&args, "--max-solves-regress-pct") {
+        gate.max_solves_pct = v;
+    }
+    gate.max_p99_pct = alive2_core::cli::flag_value(&args, "--max-p99-regress-pct");
+    if let Some(v) = alive2_core::cli::flag_value(&args, "--min-wall-ms") {
+        gate.min_wall_ms = v;
+    }
+    gate.allow_flips = args.iter().any(|a| a == "--allow-verdict-flips");
+    let files: Vec<&String> = {
+        const VALUED: &[&str] = &[
+            "--max-wall-regress-pct",
+            "--max-solves-regress-pct",
+            "--max-p99-regress-pct",
+            "--min-wall-ms",
+        ];
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if VALUED.contains(&a) {
+                i += 2;
+            } else if a == "--allow-verdict-flips" {
+                i += 1;
+            } else {
+                out.push(&args[i]);
+                i += 1;
+            }
+        }
+        out
+    };
+    let [old_path, new_path] = files.as_slice() else {
+        return usage();
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("alive2-report: {old_path} -> {new_path}");
+    let regressions = diff(&old, &new, &gate);
+    if regressions > 0 {
+        println!("RESULT: {regressions} regression(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("RESULT: no regressions");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(label: &str, wall: u64, incorrect: u64) -> String {
+        format!(
+            "{{\"{label}\":{{\"wall_ms\":{wall},\"sat_solves\":10,\"incremental_solves\":5,\
+             \"summary\":{{\"name\":\"kb\",\"correct\":5,\"incorrect\":{incorrect},\
+             \"timeout\":0,\"oom\":0,\"unsupported\":2,\"crash\":0,\
+             \"stats\":{{\"sat_solves\":10,\"incremental_solves\":5}}}}}},\
+             \"verdict_parity\":true}}"
+        )
+    }
+
+    fn run_of(text: &str) -> Run {
+        load_bench(&JsonValue::parse(&debool(text)).expect("bench json parses"))
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let r = run_of(&bench("cold", 1000, 29));
+        assert_eq!(diff(&r, &r, &Gate::default()), 0);
+    }
+
+    #[test]
+    fn wall_regression_trips_threshold() {
+        let old = run_of(&bench("cold", 1000, 29));
+        let new = run_of(&bench("cold", 1400, 29));
+        assert_eq!(diff(&old, &new, &Gate::default()), 1);
+        // Under the threshold: clean.
+        let ok = run_of(&bench("cold", 1200, 29));
+        assert_eq!(diff(&old, &ok, &Gate::default()), 0);
+        // Tiny baselines never gate on wall.
+        let tiny_old = run_of(&bench("cold", 10, 29));
+        let tiny_new = run_of(&bench("cold", 40, 29));
+        assert_eq!(diff(&tiny_old, &tiny_new, &Gate::default()), 0);
+    }
+
+    #[test]
+    fn verdict_flip_detected_and_waivable() {
+        let old = run_of(&bench("cold", 1000, 29));
+        let new = run_of(&bench("cold", 1000, 28));
+        assert_eq!(diff(&old, &new, &Gate::default()), 1);
+        let waive = Gate {
+            allow_flips: true,
+            ..Gate::default()
+        };
+        assert_eq!(diff(&old, &new, &waive), 0);
+    }
+
+    #[test]
+    fn disjoint_labels_fall_back_to_name_parity() {
+        let old = run_of(&bench("rewrite_cold", 1000, 29));
+        let new = run_of(&bench("profiled", 1000, 29));
+        assert_eq!(
+            diff(&old, &new, &Gate::default()),
+            0,
+            "same verdict columns"
+        );
+        let flipped = run_of(&bench("profiled", 1000, 28));
+        assert_eq!(diff(&old, &flipped, &Gate::default()), 1);
+    }
+
+    #[test]
+    fn debool_makes_bench_files_parseable() {
+        assert!(JsonValue::parse(&debool("{\"a\":true,\"b\":false}")).is_some());
+        // Floats truncate; strings (incl. dotted names) stay intact.
+        let v = JsonValue::parse(&debool("{\"rate\":12.23,\"n\":\"f.1\"}")).expect("parses");
+        assert_eq!(v.num("rate"), 12);
+        assert_eq!(v.get("n").unwrap().as_str(), Some("f.1"));
+    }
+
+    #[test]
+    fn percentile_shift_gates_only_when_asked() {
+        let mk = |hi: u64| {
+            let mut r = run_of(&bench("cold", 1000, 29));
+            let row = r.perf.get_mut("cold").unwrap();
+            for _ in 0..100 {
+                row.h_latency.record(hi);
+            }
+            r
+        };
+        let old = mk(100);
+        let new = mk(100_000);
+        assert_eq!(
+            diff(&old, &new, &Gate::default()),
+            0,
+            "report-only by default"
+        );
+        let gated = Gate {
+            max_p99_pct: Some(50),
+            ..Gate::default()
+        };
+        assert_eq!(diff(&old, &new, &gated), 1);
+    }
+}

@@ -39,6 +39,25 @@ pub fn finish_obs(obs: &ObsConfig, c: &Counts) {
             alive2_core::obs::report::render_phase_table(c.millis * 1_000)
         );
         print!("{}", alive2_core::obs::report::render_counters(&c.stats));
+        print!(
+            "{}",
+            alive2_core::obs::report::render_top_queries(&alive2_core::obs::profile::summary())
+        );
+    }
+    if obs.profile.is_some() {
+        match alive2_core::obs::profile::finish_sink(&c.stats) {
+            Ok(Some((path, lines))) => {
+                eprintln!(
+                    "profile: wrote {lines} query profiles to {}",
+                    path.display()
+                );
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: cannot finish profile sink: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     if let Some(path) = &obs.trace {
         match alive2_core::obs::trace::write_chrome(path) {

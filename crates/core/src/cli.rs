@@ -46,6 +46,7 @@ pub fn sanitize_child_args(args: &[String]) -> Vec<String> {
         "--journal",
         "--resume",
         "--trace",
+        "--profile",
     ];
     const BOOLEAN: &[&str] = &["--stats", "--trace-detail"];
     let mut out = Vec::new();
@@ -80,6 +81,7 @@ pub fn positional_args(args: &[String], extra_valued: &[&str]) -> Vec<String> {
         "--mem-budget-mb",
         "--cache",
         "--trace",
+        "--profile",
         "--procs",
         "--worker-shard",
         "--watchdog-ms",
@@ -215,26 +217,43 @@ pub fn config_from_args(args: &[String], base: EncodeConfig) -> EncodeConfig {
 /// `--stats` (per-phase breakdown + counter totals on stdout),
 /// `--trace FILE` (Chrome tracing JSON, load via `chrome://tracing` or
 /// Perfetto), `--trace-detail` (adds per-instruction encode spans to the
-/// trace — high volume, off by default).
+/// trace — high volume, off by default), `--profile FILE` (one JSON line
+/// per SMT query with job attribution plus a rule-fire trailer).
 #[derive(Clone, Debug, Default)]
 pub struct ObsConfig {
     /// Print the phase/counter report after the run.
     pub stats: bool,
     /// Destination for Chrome tracing JSON, if requested.
     pub trace: Option<String>,
+    /// Destination for per-query JSON-lines profiles, if requested.
+    pub profile: Option<String>,
 }
 
-/// Parses the observability flags and arms the global span/trace state
-/// accordingly. Call once, before any validation work runs.
+/// Parses the observability flags and arms the global span/trace/profile
+/// state accordingly. Call once, before any validation work runs.
+///
+/// Exits with a diagnostic if `--profile` names an unwritable path — a
+/// silently disabled profile sink would invalidate a triage run.
 pub fn obs_from_args(args: &[String]) -> ObsConfig {
     let stats = args.iter().any(|a| a == "--stats");
     let trace = flag_value::<String>(args, "--trace");
     let detail = args.iter().any(|a| a == "--trace-detail");
+    let profile = flag_value::<String>(args, "--profile");
     alive2_obs::trace::set_enabled(trace.is_some());
     alive2_obs::trace::set_detail(detail);
     // Tracing needs timestamps anyway, so --trace implies phase timing.
     alive2_obs::set_timing(stats || trace.is_some());
-    ObsConfig { stats, trace }
+    if let Some(path) = profile.as_deref() {
+        if let Err(e) = alive2_obs::profile::arm_sink(std::path::Path::new(path)) {
+            eprintln!("error: cannot open profile sink `{path}`: {e}");
+            std::process::exit(2);
+        }
+    }
+    ObsConfig {
+        stats,
+        trace,
+        profile,
+    }
 }
 
 /// Arms the persistent query-cache tier from the shared CLI convention:
@@ -285,6 +304,8 @@ mod tests {
             "--trace",
             "t.json",
             "--trace-detail",
+            "--profile",
+            "p.jsonl",
             "--watchdog-ms",
             "500",
             "--shard-size",

@@ -318,6 +318,10 @@ impl ValidationEngine {
         // record below still reports the furthest phase reached.
         alive2_obs::set_job_phase(Phase::Queued);
         let snap = alive2_obs::counters_snapshot();
+        // Attribute every query profile recorded on this thread to this
+        // job. The ring lives outside the unwound stack, so a crashed
+        // job's profiles still flush below.
+        alive2_obs::profile::set_job(&job.name);
         let picked = Instant::now();
         let _sp = alive2_obs::span_labeled(Phase::Job, &job.name);
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -377,6 +381,8 @@ impl ValidationEngine {
             }
         };
         stats.queue_ms = queue_ms;
+        alive2_obs::profile::flush_job();
+        alive2_obs::profile::clear_job();
         Outcome {
             name: job.name.clone(),
             verdict,

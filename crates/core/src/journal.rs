@@ -262,6 +262,13 @@ impl ResumeLog {
     pub fn lookup(&self, run: u32, idx: usize, name: &str) -> Option<Outcome> {
         self.entries.get(&(run, idx, name.to_string())).cloned()
     }
+
+    /// Iterates over every deduplicated `(run, idx, name) -> Outcome`
+    /// entry, in no particular order (`alive2-report` aggregates over
+    /// them; ordering-sensitive callers must sort by key).
+    pub fn entries(&self) -> impl Iterator<Item = (&(u32, usize, String), &Outcome)> {
+        self.entries.iter()
+    }
 }
 
 #[cfg(test)]

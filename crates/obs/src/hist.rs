@@ -1,0 +1,282 @@
+//! Log-bucketed histograms for query-level metrics.
+//!
+//! A [`Hist`] is a fixed array of power-of-two buckets: bucket 0 holds
+//! the value 0 and bucket `i` (i ≥ 1) holds values in `[2^(i-1), 2^i)`.
+//! That gives ~2× relative resolution over the full `u64` range with a
+//! constant 65-slot footprint — the right trade for latency / CNF-size /
+//! conflict distributions whose tails span orders of magnitude.
+//!
+//! Everything here is deterministic and order-independent: recording is
+//! a single bucket increment, merging is bucket-wise addition, and the
+//! percentile estimators are pure functions of the bucket counts. Two
+//! runs that record the same multiset of values — in any order, split
+//! across any number of threads or worker processes — produce
+//! bit-identical bucket arrays, which is what the jobs-1-vs-N and
+//! procs-1-vs-N parity tests pin. No exact values are retained;
+//! percentiles and the max report the *upper bound* of their bucket,
+//! so they are conservative by at most 2×.
+
+use crate::json::JsonValue;
+
+/// Number of buckets: the zero bucket plus one per possible bit width.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A log-bucketed histogram over `u64` samples.
+#[derive(Clone, Copy)]
+pub struct Hist {
+    counts: [u64; NUM_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            counts: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Hist(n={}, p50={}, p99={}, max={})",
+            self.count(),
+            self.percentile(50),
+            self.percentile(99),
+            self.max()
+        )
+    }
+}
+
+/// The bucket index of a value: 0 for 0, else its bit width.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (0 for the zero bucket).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Hist {
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The raw bucket counts (for parity comparisons).
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Bucket-wise addition — deterministic and order-independent.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+    }
+
+    /// Bucket-wise difference against an earlier snapshot of the same
+    /// monotonically-growing histogram (the snapshot/delta pattern the
+    /// per-job counters use).
+    pub fn delta_since(&self, snap: &Hist) -> Hist {
+        let mut out = Hist::default();
+        for i in 0..NUM_BUCKETS {
+            out.counts[i] = self.counts[i].saturating_sub(snap.counts[i]);
+        }
+        out
+    }
+
+    /// The `p`-th percentile (`p` in 0..=100), reported as the upper
+    /// bound of the bucket containing the `ceil(p% · n)`-th smallest
+    /// sample. 0 when empty.
+    pub fn percentile(&self, p: u64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        // rank = ceil(p * n / 100), clamped to [1, n].
+        let rank = ((p * n).div_ceil(100)).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        self.max()
+    }
+
+    /// Upper bound of the highest occupied bucket; 0 when empty.
+    pub fn max(&self) -> u64 {
+        match self.counts.iter().rposition(|&c| c != 0) {
+            Some(i) => bucket_upper(i),
+            None => 0,
+        }
+    }
+
+    /// Renders a sparse JSON object: total count plus `[bucket, count]`
+    /// pairs for occupied buckets only (journal lines stay small).
+    pub fn to_json_obj(&self) -> String {
+        let mut s = String::from("{\"n\":");
+        s.push_str(&self.count().to_string());
+        s.push_str(",\"b\":[");
+        let mut first = true;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("[{i},{c}]"));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Rebuilds a histogram from [`to_json_obj`](Self::to_json_obj)
+    /// output. Tolerant: malformed or absent pieces yield an empty
+    /// histogram, out-of-range bucket indices are dropped.
+    pub fn from_json(v: &JsonValue) -> Hist {
+        let mut h = Hist::default();
+        let Some(pairs) = v.get("b").and_then(JsonValue::as_arr) else {
+            return h;
+        };
+        for pair in pairs {
+            let Some(p) = pair.as_arr() else { continue };
+            if p.len() != 2 {
+                continue;
+            }
+            if let (Some(i), Some(c)) = (p[0].as_num(), p[1].as_num()) {
+                if (i as usize) < NUM_BUCKETS {
+                    h.counts[i as usize] += c;
+                }
+            }
+        }
+        h
+    }
+
+    /// One-line human rendering for the `--stats` report.
+    pub fn render(&self, unit: &str) -> String {
+        format!(
+            "n {:<6} p50 {:<8} p90 {:<8} p99 {:<8} max {} {unit}",
+            self.count(),
+            self.percentile(50),
+            self.percentile(90),
+            self.percentile(99),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(8), 255);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        let mut h = Hist::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        // The 50th sample is 50, which lives in bucket 6 ([32, 63]).
+        assert_eq!(h.percentile(50), 63);
+        assert_eq!(h.percentile(100), 127);
+        assert_eq!(h.max(), 127);
+        assert_eq!(h.percentile(0), 1, "rank clamps to the first sample");
+    }
+
+    #[test]
+    fn empty_hist_is_all_zero() {
+        let h = Hist::default();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let samples = [0u64, 1, 7, 9, 1000, 65536, 3, 3, 3, 1 << 40];
+        let mut fwd = Hist::default();
+        for &v in &samples {
+            fwd.record(v);
+        }
+        // Split across two "threads" recorded in reverse order.
+        let (mut a, mut b) = (Hist::default(), Hist::default());
+        for (i, &v) in samples.iter().rev().enumerate() {
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.buckets(), fwd.buckets());
+    }
+
+    #[test]
+    fn delta_since_isolates_a_scope() {
+        let mut h = Hist::default();
+        h.record(5);
+        let snap = h;
+        h.record(5);
+        h.record(900);
+        let d = h.delta_since(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.buckets()[bucket_of(5)], 1);
+        assert_eq!(d.buckets()[bucket_of(900)], 1);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut h = Hist::default();
+        for v in [0u64, 1, 1, 42, 42, 42, 1 << 33] {
+            h.record(v);
+        }
+        let text = h.to_json_obj();
+        let v = JsonValue::parse(&text).expect("valid JSON");
+        assert_eq!(v.num("n"), 7);
+        let back = Hist::from_json(&v);
+        assert_eq!(back.buckets(), h.buckets());
+
+        let empty = Hist::from_json(&JsonValue::parse("{}").unwrap());
+        assert!(empty.is_empty());
+    }
+}

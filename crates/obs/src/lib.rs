@@ -11,6 +11,12 @@
 //! - [`stats`]: always-on per-job counters (SMT sat/unsat/unknown
 //!   splits, CEGQI iterations, instructions encoded, hash-cons hit
 //!   rates, …) aggregated into run totals;
+//! - [`hist`]: dependency-free log-bucketed histograms (p50/p90/p99/max
+//!   with deterministic, order-independent merge) for query latency,
+//!   CNF size, and conflict distributions;
+//! - [`profile`]: per-query [`profile::QueryProfile`] records kept in a
+//!   bounded per-thread ring, drained per job into a top-K collector and
+//!   an optional `--profile FILE` JSON-lines sink;
 //! - [`trace`]: a bounded event buffer serialized as Chrome
 //!   `chrome://tracing` JSON (`--trace FILE`);
 //! - [`report`]: the `--stats` tables and summary-JSON fragments;
@@ -21,14 +27,18 @@
 //! so every layer can instrument itself; `alive2-core` re-exports it as
 //! `alive2_core::obs`.
 
+pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod report;
 pub mod span;
 pub mod stats;
 pub mod trace;
 
+pub use hist::Hist;
+pub use profile::QueryProfile;
 pub use span::{
     job_phase, phase_total_ns, reset_phase_totals, set_job_phase, set_timing, span, span_labeled,
     timing_enabled, Phase, SpanGuard,
 };
-pub use stats::{counters_snapshot, CounterSnapshot, JobStats, StatsTotals};
+pub use stats::{counters_snapshot, CounterSnapshot, JobStats, RewriteFamily, StatsTotals};

@@ -1,6 +1,7 @@
 //! Human-readable `--stats` rendering and the summary-JSON `phases`
 //! fragment shared by every driver.
 
+use crate::profile::ProfileSummary;
 use crate::span::{phase_total_ns, Phase, BREAKDOWN};
 use crate::stats::StatsTotals;
 
@@ -96,6 +97,16 @@ pub fn render_counters(t: &StatsTotals) -> String {
         t.rewrite_discharged, t.rewrite_residue, t.rewrite_steps
     ));
     out.push_str(&format!(
+        "    rule fires: sum-normalize {}, bitwise-absorb {}, shift/extract {}, \
+         ite/cmp {}, eq-cancel {}, div-fold {}\n",
+        t.rw_sum_normalize,
+        t.rw_bitwise_absorb,
+        t.rw_shift_extract,
+        t.rw_ite_cmp,
+        t.rw_eq_cancel,
+        t.rw_div_fold
+    ));
+    out.push_str(&format!(
         "  instructions encoded {}, approximations {}\n",
         t.insts_encoded, t.approx
     ));
@@ -115,6 +126,64 @@ pub fn render_counters(t: &StatsTotals) -> String {
     out.push_str(&format!(
         "  supervision: pairs quarantined {} (watchdog kills {}), worker restarts {}, shards retried {}\n",
         t.pairs_quarantined, t.watchdog_kills, t.worker_restarts, t.shards_retried
+    ));
+    out.push_str(&format!(
+        "  trace dropped {} events (buffer cap {})\n",
+        crate::trace::dropped(),
+        crate::trace::MAX_EVENTS
+    ));
+    out.push_str("-- query histograms -----------------------------\n");
+    out.push_str(&format!("  latency      {}\n", t.h_latency_us.render("us")));
+    out.push_str(&format!(
+        "  cnf size     {}\n",
+        t.h_cnf_clauses.render("clauses")
+    ));
+    out.push_str(&format!(
+        "  conflicts    {}\n",
+        t.h_conflicts.render("conflicts")
+    ));
+    out
+}
+
+/// Renders the `--stats` "slowest queries" section from the profile
+/// collector's top-K snapshot.
+pub fn render_top_queries(s: &ProfileSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "-- top {} slowest queries -----------------------\n",
+        crate::profile::TOP_K
+    ));
+    if s.top.is_empty() {
+        out.push_str("  (no queries profiled)\n");
+    }
+    for (rank, q) in s.top.iter().enumerate() {
+        let kind = if q.discharged {
+            "discharged"
+        } else if q.incremental {
+            "incremental"
+        } else {
+            "one-shot"
+        };
+        let iter = match q.cegqi_iter {
+            Some(i) => format!(" cegqi#{i}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "  #{:<2} {:>9} us  {:<8} {:<11} job {}{iter}  cnf {}v/{}c  conflicts {}  cache {:?}\n",
+            rank + 1,
+            q.wall_us,
+            q.result,
+            kind,
+            if q.job.is_empty() { "?" } else { &q.job },
+            q.vars_post,
+            q.clauses_post,
+            q.conflicts,
+            q.cache
+        ));
+    }
+    out.push_str(&format!(
+        "  profiles {} ({} live solves), ring-dropped {}\n",
+        s.total, s.solved, s.dropped
     ));
     out
 }
@@ -156,5 +225,40 @@ mod tests {
         assert!(counters.contains("pairs quarantined"));
         assert!(counters.contains("worker restarts"));
         assert!(counters.contains("term rewriting"));
+        assert!(counters.contains("rule fires"));
+        assert!(counters.contains("trace dropped"));
+        assert!(counters.contains("query histograms"));
+        assert!(counters.contains("latency"));
+    }
+
+    #[test]
+    fn top_queries_section_lists_ranked_profiles() {
+        use crate::profile::QueryProfile;
+        let empty = render_top_queries(&ProfileSummary::default());
+        assert!(empty.contains("top 10 slowest queries"));
+        assert!(empty.contains("no queries profiled"));
+
+        let s = ProfileSummary {
+            top: vec![QueryProfile {
+                job: "pair-x".into(),
+                wall_us: 1234,
+                vars_post: 8,
+                clauses_post: 21,
+                conflicts: 3,
+                solved: true,
+                cegqi_iter: Some(2),
+                result: "unsat",
+                ..QueryProfile::default()
+            }],
+            total: 7,
+            solved: 4,
+            dropped: 1,
+        };
+        let text = render_top_queries(&s);
+        assert!(text.contains("#1"));
+        assert!(text.contains("1234"));
+        assert!(text.contains("job pair-x"));
+        assert!(text.contains("cegqi#2"));
+        assert!(text.contains("profiles 7 (4 live solves), ring-dropped 1"));
     }
 }

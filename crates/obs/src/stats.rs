@@ -14,9 +14,10 @@
 //! [`StatsTotals`] is the run-level aggregate embedded in `Counts` and in
 //! every driver's summary JSON.
 
+use crate::hist::Hist;
 use crate::json::JsonValue;
 use crate::span::Phase;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 // ---- thread-local monotonic counters -------------------------------------
 
@@ -40,8 +41,24 @@ struct Block {
     rewrite_discharged: u64,
     rewrite_steps: u64,
     rewrite_residue: u64,
+    rw_sum_normalize: u64,
+    rw_bitwise_absorb: u64,
+    rw_shift_extract: u64,
+    rw_ite_cmp: u64,
+    rw_eq_cancel: u64,
+    rw_div_fold: u64,
     encode_ns: u64,
     solve_ns: u64,
+}
+
+/// The per-thread query histograms. Kept out of [`Block`] (which is
+/// copied whole on every counter bump) and updated in place: a
+/// histogram record touches one bucket, not 1.5 KB of array.
+#[derive(Clone, Copy, Default)]
+struct HistBlock {
+    latency_us: Hist,
+    cnf_clauses: Hist,
+    conflicts: Hist,
 }
 
 thread_local! {
@@ -65,10 +82,18 @@ thread_local! {
             rewrite_discharged: 0,
             rewrite_steps: 0,
             rewrite_residue: 0,
+            rw_sum_normalize: 0,
+            rw_bitwise_absorb: 0,
+            rw_shift_extract: 0,
+            rw_ite_cmp: 0,
+            rw_eq_cancel: 0,
+            rw_div_fold: 0,
             encode_ns: 0,
             solve_ns: 0,
         })
     };
+
+    static HISTS: RefCell<HistBlock> = RefCell::new(HistBlock::default());
 }
 
 fn bump(f: impl FnOnce(&mut Block)) {
@@ -171,10 +196,69 @@ pub fn record_rewrite_steps(n: u64) {
     bump(|b| b.rewrite_steps += n);
 }
 
+/// The current thread's monotonic `rewrite_steps` total. The profiling
+/// layer brackets a simplify call with two reads to attribute rule
+/// firings to one query.
+pub fn rewrite_steps_now() -> u64 {
+    BLOCK.with(|b| b.get().rewrite_steps)
+}
+
 /// One rewritten obligation did not reach a literal and fell through to
 /// bit-blasting (the rewrite pass's residue).
 pub fn record_rewrite_residue() {
     bump(|b| b.rewrite_residue += 1);
+}
+
+/// The rewrite rule families tracked per fire (satellite of the
+/// profiling layer). The family sums partition `rewrite_steps` exactly:
+/// every dispatch arm of `rewrite_node` maps to one family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RewriteFamily {
+    /// `bvadd`/`bvsub`/`bvneg`/`bvmul` ring normalization.
+    SumNormalize,
+    /// Boolean and bit-vector chain flattening / complement / absorption.
+    BitwiseAbsorb,
+    /// Shift, extract, extend, and concat fusion.
+    ShiftExtract,
+    /// `ite` and comparison canonicalization.
+    IteCmp,
+    /// Equality cancellation.
+    EqCancel,
+    /// SMT-LIB-total division/remainder folds.
+    DivFold,
+}
+
+/// `n` rewrite rules of one family fired (in addition to the aggregate
+/// counted by [`record_rewrite_steps`], kept for journal back-compat).
+pub fn record_rewrite_family(family: RewriteFamily, n: u64) {
+    if n == 0 {
+        return;
+    }
+    bump(|b| match family {
+        RewriteFamily::SumNormalize => b.rw_sum_normalize += n,
+        RewriteFamily::BitwiseAbsorb => b.rw_bitwise_absorb += n,
+        RewriteFamily::ShiftExtract => b.rw_shift_extract += n,
+        RewriteFamily::IteCmp => b.rw_ite_cmp += n,
+        RewriteFamily::EqCancel => b.rw_eq_cancel += n,
+        RewriteFamily::DivFold => b.rw_div_fold += n,
+    });
+}
+
+/// One query took `us` µs of wall time (histogram sample).
+pub fn record_query_latency_us(us: u64) {
+    HISTS.with(|h| h.borrow_mut().latency_us.record(us));
+}
+
+/// One query's post-preprocess canonical CNF had `n` clauses (histogram
+/// sample; recorded at canonicalization, before any cache lookup, so
+/// the distribution is deterministic across parallelism levels).
+pub fn record_query_cnf_clauses(n: u64) {
+    HISTS.with(|h| h.borrow_mut().cnf_clauses.record(n));
+}
+
+/// One live solve hit `n` conflicts (histogram sample).
+pub fn record_query_conflicts(n: u64) {
+    HISTS.with(|h| h.borrow_mut().conflicts.record(n));
 }
 
 /// Span-close hook: folds an accumulating span's duration into the
@@ -189,7 +273,10 @@ pub(crate) fn add_phase_ns(phase: Phase, ns: u64) {
 
 /// An opaque snapshot of this thread's counters; see [`JobStats::absorb_since`].
 #[derive(Clone, Copy, Debug)]
-pub struct CounterSnapshot(Block);
+pub struct CounterSnapshot {
+    block: Block,
+    hists: HistBlock,
+}
 
 impl std::fmt::Debug for Block {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -197,9 +284,18 @@ impl std::fmt::Debug for Block {
     }
 }
 
-/// Snapshots the current thread's monotonic counters.
+impl std::fmt::Debug for HistBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistBlock").finish_non_exhaustive()
+    }
+}
+
+/// Snapshots the current thread's monotonic counters and histograms.
 pub fn counters_snapshot() -> CounterSnapshot {
-    CounterSnapshot(BLOCK.with(|b| b.get()))
+    CounterSnapshot {
+        block: BLOCK.with(|b| b.get()),
+        hists: HISTS.with(|h| *h.borrow()),
+    }
 }
 
 // ---- per-job stats -------------------------------------------------------
@@ -252,6 +348,24 @@ pub struct JobStats {
     pub rewrite_steps: u64,
     /// Rewritten obligations that still needed bit-blasting.
     pub rewrite_residue: u32,
+    /// Per-family rewrite fire counts; they partition `rewrite_steps`
+    /// (see [`RewriteFamily`]). Deterministic, like the aggregate.
+    pub rw_sum_normalize: u64,
+    pub rw_bitwise_absorb: u64,
+    pub rw_shift_extract: u64,
+    pub rw_ite_cmp: u64,
+    pub rw_eq_cancel: u64,
+    pub rw_div_fold: u64,
+    /// Query-metric histograms: wall latency per check (µs), canonical
+    /// CNF clauses per check, CDCL conflicts per live solve. Journaled
+    /// with the job, so they survive `--resume` and shard-merge. The
+    /// CNF histogram is recorded before any cache lookup and is
+    /// deterministic across parallelism; latency is time-based and
+    /// conflicts depend on cache traffic, so only the CNF buckets are
+    /// compared by `StatsTotals::same_counters`.
+    pub h_latency_us: Hist,
+    pub h_cnf_clauses: Hist,
+    pub h_conflicts: Hist,
     /// Term-DAG nodes live in the job's context at completion.
     pub terms: u32,
     /// Hash-cons lookups that hit an existing node / allocated a new one.
@@ -297,6 +411,15 @@ impl Default for JobStats {
             rewrite_discharged: 0,
             rewrite_steps: 0,
             rewrite_residue: 0,
+            rw_sum_normalize: 0,
+            rw_bitwise_absorb: 0,
+            rw_shift_extract: 0,
+            rw_ite_cmp: 0,
+            rw_eq_cancel: 0,
+            rw_div_fold: 0,
+            h_latency_us: Hist::default(),
+            h_cnf_clauses: Hist::default(),
+            h_conflicts: Hist::default(),
             terms: 0,
             hc_hits: 0,
             hc_misses: 0,
@@ -317,26 +440,37 @@ impl JobStats {
     pub fn absorb_since(&mut self, snap: &CounterSnapshot) {
         let now = BLOCK.with(|b| b.get());
         let d = |cur: u64, old: u64| cur.saturating_sub(old);
-        self.smt_sat = d(now.smt_sat, snap.0.smt_sat) as u32;
-        self.smt_unsat = d(now.smt_unsat, snap.0.smt_unsat) as u32;
-        self.smt_unknown = d(now.smt_unknown, snap.0.smt_unknown) as u32;
-        self.cegqi_iters = d(now.cegqi_iters, snap.0.cegqi_iters) as u32;
-        self.insts_encoded = d(now.insts_encoded, snap.0.insts_encoded) as u32;
-        self.approx = d(now.approx, snap.0.approx) as u32;
-        self.sat_solves = d(now.sat_solves, snap.0.sat_solves) as u32;
-        self.cache_hits = d(now.cache_hits, snap.0.cache_hits) as u32;
-        self.cache_misses = d(now.cache_misses, snap.0.cache_misses) as u32;
-        self.cache_reval = d(now.cache_reval, snap.0.cache_reval) as u32;
-        self.incremental_solves = d(now.incremental_solves, snap.0.incremental_solves) as u32;
-        self.clauses_reused = d(now.clauses_reused, snap.0.clauses_reused);
-        self.learnts_kept = d(now.learnts_kept, snap.0.learnts_kept);
-        self.assumption_cores = d(now.assumption_cores, snap.0.assumption_cores) as u32;
-        self.cegqi_iter_exhausted = d(now.cegqi_iter_exhausted, snap.0.cegqi_iter_exhausted) as u32;
-        self.rewrite_discharged = d(now.rewrite_discharged, snap.0.rewrite_discharged) as u32;
-        self.rewrite_steps = d(now.rewrite_steps, snap.0.rewrite_steps);
-        self.rewrite_residue = d(now.rewrite_residue, snap.0.rewrite_residue) as u32;
-        self.encode_us = d(now.encode_ns, snap.0.encode_ns) / 1_000;
-        self.solve_us = d(now.solve_ns, snap.0.solve_ns) / 1_000;
+        self.smt_sat = d(now.smt_sat, snap.block.smt_sat) as u32;
+        self.smt_unsat = d(now.smt_unsat, snap.block.smt_unsat) as u32;
+        self.smt_unknown = d(now.smt_unknown, snap.block.smt_unknown) as u32;
+        self.cegqi_iters = d(now.cegqi_iters, snap.block.cegqi_iters) as u32;
+        self.insts_encoded = d(now.insts_encoded, snap.block.insts_encoded) as u32;
+        self.approx = d(now.approx, snap.block.approx) as u32;
+        self.sat_solves = d(now.sat_solves, snap.block.sat_solves) as u32;
+        self.cache_hits = d(now.cache_hits, snap.block.cache_hits) as u32;
+        self.cache_misses = d(now.cache_misses, snap.block.cache_misses) as u32;
+        self.cache_reval = d(now.cache_reval, snap.block.cache_reval) as u32;
+        self.incremental_solves = d(now.incremental_solves, snap.block.incremental_solves) as u32;
+        self.clauses_reused = d(now.clauses_reused, snap.block.clauses_reused);
+        self.learnts_kept = d(now.learnts_kept, snap.block.learnts_kept);
+        self.assumption_cores = d(now.assumption_cores, snap.block.assumption_cores) as u32;
+        self.cegqi_iter_exhausted =
+            d(now.cegqi_iter_exhausted, snap.block.cegqi_iter_exhausted) as u32;
+        self.rewrite_discharged = d(now.rewrite_discharged, snap.block.rewrite_discharged) as u32;
+        self.rewrite_steps = d(now.rewrite_steps, snap.block.rewrite_steps);
+        self.rewrite_residue = d(now.rewrite_residue, snap.block.rewrite_residue) as u32;
+        self.rw_sum_normalize = d(now.rw_sum_normalize, snap.block.rw_sum_normalize);
+        self.rw_bitwise_absorb = d(now.rw_bitwise_absorb, snap.block.rw_bitwise_absorb);
+        self.rw_shift_extract = d(now.rw_shift_extract, snap.block.rw_shift_extract);
+        self.rw_ite_cmp = d(now.rw_ite_cmp, snap.block.rw_ite_cmp);
+        self.rw_eq_cancel = d(now.rw_eq_cancel, snap.block.rw_eq_cancel);
+        self.rw_div_fold = d(now.rw_div_fold, snap.block.rw_div_fold);
+        let hists = HISTS.with(|h| *h.borrow());
+        self.h_latency_us = hists.latency_us.delta_since(&snap.hists.latency_us);
+        self.h_cnf_clauses = hists.cnf_clauses.delta_since(&snap.hists.cnf_clauses);
+        self.h_conflicts = hists.conflicts.delta_since(&snap.hists.conflicts);
+        self.encode_us = d(now.encode_ns, snap.block.encode_ns) / 1_000;
+        self.solve_us = d(now.solve_ns, snap.block.solve_ns) / 1_000;
     }
 
     /// Renders the journal/summary `stats` object.
@@ -348,6 +482,9 @@ impl JobStats {
              \"incremental_solves\":{},\"clauses_reused\":{},\"learnts_kept\":{},\
              \"assumption_cores\":{},\"cegqi_iter_exhausted\":{},\
              \"rewrite_discharged\":{},\"rewrite_steps\":{},\"rewrite_residue\":{},\
+             \"rw_sum\":{},\"rw_bitwise\":{},\"rw_shift\":{},\"rw_itecmp\":{},\
+             \"rw_eq\":{},\"rw_div\":{},\
+             \"hist\":{{\"latency_us\":{},\"cnf_clauses\":{},\"conflicts\":{}}},\
              \"terms\":{},\
              \"hc_hits\":{},\"hc_misses\":{},\"mem_bytes\":{},\"encode_us\":{},\
              \"solve_us\":{},\"queue_ms\":{},\"quarantined\":{},\"watchdog_kill\":{}}}",
@@ -372,6 +509,15 @@ impl JobStats {
             self.rewrite_discharged,
             self.rewrite_steps,
             self.rewrite_residue,
+            self.rw_sum_normalize,
+            self.rw_bitwise_absorb,
+            self.rw_shift_extract,
+            self.rw_ite_cmp,
+            self.rw_eq_cancel,
+            self.rw_div_fold,
+            self.h_latency_us.to_json_obj(),
+            self.h_cnf_clauses.to_json_obj(),
+            self.h_conflicts.to_json_obj(),
             self.terms,
             self.hc_hits,
             self.hc_misses,
@@ -413,6 +559,15 @@ impl JobStats {
             rewrite_discharged: v.num("rewrite_discharged") as u32,
             rewrite_steps: v.num("rewrite_steps"),
             rewrite_residue: v.num("rewrite_residue") as u32,
+            rw_sum_normalize: v.num("rw_sum"),
+            rw_bitwise_absorb: v.num("rw_bitwise"),
+            rw_shift_extract: v.num("rw_shift"),
+            rw_ite_cmp: v.num("rw_itecmp"),
+            rw_eq_cancel: v.num("rw_eq"),
+            rw_div_fold: v.num("rw_div"),
+            h_latency_us: hist_field(v, "latency_us"),
+            h_cnf_clauses: hist_field(v, "cnf_clauses"),
+            h_conflicts: hist_field(v, "conflicts"),
             terms: v.num("terms") as u32,
             hc_hits: v.num("hc_hits"),
             hc_misses: v.num("hc_misses"),
@@ -424,6 +579,15 @@ impl JobStats {
             watchdog_kill: v.num("watchdog_kill") as u32,
         }
     }
+}
+
+/// Pulls one histogram out of a stats object's `hist` sub-object;
+/// empty when absent (pre-histogram journals stay loadable).
+fn hist_field(v: &JsonValue, name: &str) -> Hist {
+    v.get("hist")
+        .and_then(|h| h.get(name))
+        .map(Hist::from_json)
+        .unwrap_or_default()
 }
 
 // ---- run-level totals ----------------------------------------------------
@@ -462,6 +626,22 @@ pub struct StatsTotals {
     pub rewrite_discharged: u64,
     pub rewrite_steps: u64,
     pub rewrite_residue: u64,
+    /// Per-family rewrite fire counts (partition `rewrite_steps`);
+    /// deterministic, compared by `same_counters`.
+    pub rw_sum_normalize: u64,
+    pub rw_bitwise_absorb: u64,
+    pub rw_shift_extract: u64,
+    pub rw_ite_cmp: u64,
+    pub rw_eq_cancel: u64,
+    pub rw_div_fold: u64,
+    /// Merged query histograms (bucket-wise sums of the per-job ones).
+    /// Only the CNF-size buckets are deterministic across parallelism
+    /// (latency is time-based; conflict counts depend on which checks
+    /// the shared query cache absorbs), so `same_counters` compares
+    /// `h_cnf_clauses` alone.
+    pub h_latency_us: Hist,
+    pub h_cnf_clauses: Hist,
+    pub h_conflicts: Hist,
     pub terms: u64,
     pub hc_hits: u64,
     pub hc_misses: u64,
@@ -509,6 +689,15 @@ impl StatsTotals {
         self.rewrite_discharged += s.rewrite_discharged as u64;
         self.rewrite_steps += s.rewrite_steps;
         self.rewrite_residue += s.rewrite_residue as u64;
+        self.rw_sum_normalize += s.rw_sum_normalize;
+        self.rw_bitwise_absorb += s.rw_bitwise_absorb;
+        self.rw_shift_extract += s.rw_shift_extract;
+        self.rw_ite_cmp += s.rw_ite_cmp;
+        self.rw_eq_cancel += s.rw_eq_cancel;
+        self.rw_div_fold += s.rw_div_fold;
+        self.h_latency_us.merge(&s.h_latency_us);
+        self.h_cnf_clauses.merge(&s.h_cnf_clauses);
+        self.h_conflicts.merge(&s.h_conflicts);
         self.terms += s.terms as u64;
         self.hc_hits += s.hc_hits;
         self.hc_misses += s.hc_misses;
@@ -542,6 +731,15 @@ impl StatsTotals {
         self.rewrite_discharged += other.rewrite_discharged;
         self.rewrite_steps += other.rewrite_steps;
         self.rewrite_residue += other.rewrite_residue;
+        self.rw_sum_normalize += other.rw_sum_normalize;
+        self.rw_bitwise_absorb += other.rw_bitwise_absorb;
+        self.rw_shift_extract += other.rw_shift_extract;
+        self.rw_ite_cmp += other.rw_ite_cmp;
+        self.rw_eq_cancel += other.rw_eq_cancel;
+        self.rw_div_fold += other.rw_div_fold;
+        self.h_latency_us.merge(&other.h_latency_us);
+        self.h_cnf_clauses.merge(&other.h_cnf_clauses);
+        self.h_conflicts.merge(&other.h_conflicts);
         self.terms += other.terms;
         self.hc_hits += other.hc_hits;
         self.hc_misses += other.hc_misses;
@@ -581,6 +779,13 @@ impl StatsTotals {
             && self.rewrite_discharged == other.rewrite_discharged
             && self.rewrite_steps == other.rewrite_steps
             && self.rewrite_residue == other.rewrite_residue
+            && self.rw_sum_normalize == other.rw_sum_normalize
+            && self.rw_bitwise_absorb == other.rw_bitwise_absorb
+            && self.rw_shift_extract == other.rw_shift_extract
+            && self.rw_ite_cmp == other.rw_ite_cmp
+            && self.rw_eq_cancel == other.rw_eq_cancel
+            && self.rw_div_fold == other.rw_div_fold
+            && self.h_cnf_clauses.buckets() == other.h_cnf_clauses.buckets()
             && self.terms == other.terms
             && self.hc_hits == other.hc_hits
             && self.hc_misses == other.hc_misses
@@ -606,6 +811,9 @@ impl StatsTotals {
              \"incremental_solves\":{},\"clauses_reused\":{},\"learnts_kept\":{},\
              \"assumption_cores\":{},\"cegqi_iter_exhausted\":{},\
              \"rewrite_discharged\":{},\"rewrite_steps\":{},\"rewrite_residue\":{},\
+             \"rw_sum\":{},\"rw_bitwise\":{},\"rw_shift\":{},\"rw_itecmp\":{},\
+             \"rw_eq\":{},\"rw_div\":{},\
+             \"hist\":{{\"latency_us\":{},\"cnf_clauses\":{},\"conflicts\":{}}},\
              \"terms\":{},\
              \"hc_hits\":{},\"hc_misses\":{},\"mem_peak_bytes\":{},\"encode_us\":{},\
              \"solve_us\":{},\"queue_ms\":{},\"pairs_quarantined\":{},\
@@ -630,6 +838,15 @@ impl StatsTotals {
             self.rewrite_discharged,
             self.rewrite_steps,
             self.rewrite_residue,
+            self.rw_sum_normalize,
+            self.rw_bitwise_absorb,
+            self.rw_shift_extract,
+            self.rw_ite_cmp,
+            self.rw_eq_cancel,
+            self.rw_div_fold,
+            self.h_latency_us.to_json_obj(),
+            self.h_cnf_clauses.to_json_obj(),
+            self.h_conflicts.to_json_obj(),
             self.terms,
             self.hc_hits,
             self.hc_misses,
@@ -667,6 +884,15 @@ impl StatsTotals {
             rewrite_discharged: v.num("rewrite_discharged"),
             rewrite_steps: v.num("rewrite_steps"),
             rewrite_residue: v.num("rewrite_residue"),
+            rw_sum_normalize: v.num("rw_sum"),
+            rw_bitwise_absorb: v.num("rw_bitwise"),
+            rw_shift_extract: v.num("rw_shift"),
+            rw_ite_cmp: v.num("rw_itecmp"),
+            rw_eq_cancel: v.num("rw_eq"),
+            rw_div_fold: v.num("rw_div"),
+            h_latency_us: hist_field(v, "latency_us"),
+            h_cnf_clauses: hist_field(v, "cnf_clauses"),
+            h_conflicts: hist_field(v, "conflicts"),
             terms: v.num("terms"),
             hc_hits: v.num("hc_hits"),
             hc_misses: v.num("hc_misses"),
@@ -731,6 +957,24 @@ mod tests {
             rewrite_discharged: 11,
             rewrite_steps: 230,
             rewrite_residue: 5,
+            rw_sum_normalize: 100,
+            rw_bitwise_absorb: 90,
+            rw_shift_extract: 20,
+            rw_ite_cmp: 12,
+            rw_eq_cancel: 7,
+            rw_div_fold: 1,
+            h_latency_us: {
+                let mut h = Hist::default();
+                h.record(120);
+                h.record(4000);
+                h
+            },
+            h_cnf_clauses: {
+                let mut h = Hist::default();
+                h.record(300);
+                h
+            },
+            h_conflicts: Hist::default(),
             terms: 1234,
             hc_hits: 999,
             hc_misses: 321,
@@ -759,6 +1003,15 @@ mod tests {
         assert_eq!(back.rewrite_discharged, 11);
         assert_eq!(back.rewrite_steps, 230);
         assert_eq!(back.rewrite_residue, 5);
+        assert_eq!(back.rw_sum_normalize, 100);
+        assert_eq!(back.rw_bitwise_absorb, 90);
+        assert_eq!(back.rw_shift_extract, 20);
+        assert_eq!(back.rw_ite_cmp, 12);
+        assert_eq!(back.rw_eq_cancel, 7);
+        assert_eq!(back.rw_div_fold, 1);
+        assert_eq!(back.h_latency_us.buckets(), s.h_latency_us.buckets());
+        assert_eq!(back.h_cnf_clauses.buckets(), s.h_cnf_clauses.buckets());
+        assert!(back.h_conflicts.is_empty());
         assert_eq!(back.terms, 1234);
         assert_eq!(back.hc_hits, 999);
         assert_eq!(back.mem_bytes, 65536);
@@ -800,6 +1053,42 @@ mod tests {
         assert_eq!(back.watchdog_kills, 1);
         assert_eq!(back.worker_restarts, 3);
         assert_eq!(back.shards_retried, 5);
+    }
+
+    #[test]
+    fn query_hists_and_families_carve_per_job() {
+        record_query_latency_us(999); // before the snapshot: excluded
+        let snap = counters_snapshot();
+        record_query_latency_us(10);
+        record_query_cnf_clauses(256);
+        record_query_conflicts(3);
+        record_rewrite_family(RewriteFamily::SumNormalize, 4);
+        record_rewrite_family(RewriteFamily::DivFold, 1);
+        record_rewrite_family(RewriteFamily::EqCancel, 0); // no-op
+        let mut job = JobStats::default();
+        job.absorb_since(&snap);
+        assert_eq!(job.h_latency_us.count(), 1);
+        assert_eq!(job.h_cnf_clauses.count(), 1);
+        assert_eq!(job.h_conflicts.count(), 1);
+        assert_eq!(job.rw_sum_normalize, 4);
+        assert_eq!(job.rw_div_fold, 1);
+        assert_eq!(job.rw_eq_cancel, 0);
+
+        // Parity compares the deterministic CNF buckets only: latency
+        // and conflicts may differ without breaking same_counters.
+        let mut a = StatsTotals::default();
+        a.add_job(&job);
+        let mut b = StatsTotals::default();
+        b.add_job(&job);
+        b.h_latency_us.record(77);
+        b.h_conflicts.record(9);
+        assert!(a.same_counters(&b));
+        let mut c = a;
+        c.h_cnf_clauses.record(256);
+        assert!(!a.same_counters(&c));
+        let mut d = a;
+        d.rw_div_fold += 1;
+        assert!(!a.same_counters(&d));
     }
 
     #[test]

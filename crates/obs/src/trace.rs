@@ -122,11 +122,14 @@ pub fn take_events() -> Vec<Event> {
     std::mem::take(&mut *buffer().lock().unwrap_or_else(|e| e.into_inner()))
 }
 
-/// Serializes events as a Chrome trace-event JSON array.
-pub fn chrome_json(events: &[Event]) -> String {
+/// Serializes events as a Chrome trace-event JSON array. The array
+/// always ends with one `"ph":"M"` metadata record carrying the
+/// buffer-drop count, so a truncated trace is distinguishable from a
+/// complete one and drop accounting travels with the file.
+pub fn chrome_json(events: &[Event], dropped: u64) -> String {
     let mut out = String::with_capacity(events.len() * 64 + 2);
     out.push_str("[\n");
-    for (i, e) in events.iter().enumerate() {
+    for e in events {
         let name = if e.label.is_empty() {
             e.phase.as_str().to_string()
         } else {
@@ -137,24 +140,29 @@ pub fn chrome_json(events: &[Event]) -> String {
             EventKind::End => "E",
         };
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"cat\":\"alive2\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}}}",
+            "{{\"name\":\"{}\",\"cat\":\"alive2\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}}},\n",
             esc(&name),
             ph,
             e.ts_us,
             e.tid
         ));
-        out.push_str(if i + 1 == events.len() { "\n" } else { ",\n" });
     }
+    out.push_str(&format!(
+        "{{\"name\":\"trace_buffer\",\"cat\":\"alive2\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,\
+         \"args\":{{\"dropped\":{dropped},\"events\":{}}}}}\n",
+        events.len()
+    ));
     out.push(']');
     out
 }
 
-/// Drains the buffer and writes it to `path` as Chrome trace JSON.
-/// Returns the number of events written.
+/// Drains the buffer and writes it to `path` as Chrome trace JSON
+/// (including the trailing drop-count metadata event).
+/// Returns the number of span events written.
 pub fn write_chrome(path: impl AsRef<Path>) -> std::io::Result<usize> {
     let events = take_events();
     let mut file = std::fs::File::create(path)?;
-    file.write_all(chrome_json(&events).as_bytes())?;
+    file.write_all(chrome_json(&events, dropped()).as_bytes())?;
     file.flush()?;
     Ok(events.len())
 }
@@ -182,19 +190,26 @@ mod tests {
                 tid: 1,
             },
         ];
-        let text = chrome_json(&events);
+        let text = chrome_json(&events, 3);
         let v = JsonValue::parse(&text).expect("valid JSON");
         let arr = v.as_arr().expect("array");
-        assert_eq!(arr.len(), 2);
+        assert_eq!(arr.len(), 3);
         assert_eq!(arr[0].get("ph").unwrap().as_str(), Some("B"));
         assert_eq!(arr[0].get("name").unwrap().as_str(), Some("encode:f"));
         assert_eq!(arr[1].get("ph").unwrap().as_str(), Some("E"));
         assert_eq!(arr[1].num("ts"), 25);
+        let meta = &arr[2];
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(meta.get("args").unwrap().num("dropped"), 3);
+        assert_eq!(meta.get("args").unwrap().num("events"), 2);
     }
 
     #[test]
-    fn empty_trace_is_an_empty_array() {
-        let v = JsonValue::parse(&chrome_json(&[])).expect("valid JSON");
-        assert_eq!(v.as_arr().map(<[JsonValue]>::len), Some(0));
+    fn empty_trace_still_carries_drop_metadata() {
+        let v = JsonValue::parse(&chrome_json(&[], 0)).expect("valid JSON");
+        let arr = v.as_arr().expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(arr[0].get("args").unwrap().num("dropped"), 0);
     }
 }

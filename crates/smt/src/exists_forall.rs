@@ -238,12 +238,23 @@ pub fn solve_exists_forall_with_seeds(
     let mut groups: Vec<Activation> = Vec::new();
     let mut pushed = 0usize;
 
-    for _iter in 0..config.max_iterations {
+    // Tag every query issued inside the loop with its iteration index
+    // (profile attribution); the guard clears the tag on any exit path.
+    struct IterTag;
+    impl Drop for IterTag {
+        fn drop(&mut self) {
+            alive2_obs::profile::set_cegqi_iter(None);
+        }
+    }
+    let _iter_tag = IterTag;
+
+    for iter in 0..config.max_iterations {
         // Span-close point for the per-job deadline: each iteration opens
         // under a fresh deadline check, so a deadline hit surfaces as a
         // Timeout at an iteration boundary rather than mid-solve.
         let _sp = alive2_obs::span(alive2_obs::Phase::Cegqi);
         alive2_obs::stats::record_cegqi_iter();
+        alive2_obs::profile::set_cegqi_iter(Some(u64::from(iter)));
         if deadline_exceeded(&start) {
             return EfResult::Timeout;
         }

@@ -20,7 +20,49 @@
 
 use crate::bv::BitVec;
 use crate::term::{Ctx, Op, TermId};
+use alive2_obs::stats::RewriteFamily;
 use std::collections::HashMap;
+
+/// All rule families, in `family_idx` order (for the flush loop).
+const FAMILIES: [RewriteFamily; 6] = [
+    RewriteFamily::SumNormalize,
+    RewriteFamily::BitwiseAbsorb,
+    RewriteFamily::ShiftExtract,
+    RewriteFamily::IteCmp,
+    RewriteFamily::EqCancel,
+    RewriteFamily::DivFold,
+];
+
+/// Maps an op to the rule family its `rewrite_node` dispatch arm belongs
+/// to. Mirrors the dispatch exactly, so the per-family fire counts
+/// partition `rewrite_steps`: ops the dispatcher leaves alone (the `_`
+/// arm) never fire a rule and are classified arbitrarily here.
+fn family_idx(op: &Op) -> usize {
+    let fam = match op {
+        Op::BvAdd | Op::BvSub | Op::BvNeg | Op::BvMul => RewriteFamily::SumNormalize,
+        Op::Not
+        | Op::And
+        | Op::Or
+        | Op::Implies
+        | Op::BXor
+        | Op::BvAnd
+        | Op::BvOr
+        | Op::BvXor
+        | Op::BvNot => RewriteFamily::BitwiseAbsorb,
+        Op::BvShl
+        | Op::BvLshr
+        | Op::BvAshr
+        | Op::Extract(..)
+        | Op::ZExt(_)
+        | Op::SExt(_)
+        | Op::Concat => RewriteFamily::ShiftExtract,
+        Op::Ite | Op::Ult | Op::Ule | Op::Slt | Op::Sle => RewriteFamily::IteCmp,
+        Op::Eq => RewriteFamily::EqCancel,
+        Op::BvUdiv | Op::BvUrem | Op::BvSdiv | Op::BvSrem => RewriteFamily::DivFold,
+        _ => RewriteFamily::IteCmp,
+    };
+    FAMILIES.iter().position(|&f| f == fam).unwrap()
+}
 
 /// Default global fuel: total rule firings allowed per [`simplify`] call.
 pub const DEFAULT_FUEL: u64 = 65_536;
@@ -47,9 +89,18 @@ pub fn simplify_with_fuel(ctx: &Ctx, t: TermId, fuel: u64) -> TermId {
         memo: HashMap::new(),
         fuel,
         steps: 0,
+        fams: [0; 6],
     };
     let r = rw.simp(t);
     alive2_obs::stats::record_rewrite_steps(rw.steps);
+    for (i, &fam) in FAMILIES.iter().enumerate() {
+        alive2_obs::stats::record_rewrite_family(fam, rw.fams[i]);
+    }
+    debug_assert_eq!(
+        rw.fams.iter().sum::<u64>(),
+        rw.steps,
+        "family fire counts must partition rewrite_steps"
+    );
     r
 }
 
@@ -58,6 +109,8 @@ struct Rewriter<'a> {
     memo: HashMap<TermId, TermId>,
     fuel: u64,
     steps: u64,
+    /// Per-family fire counts, indexed like [`FAMILIES`].
+    fams: [u64; 6],
 }
 
 impl<'a> Rewriter<'a> {
@@ -87,12 +140,16 @@ impl<'a> Rewriter<'a> {
             if self.fuel == 0 || self.ctx.over_budget() {
                 break;
             }
+            // Classify by the op *before* the rewrite: that is the
+            // dispatch arm whose rule fired.
+            let fam = family_idx(&self.ctx.op(cur));
             let next = self.rewrite_node(cur);
             if next == cur {
                 break;
             }
             self.fuel -= 1;
             self.steps += 1;
+            self.fams[fam] += 1;
             hops += 1;
             cur = next;
             if hops > MAX_HOPS {
@@ -1046,6 +1103,35 @@ mod tests {
         let x = ctx.var("x", Sort::BitVec(w));
         let y = ctx.var("y", Sort::BitVec(w));
         (ctx, x, y)
+    }
+
+    #[test]
+    fn family_fire_counts_partition_rewrite_steps() {
+        let snap = alive2_obs::counters_snapshot();
+        let (ctx, x, y) = ctx_x_y(8);
+        // Mix rule families: ring normalization, equality cancellation,
+        // bitwise absorption, shift fusion, division fold.
+        let s = ctx.bv_sub(ctx.bv_add(x, y), y);
+        let _ = simplify(&ctx, ctx.eq(s, x));
+        let _ = simplify(&ctx, ctx.bv_and(x, ctx.bv_and(x, y)));
+        let two = ctx.bv_lit_u64(8, 2);
+        let _ = simplify(&ctx, ctx.bv_shl(ctx.bv_shl(x, two), two));
+        let zero = ctx.bv_lit_u64(8, 0);
+        let _ = simplify(&ctx, ctx.bv_udiv(x, zero));
+        let mut job = alive2_obs::JobStats::default();
+        job.absorb_since(&snap);
+        assert!(job.rewrite_steps > 0, "corpus must fire rules");
+        let fam_sum = job.rw_sum_normalize
+            + job.rw_bitwise_absorb
+            + job.rw_shift_extract
+            + job.rw_ite_cmp
+            + job.rw_eq_cancel
+            + job.rw_div_fold;
+        assert_eq!(
+            fam_sum, job.rewrite_steps,
+            "families must partition the aggregate step count"
+        );
+        assert!(job.rw_sum_normalize > 0, "linear cancellation fired");
     }
 
     #[test]

@@ -58,6 +58,16 @@ impl SmtResult {
     }
 }
 
+/// The profile-record outcome tag of a result.
+fn result_str(r: &SmtResult) -> &'static str {
+    match r {
+        SmtResult::Sat(_) => "sat",
+        SmtResult::Unsat => "unsat",
+        SmtResult::Timeout => "timeout",
+        SmtResult::OutOfMemory => "oom",
+    }
+}
+
 /// A one-shot SMT solver over a [`Ctx`].
 ///
 /// # Examples
@@ -124,16 +134,21 @@ impl<'a> Solver<'a> {
     /// (i.e. variables that appear in the formula after simplification).
     pub fn check(&self, budget: Budget) -> SmtResult {
         let _sp = alive2_obs::span(alive2_obs::Phase::Query);
-        let result = self.check_inner(budget);
+        let started = std::time::Instant::now();
+        let mut prof = alive2_obs::QueryProfile::default();
+        let result = self.check_inner(budget, &mut prof);
         match &result {
             SmtResult::Sat(_) => alive2_obs::stats::record_smt_sat(),
             SmtResult::Unsat => alive2_obs::stats::record_smt_unsat(),
             SmtResult::Timeout | SmtResult::OutOfMemory => alive2_obs::stats::record_smt_unknown(),
         }
+        prof.wall_us = started.elapsed().as_micros() as u64;
+        prof.result = result_str(&result);
+        alive2_obs::profile::record_query(prof);
         result
     }
 
-    fn check_inner(&self, budget: Budget) -> SmtResult {
+    fn check_inner(&self, budget: Budget, prof: &mut alive2_obs::QueryProfile) -> SmtResult {
         // Fast path: syntactically trivial. The empty model means "every
         // variable is a don't-care" — provenance the counterexample
         // printer surfaces via `Model::try_eval` (it renders them as
@@ -150,9 +165,12 @@ impl<'a> Solver<'a> {
         // algebra before any CNF exists. The residue (if any) is what gets
         // blasted, so downstream cache keys see the simplified formula.
         if self.rewrite {
+            let steps_before = alive2_obs::stats::rewrite_steps_now();
             let r = crate::rewrite::simplify(self.ctx, conj);
+            prof.rewrite_steps = alive2_obs::stats::rewrite_steps_now() - steps_before;
             if let Some(b) = self.ctx.as_bool_lit(r) {
                 alive2_obs::stats::record_rewrite_discharged();
+                prof.discharged = true;
                 return if b {
                     SmtResult::Sat(Model::new())
                 } else {
@@ -180,11 +198,15 @@ impl<'a> Solver<'a> {
         // formula: the solve result is then a pure function of the
         // canonical CNF, so a cache replay is bit-identical to the live
         // solve it memoized and verdicts cannot depend on cache state.
+        prof.vars_pre = u64::from(bb.cnf.num_vars());
+        prof.clauses_pre = bb.cnf.clauses().len() as u64;
         let pre = cache::preprocess(&bb.cnf);
         if pre.conflict {
             return SmtResult::Unsat;
         }
         let canon = cache::canonicalize(&pre);
+        prof.vars_post = u64::from(canon.num_vars);
+        prof.clauses_post = canon.clauses.len() as u64;
 
         // Projects an assignment over canonical variables back through
         // the blaster onto the term-level free variables. Distinguishes
@@ -244,6 +266,7 @@ impl<'a> Solver<'a> {
         match qcache.lookup(fp, vars, nclauses) {
             Some(CachedOutcome::Unsat) => {
                 alive2_obs::stats::record_cache_hit();
+                prof.cache = alive2_obs::profile::CacheOutcome::Hit;
                 return SmtResult::Unsat;
             }
             Some(CachedOutcome::Sat(bits)) => {
@@ -254,16 +277,29 @@ impl<'a> Solver<'a> {
                 let model = build_model(&bits);
                 if roots.iter().all(|&t| model.eval(self.ctx, t).as_bool()) {
                     alive2_obs::stats::record_cache_hit();
+                    prof.cache = alive2_obs::profile::CacheOutcome::Hit;
                     return SmtResult::Sat(model);
                 }
                 alive2_obs::stats::record_cache_reval();
+                prof.cache = alive2_obs::profile::CacheOutcome::Reval;
             }
             None => {}
         }
         alive2_obs::stats::record_cache_miss();
         alive2_obs::stats::record_sat_solve();
+        if prof.cache == alive2_obs::profile::CacheOutcome::None {
+            prof.cache = alive2_obs::profile::CacheOutcome::Miss;
+        }
+        prof.solved = true;
         let mut sat = canon.to_solver();
-        match sat.solve(budget) {
+        let outcome = sat.solve(budget);
+        let st = sat.stats();
+        prof.conflicts = st.conflicts;
+        prof.decisions = st.decisions;
+        prof.propagations = st.propagations;
+        prof.restarts = st.restarts;
+        prof.learnts_kept = sat.num_learnts() as u64;
+        match outcome {
             // Budget verdicts are a property of this run, not of the
             // formula: never cached.
             SatOutcome::TimedOut => SmtResult::Timeout,
@@ -480,16 +516,29 @@ impl<'a> IncrementalSolver<'a> {
     /// [`failed_groups`](Self::failed_groups) names a failed core.
     pub fn check(&mut self, active: &[Activation], budget: Budget) -> SmtResult {
         let _sp = alive2_obs::span(alive2_obs::Phase::Query);
-        let result = self.check_live(active, budget);
+        let started = std::time::Instant::now();
+        let mut prof = alive2_obs::QueryProfile {
+            incremental: true,
+            ..alive2_obs::QueryProfile::default()
+        };
+        let result = self.check_live(active, budget, &mut prof);
         match &result {
             SmtResult::Sat(_) => alive2_obs::stats::record_smt_sat(),
             SmtResult::Unsat => alive2_obs::stats::record_smt_unsat(),
             SmtResult::Timeout | SmtResult::OutOfMemory => alive2_obs::stats::record_smt_unknown(),
         }
+        prof.wall_us = started.elapsed().as_micros() as u64;
+        prof.result = result_str(&result);
+        alive2_obs::profile::record_query(prof);
         result
     }
 
-    fn check_live(&mut self, active: &[Activation], budget: Budget) -> SmtResult {
+    fn check_live(
+        &mut self,
+        active: &[Activation],
+        budget: Budget,
+        prof: &mut alive2_obs::QueryProfile,
+    ) -> SmtResult {
         if self.falsified {
             return SmtResult::Unsat;
         }
@@ -497,6 +546,12 @@ impl<'a> IncrementalSolver<'a> {
         alive2_obs::stats::record_incremental_solve();
         alive2_obs::stats::record_clauses_reused(reused as u64);
         alive2_obs::stats::record_learnts_kept(self.sat.num_learnts() as u64);
+        // For the live solver "pre" is the blasted CNF and "post" is the
+        // resident clause population at dispatch (no canonical layer).
+        prof.vars_pre = u64::from(self.bb.cnf.num_vars());
+        prof.clauses_pre = self.bb.cnf.clauses().len() as u64;
+        prof.vars_post = u64::from(self.bb.cnf.num_vars());
+        prof.solved = true;
         self.checks += 1;
         // Bounded inprocessing once the database has grown by ≥25% since
         // the last pass — keeps long-lived solvers from drowning in
@@ -511,8 +566,16 @@ impl<'a> IncrementalSolver<'a> {
         if self.zero_phase {
             self.sat.reset_phases();
         }
+        prof.clauses_post = self.sat.num_clauses() as u64;
         let assumptions: Vec<Lit> = active.iter().map(|a| a.0).collect();
-        match self.sat.solve_assuming(&assumptions, budget) {
+        let outcome = self.sat.solve_assuming(&assumptions, budget);
+        let st = self.sat.stats();
+        prof.conflicts = st.conflicts;
+        prof.decisions = st.decisions;
+        prof.propagations = st.propagations;
+        prof.restarts = st.restarts;
+        prof.learnts_kept = self.sat.num_learnts() as u64;
+        match outcome {
             SatOutcome::TimedOut => SmtResult::Timeout,
             SatOutcome::OutOfMemory => SmtResult::OutOfMemory,
             SatOutcome::Unsat => {

@@ -107,6 +107,35 @@ if [ -n "$CACHE" ]; then
   fi
   printf '{%s,%s,"verdict_parity":%s}\n' "$RW" "$NR" "$RWPARITY" > BENCH_pr8.json
   cat BENCH_pr8.json
+  # BENCH_pr9: the profiling-overhead experiment. `base` is a plain run;
+  # `profiled` re-runs the identical corpus with the --profile JSON-lines
+  # sink armed. Query profiles are recorded unconditionally (the ring is
+  # always live), so the delta isolates the cost of streaming them to
+  # disk — the acceptance bar is <= 5% wall overhead with verdict parity.
+  PDIR=$(mktemp -d)
+  trap 'rm -rf "$CDIR" "$IDIR" "$FDIR" "$RWDIR" "$NRDIR" "$PDIR"' EXIT
+  PB=$(run_pass base)
+  PP=$(run_pass profiled --profile "$PDIR/kb.profile.jsonl")
+  if [ "$(sup_verdicts "$PB")" = "$(sup_verdicts "$PP")" ]; then
+    PPARITY=true
+  else
+    PPARITY=false
+  fi
+  pwall() { printf '%s' "$1" | grep -o '"wall_ms":[0-9]*' | head -n 1 | cut -d: -f2; }
+  # Clamped at 0: the in-tree JSON codec has no negative numbers, and a
+  # faster profiled run is just timing noise anyway.
+  OVERHEAD=$(awk "BEGIN { b=$(pwall "$PB"); p=$(pwall "$PP");
+                          d = b ? (p - b) * 100 / b : 0;
+                          if (d < 0) d = 0; printf \"%d\", d }")
+  printf '{%s,%s,"profile_lines":%s,"overhead_pct":%s,"verdict_parity":%s}\n' \
+    "$PB" "$PP" "$(wc -l < "$PDIR/kb.profile.jsonl")" "$OVERHEAD" "$PPARITY" \
+    > BENCH_pr9.json
+  cat BENCH_pr9.json
+  # Cross-run triage gate: the new artifact must not regress the previous
+  # PR's verdict columns (labels are disjoint across PRs, so the report
+  # falls back to per-harness verdict-signature parity).
+  cargo build --release -q -p alive2-bench --bin alive2-report
+  ./target/release/alive2-report BENCH_pr8.json BENCH_pr9.json
   exit 0
 fi
 {

@@ -132,6 +132,25 @@ pub fn alive_tv_main() -> ExitCode {
     if obs_cfg.stats {
         print!("{}", obs::report::render_phase_table(wall_us));
         print!("{}", obs::report::render_counters(&counts.stats));
+        print!(
+            "{}",
+            obs::report::render_top_queries(&obs::profile::summary())
+        );
+    }
+    if obs_cfg.profile.is_some() {
+        match obs::profile::finish_sink(&counts.stats) {
+            Ok(Some((path, lines))) => {
+                eprintln!(
+                    "profile: wrote {lines} query profiles to {}",
+                    path.display()
+                );
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: cannot finish profile sink: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if let Some(path) = &obs_cfg.trace {
         match obs::trace::write_chrome(path) {

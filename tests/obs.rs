@@ -154,8 +154,10 @@ fn trace_file_is_valid_chrome_json() {
     let text = std::fs::read_to_string(&path).unwrap();
     let v = JsonValue::parse(&text).expect("trace must parse with the in-tree codec");
     let events = v.as_arr().expect("trace is a JSON array");
-    assert_eq!(events.len(), n);
+    // Span events plus the trailing trace_buffer metadata record.
+    assert_eq!(events.len(), n + 1);
     let mut begins = 0i64;
+    let mut meta = 0usize;
     for e in events {
         assert!(e.get("name").and_then(|n| n.as_str()).is_some());
         assert!(e.get("ts").is_some());
@@ -163,11 +165,22 @@ fn trace_file_is_valid_chrome_json() {
         match e.get("ph").and_then(|p| p.as_str()).expect("ph field") {
             "B" => begins += 1,
             "E" => begins -= 1,
+            "M" => meta += 1,
             other => panic!("unexpected event type {other}"),
         }
         assert_eq!(e.get("cat").and_then(|c| c.as_str()), Some("alive2"));
     }
     assert_eq!(begins, 0, "unbalanced B/E events");
+    assert_eq!(meta, 1, "exactly one metadata event");
+    // The metadata event is last and carries the drop accounting.
+    let last = events.last().unwrap();
+    assert_eq!(
+        last.get("name").and_then(|n| n.as_str()),
+        Some("trace_buffer")
+    );
+    let args = last.get("args").expect("metadata args");
+    assert_eq!(args.get("dropped").and_then(|d| d.as_num()), Some(0));
+    assert_eq!(args.get("events").and_then(|d| d.as_num()), Some(n as u64));
     let _ = std::fs::remove_file(&path);
 }
 
@@ -195,6 +208,31 @@ fn counters_identical_jobs_1_vs_4() {
         "{:?} vs {:?}",
         seq.stats,
         par.stats
+    );
+    // The CNF-size histogram is recorded at canonicalization (before any
+    // cache interaction), so its buckets must be bit-identical regardless
+    // of worker count; rule-family fire counts partition rewrite_steps.
+    assert!(!seq.stats.h_cnf_clauses.is_empty(), "{:?}", seq.stats);
+    assert_eq!(
+        seq.stats.h_cnf_clauses.buckets(),
+        par.stats.h_cnf_clauses.buckets()
+    );
+    assert_eq!(
+        seq.stats.rw_sum_normalize
+            + seq.stats.rw_bitwise_absorb
+            + seq.stats.rw_shift_extract
+            + seq.stats.rw_ite_cmp
+            + seq.stats.rw_eq_cancel
+            + seq.stats.rw_div_fold,
+        seq.stats.rewrite_steps,
+        "family counters must partition rewrite_steps: {:?}",
+        seq.stats
+    );
+    // Latency histograms carry timing (not bit-identical across worker
+    // counts), but both runs profile the same number of queries.
+    assert_eq!(
+        seq.stats.h_latency_us.count(),
+        par.stats.h_latency_us.count()
     );
 }
 
@@ -258,6 +296,19 @@ fn stats_survive_kill_and_resume() {
         "{:?} vs {:?}",
         full.stats,
         resumed.stats
+    );
+    // Histograms ride the journal's per-job stats, so the resumed run
+    // reconstructs the replayed job's buckets without re-solving: the
+    // deterministic CNF-size histogram must match the uninterrupted run
+    // exactly, and the timing histogram must cover the same query count.
+    assert!(!full.stats.h_cnf_clauses.is_empty(), "{:?}", full.stats);
+    assert_eq!(
+        full.stats.h_cnf_clauses.buckets(),
+        resumed.stats.h_cnf_clauses.buckets()
+    );
+    assert_eq!(
+        full.stats.h_latency_us.count(),
+        resumed.stats.h_latency_us.count()
     );
 
     let _ = std::fs::remove_file(&path);

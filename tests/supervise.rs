@@ -141,6 +141,30 @@ fn verdicts(summary: &str) -> String {
     }
 }
 
+/// Extracts a balanced `"name":{...}` JSON object from the summary by
+/// brace counting (the histogram sub-objects nest inside `stats`).
+fn obj_field(summary: &str, name: &str) -> String {
+    let key = format!("\"{name}\":{{");
+    let at = summary
+        .find(&key)
+        .unwrap_or_else(|| panic!("no {name} in {summary}"));
+    let start = at + key.len() - 1;
+    let mut depth = 0usize;
+    for (i, c) in summary[start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return summary[start..=start + i].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unbalanced object for {name} in {summary}");
+}
+
 /// Finds a live worker process whose argv contains `--worker-shard`, the
 /// given shard range, and `fingerprint` (the test's unique fixture path).
 fn find_worker(shard: &str, fingerprint: &str) -> Option<u32> {
@@ -218,6 +242,42 @@ fn clean_supervised_run_matches_single_process_verdicts() {
     ] {
         assert_eq!(field(&s, counter), 0, "{counter} in {s}");
     }
+}
+
+#[test]
+fn histograms_identical_procs_1_vs_3() {
+    let (src, tgt) = fixture("hist-parity");
+    let one = tv(&src, &tgt, &["--procs", "1", "--shard-size", "2"]);
+    let three = tv(&src, &tgt, &["--procs", "3", "--shard-size", "2"]);
+    assert!(one.status.success(), "{one:?}");
+    assert!(three.status.success(), "{three:?}");
+    let (a, b) = (summary(&one), summary(&three));
+    assert_eq!(verdicts(&a), verdicts(&b));
+    // Per-job histograms ride the journaled stats through the shard
+    // merge, so the deterministic CNF-size buckets must be bit-identical
+    // regardless of how many worker processes the run sharded across.
+    assert_eq!(
+        obj_field(&a, "cnf_clauses"),
+        obj_field(&b, "cnf_clauses"),
+        "cnf histogram differs between --procs 1 and --procs 3"
+    );
+    // Rule-family fire counts are deterministic too.
+    for counter in [
+        "rewrite_steps",
+        "rw_sum",
+        "rw_bitwise",
+        "rw_shift",
+        "rw_itecmp",
+        "rw_eq",
+        "rw_div",
+    ] {
+        assert_eq!(field(&a, counter), field(&b, counter), "{counter}: {a}");
+    }
+    // Latency buckets carry timing (shapes may differ), but both runs
+    // profile the same number of queries.
+    let (la, lb) = (obj_field(&a, "latency_us"), obj_field(&b, "latency_us"));
+    assert_eq!(field(&la, "n"), field(&lb, "n"));
+    assert!(field(&la, "n") > 0, "no queries profiled: {a}");
 }
 
 #[test]
