@@ -223,6 +223,39 @@ KB_SAT=$(kbsum "$SMOKE/kb_prof.out" | grep -o '"sat_solves":[0-9]*' | cut -d: -f
 KB_INCS=$(kbsum "$SMOKE/kb_prof.out" | grep -o '"incremental_solves":[0-9]*' | cut -d: -f2)
 test "$KB_SOLVED" -eq $((KB_SAT + KB_INCS))
 
+# ---- validation-service smoke (see DESIGN.md, "Validation as a service") --
+# The known-bugs corpus through one warm `alive2-serve` daemon as two
+# batches (emitted by serve_bench --emit-requests). Both batches must
+# reproduce the one-shot CLI verdict columns exactly (the 29 detected /
+# 7 soundly-missed split of kb_one above), the second (warm) batch must
+# hit the in-memory query cache and issue strictly fewer live solves
+# than the first, and stdin EOF must drain the queue and exit 0
+# (`set -e` enforces it). --no-incremental keeps every discharge on the
+# cache-eligible one-shot solver path, matching the kb_one baseline.
+SERVE=target/release/alive2-serve
+target/release/serve_bench --emit-requests > "$SMOKE/serve_reqs.jsonl"
+test "$(grep -c '"op":"validate"' "$SMOKE/serve_reqs.jsonl")" -eq 2
+"$SERVE" --jobs 4 --no-incremental < "$SMOKE/serve_reqs.jsonl" \
+    > "$SMOKE/serve.out" 2> "$SMOKE/serve.err"
+grep '"id":"batch-1"' "$SMOKE/serve.out" | grep '"done":true' > "$SMOKE/b1.json"
+grep '"id":"batch-2"' "$SMOKE/serve.out" | grep '"done":true' > "$SMOKE/b2.json"
+for col in pairs correct incorrect timeout oom unsupported crash; do
+  want=$(kbsum "$SMOKE/kb_one.out" | grep -o "\"$col\":[0-9]*" | head -n 1)
+  test "$(grep -o "\"$col\":[0-9]*" "$SMOKE/b1.json" | head -n 1)" = "$want"
+  test "$(grep -o "\"$col\":[0-9]*" "$SMOKE/b2.json" | head -n 1)" = "$want"
+done
+lives() {
+  s=$(grep -o '"sat_solves":[0-9]*' "$1" | head -n 1 | cut -d: -f2)
+  i=$(grep -o '"incremental_solves":[0-9]*' "$1" | head -n 1 | cut -d: -f2)
+  echo $((s + i))
+}
+test "$(lives "$SMOKE/b2.json")" -lt "$(lives "$SMOKE/b1.json")"
+test "$(grep -o '"cache_hits":[0-9]*' "$SMOKE/b2.json" | head -n 1 | cut -d: -f2)" -gt 0
+# The daemon's exit summary keeps the last-stdout-line contract and
+# covers both batches.
+tail -n 1 "$SMOKE/serve.out" | grep -q '"name":"alive2_serve"'
+tail -n 1 "$SMOKE/serve.out" | grep -q '"pairs":72'
+
 # ---- regression-triage gate (alive2-report self-diff) ------------------
 # Comparing a benchmark artifact against itself must be clean (exit 0);
 # a perturbed copy with a flipped verdict column must trip the gate

@@ -87,6 +87,9 @@ pub fn positional_args(args: &[String], extra_valued: &[&str]) -> Vec<String> {
         "--watchdog-ms",
         "--shard-size",
         "--shard-retries",
+        "--listen",
+        "--max-batch-pairs",
+        "--max-queued-pairs",
     ];
     const BOOLEAN: &[&str] = &[
         "--stats",
@@ -257,11 +260,13 @@ pub fn obs_from_args(args: &[String]) -> ObsConfig {
 }
 
 /// Arms the persistent query-cache tier from the shared CLI convention:
-/// `--cache DIR` loads `DIR/cache.jsonl` into the in-process query cache
-/// and appends every new canonical-CNF result to it, so a rerun replays
-/// solved queries instead of solving them live. Call once, before any
-/// validation work runs. Returns the number of entries loaded (`None`
-/// when the flag is absent).
+/// `--cache DIR` loads every cache file in `DIR` into the in-process
+/// query cache and appends new canonical-CNF results to this process's
+/// private `DIR/cache-<pid>.jsonl`, so a rerun replays solved queries
+/// instead of solving them live (and concurrent processes sharing the
+/// dir cannot tear each other's lines). Call once, before any validation
+/// work runs. Returns the number of entries loaded (`None` when the flag
+/// is absent).
 ///
 /// Exits with a diagnostic if the directory cannot be created or read —
 /// a silently disabled cache would invalidate a warm-run benchmark.
@@ -269,7 +274,7 @@ pub fn cache_from_args(args: &[String]) -> Option<usize> {
     let dir = flag_value::<String>(args, "--cache")?;
     match alive2_smt::cache::global().attach_dir(std::path::Path::new(&dir)) {
         Ok(loaded) => {
-            eprintln!("cache: loaded {loaded} entries from {dir}/cache.jsonl");
+            eprintln!("cache: loaded {loaded} entries from {dir}");
             Some(loaded)
         }
         Err(e) => {

@@ -29,6 +29,7 @@ pub mod journal;
 pub use alive2_obs as obs;
 pub mod refine;
 pub mod report;
+pub mod serve;
 pub mod supervisor;
 pub mod validator;
 

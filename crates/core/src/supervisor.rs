@@ -368,6 +368,11 @@ pub(crate) fn run_supervised(
             None => pending.push(i),
         }
     }
+    // Resume resolved every job (or the run had none): return with an
+    // empty merge — no merge journal, no shard plan, no workers. The
+    // shard planner and worker spawner both assume non-empty input
+    // (`max()`, `first().expect(..)`), so this early return is what keeps
+    // `--procs N --resume full.jsonl` from panicking on an empty plan.
     if pending.is_empty() {
         return slots.into_iter().map(|s| s.expect("resolved")).collect();
     }
@@ -668,7 +673,9 @@ mod tests {
         assert_eq!(flat, pending, "coverage and order preserved");
         // Default sizing: ~4 shards per worker.
         assert!(shards.len() >= 4, "got {} shards", shards.len());
-        let max = shards.iter().map(Vec::len).max().unwrap();
+        // `unwrap_or(0)`: an empty shard list (resume resolved everything)
+        // must read as "max shard size 0", not a panic.
+        let max = shards.iter().map(Vec::len).max().unwrap_or(0);
         assert!(max <= 32, "shard size capped at 32, got {max}");
     }
 
@@ -700,6 +707,79 @@ mod tests {
         assert_eq!(watchdog_budget_ms(&spec, Some(100), 8), 5_000 + 100 * 9);
         spec.watchdog_ms = Some(1234);
         assert_eq!(watchdog_budget_ms(&spec, Some(100), 8), 1234);
+    }
+
+    #[test]
+    fn resume_to_empty_replays_without_spawning_workers() {
+        // `--procs N` with a `--resume` journal that already resolves
+        // every job: the supervisor must return the replayed outcomes
+        // with an empty merge instead of planning shards over an empty
+        // pending list (the old `.max().unwrap()` panic site). The spec's
+        // worker binary deliberately does not exist — any spawn attempt
+        // would surface as quarantine verdicts, not replays.
+        let src = alive2_ir::parser::parse_module(
+            "define i8 @a(i8 %x) {\nentry:\n  %r = mul i8 %x, 2\n  ret i8 %r\n}\n\
+             define i8 @b(i8 %x) {\nentry:\n  %r = add i8 %x, 1\n  ret i8 %r\n}",
+        )
+        .unwrap();
+        let tgt = alive2_ir::parser::parse_module(
+            "define i8 @a(i8 %x) {\nentry:\n  %r = shl i8 %x, 1\n  ret i8 %r\n}\n\
+             define i8 @b(i8 %x) {\nentry:\n  %r = add i8 %x, 2\n  ret i8 %r\n}",
+        )
+        .unwrap();
+        let jobs: Vec<Job> = src
+            .functions
+            .iter()
+            .map(|f| Job {
+                name: f.name.clone(),
+                module: &src,
+                src: f,
+                tgt: tgt.function(&f.name).unwrap(),
+                cfg: Default::default(),
+            })
+            .collect();
+
+        let path =
+            std::env::temp_dir().join(format!("alive2-resume-empty-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = Journal::append(&path).unwrap();
+            journal.record(
+                0,
+                0,
+                &Outcome {
+                    name: "a".into(),
+                    verdict: Verdict::Correct,
+                    stats: ValidateStats::default(),
+                },
+            );
+            journal.record(
+                0,
+                1,
+                &Outcome {
+                    name: "b".into(),
+                    verdict: Verdict::Timeout,
+                    stats: ValidateStats::default(),
+                },
+            );
+        }
+        let resume = Arc::new(ResumeLog::load(&path).unwrap());
+        let spec = Arc::new(SuperviseSpec::new(
+            4,
+            PathBuf::from("/nonexistent/alive2-worker-binary"),
+            Vec::new(),
+        ));
+        let engine = ValidationEngine::sequential()
+            .with_resume(Some(resume))
+            .with_supervise(Some(spec));
+        let outcomes = engine.run(&jobs);
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].verdict.is_correct());
+        assert!(matches!(outcomes[1].verdict, Verdict::Timeout));
+        // And the degenerate case: supervising an empty work list.
+        let none = engine.run(&[]);
+        assert!(none.is_empty());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

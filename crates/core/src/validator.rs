@@ -310,7 +310,7 @@ fn call_constraints(ctx: &Ctx, src_calls: &[CallSite], tgt_calls: &[CallSite]) -
 /// term (e.g. `x+x` vs `2*x`). Purely heuristic: soundness and
 /// completeness do not depend on seed quality.
 /// How [`build_seed`] assigns pool entries to universals.
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum SeedMode {
     /// k-th universal of a group gets the k-th pool entry; extras unmapped.
     InOrder,
@@ -357,7 +357,10 @@ fn build_seed(
                 return None;
             }
             match mode {
-                SeedMode::AllToLast => Some(*p.last().unwrap()),
+                // `last()` rather than indexing: a seed pool can go empty
+                // (e.g. every candidate was filtered by sort), and an
+                // empty pool must mean "no seed", not a panic.
+                SeedMode::AllToLast => p.last().copied(),
                 SeedMode::InOrder => {
                     if *c < p.len() {
                         let t = p[*c];
@@ -1138,5 +1141,22 @@ exit:
             Verdict::Inconclusive(_) | Verdict::Correct => {}
             other => panic!("must not claim a definite bug: {other:?}"),
         }
+    }
+
+    #[test]
+    fn build_seed_empty_pool_falls_back_to_no_seed() {
+        // An empty seed pool (every candidate filtered out) must yield an
+        // empty seed map in every mode — in particular AllToLast, whose
+        // "take the pool's last element" must not panic on an empty pool.
+        let ctx = Ctx::new();
+        let u = ctx.var("undef", Sort::BitVec(8));
+        for mode in [SeedMode::InOrder, SeedMode::RoundRobin, SeedMode::AllToLast] {
+            let seed = build_seed(&ctx, &[u], &[], mode);
+            assert!(seed.is_empty(), "{mode:?} must fall back to no-seed");
+        }
+        // Sanity: a one-element pool still seeds under AllToLast.
+        let p = ctx.var("undef", Sort::BitVec(8));
+        let seed = build_seed(&ctx, &[u], &[p], SeedMode::AllToLast);
+        assert_eq!(seed.get(&u), Some(&p));
     }
 }

@@ -374,8 +374,10 @@ impl QueryCache {
         let mut disk = lock(&self.disk);
         if let Some(f) = disk.as_mut() {
             let line = Self::disk_line(fp, vars, clauses, &outcome);
-            // One write per line: concurrent appenders interleave whole
-            // lines, and a torn tail is skipped on load (journal-style).
+            // One O_APPEND write per line into this process's *private*
+            // file (see `attach_dir`): no other process ever writes it,
+            // so lines cannot interleave regardless of length, and a torn
+            // tail from a crash is skipped on load (journal-style).
             let _ = f.write_all(line.as_bytes()).and_then(|_| f.flush());
         }
     }
@@ -402,26 +404,101 @@ impl QueryCache {
         }
     }
 
-    /// Attaches the persistent tier: loads `DIR/cache.jsonl` (tolerating
-    /// missing files and torn lines) into memory and opens it for append.
-    /// Returns the number of entries loaded.
+    /// Attaches the persistent tier: loads every cache file in `DIR`
+    /// (tolerating missing files and torn lines) into memory, then opens
+    /// a *per-process* file `DIR/cache-<pid>.jsonl` for append. Returns
+    /// the number of disk lines loaded.
+    ///
+    /// One file per writer is what makes the disk tier safe under
+    /// multi-process use (supervised `--procs` shards, daemon restarts):
+    /// two processes appending the same file can interleave partial
+    /// writes once a line exceeds the kernel's atomic-append granularity
+    /// (Sat models run to ~1 MiB), silently corrupting both records.
+    /// With private files there is no cross-process interleaving to
+    /// reason about; readers merge `cache.jsonl` (the legacy shared name,
+    /// still read for old cache dirs) plus every `cache-*.jsonl`, and the
+    /// in-memory map's first-write-wins dedup collapses duplicates.
     pub fn attach_dir(&self, dir: &Path) -> std::io::Result<usize> {
+        self.attach_dir_tagged(dir, &std::process::id().to_string())
+    }
+
+    /// [`attach_dir`] with an explicit writer tag in place of the pid.
+    /// Lets tests (and any embedder multiplexing several caches in one
+    /// process) simulate distinct writer processes sharing a directory.
+    pub fn attach_dir_tagged(&self, dir: &Path, tag: &str) -> std::io::Result<usize> {
         std::fs::create_dir_all(dir)?;
-        let path = dir.join("cache.jsonl");
+        let mut paths: Vec<std::path::PathBuf> = vec![dir.join("cache.jsonl")];
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for entry in rd.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("cache-") && name.ends_with(".jsonl") {
+                    paths.push(entry.path());
+                }
+            }
+        }
+        // Deterministic load order (and drop the legacy-name duplicate if
+        // read_dir happened to return it — it can't match `cache-*`, but
+        // sorting keeps the merge order stable across platforms anyway).
+        paths.sort();
+        paths.dedup();
         let mut loaded = 0usize;
-        if let Ok(text) = std::fs::read_to_string(&path) {
-            for line in text.lines() {
-                if self.load_line(line) {
-                    loaded += 1;
+        for path in &paths {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                for line in text.lines() {
+                    if self.load_line(line) {
+                        loaded += 1;
+                    }
                 }
             }
         }
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(&path)?;
+            .open(dir.join(format!("cache-{tag}.jsonl")))?;
         *lock(&self.disk) = Some(file);
         Ok(loaded)
+    }
+
+    /// Approximate bytes retained by the in-memory tier: per-entry map
+    /// overhead plus the satisfying-assignment payloads. The daemon's
+    /// admission control treats this as the cache's share of
+    /// `--mem-budget-mb` (term contexts are per-job and freed with the
+    /// job, so the cache is the only unbounded cross-request growth).
+    pub fn mem_bytes(&self) -> usize {
+        // Key (16) + vars/clauses (8) + enum tag and Vec header (~32) +
+        // hash-map slot: ~96 bytes of fixed overhead per entry.
+        const ENTRY_OVERHEAD: usize = 96;
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = lock(s);
+                shard.len() * ENTRY_OVERHEAD
+                    + shard
+                        .values()
+                        .map(|e| match &e.outcome {
+                            CachedOutcome::Sat(bits) => bits.len(),
+                            CachedOutcome::Unsat => 0,
+                        })
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Drops every in-memory entry, returning how many were evicted. The
+    /// disk tier (and its append handle) is untouched, so evicted results
+    /// persist for the next cold load — this is a GC, not a purge.
+    pub fn clear_memory(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut shard = lock(s);
+                let n = shard.len();
+                shard.clear();
+                shard.shrink_to_fit();
+                n
+            })
+            .sum()
     }
 
     /// Parses one disk line into the in-memory tier. Returns false on a
@@ -622,10 +699,13 @@ mod tests {
         );
         drop(c1);
 
-        // Append a torn line, then reload into a fresh cache.
+        // Drop a torn line into the legacy shared-name file (which the
+        // loader must still merge alongside the per-process files), then
+        // reload into a fresh cache.
         {
             use std::io::Write as _;
             let mut f = std::fs::OpenOptions::new()
+                .create(true)
                 .append(true)
                 .open(dir.join("cache.jsonl"))
                 .unwrap();
@@ -642,5 +722,90 @@ mod tests {
             Some(CachedOutcome::Sat(vec![Some(true), None]))
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_the_disk_tier() {
+        // Two writers (distinct tags = distinct processes in production)
+        // share one cache dir and append interleaved entries from racing
+        // threads, including Sat models far larger than any atomic-append
+        // granularity. A fresh reader must recover every entry intact.
+        let dir = std::env::temp_dir().join(format!(
+            "alive2-cache-race-{}-{:x}",
+            std::process::id(),
+            &dir_tag as *const _ as usize
+        ));
+        fn dir_tag() {}
+        let _ = std::fs::remove_dir_all(&dir);
+
+        const PER_WRITER: u64 = 64;
+        // ~16 KiB of model bits per Sat entry: each disk line is far
+        // beyond PIPE_BUF, the size at which shared-file appends tear.
+        const MODEL_VARS: usize = 16 * 1024;
+        std::thread::scope(|scope| {
+            for (w, tag) in ["w1", "w2"].iter().enumerate() {
+                let dir = dir.clone();
+                scope.spawn(move || {
+                    let cache = QueryCache::new();
+                    cache.attach_dir_tagged(&dir, tag).unwrap();
+                    for i in 0..PER_WRITER {
+                        let fp = Fingerprint(w as u64 + 10, i);
+                        if i % 2 == 0 {
+                            cache.store(fp, 3, 2, CachedOutcome::Unsat);
+                        } else {
+                            let bits = (0..MODEL_VARS)
+                                .map(|b| Some((b + i as usize) % 3 == 0))
+                                .collect();
+                            cache.store(fp, MODEL_VARS as u32, 7, CachedOutcome::Sat(bits));
+                        }
+                    }
+                });
+            }
+        });
+
+        let reader = QueryCache::new();
+        let loaded = reader.attach_dir_tagged(&dir, "reader").unwrap();
+        assert_eq!(loaded as u64, 2 * PER_WRITER, "no line lost or torn");
+        for (w, _) in ["w1", "w2"].iter().enumerate() {
+            for i in 0..PER_WRITER {
+                let fp = Fingerprint(w as u64 + 10, i);
+                if i % 2 == 0 {
+                    assert_eq!(reader.lookup(fp, 3, 2), Some(CachedOutcome::Unsat));
+                } else {
+                    let expect: Vec<Option<bool>> = (0..MODEL_VARS)
+                        .map(|b| Some((b + i as usize) % 3 == 0))
+                        .collect();
+                    assert_eq!(
+                        reader.lookup(fp, MODEL_VARS as u32, 7),
+                        Some(CachedOutcome::Sat(expect))
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_accounting_and_gc() {
+        let cache = QueryCache::new();
+        assert_eq!(cache.mem_bytes(), 0);
+        cache.store(Fingerprint(1, 1), 3, 2, CachedOutcome::Unsat);
+        cache.store(
+            Fingerprint(2, 2),
+            1000,
+            5,
+            CachedOutcome::Sat(vec![Some(true); 1000]),
+        );
+        let bytes = cache.mem_bytes();
+        assert!(bytes >= 1000, "model payload counted, got {bytes}");
+        assert_eq!(cache.clear_memory(), 2);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.mem_bytes(), 0);
+        // A post-GC store repopulates normally.
+        cache.store(Fingerprint(1, 1), 3, 2, CachedOutcome::Unsat);
+        assert_eq!(
+            cache.lookup(Fingerprint(1, 1), 3, 2),
+            Some(CachedOutcome::Unsat)
+        );
     }
 }

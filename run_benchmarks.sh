@@ -131,11 +131,25 @@ if [ -n "$CACHE" ]; then
     "$PB" "$PP" "$(wc -l < "$PDIR/kb.profile.jsonl")" "$OVERHEAD" "$PPARITY" \
     > BENCH_pr9.json
   cat BENCH_pr9.json
-  # Cross-run triage gate: the new artifact must not regress the previous
-  # PR's verdict columns (labels are disjoint across PRs, so the report
-  # falls back to per-harness verdict-signature parity).
+  # BENCH_pr10: the validation-as-a-service experiment. A cold one-shot
+  # CLI run (spawn known_bugs: process startup + fresh query cache) vs.
+  # a warm `alive2-serve` daemon re-validating the same 36-pair corpus
+  # as its second batch. Both sides run --jobs 1 --no-incremental so the
+  # delta is warm state, not thread count, and every discharge flows
+  # through the cache-eligible one-shot solver path. serve_bench prints
+  # the whole artifact: per-pass wall/solve meters, pairs/sec, the
+  # warm/cold live-solve split, and the acceptance flags (verdict
+  # parity, warm cache hits, memory under the 512 MiB budget).
+  cargo build --release -q --bin alive2-serve
+  cargo build --release -q -p alive2-bench --bin serve_bench
+  ./target/release/serve_bench --jobs 1 > BENCH_pr10.json
+  cat BENCH_pr10.json
+  # Cross-run triage gates: each new artifact must not regress the
+  # previous PR's verdict columns (labels are disjoint across PRs, so
+  # the report falls back to per-harness verdict-signature parity).
   cargo build --release -q -p alive2-bench --bin alive2-report
   ./target/release/alive2-report BENCH_pr8.json BENCH_pr9.json
+  ./target/release/alive2-report BENCH_pr9.json BENCH_pr10.json
   exit 0
 fi
 {

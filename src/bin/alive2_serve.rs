@@ -1,0 +1,10 @@
+//! The `alive2-serve` binary: a long-running validation daemon speaking
+//! JSON-lines over stdin/stdout (or length-prefixed frames behind
+//! `--listen`). See [`alive2::cli::alive2_serve_main`] and DESIGN.md,
+//! "Validation as a service".
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    alive2::cli::alive2_serve_main()
+}

@@ -184,3 +184,135 @@ pub fn alive_tv_main() -> ExitCode {
         ExitCode::SUCCESS
     }
 }
+
+/// Runs the `alive2-serve` daemon over `std::env::args` (see DESIGN.md,
+/// "Validation as a service").
+///
+/// Shares the whole CLI convention with `alive_tv` — `--jobs`,
+/// `--deadline-ms`, `--unroll`, `--timeout`, `--mem-budget-mb`,
+/// `--cache`, `--journal`/`--resume`, `--stats`/`--trace`/`--profile`,
+/// `--no-incremental`/`--no-rewrite` — plus the daemon knobs:
+/// `--listen ADDR` (length-prefixed Unix/TCP socket instead of stdio),
+/// `--max-batch-pairs N`, `--max-queued-pairs N`.
+///
+/// `--journal` doubles as the request log: admitted batches are recorded
+/// before execution, and `--resume` replays them (journaled outcomes
+/// re-emit without solving) before serving new traffic. `--procs` is
+/// rejected: a daemon re-invoking itself as worker shards would read the
+/// protocol stream twice.
+///
+/// Exit code: 0 on clean shutdown (stdin EOF or a `shutdown` request);
+/// refinement failures are per-response data, not a daemon failure.
+pub fn alive2_serve_main() -> ExitCode {
+    use alive2_core::serve;
+    use std::sync::Arc;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if core_cli::flag_value::<usize>(&args, "--procs").is_some_and(|p| p > 1) {
+        eprintln!("error: alive2-serve does not support --procs (the daemon is the long-lived process; use --jobs for parallelism)");
+        return ExitCode::FAILURE;
+    }
+    let obs_cfg = core_cli::obs_from_args(&args);
+    core_cli::cache_from_args(&args);
+    let engine = core_cli::engine_from_args(&args);
+    let mut cfg = core_cli::config_from_args(&args, EncodeConfig::default());
+    if let Some(unroll) = core_cli::flag_value(&args, "--unroll") {
+        cfg.unroll_factor = unroll;
+    }
+    if let Some(timeout) = core_cli::flag_value(&args, "--timeout") {
+        cfg.solver_timeout_ms = timeout;
+    }
+    let mut opts = serve::ServeOptions {
+        mem_budget_mb: core_cli::flag_value(&args, "--mem-budget-mb"),
+        ..serve::ServeOptions::default()
+    };
+    if let Some(n) = core_cli::flag_value(&args, "--max-batch-pairs") {
+        opts.max_batch_pairs = n;
+    }
+    if let Some(n) = core_cli::flag_value(&args, "--max-queued-pairs") {
+        opts.max_queued_pairs = n;
+    }
+    let daemon = Arc::new(serve::Daemon::new(engine, cfg, opts));
+
+    // Crash recovery: replay the request log (in admission order) before
+    // accepting new traffic. The engine's own `--resume` log answers the
+    // already-journaled pairs, so this is cheap for completed work.
+    if let Some(path) = core_cli::flag_value::<String>(&args, "--resume") {
+        match serve::load_request_log(&path) {
+            Ok(reqs) if !reqs.is_empty() => {
+                let sink: Arc<dyn serve::ResponseSink> =
+                    Arc::new(serve::LineSink::new(std::io::stdout()));
+                let n = daemon.replay(&reqs, &sink);
+                eprintln!("serve: replayed {n} journaled batches from {path}");
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("error: cannot read request log `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let counts = match core_cli::flag_value::<String>(&args, "--listen") {
+        Some(addr) => match serve::serve_listen(&daemon, &addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot listen on `{addr}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => serve::serve_stdio(&daemon),
+    };
+
+    let wall_us = started.elapsed().as_micros() as u64;
+    if obs_cfg.stats {
+        print!("{}", obs::report::render_phase_table(wall_us));
+        print!("{}", obs::report::render_counters(&counts.stats));
+        print!(
+            "{}",
+            obs::report::render_top_queries(&obs::profile::summary())
+        );
+    }
+    if obs_cfg.profile.is_some() {
+        match obs::profile::finish_sink(&counts.stats) {
+            Ok(Some((path, lines))) => {
+                eprintln!(
+                    "profile: wrote {lines} query profiles to {}",
+                    path.display()
+                );
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: cannot finish profile sink: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &obs_cfg.trace {
+        match obs::trace::write_chrome(path) {
+            Ok(n) => eprintln!("trace: wrote {n} events to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write trace `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Exit summary, same shape and last-stdout-line contract as the
+    // other drivers (over the daemon's whole lifetime).
+    println!(
+        "{{\"name\":\"alive2_serve\",\"pairs\":{},\"correct\":{},\"incorrect\":{},\
+         \"timeout\":{},\"oom\":{},\"unsupported\":{},\"crash\":{},\
+         \"stats\":{},\"phases\":{}}}",
+        counts.pairs,
+        counts.correct,
+        counts.incorrect,
+        counts.timeout,
+        counts.oom,
+        counts.unsupported,
+        counts.crash,
+        counts.stats.to_json_obj(),
+        obs::report::phases_json_obj(wall_us)
+    );
+    ExitCode::SUCCESS
+}
